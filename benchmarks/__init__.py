@@ -1,0 +1,1 @@
+"""Experiment harness: one module per reproduced figure/claim (see DESIGN.md)."""

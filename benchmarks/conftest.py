@@ -1,0 +1,39 @@
+"""Shared helpers for the experiment harness.
+
+Every benchmark regenerates one figure or measurable claim from the paper
+(see DESIGN.md's experiment index).  Each prints the rows/series it
+reproduces — virtual-time latencies and wire-byte counts from the
+simulation — and uses pytest-benchmark to time the scenario itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(title: str, rows: list[tuple], headers: tuple[str, ...]) -> None:
+    """Print one experiment table (captured into the benchmark log)."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    print("  " + " | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("  " + "-+-".join("-" * w for w in widths))
+    for row in rows:
+        print("  " + " | ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+
+
+def ms(seconds: float) -> str:
+    return f"{seconds * 1000:.2f}ms"
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Run a scenario a handful of times under pytest-benchmark (the
+    interesting output is the virtual-time data the scenario prints)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=3, iterations=1)
+
+    return run

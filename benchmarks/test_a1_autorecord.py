@@ -1,0 +1,52 @@
+"""Experiment A1 — the Section 2 motivating application: automatic video
+recording from an Internet TV-program service.
+
+"the service integration of a VCR control service with a TV program
+service on the Internet can provide an automatic video recording service
+that records TV programs according to user profiles" — run end to end and
+report the timeline.
+"""
+
+from __future__ import annotations
+
+from repro.apps.auto_recording import RecordingAgent, TvProgramService, UserProfile
+from repro.apps.home import build_smart_home
+
+from benchmarks.conftest import report
+
+
+def run_scenario():
+    home = build_smart_home()
+    home.connect()
+    guide = TvProgramService(home.mm)
+    home.sim.run_until_complete(guide.publish())
+
+    profile = UserProfile(genres=("technology",), keywords=("movie",),
+                          mail_to="user@home.sim")
+    agent = RecordingAgent(home, profile)
+    planned = home.sim.run_until_complete(agent.plan())
+    home.run(600.0)  # the whole evening airs
+
+    timeline = [
+        (recording.title, recording.channel,
+         f"{recording.start:.0f}s-{recording.end:.0f}s", recording.state)
+        for recording in agent.schedule
+    ]
+    inbox = home.mail_server.store.mailbox("user@home.sim")
+    return home, agent, planned, timeline, len(inbox)
+
+
+def test_a1_automatic_recording(bench_once):
+    home, agent, planned, timeline, mails = bench_once(run_scenario)
+    report("A1: automatic video recording timeline", timeline,
+           ("programme", "channel", "slot", "outcome"))
+    print(f"  completion mails delivered: {mails}")
+    assert [row[0] for row in timeline] == [
+        "Ubiquitous Computing Tonight",
+        "Home Networking Special",
+        "Evening Movie",
+    ]
+    assert all(row[3] == "done" for row in timeline)
+    assert mails == 3
+    recordings = home.vcr.list_recordings()
+    assert len(recordings) == 3

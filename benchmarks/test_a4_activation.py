@@ -1,0 +1,91 @@
+"""Experiment A4 — the second future-work item, measured: dynamic service
+activation (Sections 4.2 and 6).
+
+The prototype could not activate dormant services on demand; the
+extension (`repro.core.activation`) can.  Measured: cold-call latency
+(activation + bridging) vs warm-call latency, and the idle-deactivation
+cycle — the behaviour a CORBA servant activator or a power-saving
+appliance gives a home network.
+"""
+
+from __future__ import annotations
+
+from repro.core.activation import ActivatableService
+from repro.core.framework import MetaMiddleware
+from repro.core.interface import simple_interface
+from repro.net.network import Network
+from repro.net.segment import EthernetSegment
+from repro.net.simkernel import Simulator
+
+from benchmarks.conftest import ms, report
+from tests.core.toys import ToyPcm
+
+ACTIVATION_DELAY = 2.0
+IDLE_TIMEOUT = 30.0
+
+
+class SleepyCamera:
+    def __init__(self):
+        self.frames = 0
+
+    def capture(self):
+        self.frames += 1
+        return self.frames
+
+
+def run_lifecycle():
+    sim = Simulator()
+    net = Network(sim)
+    backbone = net.create_segment(EthernetSegment, "backbone")
+    mm = MetaMiddleware(net, backbone)
+    provider = mm.add_island("provider", None, lambda i: ToyPcm(i.gateway, {}))
+    consumer = mm.add_island("consumer", None, lambda i: ToyPcm(i.gateway, {}))
+    sim.run_until_complete(mm.connect())
+
+    interface = simple_interface("SleepyCamera", {"capture": ("->int",)})
+    service = ActivatableService(
+        sim, SleepyCamera, activation_delay=ACTIVATION_DELAY, idle_timeout=IDLE_TIMEOUT
+    )
+    sim.run_until_complete(
+        provider.gateway.export_service("SleepyCamera", interface, service)
+    )
+    sim.run_until_complete(mm.refresh())
+
+    def timed_call():
+        t0 = sim.now
+        sim.run_until_complete(consumer.gateway.invoke("SleepyCamera", "capture", []))
+        return sim.now - t0
+
+    cold = timed_call()
+    warm = timed_call()
+    sim.run_for(IDLE_TIMEOUT + 1.0)  # idle: the instance is discarded
+    reactivated = timed_call()
+    warm_again = timed_call()
+
+    return {
+        "cold": cold,
+        "warm": warm,
+        "reactivated": reactivated,
+        "warm_again": warm_again,
+        "activations": service.activations,
+        "deactivations": service.deactivations,
+    }
+
+
+def test_a4_dynamic_activation(bench_once):
+    result = bench_once(run_lifecycle)
+    rows = [
+        ("cold call (dormant -> active)", ms(result["cold"])),
+        ("warm call", ms(result["warm"])),
+        ("call after idle deactivation", ms(result["reactivated"])),
+        ("warm call again", ms(result["warm_again"])),
+        ("activations / deactivations",
+         f"{result['activations']} / {result['deactivations']}"),
+    ]
+    report("A4: dynamic service activation across islands", rows, ("call", "latency"))
+    # Cold calls pay the activation delay; warm calls are pure bridging.
+    assert result["cold"] >= ACTIVATION_DELAY
+    assert result["warm"] < 0.5
+    assert result["reactivated"] >= ACTIVATION_DELAY
+    assert result["activations"] == 2
+    assert result["deactivations"] == 1

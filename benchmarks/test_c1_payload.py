@@ -1,0 +1,78 @@
+"""Experiment C1 — claim: SOAP is "simple ... and light-weight for
+network" (Section 4.1).
+
+Encodes the *same logical call* — ``zoom(5)`` with a small struct result —
+in each substrate's native wire format and in SOAP, then measures size.
+The honest result (which the paper glosses): SOAP is light-weight only
+relative to heavyweight middleware stacks; as *bytes on the wire* its XML
+is several times larger than any of the binary encodings.  The framework
+pays that cost for universality.
+"""
+
+from __future__ import annotations
+
+from repro.havi import codec as havi_codec
+from repro.jini.marshalling import marshal
+from repro.soap import envelope
+from repro.x10.codes import X10Address, X10Function
+from repro.x10.powerline import X10Signal
+
+from benchmarks.conftest import report
+
+
+def run_encodings():
+    operation = "zoom"
+    args = [5]
+    result_value = {"zoom": 5, "capturing": True}
+
+    soap_request = envelope.build_request(operation, args)
+    soap_response = envelope.build_response(operation, result_value)
+
+    rmi_request = marshal(
+        {"kind": "call", "call_id": 1, "object_id": 3, "method": operation, "args": args}
+    )
+    rmi_response = marshal({"kind": "result", "call_id": 1, "value": result_value})
+
+    havi_request = havi_codec.encode({"op": operation, "args": args})
+    havi_response = havi_codec.encode(result_value)
+
+    x10_command = (
+        X10Signal.for_address(X10Address("A", 1)).encode()
+        + X10Signal.for_function("A", X10Function.ON).encode()
+    )
+
+    return {
+        "SOAP (VSG)": (len(soap_request), len(soap_response)),
+        "Jini RMI": (len(rmi_request), len(rmi_response)),
+        "HAVi message": (len(havi_request), len(havi_response)),
+        "X10 frames": (len(x10_command), 0),
+    }
+
+
+def test_c1_payload_sizes(bench_once):
+    sizes = bench_once(run_encodings)
+    soap_total = sum(sizes["SOAP (VSG)"])
+    rows = [
+        (fmt, request, response, request + response,
+         f"{soap_total / max(1, request + response):.1f}x")
+        for fmt, (request, response) in sizes.items()
+    ]
+    report("C1: one logical call in each wire format", rows,
+           ("format", "request B", "response B", "total B", "SOAP is"))
+    # Shape: SOAP several times larger than the binary formats; X10 is
+    # two orders of magnitude smaller than everything.
+    assert soap_total > 3 * sum(sizes["Jini RMI"])
+    assert soap_total > 3 * sum(sizes["HAVi message"])
+    assert soap_total > 100 * sum(sizes["X10 frames"])
+
+
+def test_c1_encode_decode_cost(benchmark):
+    """Wall-clock encode+decode throughput of the SOAP envelope codec (the
+    'easy for implementation' half of the claim — it is also the slowest)."""
+    operation, args = "zoom", [5, "camera", {"level": 2.5}]
+
+    def roundtrip():
+        return envelope.parse_envelope(envelope.build_request(operation, args))
+
+    message = benchmark(roundtrip)
+    assert message.operation == operation

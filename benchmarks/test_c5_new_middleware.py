@@ -1,0 +1,72 @@
+"""Experiment C5 — claim: "new middleware can be participated in our
+framework effortlessly" (Sections 3 and 6).
+
+The measurement: take the running four-island prototype, join a UPnP
+island at runtime, and count what it took — modules written (exactly one
+PCM), changes to existing islands (zero), virtual time to full two-way
+reachability.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.apps.home import add_upnp_island, build_smart_home
+from repro.pcms import upnp_pcm as upnp_pcm_module
+
+from benchmarks.conftest import ms, report
+
+
+def run_join():
+    home = build_smart_home()
+    home.connect()
+    before = home.sim.run_until_complete(home.mm.catalog())
+    before_names = {d.service for d in before}
+
+    # Snapshot existing-island state that must remain untouched.
+    exports_before = {
+        name: list(island.gateway.exported_services)
+        for name, island in home.islands.items()
+    }
+
+    t0 = home.sim.now
+    add_upnp_island(home)
+    home.sim.run_until_complete(home.mm.refresh())
+    join_time = home.sim.now - t0
+
+    after = home.sim.run_until_complete(home.mm.catalog())
+    new_services = {d.service for d in after} - before_names
+
+    # Two-way reachability immediately after the join.
+    assert home.invoke_from("upnp", "Laserdisc", "get_state") in ("PLAY", "STOP")
+    assert home.invoke_from("jini", "Porchlight_SwitchPower", "SetTarget", [True])
+
+    # Existing islands: exports unchanged.
+    for name, exports in exports_before.items():
+        assert list(home.islands[name].gateway.exported_services) == exports
+
+    glue_loc = len(inspect.getsource(upnp_pcm_module).splitlines())
+    return {
+        "services_before": len(before),
+        "services_after": len(after),
+        "new_services": sorted(new_services),
+        "join_time": join_time,
+        "glue_loc": glue_loc,
+    }
+
+
+def test_c5_new_middleware_joins(bench_once):
+    result = bench_once(run_join)
+    rows = [
+        ("services before join", result["services_before"]),
+        ("services after join", result["services_after"]),
+        ("new services", ", ".join(result["new_services"])),
+        ("modules written", "1 (repro/pcms/upnp_pcm.py)"),
+        ("PCM module size", f"{result['glue_loc']} lines"),
+        ("changes to existing islands", "0"),
+        ("virtual time to full reachability", ms(result["join_time"])),
+    ]
+    report("C5: joining a fifth middleware (UPnP)", rows, ("metric", "value"))
+    assert result["services_after"] == result["services_before"] + 2
+    assert result["new_services"] == ["Porchlight_SwitchPower", "Renderer_AVTransport"]
+    assert result["join_time"] < 10.0

@@ -1,0 +1,57 @@
+"""Experiment F1 — Figure 1: connecting middleware.
+
+Reproduces the figure's claim as a full-mesh reachability matrix: a client
+on every middleware island invokes a service on every island (including
+its own) through the framework, and we record the virtual round-trip
+latency of each pair.  Expected shape: all 16 pairs succeed; latencies are
+milliseconds except where the X10 powerline is the last hop (hundreds of
+milliseconds).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.apps.home import build_smart_home
+
+from benchmarks.conftest import ms, report
+
+#: A cheap, side-effect-tolerant probe per target island.
+PROBES = {
+    "jini": ("Refrigerator", "get_temperature", []),
+    "havi": ("Digital_TV_tuner", "get_channel", []),
+    "x10": ("X10_A3_fan", "turn_on", []),
+    "mail": ("InternetMail", "check_inbox", ["probe@home.sim"]),
+}
+
+
+def run_matrix():
+    home = build_smart_home()
+    home.connect()
+    rows = []
+    matrix = {}
+    for source, target in itertools.product(PROBES, repeat=2):
+        service, operation, args = PROBES[target]
+        t0 = home.sim.now
+        home.invoke_from(source, service, operation, list(args))
+        latency = home.sim.now - t0
+        matrix[(source, target)] = latency
+        rows.append((source, target, service, "ok", ms(latency)))
+    return rows, matrix
+
+
+def test_f1_full_mesh_reachability(bench_once):
+    rows, matrix = bench_once(run_matrix)
+    report(
+        "F1: cross-middleware reachability (Figure 1)",
+        rows,
+        ("client island", "service island", "service", "result", "virtual RTT"),
+    )
+    # Shape assertions: everything reachable, X10-terminated calls dominated
+    # by the powerline, IP-only pairs in the low milliseconds.
+    assert len(rows) == 16
+    for (source, target), latency in matrix.items():
+        if target == "x10":
+            assert latency > 0.5, (source, target, latency)
+        else:
+            assert latency < 0.2, (source, target, latency)

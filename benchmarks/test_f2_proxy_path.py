@@ -1,0 +1,85 @@
+"""Experiment F2 — Figure 2: the Server Proxy / Client Proxy path.
+
+Compares one logical call made three ways:
+
+1. native — a Jini client calls the Jini Laserdisc directly over RMI;
+2. bridged — the same operation through SP → SOAP VSG → CP from the HAVi
+   island;
+3. bridged+generated — via the generated typed facade (proxygen), showing
+   the auto-generated proxies add no extra network cost.
+
+Expected shape: the bridged call costs a constant factor more (extra TCP
+handshakes + XML) but stays in the same order of magnitude; conversion is
+where the bytes multiply.
+"""
+
+from __future__ import annotations
+
+from repro.apps.home import build_smart_home
+from repro.jini.service import JiniClient, JiniHost
+from repro.net.monitor import TrafficMonitor
+
+from benchmarks.conftest import ms, report
+
+
+def run_paths():
+    home = build_smart_home()
+    home.connect()
+    sim = home.sim
+    results = {}
+
+    # Path 1: native Jini RMI.
+    host = JiniHost(home.network, "bench-client", home.network.segment("jini-eth"))
+    client = JiniClient(host)
+    lookup_ref = sim.run_until_complete(client.discover_lookup())
+    proxy = sim.run_until_complete(client.lookup_one(lookup_ref, "home.av.Laserdisc"))
+    monitor = TrafficMonitor().watch(home.network.segment("jini-eth"))
+    t0 = sim.now
+    sim.run_until_complete(proxy.get_chapter())
+    results["native RMI"] = (sim.now - t0, monitor.total_bytes)
+
+    # Path 2: bridged through the VSG from the HAVi island.
+    monitor2 = TrafficMonitor().watch(
+        home.network.segment("jini-eth"),
+        home.network.segment("backbone"),
+        home.network.segment("havi-1394"),
+    )
+    t0 = sim.now
+    home.invoke_from("havi", "Laserdisc", "get_chapter")
+    results["bridged (SP->VSG->CP)"] = (sim.now - t0, monitor2.total_bytes)
+
+    # Path 3: bridged via the generated typed facade.
+    facade = home.islands["havi"].pcm.remote_proxy(
+        sim.run_until_complete(
+            home.islands["havi"].gateway.vsr.find_by_name("Laserdisc")
+        )
+    )
+    monitor3 = TrafficMonitor().watch(
+        home.network.segment("jini-eth"), home.network.segment("backbone")
+    )
+    t0 = sim.now
+    sim.run_until_complete(facade.get_chapter())
+    results["bridged (generated proxy)"] = (sim.now - t0, monitor3.total_bytes)
+
+    return results
+
+
+def test_f2_proxy_path_overheads(bench_once):
+    results = bench_once(run_paths)
+    rows = [
+        (path, ms(latency), bytes_)
+        for path, (latency, bytes_) in results.items()
+    ]
+    report("F2: one logical call, three paths (Figure 2)", rows,
+           ("path", "virtual latency", "bytes on wire"))
+    native_latency, native_bytes = results["native RMI"]
+    bridged_latency, bridged_bytes = results["bridged (SP->VSG->CP)"]
+    generated_latency, _ = results["bridged (generated proxy)"]
+    # Bridging costs more, but bounded: a constant factor, not an order
+    # of magnitude in latency.
+    assert bridged_latency > native_latency
+    assert bridged_latency < 100 * native_latency
+    # XML + double hop multiplies the bytes.
+    assert bridged_bytes > 2 * native_bytes
+    # The generated facade rides the same wire path.
+    assert abs(generated_latency - bridged_latency) < bridged_latency

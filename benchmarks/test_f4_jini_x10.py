@@ -1,0 +1,68 @@
+"""Experiment F4 — Figure 4: conversion between Jini and X10.
+
+Reproduces the paper's worked transaction wire-by-wire: a Jini client
+calls ``turn_on`` on the bridged hall lamp; the Server Proxy converts the
+RMI call to SOAP, the VSG carries it over the backbone, the X10 PCM's
+Client Proxy converts it into CM11A serial bytes and finally powerline
+frames.  The traffic trace shows every leg; the latency budget shows the
+powerline dwarfing everything else.
+"""
+
+from __future__ import annotations
+
+from repro.apps.home import build_smart_home
+from repro.jini.service import JiniClient, JiniHost
+from repro.net.monitor import TrafficMonitor
+
+from benchmarks.conftest import ms, report
+
+
+def run_figure4():
+    home = build_smart_home()
+    home.connect()
+    sim = home.sim
+
+    segments = ["jini-eth", "backbone", "serial0", "powerline"]
+    monitor = TrafficMonitor(trace_enabled=True).watch(
+        *(home.network.segment(name) for name in segments)
+    )
+
+    # A *plain Jini client* (Figure 4's left edge): discovers the lookup
+    # service, finds the bridged X10 lamp, calls it.
+    host = JiniHost(home.network, "f4-client", home.network.segment("jini-eth"))
+    client = JiniClient(host)
+    lookup_ref = sim.run_until_complete(client.discover_lookup())
+    proxy = sim.run_until_complete(client.lookup_one(lookup_ref, "vsg.X10_A1_hall_lamp"))
+    monitor.reset()
+    t0 = sim.now
+    sim.run_until_complete(proxy.turn_on())
+    total = sim.now - t0
+    assert home.lamps["hall"].on
+
+    legs = []
+    for name in segments:
+        stats = monitor.per_segment.get(name, {})
+        frames = sum(s.frames for s in stats.values())
+        size = sum(s.bytes for s in stats.values())
+        protocols = "+".join(sorted(stats))
+        first = min(
+            (e.time for e in monitor.trace if e.segment == name), default=None
+        )
+        legs.append((name, protocols, frames, size,
+                     ms(first - t0) if first is not None else "-"))
+    return total, legs, monitor
+
+
+def test_f4_jini_to_x10_conversion(bench_once):
+    total, legs, monitor = bench_once(run_figure4)
+    report("F4: Jini -> X10 conversion trace (Figure 4)", legs,
+           ("segment", "protocols", "frames", "bytes", "first frame at"))
+    print(f"  total virtual round trip: {ms(total)}")
+    by_segment = {leg[0]: leg for leg in legs}
+    # Every leg of Figure 4 carried traffic.
+    for segment in ("jini-eth", "backbone", "serial0", "powerline"):
+        assert by_segment[segment][2] > 0, segment
+    # The powerline's two X10 frames dominate the latency budget.
+    assert total > 0.6
+    # RMI + SOAP legs carry far more bytes than the 2-byte X10 frames.
+    assert by_segment["backbone"][3] > 10 * by_segment["powerline"][3]

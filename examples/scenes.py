@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Context-aware scenes — service integration through the VSR's contexts.
+
+The paper's Section 3.3 gives the Virtual Service Repository "service
+contexts" and says the VSG and PCM use it "to detect services or aware
+contexts".  This example builds the new service the paper's Section 2
+promises — one command made from many cooperating services — using room
+context: a single ``room_off("living")`` reaches a HAVi TV, a Jini
+Laserdisc and an X10 fan, each through its own middleware.
+
+Run:  python examples/scenes.py
+"""
+
+from repro.apps import SceneController, build_smart_home
+
+
+def show_state(home, label: str) -> None:
+    print(f"\n{label}")
+    print(f"  TV (HAVi, living):        powered={home.tv_display.powered}")
+    print(f"  Laserdisc (Jini, living): {home.laserdisc.get_state()}")
+    print(f"  fan (X10, living):        on={home.fan.on}")
+    print(f"  hall lamp (X10, hall):    on={home.lamps['hall'].on}")
+
+
+def main() -> None:
+    home = build_smart_home()
+    home.connect()
+
+    print("what the VSR knows about the living room:")
+    for document in home.find_services(room="living"):
+        print(f"  {document.service:<20} via {document.context['middleware']}")
+
+    print("\nmovie night: switch the living room on...")
+    home.invoke_from("jini", "Digital_TV_display", "power_on")
+    home.invoke_from("jini", "Laserdisc", "play")
+    home.invoke_from("jini", "X10_A3_fan", "turn_on")
+    home.invoke_from("jini", "X10_A1_hall_lamp", "turn_on")
+    show_state(home, "after movie night setup:")
+
+    scenes = SceneController(home)
+    commanded = scenes.room_off("living")
+    show_state(home, f"after room_off('living') — {commanded} devices, "
+                     "three middleware, one command:")
+    for service, operation, island in scenes.actions_log:
+        print(f"    sent {service}.{operation}() to island {island}")
+
+    print("\nleaving home: all_off() sweeps the rest...")
+    scenes.all_off()
+    show_state(home, "after all_off():")
+
+
+if __name__ == "__main__":
+    main()

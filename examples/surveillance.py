@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Event-based multimedia — the paper's Section 4.2 experiment, with both
+its working half and its famous failures.
+
+Works: an X10 motion sensor's event crosses the framework and triggers
+control-plane AV routing — the TV powers on, switches input, and the DV
+camera's stream is connected to it *within the HAVi bus*.
+
+Fails (exactly as the paper reports):
+  1. the isochronous stream cannot cross a gateway (multimedia data
+     conversion), raising StreamNotBridgeableError;
+  2. over the SOAP/HTTP VSG, event notification latency is bounded below
+     by the polling interval ("HTTP ... does not map well to asynchronous
+     notification scenarios") — the SIP binding removes the bound.
+
+Run:  python examples/surveillance.py
+"""
+
+from repro.apps import MultimediaOrchestrator, build_smart_home
+from repro.core.gateway_sip import SipGatewayProtocol
+from repro.errors import StreamNotBridgeableError
+from repro.havi.bus1394 import Bus1394, HaviNode
+from repro.havi.dcm import Dcm
+from repro.havi.fcm_types import DisplayFcm
+from repro.net.segment import IEEE1394Segment
+
+
+def run_once(label: str, protocol_factory=None, poll_interval: float = 2.0) -> float:
+    home = build_smart_home(protocol_factory=protocol_factory, poll_interval=poll_interval)
+    home.connect()
+    orchestrator = MultimediaOrchestrator(home)
+    home.sim.run_until_complete(orchestrator.arm())
+
+    print(f"\n--- {label} ---")
+    print("motion in the hall...")
+    home.motion_sensor.trigger()
+    home.run(15.0)
+    print(f"  actions: {orchestrator.actions}")
+    print(f"  TV: powered={home.tv_display.powered} input={home.tv_display.input}")
+    home.run(15.0)
+    print(f"  DV bytes shown on the TV so far: {home.tv_display.bytes_displayed:,}")
+    latency = orchestrator.notification_latencies[0]
+    print(f"  motion-event notification latency: {latency * 1000:.2f}ms")
+
+    if protocol_factory is None:
+        # Negative result 1: try to stream to a display on another island.
+        foreign_segment = home.network.create_segment(IEEE1394Segment, "pc-1394")
+        foreign_bus = Bus1394(home.network, foreign_segment)
+        pc_node = HaviNode(home.network, "pc-display", foreign_bus)
+        pc_display = DisplayFcm(Dcm(pc_node, "PC Display", "display"))
+        print("  attempting to route the camera stream to the PC's display "
+              "(different island)...")
+        try:
+            orchestrator.route_camera_to_foreign_sink(pc_display)
+        except StreamNotBridgeableError as exc:
+            print(f"  -> {type(exc).__name__}: {exc}")
+    return latency
+
+
+def main() -> None:
+    soap_latency = run_once("SOAP/HTTP VSG (the prototype, polling every 2s)")
+    sip_latency = run_once(
+        "SIP VSG (the alternative the paper discusses, native push)",
+        protocol_factory=lambda stack: SipGatewayProtocol(stack),
+    )
+    print("\n--- verdict (the paper's Section 4.2/5 argument, quantified) ---")
+    print(f"  SOAP/HTTP notification latency: {soap_latency * 1000:8.2f}ms "
+          "(bounded by the polling interval)")
+    print(f"  SIP push notification latency:  {sip_latency * 1000:8.2f}ms "
+          "(network round trip)")
+    print(f"  SIP is {soap_latency / sip_latency:.0f}x faster at asynchronous "
+          "notification — but streams still cannot cross the VSG; for that "
+          "the paper defers to a second, stream-oriented meta-middleware.")
+
+    demo_stream_meta_middleware()
+
+
+def demo_stream_meta_middleware() -> None:
+    """Epilogue: the paper's future work, implemented (repro.core.streams).
+
+    The stream meta-middleware coexists with the VSG framework and relays
+    media across islands, transcoding down to whatever the backbone can
+    carry — the "conversion of multimedia streams" of Section 6.
+    """
+    from repro.core.streams import StreamMetaMiddleware, StreamSink
+
+    print("\n--- epilogue: the future-work stream meta-middleware ---")
+    home = build_smart_home(with_x10=False, with_mail=False)
+    home.connect()
+    meta = StreamMetaMiddleware(home.mm)
+    meta.attach("havi")
+    meta.attach("jini")
+    sink = StreamSink.counter()
+    meta.register_sink("jini", "pc-display", sink)
+    stream = home.sim.run_until_complete(meta.relay("havi", "jini", "pc-display", fmt="DV"))
+    home.run(10.0)
+    achieved = sink.bytes_received * 8 / 10.0
+    print(f"  requested DV (28.8 Mb/s) across islands; delivered "
+          f"{stream.delivered_format} at {achieved / 1e6:.1f} Mb/s "
+          f"(transcoded={stream.transcoded}) — the camera now reaches the "
+          "PC's display, which the SOAP VSG alone never could.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro — reproduction of *A Framework for Connecting Home Computing
+Middleware* (Tokunaga et al., ICDCS Workshops 2002).
+
+The public API surface re-exported here is what the examples use; each
+subpackage is documented and importable directly:
+
+- :mod:`repro.core` — the paper's meta-middleware (VSG / PCM / VSR).
+- :mod:`repro.net` — the simulated home network everything runs on.
+- :mod:`repro.soap`, :mod:`repro.jini`, :mod:`repro.havi`,
+  :mod:`repro.x10`, :mod:`repro.mail`, :mod:`repro.upnp`,
+  :mod:`repro.sip` — the middleware substrates, built from scratch.
+- :mod:`repro.pcms` — one Protocol Conversion Manager per middleware.
+- :mod:`repro.devices` — simulated appliances.
+- :mod:`repro.apps` — the paper's applications (smart home, Universal
+  Remote Controller, automatic recording, event-based multimedia).
+"""
+
+from repro import errors
+from repro.apps import build_smart_home
+from repro.core import MetaMiddleware, ProtocolConversionManager, VirtualServiceGateway
+from repro.net import Network, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MetaMiddleware",
+    "Network",
+    "ProtocolConversionManager",
+    "Simulator",
+    "VirtualServiceGateway",
+    "build_smart_home",
+    "errors",
+]

@@ -1,0 +1,29 @@
+"""The paper's applications, as library code.
+
+- :mod:`repro.apps.home` — builds the canned smart-home topology of the
+  paper's Section 1 example (Jini Ethernet + HAVi IEEE1394 + X10 powerline
+  + Internet mail, all bridged), used by every example and benchmark.
+- :mod:`repro.apps.universal_remote` — the Universal Remote Controller of
+  Figure 5.
+- :mod:`repro.apps.auto_recording` — the Section 2 automatic video
+  recording integration (Internet TV-program service + VCR).
+- :mod:`repro.apps.multimedia` — the Section 4.2 event-based multimedia
+  system, including the negative result it reproduces.
+"""
+
+from repro.apps.auto_recording import RecordingAgent, TvProgramService
+from repro.apps.home import SmartHome, add_upnp_island, build_smart_home
+from repro.apps.multimedia import MultimediaOrchestrator
+from repro.apps.scenes import SceneController
+from repro.apps.universal_remote import UniversalRemote
+
+__all__ = [
+    "MultimediaOrchestrator",
+    "RecordingAgent",
+    "SceneController",
+    "SmartHome",
+    "TvProgramService",
+    "UniversalRemote",
+    "add_upnp_island",
+    "build_smart_home",
+]

@@ -1,0 +1,121 @@
+"""The event-based multimedia system (paper Section 4.2) — including its
+negative result.
+
+"We have tried to develop the event-based multimedia system, which manages
+multimedia streams and send multimedia data to appropriate I/O devices,
+with X10 motion sensors and HAVi and Jini AV systems.  But, there are some
+difficulties such as multimedia data conversion and dynamic service
+activation because of the limitation of HTTP."
+
+What works (and this class implements): motion events from X10 sensors
+cross the framework and trigger *control-plane* actions — power the TV on,
+route the DV camera's stream to it *within the HAVi bus*, show an on-screen
+message.
+
+What fails, by construction, exactly as in the paper:
+
+- the *data plane* cannot cross a gateway: isochronous streams are bus-
+  local (:meth:`route_camera_to_foreign_sink` raises
+  :class:`~repro.errors.StreamNotBridgeableError`);
+- with the SOAP/HTTP gateway, event *notification latency is bounded below
+  by the polling interval* — measured in :attr:`notification_latencies`
+  and swept by experiment C3 (the SIP gateway removes the bound).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import FrameworkError, HaviError, StreamNotBridgeableError
+from repro.havi.dcm import Fcm
+from repro.havi.streams import Plug, StreamConnection
+from repro.net.simkernel import SimFuture
+from repro.apps.home import SmartHome
+
+MOTION_TOPIC = "x10.ON"
+
+
+class MultimediaOrchestrator:
+    """Motion-driven AV routing across the bridged home."""
+
+    def __init__(self, home: SmartHome, watch_island: str = "havi") -> None:
+        if home.stream_manager is None or home.camera is None or home.tv_display is None:
+            raise FrameworkError("the home has no HAVi AV devices to orchestrate")
+        self.home = home
+        self.gateway = home.island(watch_island).gateway
+        self.active_stream: StreamConnection | None = None
+        self.motion_events: list[dict[str, Any]] = []
+        self.actions: list[str] = []
+
+    # -- arming ------------------------------------------------------------
+
+    def arm(self) -> SimFuture:
+        """Subscribe to X10 motion events across the framework."""
+        return self.gateway.subscribe(MOTION_TOPIC, self._on_motion)
+
+    def _on_motion(self, topic: str, payload: Any, source_island: str) -> None:
+        self.motion_events.append(
+            {"payload": payload, "island": source_island, "at": self.home.sim.now}
+        )
+        self._surveillance_on()
+
+    # -- control-plane actions (these work across islands) ---------------------------
+
+    def _surveillance_on(self) -> None:
+        display = self.home.tv_display
+        camera = self.home.camera
+        if not display.powered:
+            display.power_on()
+            self.actions.append("tv.power_on")
+        display.set_input("1394")
+        camera.start_capture()
+        if self.active_stream is None:
+            self.active_stream = self.home.stream_manager.connect(
+                Plug(camera, "out"), Plug(display, "in"), "DV"
+            )
+            self.actions.append("stream.connect camera->tv")
+        display.show_message("motion detected: showing hall camera")
+        self.actions.append("tv.show_message")
+
+    def surveillance_off(self) -> None:
+        if self.active_stream is not None:
+            self.active_stream.disconnect()
+            self.active_stream = None
+            self.actions.append("stream.disconnect")
+        self.home.camera.stop_capture()
+
+    # -- the paper's negative results, reproduced -------------------------------------
+
+    def route_camera_to_foreign_sink(self, sink_fcm: Fcm) -> StreamConnection:
+        """Attempt to stream the DV camera to an FCM that is *not* on this
+        IEEE1394 bus (e.g. a display on the Jini island).
+
+        Raises :class:`StreamNotBridgeableError`: the SOAP/HTTP VSG carries
+        control calls, not isochronous data — the multimedia-data-conversion
+        limitation of Section 4.2.
+        """
+        try:
+            return self.home.stream_manager.connect(
+                Plug(self.home.camera, "out"), Plug(sink_fcm, "in"), "DV"
+            )
+        except HaviError as exc:
+            raise StreamNotBridgeableError(
+                "the VSG cannot carry isochronous multimedia data between "
+                f"islands (paper Section 4.2): {exc}"
+            ) from exc
+
+    # -- measurements ------------------------------------------------------------
+
+    @property
+    def notification_latencies(self) -> list[float]:
+        """Publish-to-delivery latency of every motion event received.
+
+        Over the SOAP gateway these cluster around half the polling
+        interval and never go below the poll granularity; over SIP they
+        collapse to network RTT.
+        """
+        return [
+            record["latency"]
+            for record in self.gateway.events.delivery_log
+            if record["topic"] == MOTION_TOPIC
+        ]

@@ -1,0 +1,79 @@
+"""Scene control — context-aware service integration.
+
+The paper defines service integration as "making a new service from more
+than one service cooperating with each other" (Section 2) and gives the
+VSR "service contexts" for exactly this kind of selection (Section 3.3).
+A scene is that new service: one command fans out to every matching
+device, regardless of which middleware each lives on.
+
+``SceneController.room_off("living")`` finds every service whose VSR
+context says ``room=living`` and applies its natural "off" operation —
+``power_off`` on the HAVi TV, ``turn_off`` on X10 modules, ``stop`` on the
+Jini Laserdisc — through the ordinary neutral call path.
+"""
+
+from __future__ import annotations
+
+from repro.net.simkernel import SimFuture
+from repro.soap.wsdl import WsdlDocument
+from repro.apps.home import SmartHome
+
+#: Preference order of "switch it off" operations.
+OFF_OPERATIONS = ("power_off", "turn_off", "stop", "stop_record", "stop_capture")
+#: Preference order of "switch it on" operations.
+ON_OPERATIONS = ("power_on", "turn_on", "play", "start_capture")
+
+
+def _pick(document: WsdlDocument, candidates: tuple[str, ...]) -> str | None:
+    for operation in candidates:
+        if document.has_operation(operation):
+            return operation
+    return None
+
+
+class SceneController:
+    """Fans one command out across middleware by VSR context."""
+
+    def __init__(self, home: SmartHome, from_island: str | None = None) -> None:
+        self.home = home
+        island_name = from_island or next(iter(home.islands))
+        self.gateway = home.island(island_name).gateway
+        self.actions_log: list[tuple[str, str, str]] = []
+
+    # -- scenes ------------------------------------------------------------
+
+    def room_off(self, room: str) -> int:
+        """Switch off everything in ``room``; returns devices commanded."""
+        return self._apply({"room": room}, OFF_OPERATIONS)
+
+    def room_on(self, room: str) -> int:
+        return self._apply({"room": room}, ON_OPERATIONS)
+
+    def all_off(self) -> int:
+        """'Leaving home': off everything that has an off operation."""
+        return self._apply({}, OFF_OPERATIONS)
+
+    def middleware_off(self, middleware: str) -> int:
+        """Maintenance scene: silence one middleware's devices."""
+        return self._apply({"middleware": middleware}, OFF_OPERATIONS)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _apply(self, context: dict[str, str], candidates: tuple[str, ...]) -> int:
+        documents = self.home.sim.run_until_complete(self.gateway.vsr.find(context))
+        futures: list[SimFuture] = []
+        for document in documents:
+            operation = _pick(document, candidates)
+            if operation is None:
+                continue
+            self.actions_log.append(
+                (document.service, operation, document.context.get("island", "?"))
+            )
+            futures.append(self.gateway.invoke(document.service, operation, []))
+        for future in futures:
+            # Tolerate individual device failures: a scene is best-effort.
+            try:
+                self.home.sim.run_until_complete(future)
+            except Exception:
+                pass
+        return len(futures)

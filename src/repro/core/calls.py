@@ -1,0 +1,63 @@
+"""Neutral call/result/fault records crossing the Virtual Service Gateway."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import RemoteServiceError
+
+
+@dataclass
+class ServiceCall:
+    """One neutral invocation as it crosses the gateway."""
+
+    service: str
+    operation: str
+    args: list[Any] = field(default_factory=list)
+    source_island: str = ""
+    call_id: int = 0
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "service": self.service,
+            "operation": self.operation,
+            "args": self.args,
+            "source_island": self.source_island,
+            "call_id": self.call_id,
+        }
+
+    @staticmethod
+    def from_wire(data: dict[str, Any]) -> "ServiceCall":
+        return ServiceCall(
+            service=str(data.get("service", "")),
+            operation=str(data.get("operation", "")),
+            args=list(data.get("args", [])),
+            source_island=str(data.get("source_island", "")),
+            call_id=int(data.get("call_id", 0)),
+        )
+
+
+@dataclass
+class ServiceResult:
+    """Successful outcome of a neutral call."""
+
+    value: Any = None
+
+
+@dataclass
+class ServiceFault:
+    """Failure outcome; convertible to/from the local exception."""
+
+    code: str
+    message: str
+    island: str = ""
+
+    def to_exception(self) -> RemoteServiceError:
+        return RemoteServiceError(self.code, self.message, self.island)
+
+    @staticmethod
+    def from_exception(exc: BaseException, island: str = "") -> "ServiceFault":
+        if isinstance(exc, RemoteServiceError):
+            return ServiceFault(exc.code, exc.fault_message, exc.island or island)
+        return ServiceFault(type(exc).__name__, str(exc), island)

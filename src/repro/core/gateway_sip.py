@@ -1,0 +1,186 @@
+"""SIP binding of the VSG interchange protocol.
+
+The paper (Section 5) weighs SIP against HTTP for exactly this job: "SIP
+supports asynchronous calls and call forwarding which is not supported by
+HTTP ... SIP may be more suitable than other protocols such as HTTP for
+service integration.  But the problem is few popularization of SIP."
+
+This binding keeps the *payload* identical to the SOAP binding (SOAP
+envelopes inside SIP MESSAGE bodies) so experiments C3/A2 isolate the
+transport difference: datagram transactions instead of TCP+HTTP, and true
+push eventing (NOTIFY) instead of polling.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import GatewayError, SipError, SoapError
+from repro.net.simkernel import SimFuture
+from repro.net.transport import TransportStack
+from repro.soap import envelope
+from repro.sip.messages import make_uri, parse_uri
+from repro.sip.transaction import DEFAULT_SIP_PORT
+from repro.sip.ua import SipUserAgent
+from repro.core.calls import ServiceCall, ServiceFault
+from repro.core.vsg import GatewayProtocol, VirtualServiceGateway
+
+CONTROL_USER = "_gateway"
+
+
+class SipGatewayProtocol(GatewayProtocol):
+    """SIP/UDP gateway binding with native event push."""
+
+    name = "sip"
+    supports_push = True
+
+    def __init__(self, stack: TransportStack, port: int = DEFAULT_SIP_PORT) -> None:
+        self.stack = stack
+        self.port = port
+        self.ua: SipUserAgent | None = None
+        self.vsg: VirtualServiceGateway | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self, vsg: VirtualServiceGateway) -> None:
+        self.vsg = vsg
+        self.ua = SipUserAgent(self.stack, self.port)
+        self.ua.on_message(self._on_message)
+        self.ua.on_event("vsg", self._on_pushed_event)
+
+    def stop(self) -> None:
+        if self.ua is not None:
+            self.ua.close()
+            self.ua = None
+
+    # -- locations ------------------------------------------------------------
+
+    def location(self, service: str) -> str:
+        return make_uri(service, self.stack.local_address(), self.port)
+
+    def control_location(self) -> str:
+        return make_uri(CONTROL_USER, self.stack.local_address(), self.port)
+
+    # -- calls ------------------------------------------------------------
+
+    def call_remote(self, location: str, call: ServiceCall) -> SimFuture:
+        if self.ua is None:
+            raise GatewayError("SIP gateway protocol not started")
+        body = envelope.build_request(call.operation, call.args)
+        raw = self.ua.send_message(location, body, headers={"X-Service": call.service})
+        result: SimFuture = SimFuture()
+
+        def translate(future: SimFuture) -> None:
+            exc = future.exception()
+            if exc is not None:
+                result.set_exception(exc)
+                return
+            response = future.result()
+            if response.status == 408:
+                result.set_exception(GatewayError(f"SIP timeout calling {location}"))
+                return
+            try:
+                message = envelope.parse_envelope(response.body)
+            except SoapError as parse_exc:
+                result.set_exception(parse_exc)
+                return
+            if message.kind == "fault":
+                fault = ServiceFault(message.faultcode, message.faultstring)
+                result.set_exception(fault.to_exception())
+            else:
+                result.set_result(message.value)
+
+        raw.add_done_callback(translate)
+        return result
+
+    def _on_message(self, user: str, request) -> SimFuture:
+        """Inbound MESSAGE: a neutral call for a locally exported service
+        (the URI user part names the service)."""
+        pending: SimFuture = SimFuture()
+        try:
+            parsed = envelope.parse_envelope(request.body)
+        except SoapError as exc:
+            pending.set_result((400, envelope.build_fault("SOAP-ENV:Client", str(exc))))
+            return pending
+        if user == CONTROL_USER:
+            pending.set_result(self._control(parsed))
+            return pending
+        call = ServiceCall(service=user, operation=parsed.operation, args=parsed.args)
+
+        def on_done(future: SimFuture) -> None:
+            exc = future.exception()
+            if exc is not None:
+                body = envelope.build_fault("SOAP-ENV:Server", str(exc))
+                pending.set_result((500, body))
+            else:
+                pending.set_result(
+                    (200, envelope.build_response(parsed.operation, future.result()))
+                )
+
+        self.vsg.dispatch_local(call).add_done_callback(on_done)
+        return pending
+
+    def _control(self, parsed) -> tuple[int, bytes]:
+        """Gateway-level control operations carried as MESSAGEs."""
+        if parsed.operation == "subscribe" and len(parsed.args) >= 3:
+            island, topic, contact = (str(a) for a in parsed.args[:3])
+            self.vsg.events.handle_subscribe(island, topic, contact)
+            return (200, envelope.build_response("subscribe", True))
+        if parsed.operation == "ping":
+            return (200, envelope.build_response("ping", self.vsg.island))
+        return (
+            404,
+            envelope.build_fault(
+                "SOAP-ENV:Client", f"unknown control operation {parsed.operation!r}"
+            ),
+        )
+
+    # -- events: native push ------------------------------------------------------
+
+    def subscribe_remote(self, control_location: str, island: str, topic: str) -> SimFuture:
+        """SUBSCRIBE at the remote gateway; the topic and our identity ride
+        in one MESSAGE to the control user (subscription bookkeeping), and
+        NOTIFYs come back to our UA."""
+        if self.ua is None:
+            raise GatewayError("SIP gateway protocol not started")
+        body = envelope.build_request(
+            "subscribe", [island, topic, self.control_location()]
+        )
+        raw = self.ua.send_message(control_location, body)
+        result: SimFuture = SimFuture()
+
+        def check(future: SimFuture) -> None:
+            exc = future.exception()
+            if exc is not None:
+                result.set_exception(exc)
+            elif not future.result().ok:
+                result.set_exception(
+                    GatewayError(f"subscribe rejected: {future.result().status}")
+                )
+            else:
+                result.set_result(True)
+
+        raw.add_done_callback(check)
+        return result
+
+    def push_event(self, control_location: str, event: dict[str, Any]) -> None:
+        if self.ua is None:
+            raise GatewayError("SIP gateway protocol not started")
+        _, address, port = parse_uri(control_location)
+        body = envelope.build_request("_event", [event])
+        self.ua._send_notify(address, port, "vsg", body)
+
+    def poll_events(self, control_location: str, island: str) -> SimFuture:
+        raise GatewayError("the SIP binding pushes events; polling is never used")
+
+    def _on_pushed_event(self, event_name: str, body: bytes, src) -> None:
+        if self.vsg is None:
+            return
+        try:
+            parsed = envelope.parse_envelope(body)
+        except SoapError:
+            return
+        if parsed.kind == "request" and parsed.operation == "_event" and parsed.args:
+            event = parsed.args[0]
+            if isinstance(event, dict):
+                self.vsg.events.handle_push(event)

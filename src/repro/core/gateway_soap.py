@@ -1,0 +1,135 @@
+"""SOAP binding of the VSG interchange protocol — the prototype's choice.
+
+Paper Section 4.1: "we have used Apache SOAP ... for VSG. Currently, the
+protocol of VSG is SOAP".  Each exported neutral service becomes a SOAP
+service on the gateway's HTTP endpoint; neutral calls become SOAP RPC.
+
+Events: SOAP-over-HTTP cannot push ("HTTP is inherently a client/server
+protocol, which does not map well to asynchronous notification scenarios",
+Section 4.2), so the binding exposes a ``_gateway`` control service with
+``subscribe`` and ``fetch_events`` operations, and subscribers poll.
+Experiment C3 measures exactly the latency/overhead consequences.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import GatewayError, SoapFault
+from repro.net.simkernel import SimFuture
+from repro.net.transport import TransportStack
+from repro.soap.client import SoapClient
+from repro.soap.server import SoapServer
+from repro.soap.wsdl import make_location, parse_location
+from repro.core.calls import ServiceCall, ServiceFault
+from repro.core.vsg import GatewayProtocol, VirtualServiceGateway
+
+CONTROL_SERVICE = "_gateway"
+DEFAULT_GATEWAY_PORT = 8080
+
+
+class SoapGatewayProtocol(GatewayProtocol):
+    """SOAP/HTTP gateway binding."""
+
+    name = "soap"
+    supports_push = False
+
+    def __init__(self, stack: TransportStack, port: int = DEFAULT_GATEWAY_PORT) -> None:
+        self.stack = stack
+        self.port = port
+        self.server: SoapServer | None = None
+        self.client = SoapClient(stack)
+        self.vsg: VirtualServiceGateway | None = None
+        self._exported: set[str] = set()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self, vsg: VirtualServiceGateway) -> None:
+        self.vsg = vsg
+        self.server = SoapServer(self.stack, self.port)
+        self.server.register_service(CONTROL_SERVICE, self._control_dispatch)
+
+    def stop(self) -> None:
+        if self.server is not None:
+            self.server.close()
+            self.server = None
+
+    # -- locations ------------------------------------------------------------
+
+    def _address(self):
+        return self.stack.local_address()
+
+    def location(self, service: str) -> str:
+        self._ensure_service_endpoint(service)
+        return make_location(self._address(), self.port, service)
+
+    def control_location(self) -> str:
+        return make_location(self._address(), self.port, CONTROL_SERVICE)
+
+    def _ensure_service_endpoint(self, service: str) -> None:
+        """Lazily mount a SOAP endpoint for a newly exported service."""
+        if self.server is None or self.vsg is None:
+            raise GatewayError("SOAP gateway protocol not started")
+        if service in self._exported:
+            return
+        self._exported.add(service)
+
+        def dispatch(operation: str, args: list[Any]) -> SimFuture:
+            call = ServiceCall(service=service, operation=operation, args=args)
+            return self.vsg.dispatch_local(call)
+
+        self.server.register_service(service, dispatch)
+
+    # -- outbound calls -----------------------------------------------------------
+
+    def call_remote(self, location: str, call: ServiceCall) -> SimFuture:
+        address, port, service = parse_location(location)
+        raw = self.client.call(address, service, call.operation, call.args, port=port)
+        result: SimFuture = SimFuture()
+
+        def translate(future: SimFuture) -> None:
+            exc = future.exception()
+            if exc is None:
+                result.set_result(future.result())
+            elif isinstance(exc, SoapFault):
+                fault = ServiceFault(
+                    code=exc.detail or exc.faultcode,
+                    message=exc.faultstring,
+                    island="",
+                )
+                result.set_exception(fault.to_exception())
+            else:
+                result.set_exception(exc)
+
+        raw.add_done_callback(translate)
+        return result
+
+    # -- events ------------------------------------------------------------
+
+    def subscribe_remote(self, control_location: str, island: str, topic: str) -> SimFuture:
+        address, port, service = parse_location(control_location)
+        return self.client.call(
+            address, service, "subscribe", [island, topic, self.control_location()], port=port
+        )
+
+    def poll_events(self, control_location: str, island: str) -> SimFuture:
+        address, port, service = parse_location(control_location)
+        return self.client.call(address, service, "fetch_events", [island], port=port)
+
+    def push_event(self, control_location: str, event: dict[str, Any]) -> None:
+        raise GatewayError("SOAP/HTTP cannot push events (paper Section 4.2)")
+
+    # -- control service (inbound) ---------------------------------------------------
+
+    def _control_dispatch(self, operation: str, args: list[Any]) -> Any:
+        if self.vsg is None:
+            raise GatewayError("gateway protocol not attached to a VSG")
+        if operation == "subscribe":
+            island, topic = str(args[0]), str(args[1])
+            control_location = str(args[2]) if len(args) > 2 else ""
+            return self.vsg.events.handle_subscribe(island, topic, control_location)
+        if operation == "fetch_events":
+            return self.vsg.events.handle_fetch(str(args[0]))
+        if operation == "ping":
+            return self.vsg.island
+        raise GatewayError(f"gateway control service has no operation {operation!r}")

@@ -1,0 +1,135 @@
+"""Protocol Conversion Manager base class (paper Section 3.2).
+
+A PCM owns both proxy directions for one middleware island:
+
+- **Client Proxy (CP)** — :meth:`export_services`: discover local services,
+  describe each as a :class:`~repro.core.interface.ServiceInterface`, and
+  register them with the VSG (which publishes WSDL to the VSR).  Remote
+  clients then invoke them through the gateway.
+- **Server Proxy (SP)** — :meth:`import_service`: given a remote service's
+  WSDL, materialise a *native* facade inside the local middleware so
+  unmodified local clients can call it ("It is not necessary to change
+  legacy clients and services", Section 3).
+
+Both directions use the generated-proxy machinery in
+:mod:`repro.core.proxygen`; nothing per-service is hand-written.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConversionError
+from repro.net.simkernel import SimFuture
+from repro.soap.wsdl import WsdlDocument
+from repro.core.interface import ServiceInterface
+from repro.core.proxygen import ProxyFactory
+from repro.core.vsg import VirtualServiceGateway
+
+
+class ProtocolConversionManager:
+    """Base class for per-middleware PCMs."""
+
+    #: Human/machine-readable middleware name; lands in WSDL context.
+    middleware_name = "abstract"
+
+    def __init__(self, vsg: VirtualServiceGateway) -> None:
+        self.vsg = vsg
+        self.sim = vsg.sim
+        self.proxies = ProxyFactory()
+        self.exported: dict[str, ServiceInterface] = {}
+        self.imported: dict[str, WsdlDocument] = {}
+
+    # -- Client Proxy direction ---------------------------------------------------
+
+    def export_services(self) -> SimFuture:
+        """Discover local services and export each through the VSG.
+
+        Resolves to the list of exported service names.  Subclasses
+        implement :meth:`_discover_local_services`.
+        """
+        result: SimFuture = SimFuture()
+
+        def on_discovered(future: SimFuture) -> None:
+            exc = future.exception()
+            if exc is not None:
+                result.set_exception(exc)
+                return
+            discovered = [
+                entry for entry in future.result() if entry[0] not in self.exported
+            ]
+            if not discovered:
+                result.set_result([])
+                return
+            pending = len(discovered)
+            names: list[str] = []
+
+            def one_exported(name: str, done: SimFuture) -> None:
+                nonlocal pending
+                if done.exception() is None:
+                    names.append(name)
+                pending -= 1
+                if pending == 0 and not result.done():
+                    result.set_result(sorted(names))
+
+            for name, interface, handler, context in discovered:
+                self.exported[name] = interface
+                full_context = {"middleware": self.middleware_name}
+                full_context.update(context)
+                export_future = self.vsg.export_service(
+                    name, interface, handler, full_context
+                )
+                export_future.add_done_callback(
+                    lambda done, exported_name=name: one_exported(exported_name, done)
+                )
+
+        self._discover_local_services().add_done_callback(on_discovered)
+        return result
+
+    def _discover_local_services(self) -> SimFuture:
+        """Resolve to ``[(name, interface, handler, context), ...]``.
+
+        ``handler(operation, args)`` executes the operation against the
+        *local* middleware and returns a value or SimFuture.
+        """
+        raise NotImplementedError
+
+    # -- Server Proxy direction ---------------------------------------------------
+
+    def import_service(self, document: WsdlDocument) -> SimFuture:
+        """Materialise a remote service natively in the local middleware.
+
+        The default implementation records the import and delegates the
+        middleware-specific materialisation to :meth:`_materialise`.
+        Resolves to True when the facade is in place.
+        """
+        if document.context.get("island") == self.vsg.island:
+            raise ConversionError(
+                f"refusing to import {document.service!r} into its own island"
+            )
+        interface = ServiceInterface.from_wsdl(document)
+        self.imported[document.service] = document
+        return self._materialise(document, interface)
+
+    def _materialise(self, document: WsdlDocument, interface: ServiceInterface) -> SimFuture:
+        raise NotImplementedError
+
+    # -- shared plumbing ------------------------------------------------------------
+
+    def remote_invoker(self, service: str):
+        """An invoker closure calling ``service`` through the VSG — the
+        transport behind every Server Proxy facade."""
+
+        def invoke(operation: str, args: list[Any]) -> SimFuture:
+            return self.vsg.invoke(service, operation, args)
+
+        return invoke
+
+    def remote_proxy(self, document: WsdlDocument) -> Any:
+        """A generated typed proxy for a remote service (used by tests and
+        by PCMs whose middleware can host Python callables directly)."""
+        interface = ServiceInterface.from_wsdl(document)
+        return self.proxies.create(interface, self.remote_invoker(document.service))
+
+    def shutdown(self) -> None:
+        """Release middleware resources.  Subclasses extend."""

@@ -1,0 +1,122 @@
+"""Runtime proxy generation — the reproduction's Javassist.
+
+The paper (Section 4.1): "Automatically we can generate a proxy object,
+such as client proxy and server proxy, for certain service using the
+interface of that service", done there with Javassist bytecode rewriting.
+In Python the same effect — a *typed class synthesised at runtime from an
+interface description, with zero hand-written per-service glue* — comes
+from building method functions and assembling them with ``type()``.
+
+Generated proxies validate argument counts and types against the interface
+before anything touches the wire, exactly what a generated strongly-typed
+Java proxy gives you.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import InterfaceError
+from repro.core import values
+from repro.core.interface import Operation, ServiceInterface
+
+#: An invoker bridges a generated proxy to its transport:
+#: ``invoker(operation_name, args) -> result`` (often a SimFuture).
+Invoker = Callable[[str, list[Any]], Any]
+
+
+def _make_method(operation: Operation) -> Callable[..., Any]:
+    """Build one proxy method for ``operation``."""
+
+    def method(self: Any, *args: Any) -> Any:
+        checked = values.check_args(operation, list(args))
+        return self._invoker(operation.name, checked)
+
+    method.__name__ = operation.name
+    method.__qualname__ = operation.name
+    method.__doc__ = _docstring_for(operation)
+    return method
+
+
+def _docstring_for(operation: Operation) -> str:
+    params = ", ".join(f"{param.name}: {param.type.name}" for param in operation.params)
+    tail = " (oneway)" if operation.oneway else ""
+    return f"{operation.name}({params}) -> {operation.returns.name}{tail} [generated]"
+
+
+class GeneratedProxyBase:
+    """Common base for all generated proxy classes."""
+
+    _interface: ServiceInterface
+
+    def __init__(self, invoker: Invoker) -> None:
+        self._invoker = invoker
+
+    @property
+    def interface(self) -> ServiceInterface:
+        return self._interface
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} proxy for {self._interface.name}>"
+
+
+def generate_proxy_class(interface: ServiceInterface) -> type:
+    """Synthesise a proxy class for ``interface``.
+
+    The class has one typed method per operation; instances take an
+    ``invoker`` callable.  Operation names that would collide with proxy
+    plumbing are rejected.
+    """
+    namespace: dict[str, Any] = {"_interface": interface}
+    for operation in interface.operations:
+        if operation.name.startswith("_") or operation.name in ("interface",):
+            raise InterfaceError(
+                f"operation name {operation.name!r} collides with proxy internals"
+            )
+        namespace[operation.name] = _make_method(operation)
+    class_name = f"{interface.name}Proxy"
+    return type(class_name, (GeneratedProxyBase,), namespace)
+
+
+class ProxyFactory:
+    """Caches generated classes per interface shape.
+
+    The cache key is the full structural signature, so two services sharing
+    an interface share one class (as Javassist-generated classes would be
+    shared per Java interface).
+    """
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple, type] = {}
+        self.classes_generated = 0
+        self.cache_hits = 0
+
+    @staticmethod
+    def _signature(interface: ServiceInterface) -> tuple:
+        return (
+            interface.name,
+            tuple(
+                (
+                    operation.name,
+                    tuple((param.name, param.type) for param in operation.params),
+                    operation.returns,
+                    operation.oneway,
+                )
+                for operation in interface.operations
+            ),
+        )
+
+    def proxy_class(self, interface: ServiceInterface) -> type:
+        key = self._signature(interface)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        generated = generate_proxy_class(interface)
+        self._cache[key] = generated
+        self.classes_generated += 1
+        return generated
+
+    def create(self, interface: ServiceInterface, invoker: Invoker) -> Any:
+        """Generate (or reuse) the class and instantiate it."""
+        return self.proxy_class(interface)(invoker)

@@ -1,0 +1,86 @@
+"""Value validation and coercion against the neutral type system.
+
+PCMs run every inbound and outbound value through these checks, so a type
+error surfaces as a clear :class:`repro.errors.ConversionError` at the
+conversion boundary instead of a mysterious failure deep inside a
+middleware codec.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConversionError
+from repro.core.interface import Operation, ValueType
+
+#: Python types acceptable for each neutral type (before coercion).
+_ACCEPTABLE: dict[ValueType, tuple[type, ...]] = {
+    ValueType.INT: (int,),
+    ValueType.FLOAT: (float, int),
+    ValueType.STRING: (str,),
+    ValueType.BOOL: (bool,),
+    ValueType.BYTES: (bytes, bytearray),
+    ValueType.ANY: (type(None), bool, int, float, str, bytes, bytearray, list, tuple, dict),
+}
+
+
+def check_value(value: Any, value_type: ValueType, where: str = "value") -> Any:
+    """Validate and coerce ``value`` to ``value_type``.
+
+    Coercions performed: int→float for FLOAT, bytearray→bytes, tuple→list.
+    bool is *not* accepted for INT (it is technically an int subclass but
+    almost always a caller bug).
+    """
+    if value_type == ValueType.VOID:
+        if value is not None:
+            raise ConversionError(f"{where}: void operation returned {type(value).__name__}")
+        return None
+    if value_type == ValueType.ANY:
+        return _check_any(value, where)
+    acceptable = _ACCEPTABLE[value_type]
+    if isinstance(value, bool) and value_type in (ValueType.INT, ValueType.FLOAT):
+        raise ConversionError(f"{where}: expected {value_type.name}, got bool")
+    if not isinstance(value, acceptable):
+        raise ConversionError(
+            f"{where}: expected {value_type.name}, got {type(value).__name__}"
+        )
+    if value_type == ValueType.FLOAT:
+        return float(value)
+    if value_type == ValueType.BYTES:
+        return bytes(value)
+    return value
+
+
+def _check_any(value: Any, where: str) -> Any:
+    """Deep-validate an ANY value: everything nested must be marshallable."""
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    if isinstance(value, bytearray):
+        return bytes(value)
+    if isinstance(value, (list, tuple)):
+        return [_check_any(item, where) for item in value]
+    if isinstance(value, dict):
+        checked: dict[str, Any] = {}
+        for key, member in value.items():
+            if not isinstance(key, str):
+                raise ConversionError(f"{where}: struct keys must be str, got {key!r}")
+            checked[key] = _check_any(member, where)
+        return checked
+    raise ConversionError(f"{where}: {type(value).__name__} is not marshallable")
+
+
+def check_args(operation: Operation, args: list[Any]) -> list[Any]:
+    """Validate a positional argument list against an operation signature."""
+    if len(args) != len(operation.params):
+        raise ConversionError(
+            f"{operation.name} expects {len(operation.params)} arguments, got {len(args)}"
+        )
+    return [
+        check_value(value, param.type, where=f"{operation.name}.{param.name}")
+        for value, param in zip(args, operation.params)
+    ]
+
+
+def check_result(operation: Operation, value: Any) -> Any:
+    """Validate a return value against an operation signature."""
+    return check_value(value, operation.returns, where=f"{operation.name} result")

@@ -1,0 +1,417 @@
+"""The Virtual Service Gateway (paper Section 3.1).
+
+One VSG per middleware island.  It owns the island's *exported* services
+(registered by the PCM's Client Proxy side), routes outbound neutral calls
+to the gateway holding the target service (located through the VSR), and
+bridges events between islands.
+
+The interchange protocol is a strategy (:class:`GatewayProtocol`): "How the
+protocol should we chose is demands on the purpose of service integration"
+— the prototype used SOAP; SIP is implemented as the alternative the paper
+discusses.  Crucially for experiment C3, a protocol declares whether it can
+*push* events: SOAP/HTTP cannot (subscribers must poll), SIP can.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import ConversionError, GatewayError, ServiceNotFoundError
+from repro.net.node import Node
+from repro.net.simkernel import Event, SimFuture
+from repro.net.transport import TransportStack
+from repro.soap.wsdl import WsdlDocument
+from repro.core import values
+from repro.core.calls import ServiceCall
+from repro.core.interface import ServiceInterface
+from repro.core.vsr import VsrClient
+
+#: A local service handler: ``handler(operation, args) -> value | SimFuture``.
+LocalHandler = Callable[[str, list[Any]], Any]
+#: An event callback: ``callback(topic, payload, source_island)``.
+EventCallback = Callable[[str, Any, str], None]
+
+DEFAULT_POLL_INTERVAL = 2.0
+
+
+class GatewayProtocol:
+    """Strategy interface for the VSG interchange protocol."""
+
+    name = "abstract"
+    #: True when the protocol can deliver events unsolicited (push).
+    supports_push = False
+
+    def start(self, vsg: "VirtualServiceGateway") -> None:
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        raise NotImplementedError
+
+    def location(self, service: str) -> str:
+        """Endpoint locator to publish in the service's WSDL."""
+        raise NotImplementedError
+
+    def control_location(self) -> str:
+        """Locator of this gateway's control endpoint (events etc.)."""
+        raise NotImplementedError
+
+    def call_remote(self, location: str, call: ServiceCall) -> SimFuture:
+        """Send a neutral call to a remote gateway; resolves to the value."""
+        raise NotImplementedError
+
+    def subscribe_remote(self, control_location: str, island: str, topic: str) -> SimFuture:
+        """Tell a remote gateway that ``island`` wants ``topic`` events."""
+        raise NotImplementedError
+
+    def push_event(self, control_location: str, event: dict[str, Any]) -> None:
+        """Push one event to a subscriber gateway (push protocols only)."""
+        raise NotImplementedError
+
+    def poll_events(self, control_location: str, island: str) -> SimFuture:
+        """Fetch queued events for ``island`` (pull protocols only)."""
+        raise NotImplementedError
+
+
+class EventRouter:
+    """Cross-island event bridging living inside each VSG.
+
+    Publisher side: remembers which islands subscribed to which topics.
+    For push protocols events go out immediately; for pull protocols they
+    queue until the subscriber's next poll — the mechanism behind the
+    paper's "HTTP ... does not map well to asynchronous notification".
+    """
+
+    def __init__(self, vsg: "VirtualServiceGateway") -> None:
+        self.vsg = vsg
+        self._local_subs: dict[str, list[EventCallback]] = {}
+        self._remote_subs: dict[str, set[str]] = {}  # island -> topics
+        self._remote_locations: dict[str, str] = {}  # island -> control location
+        self._queues: dict[str, list[dict[str, Any]]] = {}
+        self._poll_timers: dict[str, Event] = {}
+        self._sequence = 0
+        self.events_published = 0
+        self.events_delivered = 0
+        self.polls_performed = 0
+        #: Per-delivery records (topic, source island, published_at,
+        #: delivered_at, latency) — read by the C3 latency experiment.
+        self.delivery_log: list[dict[str, Any]] = []
+        self.delivery_log_limit = 10000
+
+    # -- publishing ------------------------------------------------------------
+
+    def publish(self, topic: str, payload: Any) -> None:
+        self._sequence += 1
+        self.events_published += 1
+        event = {
+            "topic": topic,
+            "payload": payload,
+            "island": self.vsg.island,
+            "sequence": self._sequence,
+            "published_at": self.vsg.sim.now,
+        }
+        self._deliver_local(event)
+        for island, topics in self._remote_subs.items():
+            if topic not in topics:
+                continue
+            if self.vsg.protocol.supports_push:
+                location = self._remote_locations.get(island)
+                if location:
+                    try:
+                        self.vsg.protocol.push_event(location, event)
+                    except Exception:
+                        pass  # unreachable or foreign-protocol subscriber
+            else:
+                self._queues.setdefault(island, []).append(event)
+
+    def _deliver_local(self, event: dict[str, Any]) -> None:
+        callbacks = self._local_subs.get(event["topic"], [])
+        if callbacks and len(self.delivery_log) < self.delivery_log_limit:
+            published_at = float(event.get("published_at", self.vsg.sim.now))
+            self.delivery_log.append(
+                {
+                    "topic": event["topic"],
+                    "island": event["island"],
+                    "published_at": published_at,
+                    "delivered_at": self.vsg.sim.now,
+                    "latency": self.vsg.sim.now - published_at,
+                }
+            )
+        for callback in callbacks:
+            self.events_delivered += 1
+            callback(event["topic"], event["payload"], event["island"])
+
+    # -- inbound control (called by the protocol's server side) --------------------
+
+    def handle_subscribe(self, island: str, topic: str, control_location: str) -> bool:
+        self._remote_subs.setdefault(island, set()).add(topic)
+        if control_location:
+            self._remote_locations[island] = control_location
+        return True
+
+    def handle_fetch(self, island: str) -> list[dict[str, Any]]:
+        queued = self._queues.get(island, [])
+        self._queues[island] = []
+        return queued
+
+    def handle_push(self, event: dict[str, Any]) -> bool:
+        self._deliver_local(event)
+        return True
+
+    # -- subscribing ------------------------------------------------------------
+
+    def subscribe(self, topic: str, callback: EventCallback) -> SimFuture:
+        """Subscribe to ``topic`` everywhere.
+
+        Registers the callback locally, then announces the subscription to
+        every other gateway listed in the VSR.  For pull protocols a poll
+        loop per remote gateway starts (interval ``vsg.poll_interval``).
+        Resolves to the number of remote gateways subscribed at.
+        """
+        self._local_subs.setdefault(topic, []).append(callback)
+        result: SimFuture = SimFuture()
+
+        def on_gateways(future: SimFuture) -> None:
+            exc = future.exception()
+            if exc is not None:
+                result.set_exception(exc)
+                return
+            gateways: dict[str, str] = future.result()
+            remote = {
+                island: location
+                for island, location in gateways.items()
+                if island != self.vsg.island
+            }
+            if not remote:
+                result.set_result(0)
+                return
+            pending = len(remote)
+            count = {"ok": 0}
+
+            def one_done(done: SimFuture) -> None:
+                nonlocal pending
+                if done.exception() is None:
+                    count["ok"] += 1
+                pending -= 1
+                if pending == 0 and not result.done():
+                    result.set_result(count["ok"])
+
+            for island, location in remote.items():
+                try:
+                    subscribe_future = self.vsg.protocol.subscribe_remote(
+                        location, self.vsg.island, topic
+                    )
+                except Exception as exc:
+                    # A gateway speaking another protocol (its location is
+                    # unparseable to ours) cannot forward us events; count
+                    # it as a failed subscription, not a crash.
+                    subscribe_future = SimFuture.failed(exc)
+                subscribe_future.add_done_callback(one_done)
+                if not self.vsg.protocol.supports_push:
+                    self._ensure_poll_loop(location)
+
+        self.vsg.vsr.list_gateways().add_done_callback(on_gateways)
+        return result
+
+    def _ensure_poll_loop(self, control_location: str) -> None:
+        if control_location in self._poll_timers:
+            return
+        self._poll_timers[control_location] = self.vsg.sim.schedule(
+            self.vsg.poll_interval, self._poll, control_location
+        )
+
+    def _poll(self, control_location: str) -> None:
+        self.polls_performed += 1
+        try:
+            poll_future = self.vsg.protocol.poll_events(
+                control_location, self.vsg.island
+            )
+        except Exception:
+            # Foreign-protocol gateway: stop polling it for good.
+            self._poll_timers.pop(control_location, None)
+            return
+
+        def on_events(future: SimFuture) -> None:
+            if future.exception() is None:
+                for event in future.result():
+                    self._deliver_local(event)
+            # Reschedule regardless: a transient failure must not end polling.
+            self._poll_timers[control_location] = self.vsg.sim.schedule(
+                self.vsg.poll_interval, self._poll, control_location
+            )
+
+        poll_future.add_done_callback(on_events)
+
+    def stop_polling(self) -> None:
+        for timer in self._poll_timers.values():
+            timer.cancel()
+        self._poll_timers.clear()
+
+
+class VirtualServiceGateway:
+    """One island's gateway."""
+
+    def __init__(
+        self,
+        island: str,
+        node: Node,
+        stack: TransportStack,
+        protocol: GatewayProtocol,
+        vsr: VsrClient,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+    ) -> None:
+        self.island = island
+        self.node = node
+        self.stack = stack
+        self.sim = stack.sim
+        self.protocol = protocol
+        self.vsr = vsr
+        self.poll_interval = poll_interval
+        self._local: dict[str, tuple[ServiceInterface, LocalHandler]] = {}
+        self.events = EventRouter(self)
+        self._next_call_id = 1
+        self.calls_out = 0
+        self.calls_in = 0
+        self.calls_local = 0
+        protocol.start(self)
+
+    # -- exporting (Client Proxy side of the PCM) ----------------------------------
+
+    def export_service(
+        self,
+        name: str,
+        interface: ServiceInterface,
+        handler: LocalHandler,
+        context: dict[str, str] | None = None,
+    ) -> SimFuture:
+        """Register a local service and publish its WSDL to the VSR."""
+        if name in self._local:
+            raise GatewayError(f"island {self.island!r} already exports {name!r}")
+        if interface.name != name:
+            # The export name is authoritative: republish the interface
+            # under it so the VSR entry and the dispatch table agree.
+            interface = ServiceInterface(name, interface.operations)
+        self._local[name] = (interface, handler)
+        full_context = {"island": self.island, "protocol": self.protocol.name}
+        full_context.update(context or {})
+        document = interface.to_wsdl(self.protocol.location(name), full_context)
+        return self.vsr.publish(document)
+
+    def withdraw_service(self, name: str) -> SimFuture:
+        self._local.pop(name, None)
+        return self.vsr.withdraw(name)
+
+    @property
+    def exported_services(self) -> list[str]:
+        return sorted(self._local)
+
+    # -- inbound (the protocol's server side calls this) -----------------------------
+
+    def dispatch_local(self, call: ServiceCall) -> SimFuture:
+        """Execute a neutral call against a locally exported service."""
+        self.calls_in += 1
+        entry = self._local.get(call.service)
+        if entry is None:
+            return SimFuture.failed(
+                ServiceNotFoundError(
+                    f"island {self.island!r} exports no service {call.service!r}"
+                )
+            )
+        interface, handler = entry
+        try:
+            operation = interface.operation(call.operation)
+            checked_args = values.check_args(operation, call.args)
+            outcome = handler(call.operation, checked_args)
+        except Exception as exc:
+            return SimFuture.failed(exc)
+        if isinstance(outcome, SimFuture):
+            result: SimFuture = SimFuture()
+
+            def on_done(future: SimFuture) -> None:
+                exc = future.exception()
+                if exc is not None:
+                    result.set_exception(exc)
+                    return
+                try:
+                    result.set_result(values.check_result(operation, future.result()))
+                except ConversionError as check_exc:
+                    result.set_exception(check_exc)
+
+            outcome.add_done_callback(on_done)
+            return result
+        try:
+            return SimFuture.completed(values.check_result(operation, outcome))
+        except ConversionError as exc:
+            return SimFuture.failed(exc)
+
+    # -- outbound ------------------------------------------------------------
+
+    def invoke(self, service: str, operation: str, args: list[Any]) -> SimFuture:
+        """Call ``service.operation(*args)`` wherever it lives.
+
+        Local services short-circuit (still through the neutral validation
+        path).  Remote services are resolved through the VSR; a stale cache
+        entry gets one retry after invalidation.
+        """
+        call = ServiceCall(
+            service=service,
+            operation=operation,
+            args=args,
+            source_island=self.island,
+            call_id=self._next_call_id,
+        )
+        self._next_call_id += 1
+        if service in self._local:
+            self.calls_local += 1
+            return self.dispatch_local(call)
+        return self._invoke_remote(call, retried=False)
+
+    def _invoke_remote(self, call: ServiceCall, retried: bool) -> SimFuture:
+        self.calls_out += 1
+        result: SimFuture = SimFuture()
+
+        def on_resolved(future: SimFuture) -> None:
+            exc = future.exception()
+            if exc is not None:
+                result.set_exception(exc)
+                return
+            document: WsdlDocument = future.result()
+            remote = self.protocol.call_remote(document.location, call)
+
+            def on_called(done: SimFuture) -> None:
+                call_exc = done.exception()
+                if call_exc is None:
+                    result.set_result(done.result())
+                    return
+                if not retried and not isinstance(call_exc, ServiceNotFoundError):
+                    # The cached location may be stale: refresh and retry once.
+                    self.vsr.invalidate(call.service)
+                    retry = self._invoke_remote(call, retried=True)
+                    retry.add_done_callback(
+                        lambda f: result.set_exception(f.exception())
+                        if f.exception() is not None
+                        else result.set_result(f.result())
+                    )
+                    return
+                result.set_exception(call_exc)
+
+            remote.add_done_callback(on_called)
+
+        self.vsr.find_by_name(call.service).add_done_callback(on_resolved)
+        return result
+
+    # -- events ------------------------------------------------------------
+
+    def publish_event(self, topic: str, payload: Any) -> None:
+        self.events.publish(topic, payload)
+
+    def subscribe(self, topic: str, callback: EventCallback) -> SimFuture:
+        return self.events.subscribe(topic, callback)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def register_with_directory(self) -> SimFuture:
+        return self.vsr.register_gateway(self.island, self.protocol.control_location())
+
+    def shutdown(self) -> None:
+        self.events.stop_polling()
+        self.protocol.stop()

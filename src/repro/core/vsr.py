@@ -1,0 +1,220 @@
+"""The Virtual Service Repository (VSR).
+
+Paper Section 3.3: "a virtual database which has a lot of information of
+heterogeneous services such as service locations and service contexts",
+implemented in the prototype "with WSDL and UDDI" (Section 4.1).
+
+Three layers here:
+
+- :class:`VsrDirectory` — the directory proper: WSDL documents keyed by
+  service name, context-attribute queries, gateway registrations, and
+  change listeners.
+- :class:`UddiSoapService` — hosts a directory as the SOAP service
+  ``UDDI`` on a backbone node, so gateways reach it with ordinary SOAP
+  calls (WSDL documents travel as XML strings, as in real UDDI).
+- :class:`VsrClient` — the gateway-side client with a small read cache.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import RepositoryError, ServiceNotFoundError
+from repro.net.addressing import NodeAddress
+from repro.net.simkernel import SimFuture
+from repro.net.transport import TransportStack
+from repro.soap.client import SoapClient
+from repro.soap.server import SoapServer
+from repro.soap.wsdl import WsdlDocument
+
+UDDI_SERVICE_NAME = "UDDI"
+
+
+class VsrDirectory:
+    """The authoritative service directory."""
+
+    def __init__(self) -> None:
+        self._documents: dict[str, WsdlDocument] = {}
+        self._gateways: dict[str, str] = {}  # island -> gateway event/control location
+        self._listeners: list[Callable[[str, WsdlDocument | None], None]] = []
+        self.publishes = 0
+        self.queries = 0
+
+    # -- service documents ---------------------------------------------------------
+
+    def publish(self, document: WsdlDocument) -> None:
+        """Insert or replace the document for its service name."""
+        if not document.service:
+            raise RepositoryError("cannot publish a WSDL document without a service name")
+        self._documents[document.service] = document
+        self.publishes += 1
+        self._notify(document.service, document)
+
+    def withdraw(self, service: str) -> bool:
+        document = self._documents.pop(service, None)
+        if document is not None:
+            self._notify(service, None)
+        return document is not None
+
+    def find_by_name(self, service: str) -> WsdlDocument:
+        self.queries += 1
+        document = self._documents.get(service)
+        if document is None:
+            raise ServiceNotFoundError(f"VSR has no service named {service!r}")
+        return document
+
+    def find(self, context_filter: dict[str, str] | None = None) -> list[WsdlDocument]:
+        """All documents whose context contains ``context_filter``."""
+        self.queries += 1
+        context_filter = context_filter or {}
+        return sorted(
+            (
+                document
+                for document in self._documents.values()
+                if all(document.context.get(k) == v for k, v in context_filter.items())
+            ),
+            key=lambda document: document.service,
+        )
+
+    @property
+    def service_count(self) -> int:
+        return len(self._documents)
+
+    def service_names(self) -> list[str]:
+        return sorted(self._documents)
+
+    # -- gateway registry --------------------------------------------------------
+
+    def register_gateway(self, island: str, location: str) -> None:
+        self._gateways[island] = location
+
+    def gateways(self) -> dict[str, str]:
+        return dict(self._gateways)
+
+    # -- change notification ------------------------------------------------------
+
+    def on_change(self, listener: Callable[[str, WsdlDocument | None], None]) -> None:
+        """``listener(service, document_or_None)`` on publish/withdraw."""
+        self._listeners.append(listener)
+
+    def _notify(self, service: str, document: WsdlDocument | None) -> None:
+        for listener in list(self._listeners):
+            listener(service, document)
+
+
+class UddiSoapService:
+    """SOAP facade: mounts a :class:`VsrDirectory` on a SoapServer."""
+
+    def __init__(self, soap_server: SoapServer, directory: VsrDirectory | None = None) -> None:
+        self.directory = directory or VsrDirectory()
+        self.soap_server = soap_server
+        soap_server.register_service(UDDI_SERVICE_NAME, self._dispatch)
+
+    def _dispatch(self, operation: str, args: list[Any]) -> Any:
+        if operation == "publish":
+            self.directory.publish(WsdlDocument.from_xml(str(args[0]).encode("utf-8")))
+            return True
+        if operation == "withdraw":
+            return self.directory.withdraw(str(args[0]))
+        if operation == "find_by_name":
+            return self.directory.find_by_name(str(args[0])).to_xml().decode("utf-8")
+        if operation == "find":
+            context_filter = dict(args[0]) if args and args[0] else {}
+            return [
+                document.to_xml().decode("utf-8")
+                for document in self.directory.find(context_filter)
+            ]
+        if operation == "register_gateway":
+            self.directory.register_gateway(str(args[0]), str(args[1]))
+            return True
+        if operation == "list_gateways":
+            return self.directory.gateways()
+        raise RepositoryError(f"UDDI has no operation {operation!r}")
+
+
+class VsrClient:
+    """Gateway-side repository client with a read-through cache.
+
+    The cache holds resolved documents for ``cache_ttl`` virtual seconds;
+    a stale entry that leads to a failed call is invalidated by the caller
+    via :meth:`invalidate`.
+    """
+
+    def __init__(
+        self,
+        stack: TransportStack,
+        directory_address: NodeAddress,
+        directory_port: int = 8080,
+        cache_ttl: float = 30.0,
+    ) -> None:
+        self.stack = stack
+        self.sim = stack.sim
+        self.directory_address = directory_address
+        self.directory_port = directory_port
+        self.cache_ttl = cache_ttl
+        self.soap = SoapClient(stack)
+        self._cache: dict[str, tuple[float, WsdlDocument]] = {}
+        self.cache_hits = 0
+        self.remote_lookups = 0
+
+    def _call(self, operation: str, args: list[Any]) -> SimFuture:
+        return self.soap.call(
+            self.directory_address, UDDI_SERVICE_NAME, operation, args, port=self.directory_port
+        )
+
+    def publish(self, document: WsdlDocument) -> SimFuture:
+        self._cache.pop(document.service, None)
+        return self._call("publish", [document.to_xml().decode("utf-8")])
+
+    def withdraw(self, service: str) -> SimFuture:
+        self._cache.pop(service, None)
+        return self._call("withdraw", [service])
+
+    def find_by_name(self, service: str) -> SimFuture:
+        """Resolve to a :class:`WsdlDocument` (cached)."""
+        cached = self._cache.get(service)
+        if cached is not None and self.sim.now - cached[0] <= self.cache_ttl:
+            self.cache_hits += 1
+            return SimFuture.completed(cached[1])
+        self.remote_lookups += 1
+        result: SimFuture = SimFuture()
+
+        def decode(future: SimFuture) -> None:
+            exc = future.exception()
+            if exc is not None:
+                result.set_exception(exc)
+                return
+            document = WsdlDocument.from_xml(str(future.result()).encode("utf-8"))
+            self._cache[service] = (self.sim.now, document)
+            result.set_result(document)
+
+        self._call("find_by_name", [service]).add_done_callback(decode)
+        return result
+
+    def find(self, context_filter: dict[str, str] | None = None) -> SimFuture:
+        """Resolve to a list of :class:`WsdlDocument` (never cached: used
+        for federation sweeps where freshness matters)."""
+        result: SimFuture = SimFuture()
+
+        def decode(future: SimFuture) -> None:
+            exc = future.exception()
+            if exc is not None:
+                result.set_exception(exc)
+                return
+            documents = [
+                WsdlDocument.from_xml(str(xml).encode("utf-8"))
+                for xml in future.result()
+            ]
+            result.set_result(documents)
+
+        self._call("find", [context_filter or {}]).add_done_callback(decode)
+        return result
+
+    def register_gateway(self, island: str, location: str) -> SimFuture:
+        return self._call("register_gateway", [island, location])
+
+    def list_gateways(self) -> SimFuture:
+        return self._call("list_gateways", [])
+
+    def invalidate(self, service: str) -> None:
+        self._cache.pop(service, None)

@@ -1,0 +1,16 @@
+"""Simulated appliances used by the examples, applications and benchmarks.
+
+- :mod:`repro.devices.av` — AV devices hosted on the Jini island (the
+  Laserdisc of Figure 5, a network VCR for the automatic-recording
+  scenario).
+- :mod:`repro.devices.appliances` — white goods on the Jini island (the
+  refrigerator and air conditioner from the paper's smart-home example).
+
+HAVi-side devices are plain FCMs from :mod:`repro.havi.fcm_types`;
+X10-side devices live in :mod:`repro.x10.devices`.
+"""
+
+from repro.devices.appliances import AirConditioner, Refrigerator
+from repro.devices.av import Laserdisc, NetworkVcr
+
+__all__ = ["AirConditioner", "Laserdisc", "NetworkVcr", "Refrigerator"]

@@ -1,0 +1,99 @@
+"""White goods on the Jini island — the paper's Section 1 smart home has
+"a Jini-based Ethernet network connecting a refrigerator and an air
+conditioner"."""
+
+from __future__ import annotations
+
+from repro.errors import JiniError
+
+
+class Refrigerator:
+    """A networked refrigerator."""
+
+    JINI_INTERFACE = "home.kitchen.Refrigerator"
+    JINI_OPS = {
+        "get_temperature": ["->double"],
+        "set_temperature": ["double", "->double"],
+        "list_contents": ["->anyType"],
+        "add_item": ["string", "->boolean"],
+        "remove_item": ["string", "->boolean"],
+    }
+
+    MIN_TEMP = -5.0
+    MAX_TEMP = 10.0
+
+    def __init__(self, temperature: float = 4.0) -> None:
+        self.temperature = temperature
+        self.contents: list[str] = ["milk", "eggs"]
+
+    def get_temperature(self) -> float:
+        return self.temperature
+
+    def set_temperature(self, target: float) -> float:
+        target = float(target)
+        if not self.MIN_TEMP <= target <= self.MAX_TEMP:
+            raise JiniError(f"temperature {target} outside {self.MIN_TEMP}..{self.MAX_TEMP}")
+        self.temperature = target
+        return self.temperature
+
+    def list_contents(self) -> list[str]:
+        return list(self.contents)
+
+    def add_item(self, item: str) -> bool:
+        self.contents.append(str(item))
+        return True
+
+    def remove_item(self, item: str) -> bool:
+        try:
+            self.contents.remove(str(item))
+        except ValueError:
+            return False
+        return True
+
+
+class AirConditioner:
+    """A networked air conditioner."""
+
+    JINI_INTERFACE = "home.climate.AirConditioner"
+    JINI_OPS = {
+        "power_on": ["->boolean"],
+        "power_off": ["->boolean"],
+        "set_target": ["double", "->double"],
+        "get_target": ["->double"],
+        "get_mode": ["->string"],
+        "set_mode": ["string", "->string"],
+    }
+
+    MODES = ("cool", "heat", "fan", "dry")
+
+    def __init__(self) -> None:
+        self.powered = False
+        self.target = 24.0
+        self.mode = "cool"
+
+    def power_on(self) -> bool:
+        self.powered = True
+        return True
+
+    def power_off(self) -> bool:
+        self.powered = False
+        return True
+
+    def set_target(self, target: float) -> float:
+        target = float(target)
+        if not 16.0 <= target <= 32.0:
+            raise JiniError(f"target {target} outside 16..32")
+        self.target = target
+        return self.target
+
+    def get_target(self) -> float:
+        return self.target
+
+    def get_mode(self) -> str:
+        return self.mode
+
+    def set_mode(self, mode: str) -> str:
+        if mode not in self.MODES:
+            raise JiniError(f"unknown mode {mode!r}")
+        self.mode = mode
+        return self.mode

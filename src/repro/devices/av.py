@@ -1,0 +1,113 @@
+"""AV devices hosted as Jini services.
+
+Each class is a plain Python object (the Jini substrate exports public
+methods over RMI) plus a ``JINI_OPS`` table — the typed operation
+description its lookup registration carries so the Jini PCM can convert it
+(see :mod:`repro.pcms.jini_pcm`).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import JiniError
+
+
+class Laserdisc:
+    """The Jini Laserdisc player a person controls with an X10 remote in
+    the paper's Figure 5."""
+
+    JINI_INTERFACE = "home.av.Laserdisc"
+    JINI_OPS = {
+        "play": ["->boolean"],
+        "stop": ["->boolean"],
+        "next_chapter": ["->int"],
+        "previous_chapter": ["->int"],
+        "goto_chapter": ["int", "->int"],
+        "get_chapter": ["->int"],
+        "get_state": ["->string"],
+    }
+    CHAPTERS = 30
+
+    def __init__(self) -> None:
+        self.playing = False
+        self.chapter = 1
+        self.command_log: list[str] = []
+
+    def play(self) -> bool:
+        self.command_log.append("play")
+        self.playing = True
+        return True
+
+    def stop(self) -> bool:
+        self.command_log.append("stop")
+        self.playing = False
+        return True
+
+    def next_chapter(self) -> int:
+        return self.goto_chapter(self.chapter + 1)
+
+    def previous_chapter(self) -> int:
+        return self.goto_chapter(self.chapter - 1)
+
+    def goto_chapter(self, chapter: int) -> int:
+        chapter = int(chapter)
+        if not 1 <= chapter <= self.CHAPTERS:
+            raise JiniError(f"chapter {chapter} out of range 1..{self.CHAPTERS}")
+        self.command_log.append(f"goto_chapter {chapter}")
+        self.chapter = chapter
+        return self.chapter
+
+    def get_chapter(self) -> int:
+        return self.chapter
+
+    def get_state(self) -> str:
+        return "PLAY" if self.playing else "STOP"
+
+
+class NetworkVcr:
+    """A Jini network VCR — the device the Section 2 automatic video
+    recording scenario drives from an Internet TV-program service."""
+
+    JINI_INTERFACE = "home.av.Vcr"
+    JINI_OPS = {
+        "set_channel": ["int", "->int"],
+        "start_record": ["string", "->boolean"],
+        "stop_record": ["->boolean"],
+        "get_state": ["->string"],
+        "list_recordings": ["->anyType"],
+    }
+
+    def __init__(self) -> None:
+        self.channel = 1
+        self.recording: str | None = None
+        self.recordings: list[dict[str, Any]] = []
+        self._record_started = 0.0
+
+    def set_channel(self, channel: int) -> int:
+        channel = int(channel)
+        if not 1 <= channel <= 999:
+            raise JiniError(f"channel {channel} out of range")
+        if self.recording is not None:
+            raise JiniError("cannot change channel while recording")
+        self.channel = channel
+        return self.channel
+
+    def start_record(self, title: str) -> bool:
+        if self.recording is not None:
+            raise JiniError(f"already recording {self.recording!r}")
+        self.recording = str(title)
+        return True
+
+    def stop_record(self) -> bool:
+        if self.recording is None:
+            return False
+        self.recordings.append({"title": self.recording, "channel": self.channel})
+        self.recording = None
+        return True
+
+    def get_state(self) -> str:
+        return "RECORD" if self.recording is not None else "STOP"
+
+    def list_recordings(self) -> list[dict[str, Any]]:
+        return list(self.recordings)

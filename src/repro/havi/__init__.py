@@ -1,0 +1,59 @@
+"""Simulated HAVi substrate on IEEE1394.
+
+HAVi (paper Section 2.1) is "a digital AV networking middleware ... for
+seamless interoperability among home entertainment products", targeting
+IEEE1394 only.  This package reproduces the architecture the HAVi 1.1
+specification describes, at the granularity the meta-middleware needs:
+
+- :mod:`repro.havi.bus1394` — bus reset / self-identification, GUIDs and
+  phy ids, and the isochronous resource manager (channel + bandwidth
+  allocation) on top of :class:`repro.net.segment.IEEE1394Segment`.
+- :mod:`repro.havi.codec` — HAVi's compact TLV binary encoding.
+- :mod:`repro.havi.messaging` — the HAVi Messaging System: software
+  elements with SEIDs exchanging request/response/event messages.
+- :mod:`repro.havi.registry` — the Registry: attribute-based queries over
+  registered software elements.
+- :mod:`repro.havi.dcm` — Device Control Modules and Functional Control
+  Modules (the HAVi device model).
+- :mod:`repro.havi.fcm_types` — concrete FCM command sets (VCR, camera,
+  display, AV disc, tuner).
+- :mod:`repro.havi.streams` — the Stream Manager: isochronous connections
+  between FCM plugs.  These connections are exactly what the paper's
+  Section 4.2 found *cannot* cross a SOAP/HTTP gateway.
+"""
+
+from repro.havi.bus1394 import Bus1394, HaviNode
+from repro.havi.codec import decode, encode
+from repro.havi.dcm import Dcm, Fcm, FcmHandle
+from repro.havi.registry import RegistryClient
+from repro.havi.fcm_types import (
+    AvDiscFcm,
+    CameraFcm,
+    DisplayFcm,
+    TunerFcm,
+    VcrFcm,
+)
+from repro.havi.messaging import MessagingSystem, Seid
+from repro.havi.registry import Registry
+from repro.havi.streams import StreamConnection, StreamManager
+
+__all__ = [
+    "AvDiscFcm",
+    "Bus1394",
+    "CameraFcm",
+    "Dcm",
+    "DisplayFcm",
+    "Fcm",
+    "FcmHandle",
+    "HaviNode",
+    "MessagingSystem",
+    "Registry",
+    "RegistryClient",
+    "Seid",
+    "StreamConnection",
+    "StreamManager",
+    "TunerFcm",
+    "VcrFcm",
+    "decode",
+    "encode",
+]

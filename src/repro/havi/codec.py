@@ -1,0 +1,155 @@
+"""HAVi's compact TLV binary value encoding.
+
+Distinct from the Jini codec (no Java serialization magic; 16-bit lengths,
+network byte order) but covering the same value model, so the C1 payload
+benchmark compares three genuinely different encodings of one logical call.
+
+Values: None, bool, int (64-bit), float, str, bytes, list, dict[str, ...].
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.errors import MarshallingError
+
+_T_NULL = 0x00
+_T_BOOL = 0x01
+_T_INT = 0x02
+_T_FLOAT = 0x03
+_T_STR = 0x04
+_T_BYTES = 0x05
+_T_LIST = 0x06
+_T_DICT = 0x07
+
+_I64 = struct.Struct("!q")
+_F64 = struct.Struct("!d")
+_U16 = struct.Struct("!H")
+
+_MAX_LEN = 0xFFFF
+_INT_MIN = -(2**63)
+_INT_MAX = 2**63 - 1
+
+
+def encode(value: Any) -> bytes:
+    """Serialise ``value`` to HAVi TLV bytes."""
+    out = bytearray()
+    _write(out, value)
+    return bytes(out)
+
+
+def decode(data: bytes) -> Any:
+    """Inverse of :func:`encode`; rejects trailing bytes."""
+    value, offset = _read(data, 0)
+    if offset != len(data):
+        raise MarshallingError(f"{len(data) - offset} trailing bytes in HAVi TLV")
+    return value
+
+
+def _write(out: bytearray, value: Any) -> None:
+    if value is None:
+        out.append(_T_NULL)
+    elif isinstance(value, bool):
+        out.append(_T_BOOL)
+        out.append(1 if value else 0)
+    elif isinstance(value, int):
+        if not _INT_MIN <= value <= _INT_MAX:
+            raise MarshallingError(f"integer {value} out of 64-bit range")
+        out.append(_T_INT)
+        out += _I64.pack(value)
+    elif isinstance(value, float):
+        out.append(_T_FLOAT)
+        out += _F64.pack(value)
+    elif isinstance(value, str):
+        _write_blob(out, _T_STR, value.encode("utf-8"))
+    elif isinstance(value, (bytes, bytearray)):
+        _write_blob(out, _T_BYTES, bytes(value))
+    elif isinstance(value, (list, tuple)):
+        if len(value) > _MAX_LEN:
+            raise MarshallingError("list too long for HAVi TLV")
+        out.append(_T_LIST)
+        out += _U16.pack(len(value))
+        for item in value:
+            _write(out, item)
+    elif isinstance(value, dict):
+        if len(value) > _MAX_LEN:
+            raise MarshallingError("dict too large for HAVi TLV")
+        out.append(_T_DICT)
+        out += _U16.pack(len(value))
+        for key, member in value.items():
+            if not isinstance(key, str):
+                raise MarshallingError("HAVi TLV dict keys must be str")
+            _write_blob(out, _T_STR, key.encode("utf-8"))
+            _write(out, member)
+    else:
+        raise MarshallingError(f"cannot TLV-encode {type(value).__name__}")
+
+
+def _write_blob(out: bytearray, tag: int, blob: bytes) -> None:
+    if len(blob) > _MAX_LEN:
+        raise MarshallingError("blob too long for HAVi TLV (16-bit length)")
+    out.append(tag)
+    out += _U16.pack(len(blob))
+    out += blob
+
+
+def _read(data: bytes, offset: int) -> tuple[Any, int]:
+    if offset >= len(data):
+        raise MarshallingError("truncated TLV: missing tag")
+    tag = data[offset]
+    offset += 1
+    if tag == _T_NULL:
+        return None, offset
+    if tag == _T_BOOL:
+        _need(data, offset, 1)
+        return data[offset] != 0, offset + 1
+    if tag == _T_INT:
+        _need(data, offset, 8)
+        return _I64.unpack_from(data, offset)[0], offset + 8
+    if tag == _T_FLOAT:
+        _need(data, offset, 8)
+        return _F64.unpack_from(data, offset)[0], offset + 8
+    if tag == _T_STR:
+        blob, offset = _read_blob(data, offset)
+        try:
+            return blob.decode("utf-8"), offset
+        except UnicodeDecodeError as exc:
+            raise MarshallingError("invalid UTF-8 in TLV string") from exc
+    if tag == _T_BYTES:
+        return _read_blob(data, offset)
+    if tag == _T_LIST:
+        _need(data, offset, 2)
+        count = _U16.unpack_from(data, offset)[0]
+        offset += 2
+        items = []
+        for _ in range(count):
+            item, offset = _read(data, offset)
+            items.append(item)
+        return items, offset
+    if tag == _T_DICT:
+        _need(data, offset, 2)
+        count = _U16.unpack_from(data, offset)[0]
+        offset += 2
+        result: dict[str, Any] = {}
+        for _ in range(count):
+            if offset >= len(data) or data[offset] != _T_STR:
+                raise MarshallingError("TLV dict key must be a string")
+            key_blob, offset = _read_blob(data, offset + 1)
+            value, offset = _read(data, offset)
+            result[key_blob.decode("utf-8")] = value
+        return result, offset
+    raise MarshallingError(f"unknown TLV tag 0x{tag:02x}")
+
+
+def _read_blob(data: bytes, offset: int) -> tuple[bytes, int]:
+    _need(data, offset, 2)
+    length = _U16.unpack_from(data, offset)[0]
+    offset += 2
+    _need(data, offset, length)
+    return data[offset : offset + length], offset + length
+
+
+def _need(data: bytes, offset: int, count: int) -> None:
+    if offset + count > len(data):
+        raise MarshallingError("truncated TLV stream")

@@ -1,0 +1,308 @@
+"""Concrete FCM command sets.
+
+These are AV/C-flavoured command sets for the device kinds the paper's
+scenarios use: the HAVi DV camera and TV of the prototype, a VCR for the
+automatic-recording application, an AV disc (the Jini Laserdisc has a
+HAVi-side twin in some tests), and a tuner.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import HaviError
+from repro.havi.dcm import Fcm
+
+
+class VcrFcm(Fcm):
+    """Transport-control FCM: a tape deck."""
+
+    FCM_TYPE = "vcr"
+    N_INPUT_PLUGS = 1
+    N_OUTPUT_PLUGS = 1
+    COMMANDS = {
+        "play": (),
+        "stop": (),
+        "record": (),
+        "pause": (),
+        "wind": ("int",),  # signed seconds; negative rewinds
+        "get_transport_state": (),
+        "get_position": (),
+    }
+    RETURNS = {
+        "get_transport_state": "string",
+        "get_position": "int",
+        "play": "boolean",
+        "stop": "boolean",
+        "record": "boolean",
+        "pause": "boolean",
+        "wind": "int",
+    }
+
+    STATES = ("STOP", "PLAY", "RECORD", "PAUSE")
+    TAPE_LENGTH = 3 * 3600  # seconds
+
+    def __init__(self, dcm, name=None):
+        super().__init__(dcm, name)
+        self.state = "STOP"
+        self.position = 0
+        self.recorded_spans: list[tuple[int, int]] = []
+        self._record_started_at: int | None = None
+
+    def play(self) -> bool:
+        self._finish_recording()
+        self._transition("PLAY")
+        return True
+
+    def stop(self) -> bool:
+        self._finish_recording()
+        self._transition("STOP")
+        return True
+
+    def record(self) -> bool:
+        if self.state == "RECORD":
+            return True
+        self._transition("RECORD")
+        self._record_started_at = self.position
+        return True
+
+    def pause(self) -> bool:
+        self._finish_recording()
+        self._transition("PAUSE")
+        return True
+
+    def _transition(self, state: str) -> None:
+        if state != self.state:
+            self.state = state
+            self.post_event("transport_state", state)
+
+    def wind(self, seconds: int) -> int:
+        if self.state == "RECORD":
+            raise HaviError("cannot wind while recording")
+        self.position = max(0, min(self.TAPE_LENGTH, self.position + int(seconds)))
+        return self.position
+
+    def get_transport_state(self) -> str:
+        return self.state
+
+    def get_position(self) -> int:
+        return self.position
+
+    def advance(self, seconds: int) -> None:
+        """Test/simulation helper: tape moves while playing or recording."""
+        if self.state in ("PLAY", "RECORD"):
+            self.position = min(self.TAPE_LENGTH, self.position + seconds)
+
+    def _finish_recording(self) -> None:
+        if self.state == "RECORD" and self._record_started_at is not None:
+            self.recorded_spans.append((self._record_started_at, self.position))
+            self._record_started_at = None
+
+
+class CameraFcm(Fcm):
+    """DV camera FCM — the device in the paper's Figure 5."""
+
+    FCM_TYPE = "camera"
+    N_OUTPUT_PLUGS = 1
+    COMMANDS = {
+        "start_capture": (),
+        "stop_capture": (),
+        "zoom": ("int",),  # 1..10
+        "pan": ("int",),  # degrees, -90..90
+        "get_status": (),
+    }
+    RETURNS = {
+        "start_capture": "boolean",
+        "stop_capture": "boolean",
+        "zoom": "int",
+        "pan": "int",
+        "get_status": "anyType",
+    }
+
+    def __init__(self, dcm, name=None):
+        super().__init__(dcm, name)
+        self.capturing = False
+        self.zoom_level = 1
+        self.pan_angle = 0
+
+    def start_capture(self) -> bool:
+        if not self.capturing:
+            self.capturing = True
+            self.post_event("capture", True)
+        return True
+
+    def stop_capture(self) -> bool:
+        if self.capturing:
+            self.capturing = False
+            self.post_event("capture", False)
+        return True
+
+    def zoom(self, level: int) -> int:
+        if not 1 <= int(level) <= 10:
+            raise HaviError(f"zoom level {level} out of range 1..10")
+        self.zoom_level = int(level)
+        return self.zoom_level
+
+    def pan(self, degrees: int) -> int:
+        if not -90 <= int(degrees) <= 90:
+            raise HaviError(f"pan angle {degrees} out of range -90..90")
+        self.pan_angle = int(degrees)
+        return self.pan_angle
+
+    def get_status(self) -> dict[str, Any]:
+        return {
+            "capturing": self.capturing,
+            "zoom": self.zoom_level,
+            "pan": self.pan_angle,
+        }
+
+
+class DisplayFcm(Fcm):
+    """Display FCM: the digital TV of the smart-home scenario."""
+
+    FCM_TYPE = "display"
+    N_INPUT_PLUGS = 1
+    COMMANDS = {
+        "power_on": (),
+        "power_off": (),
+        "set_input": ("string",),
+        "show_message": ("string",),
+        "get_status": (),
+    }
+    RETURNS = {
+        "power_on": "boolean",
+        "power_off": "boolean",
+        "set_input": "string",
+        "show_message": "boolean",
+        "get_status": "anyType",
+    }
+
+    INPUTS = ("tuner", "1394", "composite")
+
+    def __init__(self, dcm, name=None):
+        super().__init__(dcm, name)
+        self.powered = False
+        self.input = "tuner"
+        self.messages: list[str] = []
+        self.bytes_displayed = 0
+
+    def power_on(self) -> bool:
+        self.powered = True
+        return True
+
+    def power_off(self) -> bool:
+        self.powered = False
+        return True
+
+    def set_input(self, source: str) -> str:
+        if source not in self.INPUTS:
+            raise HaviError(f"unknown input {source!r}")
+        self.input = source
+        return self.input
+
+    def show_message(self, text: str) -> bool:
+        self.messages.append(str(text))
+        return True
+
+    def get_status(self) -> dict[str, Any]:
+        return {"powered": self.powered, "input": self.input}
+
+    def on_stream_data(self, connection: Any, nbytes: int) -> None:
+        self.bytes_displayed += nbytes
+
+
+class AvDiscFcm(Fcm):
+    """AV disc FCM (Laserdisc/DVD-style chapter playback)."""
+
+    FCM_TYPE = "avdisc"
+    N_OUTPUT_PLUGS = 1
+    COMMANDS = {
+        "play": (),
+        "stop": (),
+        "next_chapter": (),
+        "previous_chapter": (),
+        "goto_chapter": ("int",),
+        "get_chapter": (),
+        "get_state": (),
+    }
+    RETURNS = {
+        "play": "boolean",
+        "stop": "boolean",
+        "next_chapter": "int",
+        "previous_chapter": "int",
+        "goto_chapter": "int",
+        "get_chapter": "int",
+        "get_state": "string",
+    }
+
+    CHAPTERS = 24
+
+    def __init__(self, dcm, name=None):
+        super().__init__(dcm, name)
+        self.playing = False
+        self.chapter = 1
+
+    def play(self) -> bool:
+        self.playing = True
+        return True
+
+    def stop(self) -> bool:
+        self.playing = False
+        return True
+
+    def next_chapter(self) -> int:
+        return self.goto_chapter(self.chapter + 1)
+
+    def previous_chapter(self) -> int:
+        return self.goto_chapter(self.chapter - 1)
+
+    def goto_chapter(self, chapter: int) -> int:
+        self.chapter = max(1, min(self.CHAPTERS, int(chapter)))
+        return self.chapter
+
+    def get_chapter(self) -> int:
+        return self.chapter
+
+    def get_state(self) -> str:
+        return "PLAY" if self.playing else "STOP"
+
+
+class TunerFcm(Fcm):
+    """Broadcast tuner FCM."""
+
+    FCM_TYPE = "tuner"
+    N_OUTPUT_PLUGS = 1
+    COMMANDS = {
+        "set_channel": ("int",),
+        "get_channel": (),
+        "channel_up": (),
+        "channel_down": (),
+    }
+    RETURNS = {
+        "set_channel": "int",
+        "get_channel": "int",
+        "channel_up": "int",
+        "channel_down": "int",
+    }
+
+    MAX_CHANNEL = 999
+
+    def __init__(self, dcm, name=None):
+        super().__init__(dcm, name)
+        self.channel = 1
+
+    def set_channel(self, channel: int) -> int:
+        channel = int(channel)
+        if not 1 <= channel <= self.MAX_CHANNEL:
+            raise HaviError(f"channel {channel} out of range")
+        self.channel = channel
+        return self.channel
+
+    def get_channel(self) -> int:
+        return self.channel
+
+    def channel_up(self) -> int:
+        return self.set_channel(min(self.MAX_CHANNEL, self.channel + 1))
+
+    def channel_down(self) -> int:
+        return self.set_channel(max(1, self.channel - 1))

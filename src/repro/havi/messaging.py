@@ -1,0 +1,223 @@
+"""The HAVi Messaging System.
+
+Every HAVi software element (DCM, FCM, registry, application) is addressed
+by a SEID — GUID of its node plus a local element id — and exchanges
+request/response/event messages carried in 1394 asynchronous packets.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import HaviError, MarshallingError
+from repro.net.frames import Frame
+from repro.net.node import Interface
+from repro.net.simkernel import SimFuture
+from repro.havi import codec
+from repro.havi.bus1394 import PROTO_1394_ASYNC
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.havi.bus1394 import HaviNode
+
+_MSG_REQUEST = 1
+_MSG_RESPONSE = 2
+_MSG_ERROR = 3
+_MSG_EVENT = 4
+
+_HEADER = struct.Struct("!BIQHQH")  # type, transaction, src guid, src local, dst guid, dst local
+
+#: Well-known local element ids.
+REGISTRY_LOCAL_ID = 0x0002
+FIRST_DYNAMIC_LOCAL_ID = 0x0100
+
+
+@dataclass(frozen=True, order=True)
+class Seid:
+    """Software element identifier."""
+
+    guid: int
+    local: int
+
+    def to_wire(self) -> list[int]:
+        return [self.guid, self.local]
+
+    @staticmethod
+    def from_wire(data: Any) -> "Seid":
+        if not isinstance(data, (list, tuple)) or len(data) != 2:
+            raise HaviError(f"malformed SEID wire form {data!r}")
+        return Seid(int(data[0]), int(data[1]))
+
+    def __str__(self) -> str:
+        return f"{self.guid:x}.{self.local:x}"
+
+
+#: Request handler: (src seid, operation, args) -> result (or SimFuture).
+ElementHandler = Callable[[Seid, str, list[Any]], Any]
+#: Event handler: (src seid, event payload dict).
+EventHandler = Callable[[Seid, dict[str, Any]], None]
+
+
+class MessagingSystem:
+    """Per-node messaging engine.  Created by :class:`HaviNode`."""
+
+    def __init__(self, havi_node: "HaviNode") -> None:
+        self.havi_node = havi_node
+        self.sim = havi_node.network.sim
+        self._elements: dict[int, ElementHandler] = {}
+        self._event_subscribers: list[EventHandler] = []
+        self._pending: dict[int, SimFuture] = {}
+        self._next_transaction = 1
+        self._next_local_id = FIRST_DYNAMIC_LOCAL_ID
+        self.messages_sent = 0
+        self.messages_received = 0
+        havi_node.node.register_protocol(PROTO_1394_ASYNC, self._on_packet)
+
+    # -- element registration ---------------------------------------------------
+
+    def register_element(
+        self, handler: ElementHandler, local_id: int | None = None
+    ) -> Seid:
+        """Register a software element; returns its SEID."""
+        if local_id is None:
+            local_id = self._next_local_id
+            self._next_local_id += 1
+        if local_id in self._elements:
+            raise HaviError(f"local element id 0x{local_id:x} already in use")
+        self._elements[local_id] = handler
+        return Seid(self.havi_node.guid, local_id)
+
+    def unregister_element(self, seid: Seid) -> None:
+        self._elements.pop(seid.local, None)
+
+    def subscribe_events(self, handler: EventHandler) -> None:
+        """Receive every broadcast HAVi event seen by this node."""
+        self._event_subscribers.append(handler)
+
+    # -- sending ------------------------------------------------------------
+
+    def send_request(
+        self, src: Seid, dst: Seid, operation: str, args: list[Any]
+    ) -> SimFuture:
+        """Invoke ``operation`` on the remote element; resolves to the
+        result value or fails with :class:`HaviError`."""
+        transaction = self._next_transaction
+        self._next_transaction += 1
+        future: SimFuture = SimFuture()
+        self._pending[transaction] = future
+        payload = codec.encode({"op": operation, "args": args})
+        try:
+            self._transmit(_MSG_REQUEST, transaction, src, dst, payload)
+        except HaviError as exc:
+            self._pending.pop(transaction, None)
+            future.set_exception(exc)
+        return future
+
+    def send_event(self, src: Seid, event: dict[str, Any]) -> None:
+        """Broadcast an event to every node on the bus (and locally)."""
+        payload = codec.encode(event)
+        header = _HEADER.pack(_MSG_EVENT, 0, src.guid, src.local, 0, 0)
+        self.messages_sent += 1
+        self.havi_node.bus.broadcast_async(self.havi_node, header + payload)
+        # The segment does not loop frames back to the sender; deliver the
+        # event to local subscribers directly.
+        self.sim.call_soon(self._dispatch_event, src, event)
+
+    # -- datapath ------------------------------------------------------------
+
+    def _transmit(self, msg_type: int, transaction: int, src: Seid, dst: Seid, payload: bytes) -> None:
+        if src.guid != self.havi_node.guid:
+            raise HaviError(f"source SEID {src} does not belong to node {self.havi_node.name}")
+        header = _HEADER.pack(msg_type, transaction, src.guid, src.local, dst.guid, dst.local)
+        self.messages_sent += 1
+        if dst.guid == self.havi_node.guid:
+            # Local element: short-circuit through the kernel for ordering.
+            frame = Frame(
+                self.havi_node.hw_address,
+                self.havi_node.hw_address,
+                PROTO_1394_ASYNC,
+                header + payload,
+                note="local",
+            )
+            self.sim.call_soon(self._on_packet, self.havi_node.interface, frame)
+        else:
+            self.havi_node.bus.send_async(self.havi_node, dst.guid, header + payload)
+
+    def _on_packet(self, interface: Interface, frame: Frame) -> None:
+        if len(frame.payload) < _HEADER.size:
+            return
+        msg_type, transaction, src_guid, src_local, dst_guid, dst_local = _HEADER.unpack_from(
+            frame.payload
+        )
+        body = frame.payload[_HEADER.size :]
+        src = Seid(src_guid, src_local)
+        self.messages_received += 1
+
+        if msg_type == _MSG_EVENT:
+            try:
+                event = codec.decode(body)
+            except MarshallingError:
+                return
+            if isinstance(event, dict):
+                self._dispatch_event(src, event)
+            return
+
+        if dst_guid != self.havi_node.guid:
+            return  # async packet for someone else (broadcast filtering)
+
+        if msg_type == _MSG_REQUEST:
+            self._serve_request(src, Seid(dst_guid, dst_local), transaction, body)
+        elif msg_type in (_MSG_RESPONSE, _MSG_ERROR):
+            future = self._pending.pop(transaction, None)
+            if future is None:
+                return
+            try:
+                value = codec.decode(body)
+            except MarshallingError as exc:
+                future.set_exception(exc)
+                return
+            if msg_type == _MSG_RESPONSE:
+                future.set_result(value)
+            else:
+                future.set_exception(HaviError(str(value)))
+
+    def _serve_request(self, src: Seid, dst: Seid, transaction: int, body: bytes) -> None:
+        handler = self._elements.get(dst.local)
+        if handler is None:
+            self._reply(_MSG_ERROR, transaction, dst, src, f"no element 0x{dst.local:x}")
+            return
+        try:
+            message = codec.decode(body)
+            operation = str(message["op"])
+            args = list(message.get("args", []))
+        except (MarshallingError, KeyError, TypeError) as exc:
+            self._reply(_MSG_ERROR, transaction, dst, src, f"malformed request: {exc}")
+            return
+        try:
+            result = handler(src, operation, args)
+        except Exception as exc:
+            self._reply(_MSG_ERROR, transaction, dst, src, f"{type(exc).__name__}: {exc}")
+            return
+        if isinstance(result, SimFuture):
+            def on_done(future: SimFuture) -> None:
+                exc = future.exception()
+                if exc is not None:
+                    self._reply(_MSG_ERROR, transaction, dst, src, str(exc))
+                else:
+                    self._reply(_MSG_RESPONSE, transaction, dst, src, future.result())
+            result.add_done_callback(on_done)
+        else:
+            self._reply(_MSG_RESPONSE, transaction, dst, src, result)
+
+    def _reply(self, msg_type: int, transaction: int, src: Seid, dst: Seid, value: Any) -> None:
+        try:
+            payload = codec.encode(value)
+        except MarshallingError as exc:
+            payload = codec.encode(f"unmarshallable result: {exc}")
+            msg_type = _MSG_ERROR
+        self._transmit(msg_type, transaction, src, dst, payload)
+
+    def _dispatch_event(self, src: Seid, event: dict[str, Any]) -> None:
+        for subscriber in list(self._event_subscribers):
+            subscriber(src, event)

@@ -1,0 +1,144 @@
+"""The HAVi Stream Manager.
+
+Connects FCM plugs over isochronous 1394 channels.  Stream data never
+leaves the bus: this hard boundary is the mechanism behind the paper's
+Section 4.2 finding that the SOAP/HTTP gateway cannot carry multimedia
+streams — the meta-middleware can *control* AV devices across islands but
+cannot bridge their isochronous connections.
+
+Data flow is simulated by periodic delivery ticks: the sink FCM's
+``on_stream_data`` is invoked with the bytes accumulated per tick, so AV
+sinks (displays, recorders) observe realistic byte counts at the stream's
+bandwidth without per-packet events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HaviError
+from repro.net.simkernel import Event
+from repro.havi.bus1394 import Bus1394
+from repro.havi.dcm import Fcm
+
+#: Bandwidths of the formats the scenarios use, bits/second.
+FORMAT_BANDWIDTH = {
+    "DV": 28_800_000,  # DV over 1394 (25 Mb/s video + overhead)
+    "MPEG2": 8_000_000,
+    "AUDIO": 1_500_000,
+}
+
+_TICK_SECONDS = 0.5
+
+
+@dataclass(frozen=True)
+class Plug:
+    """One FCM plug: direction plus index."""
+
+    fcm: Fcm
+    direction: str  # 'out' or 'in'
+    index: int = 0
+
+    def validate(self) -> None:
+        limit = self.fcm.N_OUTPUT_PLUGS if self.direction == "out" else self.fcm.N_INPUT_PLUGS
+        if self.direction not in ("out", "in"):
+            raise HaviError(f"plug direction must be 'out' or 'in', got {self.direction!r}")
+        if not 0 <= self.index < limit:
+            raise HaviError(
+                f"{self.fcm.name} has no {self.direction} plug {self.index} "
+                f"(limit {limit})"
+            )
+
+
+class StreamConnection:
+    """One active isochronous connection."""
+
+    def __init__(
+        self,
+        manager: "StreamManager",
+        source: Plug,
+        sink: Plug,
+        fmt: str,
+        channel: int,
+        bandwidth_bps: int,
+    ) -> None:
+        self.manager = manager
+        self.source = source
+        self.sink = sink
+        self.format = fmt
+        self.channel = channel
+        self.bandwidth_bps = bandwidth_bps
+        self.bytes_delivered = 0
+        self.active = True
+        self._tick_event: Event | None = None
+
+    def _start_ticks(self) -> None:
+        self._tick_event = self.manager.sim.schedule(_TICK_SECONDS, self._tick)
+
+    def _tick(self) -> None:
+        if not self.active:
+            return
+        nbytes = int(self.bandwidth_bps / 8 * _TICK_SECONDS)
+        self.bytes_delivered += nbytes
+        self.sink.fcm.on_stream_data(self, nbytes)
+        self._tick_event = self.manager.sim.schedule(_TICK_SECONDS, self._tick)
+
+    def disconnect(self) -> None:
+        self.manager.disconnect(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<StreamConnection {self.source.fcm.name}->{self.sink.fcm.name} "
+            f"{self.format} ch={self.channel}>"
+        )
+
+
+class StreamManager:
+    """Per-bus stream connection broker."""
+
+    def __init__(self, bus: Bus1394) -> None:
+        self.bus = bus
+        self.sim = bus.sim
+        self.connections: list[StreamConnection] = []
+
+    def connect(self, source: Plug, sink: Plug, fmt: str = "DV") -> StreamConnection:
+        """Set up source→sink over a fresh isochronous channel."""
+        source.validate()
+        sink.validate()
+        if source.direction != "out" or sink.direction != "in":
+            raise HaviError("stream connections run from an 'out' plug to an 'in' plug")
+        if fmt not in FORMAT_BANDWIDTH:
+            raise HaviError(f"unknown stream format {fmt!r}")
+        self._require_on_bus(source.fcm)
+        self._require_on_bus(sink.fcm)
+        bandwidth = FORMAT_BANDWIDTH[fmt]
+        channel = self.bus.allocate_channel(source.fcm.seid.guid, bandwidth)
+        connection = StreamConnection(self, source, sink, fmt, channel, bandwidth)
+        self.connections.append(connection)
+        source.fcm.on_stream_connected(connection, "source")
+        sink.fcm.on_stream_connected(connection, "sink")
+        connection._start_ticks()
+        return connection
+
+    def disconnect(self, connection: StreamConnection) -> None:
+        if connection not in self.connections:
+            return
+        self.connections.remove(connection)
+        connection.active = False
+        if connection._tick_event is not None:
+            connection._tick_event.cancel()
+        self.bus.release_channel(connection.channel, connection.bandwidth_bps)
+        connection.source.fcm.on_stream_disconnected(connection, "source")
+        connection.sink.fcm.on_stream_disconnected(connection, "sink")
+
+    def _require_on_bus(self, fcm: Fcm) -> None:
+        guids = {member.guid for member in self.bus.members}
+        if fcm.seid.guid not in guids:
+            raise HaviError(
+                f"FCM {fcm.name!r} is not on bus {self.bus.segment.name!r}: "
+                "isochronous streams cannot leave the IEEE1394 bus"
+            )
+
+    @property
+    def active_connections(self) -> int:
+        return len(self.connections)

@@ -1,0 +1,54 @@
+"""Simulated Jini substrate.
+
+Jini (paper Section 2.1) federates Java devices: services register with a
+*lookup service* discovered by multicast, registrations are held by *leases*
+that must be renewed, clients look services up by interface and receive a
+*proxy* they invoke over RMI, and listeners get *remote events*.  This
+package reproduces that architecture over the simulated network:
+
+- :mod:`repro.jini.marshalling` — Java-serialization-flavoured binary codec
+  (magic ``0xACED``...), used by every Jini wire exchange.
+- :mod:`repro.jini.discovery` — multicast announcement/request protocols on
+  the Jini island segment (UDP port 4160, as in real Jini).
+- :mod:`repro.jini.rmi` — RMI-like remote method invocation with connection
+  reuse and exported-object tables.
+- :mod:`repro.jini.lease` — leases, the grantor side and the client-side
+  renewal manager.
+- :mod:`repro.jini.lookup` — the lookup service (register / lookup / notify).
+- :mod:`repro.jini.events` — remote events and registrations.
+- :mod:`repro.jini.service` — the application layer: publish a Python object
+  as a Jini service, discover and call services through dynamic proxies.
+"""
+
+from repro.jini.discovery import DiscoveryAnnouncer, DiscoveryListener
+from repro.jini.events import EventRegistration, RemoteEvent
+from repro.jini.lease import Lease, LeaseRenewalManager
+from repro.jini.lookup import (
+    LookupService,
+    ServiceItem,
+    ServiceRegistration,
+    ServiceTemplate,
+)
+from repro.jini.marshalling import marshal, unmarshal
+from repro.jini.rmi import RemoteRef, RmiRuntime
+from repro.jini.service import JiniClient, JiniHost, JiniService
+
+__all__ = [
+    "DiscoveryAnnouncer",
+    "DiscoveryListener",
+    "EventRegistration",
+    "JiniClient",
+    "JiniHost",
+    "JiniService",
+    "Lease",
+    "LeaseRenewalManager",
+    "LookupService",
+    "RemoteEvent",
+    "RemoteRef",
+    "RmiRuntime",
+    "ServiceItem",
+    "ServiceRegistration",
+    "ServiceTemplate",
+    "marshal",
+    "unmarshal",
+]

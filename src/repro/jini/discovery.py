@@ -1,0 +1,144 @@
+"""Jini multicast discovery.
+
+Real Jini uses two multicast protocols on UDP port 4160: lookup services
+periodically *announce* themselves, and clients *request* lookup services
+and get unicast replies.  Both are reproduced here on the island segment's
+broadcast service.  The payload of either message is the marshalled wire
+form of the lookup service's RMI reference plus its group name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import MarshallingError
+from repro.net.addressing import NodeAddress
+from repro.net.segment import Segment
+from repro.net.simkernel import Event
+from repro.net.transport import TransportStack
+from repro.jini.marshalling import marshal, unmarshal
+from repro.jini.rmi import RemoteRef
+
+DISCOVERY_PORT = 4160
+DEFAULT_GROUP = "public"
+ANNOUNCE_INTERVAL = 20.0
+
+
+class DiscoveryAnnouncer:
+    """Run by a lookup service: answers requests and announces periodically."""
+
+    def __init__(
+        self,
+        stack: TransportStack,
+        segment: Segment | str,
+        lookup_ref: RemoteRef,
+        group: str = DEFAULT_GROUP,
+        interval: float = ANNOUNCE_INTERVAL,
+    ) -> None:
+        self.stack = stack
+        self.segment = segment
+        self.lookup_ref = lookup_ref
+        self.group = group
+        self.interval = interval
+        self.announcements_sent = 0
+        self._socket = stack.udp_socket(DISCOVERY_PORT)
+        self._socket.on_datagram(self._on_datagram)
+        self._timer: Event | None = None
+        self._running = False
+
+    def start(self) -> None:
+        """Begin periodic announcements (first goes out immediately)."""
+        if self._running:
+            return
+        self._running = True
+        self._announce()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def close(self) -> None:
+        self.stop()
+        self._socket.close()
+
+    # -- internals ------------------------------------------------------------
+
+    def _payload(self) -> bytes:
+        return marshal(
+            {"type": "announce", "group": self.group, "ref": self.lookup_ref.to_wire()}
+        )
+
+    def _announce(self) -> None:
+        if not self._running:
+            return
+        self._socket.broadcast(self.segment, DISCOVERY_PORT, self._payload())
+        self.announcements_sent += 1
+        self._timer = self.stack.sim.schedule(self.interval, self._announce)
+
+    def _on_datagram(self, src: NodeAddress, src_port: int, data: bytes) -> None:
+        try:
+            message = unmarshal(data)
+        except MarshallingError:
+            return
+        if not isinstance(message, dict) or message.get("type") != "request":
+            return
+        groups = message.get("groups") or [DEFAULT_GROUP]
+        if self.group not in groups:
+            return
+        self._socket.sendto(src, src_port, self._payload())
+
+
+class DiscoveryListener:
+    """Run by clients and services: collects lookup-service references."""
+
+    def __init__(
+        self,
+        stack: TransportStack,
+        on_discovered: Callable[[RemoteRef, str], None] | None = None,
+        groups: tuple[str, ...] = (DEFAULT_GROUP,),
+    ) -> None:
+        self.stack = stack
+        self.groups = groups
+        self.discovered: dict[RemoteRef, str] = {}
+        self._callbacks: list[Callable[[RemoteRef, str], None]] = []
+        if on_discovered is not None:
+            self._callbacks.append(on_discovered)
+        self._socket = stack.udp_socket(DISCOVERY_PORT)
+        self._socket.on_datagram(self._on_datagram)
+
+    def add_callback(self, callback: Callable[[RemoteRef, str], None]) -> None:
+        self._callbacks.append(callback)
+        for ref, group in self.discovered.items():
+            callback(ref, group)
+
+    def request(self, segment: Segment | str) -> None:
+        """Broadcast a discovery request on ``segment``."""
+        payload = marshal({"type": "request", "groups": list(self.groups)})
+        self._socket.broadcast(segment, DISCOVERY_PORT, payload)
+
+    def close(self) -> None:
+        self._socket.close()
+
+    # -- internals ------------------------------------------------------------
+
+    def _on_datagram(self, src: NodeAddress, src_port: int, data: bytes) -> None:
+        try:
+            message = unmarshal(data)
+        except MarshallingError:
+            return
+        if not isinstance(message, dict) or message.get("type") != "announce":
+            return
+        group = message.get("group", DEFAULT_GROUP)
+        if group not in self.groups:
+            return
+        ref_wire: Any = message.get("ref")
+        if not RemoteRef.is_wire_ref(ref_wire):
+            return
+        ref = RemoteRef.from_wire(ref_wire)
+        is_new = ref not in self.discovered
+        self.discovered[ref] = group
+        if is_new:
+            for callback in list(self._callbacks):
+                callback(ref, group)

@@ -1,0 +1,83 @@
+"""Jini remote events.
+
+A Jini event source delivers :class:`RemoteEvent` objects to registered
+remote listeners by calling ``notify`` on the listener's RMI reference.
+Registrations are leased, exactly like service registrations.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.jini.lease import Lease
+from repro.jini.rmi import RemoteRef
+
+#: Lookup-service transition: a service matching the template appeared.
+TRANSITION_NOMATCH_MATCH = 1
+#: Lookup-service transition: a matching service disappeared.
+TRANSITION_MATCH_NOMATCH = 2
+
+
+class RemoteEvent:
+    """One event instance, as delivered to listeners."""
+
+    __slots__ = ("source", "event_id", "sequence", "payload")
+
+    def __init__(self, source: str, event_id: int, sequence: int, payload: Any = None) -> None:
+        self.source = source
+        self.event_id = event_id
+        self.sequence = sequence
+        self.payload = payload
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "source": self.source,
+            "event_id": self.event_id,
+            "sequence": self.sequence,
+            "payload": self.payload,
+        }
+
+    @staticmethod
+    def from_wire(data: dict[str, Any]) -> "RemoteEvent":
+        return RemoteEvent(
+            source=str(data.get("source", "")),
+            event_id=int(data.get("event_id", 0)),
+            sequence=int(data.get("sequence", 0)),
+            payload=data.get("payload"),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RemoteEvent {self.source}#{self.event_id} seq={self.sequence}>"
+
+
+class EventRegistration:
+    """Returned to a listener when it registers interest."""
+
+    __slots__ = ("event_id", "lease")
+
+    def __init__(self, event_id: int, lease: Lease) -> None:
+        self.event_id = event_id
+        self.lease = lease
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"event_id": self.event_id, "lease": self.lease.to_wire()}
+
+    @staticmethod
+    def from_wire(data: dict[str, Any]) -> "EventRegistration":
+        return EventRegistration(int(data["event_id"]), Lease.from_wire(data["lease"]))
+
+
+class EventListenerEntry:
+    """Grantor-side record of one registered listener."""
+
+    __slots__ = ("event_id", "listener", "lease", "sequence")
+
+    def __init__(self, event_id: int, listener: RemoteRef, lease: Lease) -> None:
+        self.event_id = event_id
+        self.listener = listener
+        self.lease = lease
+        self.sequence = 0
+
+    def next_sequence(self) -> int:
+        self.sequence += 1
+        return self.sequence

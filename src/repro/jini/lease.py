@@ -1,0 +1,213 @@
+"""Jini leases.
+
+Everything granted by a Jini lookup service — registrations, event
+interests — is held under a lease that the holder must renew, so crashed
+holders disappear automatically.  This module has both halves:
+
+- :class:`Lease` / :class:`LeaseTable` — grantor-side bookkeeping with
+  virtual-time expiry.
+- :class:`LeaseRenewalManager` — holder-side automatic renewal, as in the
+  real Jini utility class of the same name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import LeaseDeniedError, LeaseExpiredError
+from repro.net.simkernel import Event, Simulator
+
+#: Grantors cap lease durations at this many virtual seconds.
+MAX_LEASE_DURATION = 300.0
+DEFAULT_LEASE_DURATION = 30.0
+
+
+class Lease:
+    """One granted lease."""
+
+    __slots__ = ("lease_id", "expiration", "cookie")
+
+    def __init__(self, lease_id: int, expiration: float, cookie: Any = None) -> None:
+        self.lease_id = lease_id
+        self.expiration = expiration
+        #: Grantor-private payload (e.g. the registration this lease guards).
+        self.cookie = cookie
+
+    def remaining(self, now: float) -> float:
+        return max(0.0, self.expiration - now)
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expiration
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"lease_id": self.lease_id, "expiration": self.expiration}
+
+    @staticmethod
+    def from_wire(data: dict[str, Any]) -> "Lease":
+        return Lease(int(data["lease_id"]), float(data["expiration"]))
+
+
+class LeaseTable:
+    """Grantor-side lease bookkeeping with expiry callbacks."""
+
+    def __init__(self, sim: Simulator, max_duration: float = MAX_LEASE_DURATION) -> None:
+        self.sim = sim
+        self.max_duration = max_duration
+        self._leases: dict[int, Lease] = {}
+        self._expiry_events: dict[int, Event] = {}
+        self._on_expire: dict[int, Callable[[Lease], None]] = {}
+        self._next_id = 1
+
+    def grant(
+        self,
+        duration: float,
+        cookie: Any = None,
+        on_expire: Callable[[Lease], None] | None = None,
+    ) -> Lease:
+        """Grant a lease for min(duration, max_duration) virtual seconds."""
+        if duration <= 0:
+            raise LeaseDeniedError(f"non-positive lease duration {duration!r}")
+        granted = min(duration, self.max_duration)
+        lease = Lease(self._next_id, self.sim.now + granted, cookie)
+        self._next_id += 1
+        self._leases[lease.lease_id] = lease
+        if on_expire is not None:
+            self._on_expire[lease.lease_id] = on_expire
+        self._schedule_expiry(lease)
+        return lease
+
+    def renew(self, lease_id: int, duration: float) -> Lease:
+        """Extend a live lease; raises :class:`LeaseExpiredError` if it is
+        gone (the real error a tardy holder sees)."""
+        lease = self._leases.get(lease_id)
+        if lease is None or lease.expired(self.sim.now):
+            self._drop(lease_id, fire_callback=False)
+            raise LeaseExpiredError(f"lease {lease_id} has expired")
+        if duration <= 0:
+            raise LeaseDeniedError(f"non-positive renewal duration {duration!r}")
+        lease.expiration = self.sim.now + min(duration, self.max_duration)
+        self._schedule_expiry(lease)
+        return lease
+
+    def cancel(self, lease_id: int) -> None:
+        """Voluntary surrender; the expiry callback does fire (the guarded
+        resource must be cleaned up either way)."""
+        self._drop(lease_id, fire_callback=True)
+
+    def is_live(self, lease_id: int) -> bool:
+        lease = self._leases.get(lease_id)
+        return lease is not None and not lease.expired(self.sim.now)
+
+    def lease(self, lease_id: int) -> Lease:
+        lease = self._leases.get(lease_id)
+        if lease is None:
+            raise LeaseExpiredError(f"lease {lease_id} unknown or expired")
+        return lease
+
+    @property
+    def live_count(self) -> int:
+        return len(self._leases)
+
+    # -- internals ------------------------------------------------------------
+
+    def _schedule_expiry(self, lease: Lease) -> None:
+        existing = self._expiry_events.pop(lease.lease_id, None)
+        if existing is not None:
+            existing.cancel()
+        self._expiry_events[lease.lease_id] = self.sim.at(
+            lease.expiration, self._expire, lease.lease_id
+        )
+
+    def _expire(self, lease_id: int) -> None:
+        lease = self._leases.get(lease_id)
+        if lease is None or not lease.expired(self.sim.now):
+            return  # renewed since this timer was set
+        self._drop(lease_id, fire_callback=True)
+
+    def _drop(self, lease_id: int, fire_callback: bool) -> None:
+        lease = self._leases.pop(lease_id, None)
+        event = self._expiry_events.pop(lease_id, None)
+        if event is not None:
+            event.cancel()
+        callback = self._on_expire.pop(lease_id, None)
+        if lease is not None and callback is not None and fire_callback:
+            callback(lease)
+
+
+class LeaseRenewalManager:
+    """Holder-side automatic renewal.
+
+    ``renew_fn(lease_id, duration)`` performs the (possibly remote) renewal
+    and returns a new expiration time — synchronously or via a SimFuture.
+    Renewal is scheduled at a safety fraction of the remaining time.
+    """
+
+    RENEW_FRACTION = 0.5
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._tracked: dict[int, tuple[Lease, float, Callable, Event]] = {}
+        self.renewals_performed = 0
+        self.failures = 0
+
+    def manage(
+        self,
+        lease: Lease,
+        duration: float,
+        renew_fn: Callable[[int, float], Any],
+        on_failure: Callable[[Lease, BaseException], None] | None = None,
+    ) -> None:
+        """Keep ``lease`` alive until :meth:`forget` is called."""
+        event = self._schedule(lease, duration)
+        self._tracked[lease.lease_id] = (lease, duration, (renew_fn, on_failure), event)
+
+    def forget(self, lease: Lease) -> None:
+        entry = self._tracked.pop(lease.lease_id, None)
+        if entry is not None:
+            entry[3].cancel()
+
+    @property
+    def managed_count(self) -> int:
+        return len(self._tracked)
+
+    # -- internals ------------------------------------------------------------
+
+    def _schedule(self, lease: Lease, duration: float) -> Event:
+        delay = max(0.0, lease.remaining(self.sim.now) * self.RENEW_FRACTION)
+        return self.sim.schedule(delay, self._renew, lease.lease_id)
+
+    def _renew(self, lease_id: int) -> None:
+        entry = self._tracked.get(lease_id)
+        if entry is None:
+            return
+        lease, duration, (renew_fn, on_failure), _event = entry
+
+        def complete(new_expiration: float) -> None:
+            if lease_id not in self._tracked:
+                return
+            lease.expiration = new_expiration
+            self.renewals_performed += 1
+            event = self._schedule(lease, duration)
+            self._tracked[lease_id] = (lease, duration, (renew_fn, on_failure), event)
+
+        def fail(exc: BaseException) -> None:
+            self.failures += 1
+            self._tracked.pop(lease_id, None)
+            if on_failure is not None:
+                on_failure(lease, exc)
+
+        try:
+            outcome = renew_fn(lease.lease_id, duration)
+        except Exception as exc:
+            fail(exc)
+            return
+        if hasattr(outcome, "add_done_callback"):
+            def on_done(future: Any) -> None:
+                exc = future.exception()
+                if exc is not None:
+                    fail(exc)
+                else:
+                    complete(float(future.result()))
+            outcome.add_done_callback(on_done)
+        else:
+            complete(float(outcome))

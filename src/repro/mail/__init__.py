@@ -1,0 +1,26 @@
+"""Internet Mail substrate — the prototype's fourth PCM target.
+
+Figure 3 of the paper shows an "Internet Mail service" island alongside
+Jini, HAVi and X10: the framework treats a classic store-and-forward
+Internet service as just another middleware.  This package provides:
+
+- :mod:`repro.mail.message` — RFC822-flavoured messages.
+- :mod:`repro.mail.smtp` — an SMTP-style submission/transfer protocol over
+  the simulated TCP (line-oriented, status codes, DATA framing).
+- :mod:`repro.mail.mailbox` — the mail store, a POP3-style retrieval
+  protocol, and the combined :class:`MailServer`.
+"""
+
+from repro.mail.mailbox import Mailbox, MailServer, MailStore, PopClient
+from repro.mail.message import MailMessage
+from repro.mail.smtp import SmtpClient, SmtpServer
+
+__all__ = [
+    "MailMessage",
+    "MailServer",
+    "MailStore",
+    "Mailbox",
+    "PopClient",
+    "SmtpClient",
+    "SmtpServer",
+]

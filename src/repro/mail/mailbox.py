@@ -1,0 +1,222 @@
+"""Mail store, POP3-style retrieval, and the combined mail server."""
+
+from __future__ import annotations
+
+from repro.errors import MailError
+from repro.net.addressing import NodeAddress
+from repro.net.simkernel import SimFuture
+from repro.net.transport import Connection, TransportStack
+from repro.mail.message import MailMessage
+from repro.mail.smtp import SmtpServer, _LineBuffer
+
+POP_PORT = 110
+_CRLF = b"\r\n"
+
+
+class Mailbox:
+    """Messages for one local address."""
+
+    def __init__(self, address: str) -> None:
+        self.address = address
+        self.messages: list[MailMessage] = []
+
+    def deliver(self, message: MailMessage) -> None:
+        self.messages.append(message)
+
+    def drain(self) -> list[MailMessage]:
+        messages, self.messages = self.messages, []
+        return messages
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+
+class MailStore:
+    """All mailboxes of one mail server; auto-creates on delivery."""
+
+    def __init__(self, domain: str = "home.sim") -> None:
+        self.domain = domain
+        self._boxes: dict[str, Mailbox] = {}
+        self.delivered = 0
+        self.bounced = 0
+
+    def mailbox(self, address: str) -> Mailbox:
+        box = self._boxes.get(address)
+        if box is None:
+            box = Mailbox(address)
+            self._boxes[address] = box
+        return box
+
+    def deliver(self, message: MailMessage) -> None:
+        for recipient in message.recipients:
+            if recipient.endswith("@" + self.domain) or "@" not in recipient:
+                self.mailbox(recipient).deliver(message)
+                self.delivered += 1
+            else:
+                self.bounced += 1  # not our domain; a relay would forward
+
+    @property
+    def mailbox_count(self) -> int:
+        return len(self._boxes)
+
+
+class MailServer:
+    """SMTP in, POP3-style retrieval out, one store."""
+
+    def __init__(
+        self,
+        stack: TransportStack,
+        domain: str = "home.sim",
+        smtp_port: int = 25,
+        pop_port: int = POP_PORT,
+    ) -> None:
+        self.stack = stack
+        self.store = MailStore(domain)
+        self.smtp = SmtpServer(stack, self.store.deliver, port=smtp_port, hostname=f"mail.{domain}")
+        self._pop_listener = stack.listen(pop_port, self._on_pop_connection)
+
+    def close(self) -> None:
+        self.smtp.close()
+        self._pop_listener.close()
+
+    # -- POP3-ish retrieval: USER <addr>, STAT, RETR <n>, DELE-all via DRAIN, QUIT
+
+    def _on_pop_connection(self, conn: Connection) -> None:
+        lines = _LineBuffer()
+        state = {"user": ""}
+
+        def reply(text: str) -> None:
+            if conn.state == Connection.ESTABLISHED:
+                conn.send(text.encode("utf-8") + _CRLF)
+
+        def handle(line: bytes) -> None:
+            text = line.decode("utf-8", errors="replace")
+            verb, _, argument = text.partition(" ")
+            verb = verb.upper()
+            if verb == "USER":
+                state["user"] = argument.strip()
+                reply("+OK user accepted")
+            elif verb == "STAT":
+                box = self.store.mailbox(state["user"]) if state["user"] else None
+                reply(f"+OK {len(box) if box else 0}")
+            elif verb == "RETR":
+                self._retr(reply, state["user"], argument)
+            elif verb == "DRAIN":
+                # Extension: return all messages and clear the box.
+                box = self.store.mailbox(state["user"])
+                messages = box.drain()
+                reply(f"+OK {len(messages)} messages")
+                for message in messages:
+                    payload = message.to_rfc822()
+                    reply(f"+MSG {len(payload)}")
+                    conn.send(payload + _CRLF)
+                reply("+END")
+            elif verb == "QUIT":
+                reply("+OK bye")
+                conn.close()
+            else:
+                reply(f"-ERR unknown command {verb!r}")
+
+        conn.set_receiver(lambda _c, data: [handle(line) for line in lines.feed(data)])
+        reply("+OK POP simulated ready")
+
+    def _retr(self, reply, user: str, argument: str) -> None:
+        if not user:
+            reply("-ERR USER first")
+            return
+        box = self.store.mailbox(user)
+        try:
+            index = int(argument) - 1
+            message = box.messages[index]
+        except (ValueError, IndexError):
+            reply("-ERR no such message")
+            return
+        payload = message.to_rfc822()
+        reply(f"+OK {len(payload)} octets")
+        # For framing simplicity the payload follows as one send.
+        reply(payload.decode("utf-8", errors="replace") + "\r\n.")
+
+
+class PopClient:
+    """Fetch-and-clear client using the server's DRAIN extension."""
+
+    def __init__(self, stack: TransportStack) -> None:
+        self.stack = stack
+
+    def fetch_all(self, dst: NodeAddress, user: str, port: int = POP_PORT) -> SimFuture:
+        """Resolve to the list of :class:`MailMessage` for ``user`` (the
+        mailbox is emptied server-side)."""
+        future: SimFuture = SimFuture()
+
+        def on_connected(conn_future: SimFuture) -> None:
+            exc = conn_future.exception()
+            if exc is not None:
+                future.set_exception(exc)
+                return
+            conn: Connection = conn_future.result()
+            state = {
+                "phase": "greet",
+                "buffer": b"",
+                "need": 0,
+                "collected": [],
+            }
+
+            def fail(text: str) -> None:
+                if not future.done():
+                    future.set_exception(MailError(text))
+                conn.close()
+
+            def finish() -> None:
+                conn.send(b"QUIT" + _CRLF)
+                conn.close()
+                if not future.done():
+                    future.set_result(state["collected"])
+
+            def handle_line(text: str) -> bool:
+                """Process one status line; False aborts parsing."""
+                if text.startswith("-ERR"):
+                    fail(text)
+                    return False
+                phase = state["phase"]
+                if phase == "greet":
+                    state["phase"] = "user"
+                    conn.send(f"USER {user}".encode() + _CRLF)
+                elif phase == "user":
+                    state["phase"] = "drain"
+                    conn.send(b"DRAIN" + _CRLF)
+                elif phase == "drain":
+                    if text.startswith("+MSG"):
+                        try:
+                            state["need"] = int(text.split()[1])
+                        except (IndexError, ValueError):
+                            fail(f"malformed +MSG line {text!r}")
+                            return False
+                        state["phase"] = "msg"
+                    elif text.startswith("+END"):
+                        finish()
+                        return False
+                return True
+
+            def on_data(_c: Connection, data: bytes) -> None:
+                state["buffer"] += data
+                while True:
+                    if state["phase"] == "msg":
+                        # Byte-counted payload followed by CRLF.
+                        total = state["need"] + len(_CRLF)
+                        if len(state["buffer"]) < total:
+                            return
+                        payload = state["buffer"][: state["need"]]
+                        state["buffer"] = state["buffer"][total:]
+                        state["collected"].append(MailMessage.from_rfc822(payload))
+                        state["phase"] = "drain"
+                        continue
+                    if _CRLF not in state["buffer"]:
+                        return
+                    line, state["buffer"] = state["buffer"].split(_CRLF, 1)
+                    if not handle_line(line.decode("utf-8", errors="replace")):
+                        return
+
+            conn.set_receiver(on_data)
+
+        self.stack.connect(dst, port).add_done_callback(on_connected)
+        return future

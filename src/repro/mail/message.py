@@ -1,0 +1,89 @@
+"""RFC822-flavoured mail messages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MailError
+
+_CRLF = "\r\n"
+
+
+def split_rfc822(data: bytes) -> tuple[dict[str, str], str]:
+    """Lenient split of a raw message into (headers, body).
+
+    Never raises: senders are free to omit headers entirely (the SMTP
+    envelope, not the header block, decides routing).
+    """
+    text = data.decode("utf-8", errors="replace")
+    head, sep, body = text.partition(_CRLF + _CRLF)
+    if not sep:
+        head, sep, body = text.partition("\n\n")
+    if not sep:
+        # No blank line at all: the whole payload is the body.
+        return {}, text
+    headers: dict[str, str] = {}
+    for line in head.splitlines():
+        name, colon, value = line.partition(":")
+        if colon:
+            headers[name.strip()] = value.strip()
+    return headers, body
+
+
+@dataclass
+class MailMessage:
+    """One email.  ``sent_at`` is virtual time (seconds)."""
+
+    sender: str
+    recipients: tuple[str, ...]
+    subject: str = ""
+    body: str = ""
+    headers: dict[str, str] = field(default_factory=dict)
+    sent_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.sender or "@" not in self.sender:
+            raise MailError(f"malformed sender address {self.sender!r}")
+        if not self.recipients:
+            raise MailError("message has no recipients")
+        for recipient in self.recipients:
+            if "@" not in recipient:
+                raise MailError(f"malformed recipient address {recipient!r}")
+
+    def to_rfc822(self) -> bytes:
+        """Render headers + body; dot-stuffing is the transport's job."""
+        lines = [
+            f"From: {self.sender}",
+            f"To: {', '.join(self.recipients)}",
+            f"Subject: {self.subject}",
+            f"X-Sim-Time: {self.sent_at:.6f}",
+        ]
+        lines += [f"{key}: {value}" for key, value in self.headers.items()]
+        lines.append("")
+        lines.append(self.body)
+        return _CRLF.join(lines).encode("utf-8")
+
+    @staticmethod
+    def from_rfc822(data: bytes) -> "MailMessage":
+        headers, body = split_rfc822(data)
+        sender = headers.pop("From", "")
+        to_value = headers.pop("To", "")
+        recipients = tuple(
+            address.strip() for address in to_value.split(",") if address.strip()
+        )
+        subject = headers.pop("Subject", "")
+        sent_at = 0.0
+        raw_time = headers.pop("X-Sim-Time", "")
+        if raw_time:
+            try:
+                sent_at = float(raw_time)
+            except ValueError:
+                pass
+        return MailMessage(
+            sender=sender,
+            recipients=recipients,
+            subject=subject,
+            body=body,
+            headers=headers,
+            sent_at=sent_at,
+        )

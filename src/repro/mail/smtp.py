@@ -1,0 +1,217 @@
+"""SMTP-style message submission over the simulated TCP.
+
+A faithful-in-shape subset: greeting, ``HELO``, ``MAIL FROM`` / ``RCPT TO``
+envelope, ``DATA`` with dot-terminated body (and dot-stuffing), ``QUIT``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import MailError
+from repro.net.addressing import NodeAddress
+from repro.net.simkernel import SimFuture
+from repro.net.transport import Connection, TransportStack
+from repro.mail.message import MailMessage, split_rfc822
+
+SMTP_PORT = 25
+_CRLF = b"\r\n"
+
+
+class _LineBuffer:
+    def __init__(self) -> None:
+        self._buffer = b""
+
+    def feed(self, data: bytes) -> list[bytes]:
+        self._buffer += data
+        lines = []
+        while _CRLF in self._buffer:
+            line, self._buffer = self._buffer.split(_CRLF, 1)
+            lines.append(line)
+        return lines
+
+
+class SmtpServer:
+    """Accepts mail and hands complete messages to ``on_message``."""
+
+    def __init__(
+        self,
+        stack: TransportStack,
+        on_message: Callable[[MailMessage], None],
+        port: int = SMTP_PORT,
+        hostname: str = "mail.sim",
+    ) -> None:
+        self.stack = stack
+        self.on_message = on_message
+        self.hostname = hostname
+        self._listener = stack.listen(port, self._on_connection)
+        self.messages_accepted = 0
+        self.commands_rejected = 0
+
+    def close(self) -> None:
+        self._listener.close()
+
+    def _on_connection(self, conn: Connection) -> None:
+        session = _SmtpSession(self, conn)
+        conn.set_receiver(session.on_data)
+        session.reply(220, f"{self.hostname} SMTP simulated")
+
+
+class _SmtpSession:
+    def __init__(self, server: SmtpServer, conn: Connection) -> None:
+        self.server = server
+        self.conn = conn
+        self.lines = _LineBuffer()
+        self.sender = ""
+        self.recipients: list[str] = []
+        self.in_data = False
+        self.data_lines: list[bytes] = []
+
+    def reply(self, code: int, text: str) -> None:
+        if self.conn.state == Connection.ESTABLISHED:
+            self.conn.send(f"{code} {text}".encode("utf-8") + _CRLF)
+
+    def on_data(self, conn: Connection, data: bytes) -> None:
+        for line in self.lines.feed(data):
+            if self.in_data:
+                self._data_line(line)
+            else:
+                self._command(line)
+
+    def _command(self, line: bytes) -> None:
+        text = line.decode("utf-8", errors="replace")
+        verb, _, argument = text.partition(" ")
+        verb = verb.upper()
+        if verb == "HELO" or verb == "EHLO":
+            self.reply(250, f"{self.server.hostname} greets {argument or 'you'}")
+        elif verb == "MAIL":
+            self.sender = _parse_path(argument)
+            self.recipients = []
+            self.reply(250, "OK")
+        elif verb == "RCPT":
+            if not self.sender:
+                self.server.commands_rejected += 1
+                self.reply(503, "need MAIL before RCPT")
+                return
+            self.recipients.append(_parse_path(argument))
+            self.reply(250, "OK")
+        elif verb == "DATA":
+            if not self.recipients:
+                self.server.commands_rejected += 1
+                self.reply(503, "need RCPT before DATA")
+                return
+            self.in_data = True
+            self.data_lines = []
+            self.reply(354, "end data with <CRLF>.<CRLF>")
+        elif verb == "QUIT":
+            self.reply(221, "bye")
+            self.conn.close()
+        elif verb == "NOOP":
+            self.reply(250, "OK")
+        else:
+            self.server.commands_rejected += 1
+            self.reply(500, f"unrecognised command {verb!r}")
+
+    def _data_line(self, line: bytes) -> None:
+        if line == b".":
+            self.in_data = False
+            raw = _CRLF.join(
+                part[1:] if part.startswith(b"..") else part for part in self.data_lines
+            )
+            # Parse headers leniently: the SMTP envelope, not the header
+            # block, decides routing, so header-less bodies are fine.
+            headers, body = split_rfc822(raw)
+            headers.pop("From", None)
+            headers.pop("To", None)
+            subject = headers.pop("Subject", "")
+            raw_time = headers.pop("X-Sim-Time", "")
+            try:
+                sent_at = float(raw_time) if raw_time else 0.0
+            except ValueError:
+                sent_at = 0.0
+            try:
+                message = MailMessage(
+                    sender=self.sender,
+                    recipients=tuple(self.recipients),
+                    subject=subject,
+                    body=body,
+                    headers=headers,
+                    sent_at=sent_at,
+                )
+            except MailError as exc:
+                self.reply(554, f"unacceptable message: {exc}")
+                return
+            self.server.messages_accepted += 1
+            self.server.on_message(message)
+            self.sender = ""
+            self.recipients = []
+            self.reply(250, "message accepted")
+        else:
+            self.data_lines.append(line)
+
+
+def _parse_path(argument: str) -> str:
+    """Extract the address from ``FROM:<a@b>`` / ``TO:<a@b>``."""
+    _, _, path = argument.partition(":")
+    return path.strip().strip("<>")
+
+
+class SmtpClient:
+    """Submits one message per connection."""
+
+    def __init__(self, stack: TransportStack) -> None:
+        self.stack = stack
+        self.messages_sent = 0
+
+    def send(self, dst: NodeAddress, message: MailMessage, port: int = SMTP_PORT) -> SimFuture:
+        """Deliver ``message`` to the server at ``dst``; resolves True."""
+        future: SimFuture = SimFuture()
+        # Dot-stuff the body per RFC 5321.
+        payload = message.to_rfc822()
+        stuffed = _CRLF.join(
+            b"." + line if line.startswith(b".") else line
+            for line in payload.split(_CRLF)
+        )
+        script = [
+            (220, b"HELO client.sim"),
+            (250, b"MAIL FROM:<" + message.sender.encode() + b">"),
+        ]
+        for recipient in message.recipients:
+            script.append((250, b"RCPT TO:<" + recipient.encode() + b">"))
+        script.append((250, b"DATA"))
+        script.append((354, stuffed + _CRLF + b"."))
+        script.append((250, b"QUIT"))
+        script.append((221, None))
+
+        def on_connected(conn_future: SimFuture) -> None:
+            exc = conn_future.exception()
+            if exc is not None:
+                future.set_exception(exc)
+                return
+            conn: Connection = conn_future.result()
+            lines = _LineBuffer()
+            step = {"index": 0}
+
+            def advance(reply_line: bytes) -> None:
+                code_text = reply_line.split(b" ", 1)[0]
+                expected, to_send = script[step["index"]]
+                if not code_text.isdigit() or int(code_text) != expected:
+                    if not future.done():
+                        future.set_exception(
+                            MailError(f"SMTP error: {reply_line.decode(errors='replace')}")
+                        )
+                    conn.close()
+                    return
+                step["index"] += 1
+                if to_send is None:
+                    self.messages_sent += 1
+                    if not future.done():
+                        future.set_result(True)
+                    conn.close()
+                    return
+                conn.send(to_send + _CRLF)
+
+            conn.set_receiver(lambda _c, data: [advance(line) for line in lines.feed(data)])
+
+        self.stack.connect(dst, port).add_done_callback(on_connected)
+        return future

@@ -1,0 +1,61 @@
+"""Simulated home-network substrate.
+
+This package provides everything the middleware substrates run on:
+
+- :mod:`repro.net.simkernel` — a deterministic discrete-event scheduler with
+  a virtual clock.  All latencies reported by the benchmarks are virtual-time
+  figures produced by this kernel.
+- :mod:`repro.net.segment` — broadcast media models (Ethernet, IEEE1394,
+  X10 powerline, RS-232 serial) with per-segment bandwidth, propagation
+  delay, framing overhead and optional loss.
+- :mod:`repro.net.node` / :mod:`repro.net.network` — nodes, interfaces and
+  the topology container.
+- :mod:`repro.net.transport` — UDP-like datagrams and TCP-like reliable
+  byte-stream connections, including simulated handshakes so that the
+  paper's "a TCP stack is large and complex" discussion can be quantified.
+- :mod:`repro.net.monitor` — per-segment traffic accounting used by the
+  payload/overhead benchmarks.
+"""
+
+from repro.net.addressing import BROADCAST, HwAddress, NodeAddress
+from repro.net.frames import Frame
+from repro.net.monitor import TrafficMonitor
+from repro.net.network import Network
+from repro.net.node import Interface, Node
+from repro.net.segment import (
+    EthernetSegment,
+    IEEE1394Segment,
+    PowerlineSegment,
+    Segment,
+    SerialLink,
+)
+from repro.net.simkernel import Event, SimFuture, Simulator
+from repro.net.transport import (
+    Connection,
+    DatagramSocket,
+    Listener,
+    TransportStack,
+)
+
+__all__ = [
+    "BROADCAST",
+    "Connection",
+    "DatagramSocket",
+    "EthernetSegment",
+    "Event",
+    "Frame",
+    "HwAddress",
+    "IEEE1394Segment",
+    "Interface",
+    "Listener",
+    "Network",
+    "Node",
+    "NodeAddress",
+    "PowerlineSegment",
+    "Segment",
+    "SerialLink",
+    "SimFuture",
+    "Simulator",
+    "TrafficMonitor",
+    "TransportStack",
+]

@@ -1,0 +1,61 @@
+"""Hardware and network-layer addresses for the simulated home network.
+
+Two address spaces exist, mirroring real stacks:
+
+- :class:`HwAddress` — link-layer address, unique per interface *within a
+  segment* (like a MAC address, a 1394 phy id, or an X10 house/unit pair's
+  carrier).  Frames carry these.
+- :class:`NodeAddress` — network-layer address of an interface, unique
+  across the whole :class:`repro.net.network.Network` (like an IP address).
+  Transport sockets address peers with these.
+
+The home topology in the paper has no router: every middleware island is one
+segment, and gateways are *multi-homed application-layer* bridges.  So the
+network layer only ever resolves a :class:`NodeAddress` to (segment,
+hardware address) — there is no forwarding plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class HwAddress:
+    """Link-layer interface address, rendered MAC-style."""
+
+    value: int
+
+    def __str__(self) -> str:
+        if self.value == _BROADCAST_VALUE:
+            return "ff:ff"
+        return f"{self.value >> 8 & 0xFF:02x}:{self.value & 0xFF:02x}"
+
+    def is_broadcast(self) -> bool:
+        return self.value == _BROADCAST_VALUE
+
+
+_BROADCAST_VALUE = 0xFFFF
+
+#: Destination address that delivers a frame to every other interface on the
+#: segment.
+BROADCAST = HwAddress(_BROADCAST_VALUE)
+
+
+@dataclass(frozen=True, order=True)
+class NodeAddress:
+    """Network-layer address of one interface: ``<segment>/<host#>``."""
+
+    segment: str
+    host: int
+
+    def __str__(self) -> str:
+        return f"{self.segment}/{self.host}"
+
+    @staticmethod
+    def parse(text: str) -> "NodeAddress":
+        """Inverse of ``str()``; raises ValueError on malformed input."""
+        segment, _, host = text.rpartition("/")
+        if not segment or not host.isdigit():
+            raise ValueError(f"malformed node address {text!r}")
+        return NodeAddress(segment, int(host))

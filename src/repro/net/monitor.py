@@ -1,0 +1,117 @@
+"""Traffic accounting for benchmarks.
+
+A :class:`TrafficMonitor` attaches to one or more segments and tallies
+frames and bytes per protocol tag.  The payload-size (C1) and stack-weight
+(C4) experiments read these counters; the Figure-4 trace benchmark uses the
+optional frame trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.frames import Frame
+    from repro.net.segment import Segment
+
+
+@dataclass
+class TraceEntry:
+    """One recorded transmission."""
+
+    time: float
+    segment: str
+    protocol: str
+    src: str
+    dst: str
+    size: int
+    dropped: bool
+    note: str = ""
+
+
+@dataclass
+class ProtocolStats:
+    """Frame/byte tallies for one protocol tag."""
+
+    frames: int = 0
+    bytes: int = 0
+    dropped_frames: int = 0
+
+
+@dataclass
+class TrafficMonitor:
+    """Counts traffic on the segments it watches."""
+
+    name: str = "monitor"
+    trace_enabled: bool = False
+    trace_limit: int = 10000
+    stats: dict[str, ProtocolStats] = field(default_factory=dict)
+    per_segment: dict[str, dict[str, ProtocolStats]] = field(default_factory=dict)
+    trace: list[TraceEntry] = field(default_factory=list)
+
+    def watch(self, *segments: "Segment") -> "TrafficMonitor":
+        for segment in segments:
+            if self not in segment.monitors:
+                segment.monitors.append(self)
+        return self
+
+    def unwatch(self, segment: "Segment") -> None:
+        if self in segment.monitors:
+            segment.monitors.remove(self)
+
+    def record(self, segment: "Segment", frame: "Frame", size: int, dropped: bool) -> None:
+        stats = self.stats.setdefault(frame.protocol, ProtocolStats())
+        seg_stats = self.per_segment.setdefault(segment.name, {}).setdefault(
+            frame.protocol, ProtocolStats()
+        )
+        for bucket in (stats, seg_stats):
+            bucket.frames += 1
+            bucket.bytes += size
+            if dropped:
+                bucket.dropped_frames += 1
+        if self.trace_enabled and len(self.trace) < self.trace_limit:
+            self.trace.append(
+                TraceEntry(
+                    time=segment.sim.now,
+                    segment=segment.name,
+                    protocol=frame.protocol,
+                    src=str(frame.src),
+                    dst=str(frame.dst),
+                    size=size,
+                    dropped=dropped,
+                    note=frame.note,
+                )
+            )
+
+    # -- summary accessors ------------------------------------------------------
+
+    @property
+    def total_frames(self) -> int:
+        return sum(stats.frames for stats in self.stats.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(stats.bytes for stats in self.stats.values())
+
+    def bytes_for(self, protocol: str) -> int:
+        stats = self.stats.get(protocol)
+        return stats.bytes if stats else 0
+
+    def frames_for(self, protocol: str) -> int:
+        stats = self.stats.get(protocol)
+        return stats.frames if stats else 0
+
+    def reset(self) -> None:
+        self.stats.clear()
+        self.per_segment.clear()
+        self.trace.clear()
+
+    def summary_rows(self) -> list[tuple[str, int, int]]:
+        """(protocol, frames, bytes) rows sorted by descending bytes."""
+        rows = [
+            (protocol, stats.frames, stats.bytes)
+            for protocol, stats in self.stats.items()
+        ]
+        rows.sort(key=lambda row: row[2], reverse=True)
+        return rows

@@ -1,0 +1,111 @@
+"""Nodes and their interfaces."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import NetworkError
+from repro.net.addressing import BROADCAST, HwAddress, NodeAddress
+from repro.net.frames import Frame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.segment import Segment
+    from repro.net.simkernel import Simulator
+
+#: Signature of an upper-layer frame handler: (receiving interface, frame).
+FrameHandler = Callable[["Interface", Frame], None]
+
+
+class Interface:
+    """One attachment point of a node to a segment."""
+
+    def __init__(
+        self,
+        node: "Node",
+        segment: "Segment",
+        hw_address: HwAddress,
+        node_address: NodeAddress,
+    ) -> None:
+        self.node = node
+        self.segment = segment
+        self.hw_address = hw_address
+        self.node_address = node_address
+        #: When True the interface hands all frames up, not just ones
+        #: addressed to it (used by sniffers/monitors in tests).
+        self.promiscuous = False
+        self.up = True
+
+    def send(self, dst: HwAddress, protocol: str, payload: bytes, note: str = "") -> float:
+        """Transmit a frame on this interface's segment.  Returns the virtual
+        time the transmission completes."""
+        if not self.up:
+            raise NetworkError(f"interface {self} is down")
+        frame = Frame(src=self.hw_address, dst=dst, protocol=protocol, payload=payload, note=note)
+        return self.segment.transmit(self, frame)
+
+    def broadcast(self, protocol: str, payload: bytes, note: str = "") -> float:
+        return self.send(BROADCAST, protocol, payload, note)
+
+    def deliver(self, frame: Frame) -> None:
+        """Called by the segment when a frame arrives."""
+        if not self.up:
+            return
+        addressed_to_us = frame.dst == self.hw_address or frame.dst.is_broadcast()
+        if addressed_to_us or self.promiscuous:
+            self.node.on_frame(self, frame)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Interface {self.node_address} hw={self.hw_address}>"
+
+
+class Node:
+    """A device on the network: zero or more interfaces plus a protocol
+    dispatch table.
+
+    Upper layers (transport stacks, middleware protocol engines) register a
+    handler per protocol tag.  Gateways are simply nodes attached to more
+    than one segment.
+    """
+
+    def __init__(self, sim: "Simulator", name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.interfaces: list[Interface] = []
+        self._handlers: dict[str, FrameHandler] = {}
+
+    # -- wiring ------------------------------------------------------------
+
+    def add_interface(self, interface: Interface) -> None:
+        self.interfaces.append(interface)
+
+    def interface_on(self, segment: "Segment") -> Interface:
+        """The node's interface attached to ``segment``."""
+        for interface in self.interfaces:
+            if interface.segment is segment:
+                return interface
+        raise NetworkError(f"node {self.name} has no interface on {segment.name}")
+
+    def register_protocol(self, protocol: str, handler: FrameHandler) -> None:
+        """Install the upper-layer handler for frames tagged ``protocol``.
+        Registering twice for the same tag is an error (it would silently
+        drop a protocol engine)."""
+        if protocol in self._handlers:
+            raise NetworkError(
+                f"node {self.name}: handler for protocol {protocol!r} already registered"
+            )
+        self._handlers[protocol] = handler
+
+    def unregister_protocol(self, protocol: str) -> None:
+        self._handlers.pop(protocol, None)
+
+    # -- datapath ------------------------------------------------------------
+
+    def on_frame(self, interface: Interface, frame: Frame) -> None:
+        handler = self._handlers.get(frame.protocol)
+        if handler is not None:
+            handler(interface, frame)
+        # Frames with no registered handler are dropped silently, like a
+        # host ignoring an unknown EtherType.
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.name} ifaces={len(self.interfaces)}>"

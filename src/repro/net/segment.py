@@ -1,0 +1,201 @@
+"""Broadcast medium models.
+
+Each segment serialises transmissions (one frame on the wire at a time),
+charges transmission time = bits / bandwidth, adds propagation delay, and
+delivers to every other attached interface — the receiving interface filters
+on destination address.  Subclasses fix the parameters to the media the paper
+names: 10 Mb/s Ethernet, 400 Mb/s IEEE1394, the X10 powerline (which signals
+at one bit per AC zero-crossing, i.e. ~120 b/s raw, ~0.9 s for a complete
+doubled command), and the RS-232 serial link between a PC and a CM11A
+controller.
+
+An optional loss model (a callable returning True to drop a frame) supports
+the failure-injection tests; it must be driven by an explicitly seeded RNG so
+runs stay deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import NetworkError
+from repro.net.frames import Frame
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.net.monitor import TrafficMonitor
+    from repro.net.node import Interface
+    from repro.net.simkernel import Simulator
+
+
+class Segment:
+    """A shared broadcast medium with finite bandwidth.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel the segment schedules deliveries on.
+    name:
+        Unique segment name; also the prefix of node addresses on it.
+    bandwidth_bps:
+        Signalling rate in bits per second.
+    propagation_delay:
+        One-way propagation delay in virtual seconds.
+    header_overhead:
+        Per-frame framing bytes added to the payload when computing
+        transmission time and traffic accounting.
+    """
+
+    kind = "generic"
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        bandwidth_bps: float,
+        propagation_delay: float = 5e-6,
+        header_overhead: int = 18,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise NetworkError(f"bandwidth must be positive, got {bandwidth_bps}")
+        self.sim = sim
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_delay = propagation_delay
+        self.header_overhead = header_overhead
+        self.interfaces: list["Interface"] = []
+        self.monitors: list["TrafficMonitor"] = []
+        self.loss_model: Callable[[Frame], bool] | None = None
+        self._busy_until = 0.0
+        self.frames_sent = 0
+        self.bytes_sent = 0
+
+    # -- topology -----------------------------------------------------------
+
+    def attach(self, interface: "Interface") -> None:
+        if interface in self.interfaces:
+            raise NetworkError(f"{interface} already attached to {self.name}")
+        self.interfaces.append(interface)
+
+    def detach(self, interface: "Interface") -> None:
+        try:
+            self.interfaces.remove(interface)
+        except ValueError:
+            raise NetworkError(f"{interface} not attached to {self.name}") from None
+
+    # -- transmission -------------------------------------------------------
+
+    def transmission_time(self, frame: Frame) -> float:
+        """Virtual seconds the frame occupies the medium."""
+        bits = frame.size_on_wire(self.header_overhead) * 8
+        return bits / self.bandwidth_bps
+
+    def transmit(self, sender: "Interface", frame: Frame) -> float:
+        """Queue ``frame`` for transmission from ``sender``.
+
+        Returns the virtual time at which the last bit leaves the wire.
+        Transmissions are serialised: a busy medium delays the next frame
+        (a simple non-colliding MAC; the powerline subclass adds loss).
+        """
+        start = max(self.sim.now, self._busy_until)
+        tx_time = self.transmission_time(frame)
+        end = start + tx_time
+        self._busy_until = end
+        self.frames_sent += 1
+        size = frame.size_on_wire(self.header_overhead)
+        self.bytes_sent += size
+
+        dropped = bool(self.loss_model and self.loss_model(frame))
+        for monitor in self.monitors:
+            monitor.record(self, frame, size, dropped)
+        if not dropped:
+            arrival = end + self.propagation_delay
+            for interface in list(self.interfaces):
+                if interface is sender:
+                    continue
+                self.sim.at(arrival, interface.deliver, frame)
+        return end
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} {self.bandwidth_bps:g}bps>"
+
+
+class EthernetSegment(Segment):
+    """10 Mb/s Ethernet — the paper's Jini island and Internet backbone."""
+
+    kind = "ethernet"
+    mtu = 1500
+
+    def __init__(self, sim: "Simulator", name: str, bandwidth_bps: float = 10e6):
+        super().__init__(
+            sim,
+            name,
+            bandwidth_bps=bandwidth_bps,
+            propagation_delay=5e-6,
+            header_overhead=18,
+        )
+
+
+class IEEE1394Segment(Segment):
+    """400 Mb/s IEEE1394 (FireWire) — the HAVi island.
+
+    Only the asynchronous packet service is modelled here; isochronous
+    channel bookkeeping lives in :mod:`repro.havi.bus1394`, which wraps this
+    segment.
+    """
+
+    kind = "ieee1394"
+    mtu = 2048
+
+    def __init__(self, sim: "Simulator", name: str, bandwidth_bps: float = 400e6):
+        super().__init__(
+            sim,
+            name,
+            bandwidth_bps=bandwidth_bps,
+            propagation_delay=1e-6,
+            header_overhead=24,
+        )
+
+
+class PowerlineSegment(Segment):
+    """The X10 powerline.
+
+    X10 signals one bit per AC zero-crossing (120/s at 60 Hz); a standard
+    command is an 11-cycle frame sent twice, so a complete address+function
+    sequence takes roughly 0.8–0.9 s.  We model this with a very low
+    bandwidth and per-frame overhead chosen so that one 2-byte X10 frame
+    (doubled) costs ~0.37 s, matching the real medium's order of magnitude.
+    """
+
+    kind = "powerline"
+    mtu = 4
+
+    def __init__(self, sim: "Simulator", name: str, bandwidth_bps: float = 120.0):
+        super().__init__(
+            sim,
+            name,
+            bandwidth_bps=bandwidth_bps,
+            propagation_delay=1e-3,
+            header_overhead=3,  # start pattern + redundant retransmission
+        )
+
+
+class SerialLink(Segment):
+    """Point-to-point RS-232 link (PC to CM11A X10 controller), 4800 baud as
+    the real CM11A uses.  Only two interfaces may attach."""
+
+    kind = "serial"
+    mtu = 64
+
+    def __init__(self, sim: "Simulator", name: str, bandwidth_bps: float = 4800.0):
+        super().__init__(
+            sim,
+            name,
+            bandwidth_bps=bandwidth_bps,
+            propagation_delay=1e-6,
+            header_overhead=2,  # start/stop bits amortised
+        )
+
+    def attach(self, interface: "Interface") -> None:
+        if len(self.interfaces) >= 2:
+            raise NetworkError(f"serial link {self.name} already has two endpoints")
+        super().attach(interface)

@@ -1,0 +1,240 @@
+"""Deterministic discrete-event simulation kernel.
+
+The whole reproduction is single-threaded: protocol stacks, middleware and
+applications are callbacks scheduled on one :class:`Simulator`.  Virtual time
+is a float in seconds.  Events scheduled for the same instant fire in
+scheduling order (FIFO), which makes every run bit-for-bit reproducible.
+
+Two waiting styles are supported:
+
+- callback style, used inside protocol stacks (``schedule`` / ``at``);
+- future style, used by application-level code: an operation returns a
+  :class:`SimFuture` and the caller blocks the *simulation* (not the Python
+  thread) with :meth:`Simulator.run_until_complete`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable
+
+from repro.errors import SimulationError, TimeoutError
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule` so the
+    caller can cancel it (e.g. a retransmission timer)."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Safe to call more than once and
+        after the event has already fired (then it is a no-op)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} {self.callback!r} {state}>"
+
+
+class SimFuture:
+    """Single-assignment result container resolved inside the simulation.
+
+    Mirrors the small useful subset of ``concurrent.futures.Future``:
+    ``done`` / ``result`` / ``set_result`` / ``set_exception`` plus
+    ``add_done_callback`` (called synchronously at resolution time).
+    """
+
+    __slots__ = ("_done", "_result", "_exception", "_callbacks")
+
+    def __init__(self) -> None:
+        self._done = False
+        self._result: Any = None
+        self._exception: BaseException | None = None
+        self._callbacks: list[Callable[["SimFuture"], None]] = []
+
+    def done(self) -> bool:
+        return self._done
+
+    def result(self) -> Any:
+        if not self._done:
+            raise SimulationError("SimFuture result read before resolution")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def exception(self) -> BaseException | None:
+        if not self._done:
+            raise SimulationError("SimFuture exception read before resolution")
+        return self._exception
+
+    def set_result(self, value: Any) -> None:
+        self._resolve(value, None)
+
+    def set_exception(self, exc: BaseException) -> None:
+        self._resolve(None, exc)
+
+    def add_done_callback(self, fn: Callable[["SimFuture"], None]) -> None:
+        if self._done:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _resolve(self, value: Any, exc: BaseException | None) -> None:
+        if self._done:
+            raise SimulationError("SimFuture resolved twice")
+        self._done = True
+        self._result = value
+        self._exception = exc
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    @staticmethod
+    def completed(value: Any) -> "SimFuture":
+        """A future that is already resolved with ``value``."""
+        future = SimFuture()
+        future.set_result(value)
+        return future
+
+    @staticmethod
+    def failed(exc: BaseException) -> "SimFuture":
+        """A future that is already resolved with an exception."""
+        future = SimFuture()
+        future.set_exception(exc)
+        return future
+
+
+class Simulator:
+    """Event loop with a virtual clock.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "a")
+    >>> _ = sim.schedule(0.5, fired.append, "b")
+    >>> sim.run()
+    >>> fired, sim.now
+    (['b', 'a'], 1.5)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Run ``callback(*args)`` after ``delay`` virtual seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.at(self._now + delay, callback, *args)
+
+    def at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Run ``callback(*args)`` at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule in the past: {time} < {self._now}")
+        self._seq += 1
+        event = Event(time, self._seq, callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any) -> Event:
+        """Run ``callback(*args)`` at the current instant, after events
+        already queued for this instant."""
+        return self.at(self._now, callback, *args)
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False when the queue is
+        empty (virtual time does not advance in that case)."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None) -> None:
+        """Fire events until the queue drains, or until virtual time would
+        pass ``until`` (the clock then advances exactly to ``until``)."""
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                event.callback(*event.args)
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_for(self, duration: float) -> None:
+        """Advance the simulation ``duration`` virtual seconds."""
+        self.run(until=self._now + duration)
+
+    def run_until_complete(self, future: SimFuture, timeout: float | None = None) -> Any:
+        """Drive the simulation until ``future`` resolves, then return its
+        result (or raise its exception).
+
+        ``timeout`` is a virtual-time bound; exceeding it raises
+        :class:`repro.errors.TimeoutError`.
+        """
+        deadline = None if timeout is None else self._now + timeout
+        while not future.done():
+            if self._heap:
+                next_time = self._heap[0].time
+                if deadline is not None and next_time > deadline:
+                    self._now = deadline
+                    raise TimeoutError(
+                        f"future unresolved after {timeout} virtual seconds"
+                    )
+                if not self.step():
+                    break
+            else:
+                break
+        if not future.done():
+            raise SimulationError(
+                "event queue drained but future never resolved (deadlock?)"
+            )
+        return future.result()
+
+    def gather(self, futures: Iterable[SimFuture], timeout: float | None = None) -> list[Any]:
+        """Run until every future resolves; return their results in order."""
+        futures = list(futures)
+        results: list[Any] = []
+        for future in futures:
+            results.append(self.run_until_complete(future, timeout=timeout))
+        return results

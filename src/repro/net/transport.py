@@ -1,0 +1,433 @@
+"""UDP-like datagrams and TCP-like reliable streams over the simulated net.
+
+The paper's Section 4.2 criticises SOAP's transport: "current HTTP must run
+over TCP, and a TCP stack is large and complex.  This can be an issue in
+small devices".  To let the benchmarks quantify that, connections here have
+real (simulated) costs: a three-way handshake before any data, per-frame
+headers, MTU segmentation, and per-connection state that the monitor can
+count.  Datagrams have none of that, which is why discovery protocols
+(Jini multicast, SSDP, SIP) use them.
+
+Both protocols are *reliable in order* on non-lossy segments because the
+segments themselves deliver serially; no retransmission machinery is
+simulated (middleware never runs TCP over the lossy powerline).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable
+
+from repro.errors import ConnectionClosedError, NetworkError, TransportError
+from repro.net.addressing import BROADCAST, NodeAddress
+from repro.net.frames import Frame
+from repro.net.network import Network
+from repro.net.node import Interface, Node
+from repro.net.segment import Segment
+from repro.net.simkernel import SimFuture
+
+PROTO_UDP = "udp"
+PROTO_TCP = "tcp"
+
+_UDP_HEADER = struct.Struct("!HH")  # src_port, dst_port
+_TCP_HEADER = struct.Struct("!BHHI")  # kind, src_port, dst_port, seq
+
+# TCP-like frame kinds.
+_SYN = 1
+_SYN_ACK = 2
+_ACK = 3
+_DATA = 4
+_FIN = 5
+_FIN_ACK = 6
+_RST = 7
+
+_EPHEMERAL_START = 49152
+
+#: Local-delivery latency when both endpoints live on the same node.
+_LOOPBACK_DELAY = 1e-6
+
+
+class DatagramSocket:
+    """Connectionless socket bound to one port of a node."""
+
+    def __init__(self, stack: "TransportStack", port: int) -> None:
+        self._stack = stack
+        self.port = port
+        self._handler: Callable[[NodeAddress, int, bytes], None] | None = None
+        self._backlog: list[tuple[NodeAddress, int, bytes]] = []
+        self.closed = False
+
+    def on_datagram(self, handler: Callable[[NodeAddress, int, bytes], None]) -> None:
+        """Install the receive handler ``(src_addr, src_port, data)``.
+        Datagrams that arrived before the handler was set are replayed."""
+        self._handler = handler
+        backlog, self._backlog = self._backlog, []
+        for item in backlog:
+            handler(*item)
+
+    def sendto(self, dst: NodeAddress, dst_port: int, data: bytes) -> None:
+        if self.closed:
+            raise ConnectionClosedError("sendto on closed datagram socket")
+        payload = _UDP_HEADER.pack(self.port, dst_port) + data
+        self._stack.send_network(dst, PROTO_UDP, payload)
+
+    def broadcast(self, segment: Segment | str, dst_port: int, data: bytes) -> None:
+        """Broadcast on one directly attached segment."""
+        if self.closed:
+            raise ConnectionClosedError("broadcast on closed datagram socket")
+        payload = _UDP_HEADER.pack(self.port, dst_port) + data
+        self._stack.send_broadcast(segment, PROTO_UDP, payload)
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._stack._release_udp(self.port)
+
+    def _deliver(self, src: NodeAddress, src_port: int, data: bytes) -> None:
+        if self.closed:
+            return
+        if self._handler is None:
+            self._backlog.append((src, src_port, data))
+        else:
+            self._handler(src, src_port, data)
+
+
+class Listener:
+    """A TCP-like listening port."""
+
+    def __init__(
+        self,
+        stack: "TransportStack",
+        port: int,
+        on_connection: Callable[["Connection"], None],
+    ) -> None:
+        self._stack = stack
+        self.port = port
+        self.on_connection = on_connection
+        self.closed = False
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._stack._release_listener(self.port)
+
+
+class Connection:
+    """One reliable byte-stream connection endpoint."""
+
+    # Connection states.
+    SYN_SENT = "SYN_SENT"
+    SYN_RECEIVED = "SYN_RECEIVED"
+    ESTABLISHED = "ESTABLISHED"
+    CLOSING = "CLOSING"
+    CLOSED = "CLOSED"
+
+    def __init__(
+        self,
+        stack: "TransportStack",
+        local_port: int,
+        remote: NodeAddress,
+        remote_port: int,
+    ) -> None:
+        self._stack = stack
+        self.local_port = local_port
+        self.remote = remote
+        self.remote_port = remote_port
+        self.state = Connection.CLOSED
+        self._receiver: Callable[["Connection", bytes], None] | None = None
+        self._rx_backlog: list[bytes] = []
+        self._on_close: Callable[["Connection"], None] | None = None
+        self._next_seq = 0
+        # Accounting read by the stack-weight benchmark (experiment C4).
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    # -- user API -------------------------------------------------------------
+
+    def send(self, data: bytes) -> None:
+        """Send bytes, segmented to the path MTU."""
+        if self.state != Connection.ESTABLISHED:
+            raise ConnectionClosedError(
+                f"send on connection in state {self.state} to {self.remote}"
+            )
+        mtu = self._stack.path_mtu(self.remote)
+        chunk_size = max(1, mtu - _TCP_HEADER.size)
+        for offset in range(0, len(data), chunk_size):
+            chunk = data[offset : offset + chunk_size]
+            self._send_frame(_DATA, chunk)
+        self.bytes_sent += len(data)
+
+    def set_receiver(self, handler: Callable[["Connection", bytes], None]) -> None:
+        """Install the data handler; buffered data is replayed in order."""
+        self._receiver = handler
+        backlog, self._rx_backlog = self._rx_backlog, []
+        for chunk in backlog:
+            handler(self, chunk)
+
+    def on_close(self, handler: Callable[["Connection"], None]) -> None:
+        self._on_close = handler
+
+    def close(self) -> None:
+        """Initiate an orderly shutdown (FIN / FIN-ACK)."""
+        if self.state != Connection.ESTABLISHED:
+            return
+        self.state = Connection.CLOSING
+        self._send_frame(_FIN, b"")
+
+    @property
+    def key(self) -> tuple[NodeAddress, int, int]:
+        return (self.remote, self.remote_port, self.local_port)
+
+    # -- internals ------------------------------------------------------------
+
+    def _send_frame(self, kind: int, body: bytes) -> None:
+        header = _TCP_HEADER.pack(kind, self.local_port, self.remote_port, self._next_seq)
+        self._next_seq += 1
+        self.frames_sent += 1
+        self._stack.send_network(self.remote, PROTO_TCP, header + body)
+
+    def _deliver_data(self, body: bytes) -> None:
+        self.bytes_received += len(body)
+        self.frames_received += 1
+        if self._receiver is None:
+            self._rx_backlog.append(body)
+        else:
+            self._receiver(self, body)
+
+    def _enter_closed(self) -> None:
+        if self.state == Connection.CLOSED:
+            return
+        self.state = Connection.CLOSED
+        self._stack._forget_connection(self)
+        if self._on_close is not None:
+            self._on_close(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Connection :{self.local_port} <-> {self.remote}:{self.remote_port} "
+            f"{self.state}>"
+        )
+
+
+class TransportStack:
+    """Per-node transport layer.  One per node that speaks UDP/TCP."""
+
+    def __init__(self, node: Node, network: Network) -> None:
+        self.node = node
+        self.network = network
+        self.sim = node.sim
+        node.register_protocol(PROTO_UDP, self._on_udp_frame)
+        node.register_protocol(PROTO_TCP, self._on_tcp_frame)
+        self._udp_sockets: dict[int, DatagramSocket] = {}
+        self._listeners: dict[int, Listener] = {}
+        self._connections: dict[tuple[NodeAddress, int, int], Connection] = {}
+        self._pending_connects: dict[tuple[NodeAddress, int, int], SimFuture] = {}
+        self._ephemeral = _EPHEMERAL_START
+
+    # -- socket creation --------------------------------------------------------
+
+    def udp_socket(self, port: int | None = None) -> DatagramSocket:
+        port = self._claim_port(port, self._udp_sockets, "UDP")
+        sock = DatagramSocket(self, port)
+        self._udp_sockets[port] = sock
+        return sock
+
+    def listen(self, port: int, on_connection: Callable[[Connection], None]) -> Listener:
+        port = self._claim_port(port, self._listeners, "TCP listener")
+        listener = Listener(self, port, on_connection)
+        self._listeners[port] = listener
+        return listener
+
+    #: Virtual seconds before an unanswered SYN gives up (like a SYN
+    #: timeout; our lossless segments need no retransmission, so silence
+    #: means the peer is partitioned or down).
+    CONNECT_TIMEOUT = 30.0
+
+    def connect(
+        self,
+        dst: NodeAddress,
+        dst_port: int,
+        local_port: int | None = None,
+        timeout: float | None = None,
+    ) -> SimFuture:
+        """Open a connection; resolves to an ESTABLISHED :class:`Connection`
+        or fails with :class:`TransportError` if the port is refused or the
+        peer stays silent for ``timeout`` (default CONNECT_TIMEOUT)."""
+        local_port = self._claim_port(local_port, self._connections_ports(), "TCP")
+        conn = Connection(self, local_port, dst, dst_port)
+        conn.state = Connection.SYN_SENT
+        self._connections[conn.key] = conn
+        future = SimFuture()
+        self._pending_connects[conn.key] = future
+
+        def give_up() -> None:
+            pending = self._pending_connects.pop(conn.key, None)
+            if pending is None or pending.done():
+                return
+            self._forget_connection(conn)
+            conn.state = Connection.CLOSED
+            pending.set_exception(
+                TransportError(f"connect to {dst}:{dst_port} timed out")
+            )
+
+        timer = self.sim.schedule(
+            timeout if timeout is not None else self.CONNECT_TIMEOUT, give_up
+        )
+        future.add_done_callback(lambda _f: timer.cancel())
+        try:
+            conn._send_frame(_SYN, b"")
+        except NetworkError as exc:
+            self._forget_connection(conn)
+            self._pending_connects.pop(conn.key, None)
+            future.set_exception(TransportError(f"connect failed: {exc}"))
+        return future
+
+    # -- address / routing helpers ------------------------------------------------
+
+    def local_address(self, segment: Segment | str | None = None) -> NodeAddress:
+        """An address of this node; on a multi-homed node pass the segment."""
+        if segment is None:
+            if not self.node.interfaces:
+                raise NetworkError(f"node {self.node.name} has no interfaces")
+            return self.node.interfaces[0].node_address
+        if isinstance(segment, str):
+            segment = self.network.segment(segment)
+        return self.node.interface_on(segment).node_address
+
+    def path_mtu(self, dst: NodeAddress) -> int:
+        segment = self.network.segment(dst.segment)
+        return getattr(segment, "mtu", 1500)
+
+    def send_network(self, dst: NodeAddress, protocol: str, payload: bytes) -> None:
+        """Network-layer send: resolve destination, pick the local interface
+        on the same segment (or loop back if the destination is ourselves)."""
+        dst_iface = self.network.resolve(dst)
+        if dst_iface.node is self.node:
+            # Loopback: never touches a segment.
+            frame = Frame(
+                src=dst_iface.hw_address,
+                dst=dst_iface.hw_address,
+                protocol=protocol,
+                payload=payload,
+                note="loopback",
+            )
+            self.sim.schedule(_LOOPBACK_DELAY, self.node.on_frame, dst_iface, frame)
+            return
+        segment = dst_iface.segment
+        local_iface = self.node.interface_on(segment)
+        local_iface.send(dst_iface.hw_address, protocol, payload)
+
+    def send_broadcast(self, segment: Segment | str, protocol: str, payload: bytes) -> None:
+        if isinstance(segment, str):
+            segment = self.network.segment(segment)
+        local_iface = self.node.interface_on(segment)
+        local_iface.send(BROADCAST, protocol, payload)
+
+    # -- frame handlers ------------------------------------------------------------
+
+    def _on_udp_frame(self, interface: Interface, frame: Frame) -> None:
+        if len(frame.payload) < _UDP_HEADER.size:
+            return
+        src_port, dst_port = _UDP_HEADER.unpack_from(frame.payload)
+        data = frame.payload[_UDP_HEADER.size :]
+        sock = self._udp_sockets.get(dst_port)
+        if sock is None:
+            return  # no listener: datagram silently dropped, like real UDP
+        src_addr = self._source_address(interface, frame)
+        sock._deliver(src_addr, src_port, data)
+
+    def _on_tcp_frame(self, interface: Interface, frame: Frame) -> None:
+        if len(frame.payload) < _TCP_HEADER.size:
+            return
+        kind, src_port, dst_port, _seq = _TCP_HEADER.unpack_from(frame.payload)
+        body = frame.payload[_TCP_HEADER.size :]
+        peer = self._source_address(interface, frame)
+        key = (peer, src_port, dst_port)
+        conn = self._connections.get(key)
+
+        if kind == _SYN:
+            self._handle_syn(peer, src_port, dst_port)
+        elif kind == _SYN_ACK:
+            if conn is not None and conn.state == Connection.SYN_SENT:
+                conn.state = Connection.ESTABLISHED
+                conn._send_frame(_ACK, b"")
+                future = self._pending_connects.pop(key, None)
+                if future is not None:
+                    future.set_result(conn)
+        elif kind == _ACK:
+            if conn is not None and conn.state == Connection.SYN_RECEIVED:
+                conn.state = Connection.ESTABLISHED
+                listener = self._listeners.get(dst_port)
+                if listener is not None and not listener.closed:
+                    listener.on_connection(conn)
+        elif kind == _DATA:
+            if conn is not None and conn.state == Connection.ESTABLISHED:
+                conn._deliver_data(body)
+        elif kind == _FIN:
+            if conn is not None:
+                conn._send_frame(_FIN_ACK, b"")
+                conn._enter_closed()
+        elif kind == _FIN_ACK:
+            if conn is not None:
+                conn._enter_closed()
+        elif kind == _RST:
+            if conn is not None:
+                future = self._pending_connects.pop(key, None)
+                if future is not None:
+                    conn._stack._forget_connection(conn)
+                    conn.state = Connection.CLOSED
+                    future.set_exception(
+                        TransportError(f"connection refused by {peer}:{src_port}")
+                    )
+                else:
+                    conn._enter_closed()
+
+    def _handle_syn(self, peer: NodeAddress, peer_port: int, local_port: int) -> None:
+        listener = self._listeners.get(local_port)
+        if listener is None or listener.closed:
+            # Refuse: reply RST from an unbound throwaway connection shell.
+            shell = Connection(self, local_port, peer, peer_port)
+            shell._send_frame(_RST, b"")
+            return
+        conn = Connection(self, local_port, peer, peer_port)
+        conn.state = Connection.SYN_RECEIVED
+        self._connections[conn.key] = conn
+        conn._send_frame(_SYN_ACK, b"")
+
+    # -- bookkeeping ------------------------------------------------------------
+
+    def _source_address(self, interface: Interface, frame: Frame) -> NodeAddress:
+        if frame.note == "loopback":
+            return interface.node_address
+        return self.network.resolve_hw(frame.src).node_address
+
+    def _claim_port(self, port: int | None, table, what: str) -> int:
+        if port is None:
+            while self._ephemeral in self._udp_sockets or self._ephemeral in self._listeners:
+                self._ephemeral += 1
+            port = self._ephemeral
+            self._ephemeral += 1
+            return port
+        if port in table:
+            raise TransportError(f"{what} port {port} already in use on {self.node.name}")
+        return port
+
+    def _connections_ports(self) -> dict[int, Connection]:
+        return {key[2]: conn for key, conn in self._connections.items()}
+
+    def _release_udp(self, port: int) -> None:
+        self._udp_sockets.pop(port, None)
+
+    def _release_listener(self, port: int) -> None:
+        self._listeners.pop(port, None)
+
+    def _forget_connection(self, conn: Connection) -> None:
+        self._connections.pop(conn.key, None)
+
+    @property
+    def open_connections(self) -> int:
+        """Live TCP-like connection count (per-connection state is the
+        'heavy stack' cost the paper worries about on small devices)."""
+        return len(self._connections)

@@ -1,0 +1,15 @@
+"""Protocol Conversion Managers — one per middleware, as in Figure 3.
+
+The prototype (paper Section 4.1) "has four types of PCM[:] Jini, X10,
+HAVi and Internet Mail service".  :mod:`repro.pcms.upnp_pcm` is the fifth,
+added to demonstrate the paper's "new middleware can be participated ...
+effortlessly" claim (experiment C5): one new module, zero changes anywhere
+else.
+"""
+
+from repro.pcms.havi_pcm import HaviPcm
+from repro.pcms.jini_pcm import JiniPcm
+from repro.pcms.mail_pcm import MailPcm
+from repro.pcms.x10_pcm import X10Pcm
+
+__all__ = ["HaviPcm", "JiniPcm", "MailPcm", "X10Pcm"]

@@ -1,0 +1,216 @@
+"""The HAVi PCM.
+
+- **Client Proxy (export)** — queries the HAVi registry for FCMs, asks each
+  for its ``_describe`` command set, and exports one neutral service per
+  FCM named ``<Device>_<fcmtype>`` (e.g. ``DV_Camera_camera``).  The
+  handler converts neutral calls into HAVi messages.
+- **Server Proxy (import)** — a remote service becomes a *virtual FCM*: a
+  software element on the gateway's HAVi node whose requests forward
+  through the VSG, registered in the HAVi registry with
+  ``fcm_type: 'bridged'``.  Native HAVi controllers drive it with ordinary
+  HAVi messages.
+
+Command-set types map 1:1 onto neutral types (``int`` / ``double`` /
+``string`` / ``boolean`` / ``anyType``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConversionError, HaviError
+from repro.net.simkernel import SimFuture
+from repro.soap.wsdl import WsdlDocument
+from repro.soap.xmlutil import is_xml_name
+from repro.core.interface import (
+    Operation,
+    Parameter,
+    ServiceInterface,
+    ValueType,
+)
+from repro.core.pcm import ProtocolConversionManager
+from repro.core.vsg import VirtualServiceGateway
+from repro.core import values
+from repro.havi.bus1394 import HaviNode
+from repro.havi.dcm import FcmHandle
+from repro.havi.messaging import Seid
+from repro.havi.registry import RegistryClient
+
+_PARAM_TYPES = {
+    "int": ValueType.INT,
+    "double": ValueType.FLOAT,
+    "string": ValueType.STRING,
+    "boolean": ValueType.BOOL,
+    "anyType": ValueType.ANY,
+}
+
+
+def service_name_for(device_name: str, fcm_type: str) -> str:
+    """Neutral service name for one FCM; spaces become underscores."""
+    name = f"{device_name}_{fcm_type}".replace(" ", "_").replace("-", "_")
+    if not is_xml_name(name):
+        raise ConversionError(f"cannot derive a service name from {device_name!r}")
+    return name
+
+
+def interface_from_describe(name: str, description: dict[str, Any]) -> ServiceInterface:
+    """Neutral interface from an FCM ``_describe`` result."""
+    returns_table = description.get("returns", {})
+    operations = []
+    for op_name, param_types in sorted(description.get("commands", {}).items()):
+        params = tuple(
+            Parameter(f"arg{index}", _PARAM_TYPES.get(type_name, ValueType.ANY))
+            for index, type_name in enumerate(param_types)
+        )
+        return_name = returns_table.get(op_name, "anyType")
+        returns = _PARAM_TYPES.get(return_name, ValueType.ANY)
+        operations.append(Operation(op_name, params, returns))
+    return ServiceInterface(name, tuple(operations))
+
+
+class BridgedFcmElement:
+    """A virtual FCM: HAVi messages in, VSG calls out."""
+
+    def __init__(self, pcm: "HaviPcm", service: str, interface: ServiceInterface) -> None:
+        self.pcm = pcm
+        self.service = service
+        self.interface = interface
+        self.seid = pcm.havi_node.messaging.register_element(self._handle)
+        self.calls_forwarded = 0
+
+    def _handle(self, src: Seid, operation: str, args: list[Any]) -> Any:
+        if operation == "_describe":
+            return {
+                "fcm_type": "bridged",
+                "name": self.service,
+                "huid": f"{self.seid.guid:x}:{self.seid.local:x}",
+                "commands": {
+                    op.name: [param.type.xsd_name for param in op.params]
+                    for op in self.interface.operations
+                },
+                "returns": {
+                    op.name: op.returns.xsd_name for op in self.interface.operations
+                },
+            }
+        if not self.interface.has_operation(operation):
+            raise HaviError(f"bridged FCM {self.service!r} has no command {operation!r}")
+        checked = values.check_args(self.interface.operation(operation), args)
+        self.calls_forwarded += 1
+        return self.pcm.vsg.invoke(self.service, operation, checked)
+
+    def attributes(self) -> dict[str, Any]:
+        return {
+            "element_type": "fcm",
+            "fcm_type": "bridged",
+            "device_name": self.service,
+            "device_class": "bridge",
+            "bridged": True,
+            "huid": f"{self.seid.guid:x}:{self.seid.local:x}",
+        }
+
+
+class HaviPcm(ProtocolConversionManager):
+    """PCM bridging one HAVi/IEEE1394 island."""
+
+    middleware_name = "havi"
+
+    def __init__(
+        self,
+        vsg: VirtualServiceGateway,
+        havi_node: HaviNode,
+        registry: RegistryClient,
+    ) -> None:
+        super().__init__(vsg)
+        self.havi_node = havi_node
+        self.registry = registry
+        self._virtual_fcms: dict[str, BridgedFcmElement] = {}
+        self.events_bridged = 0
+        havi_node.messaging.subscribe_events(self._on_havi_event)
+
+    def _on_havi_event(self, src: Seid, event: dict[str, Any]) -> None:
+        """Republish HAVi bus events on the framework bus as
+        ``havi.<event_type>``."""
+        event_type = event.get("event_type")
+        if not isinstance(event_type, str) or not event_type:
+            return
+        self.events_bridged += 1
+        self.vsg.publish_event(
+            f"havi.{event_type}",
+            {
+                "source_huid": str(event.get("source_huid", "")),
+                "device_name": str(event.get("device_name", "")),
+                "payload": event.get("payload"),
+            },
+        )
+
+    # -- Client Proxy: HAVi -> neutral ----------------------------------------------
+
+    def _discover_local_services(self) -> SimFuture:
+        result: SimFuture = SimFuture()
+
+        def on_entries(future: SimFuture) -> None:
+            exc = future.exception()
+            if exc is not None:
+                result.set_exception(exc)
+                return
+            entries = [
+                (seid, attributes)
+                for seid, attributes in future.result()
+                if not attributes.get("bridged")
+            ]
+            if not entries:
+                result.set_result([])
+                return
+            discovered: list[Any] = []
+            pending = {"count": len(entries)}
+
+            def described(seid: Seid, attributes: dict[str, Any], done: SimFuture) -> None:
+                if done.exception() is None:
+                    entry = self._build_export(seid, attributes, done.result())
+                    if entry is not None:
+                        discovered.append(entry)
+                pending["count"] -= 1
+                if pending["count"] == 0 and not result.done():
+                    discovered.sort(key=lambda item: item[0])
+                    result.set_result(discovered)
+
+            for seid, attributes in entries:
+                handle = FcmHandle(self.havi_node.messaging, seid)
+                handle.describe().add_done_callback(
+                    lambda done, s=seid, a=attributes: described(s, a, done)
+                )
+
+        self.registry.query({"element_type": "fcm"}).add_done_callback(on_entries)
+        return result
+
+    def _build_export(self, seid: Seid, attributes: dict[str, Any], description: dict[str, Any]):
+        device_name = str(attributes.get("device_name", "device"))
+        fcm_type = str(description.get("fcm_type", attributes.get("fcm_type", "fcm")))
+        name = service_name_for(device_name, fcm_type)
+        interface = interface_from_describe(name, description)
+        handle = FcmHandle(self.havi_node.messaging, seid)
+
+        def handler(operation: str, args: list[Any]) -> SimFuture:
+            return handle.call(operation, *args)
+
+        context = {
+            "fcm_type": fcm_type,
+            "device_class": str(attributes.get("device_class", "")),
+            "huid": str(description.get("huid", "")),
+        }
+        room = attributes.get("room")
+        if isinstance(room, str) and room:
+            context["room"] = room
+        return (name, interface, handler, context)
+
+    # -- Server Proxy: neutral -> HAVi ----------------------------------------------
+
+    def _materialise(self, document: WsdlDocument, interface: ServiceInterface) -> SimFuture:
+        element = BridgedFcmElement(self, document.service, interface)
+        self._virtual_fcms[document.service] = element
+        return self.registry.register(element.seid, element.attributes())
+
+    def shutdown(self) -> None:
+        for element in self._virtual_fcms.values():
+            self.havi_node.messaging.unregister_element(element.seid)
+        self._virtual_fcms.clear()

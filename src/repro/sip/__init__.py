@@ -1,0 +1,24 @@
+"""SIP-style substrate — the alternative VSG protocol the paper discusses.
+
+Related work (Section 5): "SIP allows abstract naming ... supports
+asynchronous calls and call forwarding which is not supported by HTTP ...
+SIP may be more suitable than other protocols such as HTTP for service
+integration."  This package implements the subset needed to *test* that
+claim: a textual request/response grammar, a UDP transaction layer with
+retransmission, and a user agent offering MESSAGE (request/response) and
+SUBSCRIBE/NOTIFY (asynchronous push) — then
+:mod:`repro.core.gateway_sip` binds it as a gateway protocol so experiment
+C3/A2 can compare SOAP-polling with SIP-push on identical workloads.
+"""
+
+from repro.sip.messages import SipMessage, SipRequest, SipResponse
+from repro.sip.transaction import SipTransactionLayer
+from repro.sip.ua import SipUserAgent
+
+__all__ = [
+    "SipMessage",
+    "SipRequest",
+    "SipResponse",
+    "SipTransactionLayer",
+    "SipUserAgent",
+]

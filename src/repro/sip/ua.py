@@ -1,0 +1,167 @@
+"""SIP user agent: MESSAGE exchanges plus SUBSCRIBE/NOTIFY eventing.
+
+The asymmetry with HTTP is the whole point (paper Sections 4.2 and 5): a
+user agent is *both* client and server on one UDP port, so a remote peer
+can push a NOTIFY at any time — no polling, no connection state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SipError
+from repro.net.addressing import NodeAddress
+from repro.net.simkernel import SimFuture
+from repro.net.transport import TransportStack
+from repro.sip.messages import SipRequest, SipResponse, make_uri, parse_uri
+from repro.sip.transaction import DEFAULT_SIP_PORT, SipTransactionLayer
+
+#: MESSAGE handler: (user part of the URI, request) -> (status, body bytes)
+#: or a SimFuture of that tuple.
+MessageHandler = Callable[[str, SipRequest], Any]
+#: NOTIFY callback: (event name, body bytes, source address).
+NotifyCallback = Callable[[str, bytes, NodeAddress], None]
+
+
+class SipUserAgent:
+    """One node's SIP presence."""
+
+    def __init__(
+        self,
+        stack: TransportStack,
+        port: int = DEFAULT_SIP_PORT,
+        accept_subscriptions: bool = True,
+    ) -> None:
+        self.stack = stack
+        self.sim = stack.sim
+        self.port = port
+        self.transactions = SipTransactionLayer(stack, port)
+        self.transactions.on_request = self._dispatch
+        self.accept_subscriptions = accept_subscriptions
+        self._message_handler: MessageHandler | None = None
+        self._notify_callbacks: dict[str, list[NotifyCallback]] = {}
+        #: event -> {(address, port)} of remote subscribers.
+        self.subscribers: dict[str, set[tuple[NodeAddress, int]]] = {}
+        self.notifies_sent = 0
+        self.notifies_received = 0
+
+    @property
+    def address(self) -> NodeAddress:
+        return self.stack.local_address()
+
+    def uri(self, user: str) -> str:
+        return make_uri(user, self.address, self.port)
+
+    def close(self) -> None:
+        self.transactions.close()
+
+    # -- MESSAGE ------------------------------------------------------------
+
+    def on_message(self, handler: MessageHandler) -> None:
+        self._message_handler = handler
+
+    def send_message(
+        self,
+        target_uri: str,
+        body: bytes,
+        headers: dict[str, str] | None = None,
+    ) -> SimFuture:
+        """Send a MESSAGE to ``sip:user@addr:port``; resolves to the
+        :class:`SipResponse`."""
+        user, address, port = parse_uri(target_uri)
+        request = SipRequest(
+            method="MESSAGE",
+            uri=target_uri,
+            headers={"Content-Type": "text/xml", **(headers or {})},
+            body=body,
+        )
+        return self.transactions.send_request(address, port, request)
+
+    # -- SUBSCRIBE / NOTIFY -----------------------------------------------------
+
+    def subscribe(self, target_uri: str, event: str) -> SimFuture:
+        """Ask the remote UA to NOTIFY us about ``event``."""
+        user, address, port = parse_uri(target_uri)
+        request = SipRequest(
+            method="SUBSCRIBE",
+            uri=target_uri,
+            headers={"Event": event, "Contact": self.uri("ua")},
+        )
+        return self.transactions.send_request(address, port, request)
+
+    def on_event(self, event: str, callback: NotifyCallback) -> None:
+        """Handle inbound NOTIFYs for ``event``."""
+        self._notify_callbacks.setdefault(event, []).append(callback)
+
+    def publish(self, event: str, body: bytes) -> int:
+        """NOTIFY every subscriber of ``event``; returns how many."""
+        targets = self.subscribers.get(event, set())
+        for address, port in targets:
+            self._send_notify(address, port, event, body)
+        return len(targets)
+
+    def _send_notify(self, address: NodeAddress, port: int, event: str, body: bytes) -> None:
+        request = SipRequest(
+            method="NOTIFY",
+            uri=make_uri("ua", address, port),
+            headers={"Event": event, "Content-Type": "application/octet-stream"},
+            body=body,
+        )
+        self.notifies_sent += 1
+        future = self.transactions.send_request(address, port, request)
+        future.add_done_callback(lambda f: f.exception())  # fire and forget
+
+    # -- inbound dispatch ------------------------------------------------------------
+
+    def _dispatch(self, request: SipRequest, src: NodeAddress, src_port: int):
+        if request.method == "MESSAGE":
+            return self._dispatch_message(request)
+        if request.method == "SUBSCRIBE":
+            return self._dispatch_subscribe(request, src)
+        if request.method == "NOTIFY":
+            return self._dispatch_notify(request, src)
+        if request.method == "OPTIONS":
+            return SipResponse(status=200)
+        return SipResponse(status=405)
+
+    def _dispatch_message(self, request: SipRequest):
+        if self._message_handler is None:
+            return SipResponse(status=404, reason="no message handler")
+        user, _, _ = parse_uri(request.uri)
+        outcome = self._message_handler(user, request)
+        if isinstance(outcome, SimFuture):
+            pending: SimFuture = SimFuture()
+
+            def on_done(future: SimFuture) -> None:
+                exc = future.exception()
+                if exc is not None:
+                    pending.set_result(SipResponse(status=500, reason=str(exc)))
+                    return
+                status, body = future.result()
+                pending.set_result(SipResponse(status=status, body=body))
+
+            outcome.add_done_callback(on_done)
+            return pending
+        status, body = outcome
+        return SipResponse(status=status, body=body)
+
+    def _dispatch_subscribe(self, request: SipRequest, src: NodeAddress):
+        if not self.accept_subscriptions:
+            return SipResponse(status=405)
+        event = request.header("Event")
+        if not event:
+            raise SipError("SUBSCRIBE without an Event header")
+        contact = request.header("Contact")
+        if contact:
+            _, address, port = parse_uri(contact)
+        else:
+            address, port = src, DEFAULT_SIP_PORT
+        self.subscribers.setdefault(event, set()).add((address, port))
+        return SipResponse(status=202)
+
+    def _dispatch_notify(self, request: SipRequest, src: NodeAddress):
+        event = request.header("Event")
+        self.notifies_received += 1
+        for callback in self._notify_callbacks.get(event, []):
+            callback(event, request.body, src)
+        return SipResponse(status=200)

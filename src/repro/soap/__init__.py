@@ -1,0 +1,52 @@
+"""SOAP 1.1-style protocol substrate — the prototype's VSG interchange
+protocol (paper Section 4.1).
+
+The paper chose SOAP because it is "simple ... easy for implementation and
+light-weight for network", rides on HTTP, and depends on no vendor.  This
+package reproduces that stack over the simulated network:
+
+- :mod:`repro.soap.xmlutil` — deterministic XML writer + namespace-aware
+  parser helpers (built on the stdlib ``xml.etree``).
+- :mod:`repro.soap.envelope` — SOAP envelopes: typed value encoding
+  (Section-5 style ``xsi:type`` attributes), requests, responses, Faults.
+- :mod:`repro.soap.http` — HTTP/1.0-style request/response transport with
+  one TCP-like connection per exchange (``Connection: close``), which is
+  exactly the behaviour whose cost the paper's Section 4.2 laments.
+- :mod:`repro.soap.client` / :mod:`repro.soap.server` — RPC endpoints.
+- :mod:`repro.soap.wsdl` — WSDL-like service description documents used by
+  the Virtual Service Repository.
+"""
+
+from repro.soap.client import SoapClient
+from repro.soap.envelope import (
+    SoapMessage,
+    build_fault,
+    build_request,
+    build_response,
+    parse_envelope,
+)
+from repro.soap.http import (
+    HttpClient,
+    HttpRequest,
+    HttpResponse,
+    HttpServer,
+)
+from repro.soap.server import SoapServer
+from repro.soap.wsdl import WsdlDocument, WsdlOperation, WsdlPart
+
+__all__ = [
+    "HttpClient",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
+    "SoapClient",
+    "SoapMessage",
+    "SoapServer",
+    "WsdlDocument",
+    "WsdlOperation",
+    "WsdlPart",
+    "build_fault",
+    "build_request",
+    "build_response",
+    "parse_envelope",
+]

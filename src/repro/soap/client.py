@@ -1,0 +1,71 @@
+"""SOAP RPC client."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SoapError, SoapFault
+from repro.net.addressing import NodeAddress
+from repro.net.simkernel import SimFuture
+from repro.net.transport import TransportStack
+from repro.soap import envelope
+from repro.soap.http import HttpClient, HttpResponse
+from repro.soap.server import DEFAULT_SOAP_PORT, SOAP_PATH_PREFIX
+
+
+class SoapClient:
+    """Calls named SOAP services hosted by a :class:`SoapServer`."""
+
+    def __init__(self, stack: TransportStack) -> None:
+        self.stack = stack
+        self.http = HttpClient(stack)
+        self.calls_sent = 0
+
+    def call(
+        self,
+        dst: NodeAddress,
+        service: str,
+        operation: str,
+        args: list[Any],
+        port: int = DEFAULT_SOAP_PORT,
+    ) -> SimFuture:
+        """Invoke ``service.operation(*args)`` at ``dst``.
+
+        The returned future resolves to the decoded return value, or fails
+        with :class:`SoapFault` (remote fault) / transport errors.
+        """
+        self.calls_sent += 1
+        body = envelope.build_request(operation, args)
+        headers = {
+            "Content-Type": "text/xml; charset=utf-8",
+            "SOAPAction": f'"{service}#{operation}"',
+        }
+        response_future = self.http.post(
+            dst, port, SOAP_PATH_PREFIX + service, body, headers=headers
+        )
+        result: SimFuture = SimFuture()
+
+        def on_response(future: SimFuture) -> None:
+            exc = future.exception()
+            if exc is not None:
+                result.set_exception(exc)
+                return
+            response: HttpResponse = future.result()
+            try:
+                message = envelope.parse_envelope(response.body)
+            except SoapError as parse_exc:
+                result.set_exception(parse_exc)
+                return
+            if message.kind == "fault":
+                result.set_exception(
+                    SoapFault(message.faultcode, message.faultstring, message.detail)
+                )
+            elif message.kind == "response":
+                result.set_result(message.value)
+            else:
+                result.set_exception(
+                    SoapError(f"expected response envelope, got {message.kind}")
+                )
+
+        response_future.add_done_callback(on_response)
+        return result

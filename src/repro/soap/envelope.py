@@ -1,0 +1,235 @@
+"""SOAP 1.1-style envelopes with Section-5 typed encoding.
+
+Supported value types (the neutral value model of the framework maps onto
+exactly these): ``int``, ``float``, ``str``, ``bool``, ``bytes`` (base64),
+``None`` (``xsi:nil``), ``list`` (SOAP-ENC Array) and ``dict`` with
+identifier-like string keys (struct).  Everything round-trips:
+``decode(encode(v)) == v``, which the hypothesis tests verify.
+"""
+
+from __future__ import annotations
+
+import base64
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import MarshallingError, SoapError
+from repro.soap import xmlutil
+from repro.soap.xmlutil import (
+    SOAP_ENC_NS,
+    SOAP_ENV_NS,
+    XSD_NS,
+    XSI_NS,
+    XmlWriter,
+    is_xml_name,
+    local_name,
+)
+
+#: Default namespace for application payload elements.
+DEFAULT_SERVICE_NS = "urn:repro-vsg"
+
+_ENVELOPE_ATTRS = {
+    "xmlns:SOAP-ENV": SOAP_ENV_NS,
+    "xmlns:SOAP-ENC": SOAP_ENC_NS,
+    "xmlns:xsi": XSI_NS,
+    "xmlns:xsd": XSD_NS,
+    "SOAP-ENV:encodingStyle": SOAP_ENC_NS,
+}
+
+
+@dataclass
+class SoapMessage:
+    """Parsed envelope content.
+
+    ``kind`` is ``"request"``, ``"response"`` or ``"fault"``.  Requests carry
+    ``operation`` and positional ``args``; responses carry ``value``; faults
+    carry ``faultcode`` / ``faultstring`` / ``detail``.
+    """
+
+    kind: str
+    operation: str = ""
+    args: list[Any] = field(default_factory=list)
+    value: Any = None
+    faultcode: str = ""
+    faultstring: str = ""
+    detail: str = ""
+
+    def raise_if_fault(self) -> "SoapMessage":
+        if self.kind == "fault":
+            from repro.errors import SoapFault
+
+            raise SoapFault(self.faultcode, self.faultstring, self.detail)
+        return self
+
+
+# ---------------------------------------------------------------------------
+# Value encoding
+# ---------------------------------------------------------------------------
+
+
+def encode_value(writer: XmlWriter, tag: str, value: Any) -> None:
+    """Append ``<tag xsi:type=...>`` markup for one value."""
+    if value is None:
+        writer.leaf(tag, {"xsi:nil": "true"})
+    elif isinstance(value, bool):  # before int: bool is an int subclass
+        writer.leaf(tag, {"xsi:type": "xsd:boolean"}, "true" if value else "false")
+    elif isinstance(value, int):
+        writer.leaf(tag, {"xsi:type": "xsd:int"}, str(value))
+    elif isinstance(value, float):
+        writer.leaf(tag, {"xsi:type": "xsd:double"}, repr(value))
+    elif isinstance(value, str):
+        writer.leaf(tag, {"xsi:type": "xsd:string"}, value)
+    elif isinstance(value, (bytes, bytearray)):
+        writer.leaf(
+            tag,
+            {"xsi:type": "SOAP-ENC:base64"},
+            base64.b64encode(bytes(value)).decode("ascii"),
+        )
+    elif isinstance(value, (list, tuple)):
+        writer.open(
+            tag,
+            {
+                "xsi:type": "SOAP-ENC:Array",
+                "SOAP-ENC:arrayType": f"xsd:anyType[{len(value)}]",
+            },
+        )
+        for item in value:
+            encode_value(writer, "item", item)
+        writer.close()
+    elif isinstance(value, dict):
+        writer.open(tag, {"xsi:type": "SOAP-ENC:Struct"})
+        for key, member in value.items():
+            if not isinstance(key, str) or not is_xml_name(key):
+                raise MarshallingError(
+                    f"struct keys must be XML-name-like strings, got {key!r}"
+                )
+            encode_value(writer, key, member)
+        writer.close()
+    else:
+        raise MarshallingError(f"cannot SOAP-encode value of type {type(value).__name__}")
+
+
+def decode_value(element: ET.Element) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if xmlutil.attr(element, XSI_NS, "nil") == "true":
+        return None
+    type_attr = xmlutil.attr(element, XSI_NS, "type") or ""
+    local_type = type_attr.rpartition(":")[2]
+    text = element.text or ""
+    if local_type == "boolean":
+        return text.strip() in ("true", "1")
+    if local_type in ("int", "long", "short", "integer"):
+        try:
+            return int(text.strip())
+        except ValueError as exc:
+            raise MarshallingError(f"bad int literal {text!r}") from exc
+    if local_type in ("double", "float", "decimal"):
+        try:
+            return float(text.strip())
+        except ValueError as exc:
+            raise MarshallingError(f"bad float literal {text!r}") from exc
+    if local_type == "string":
+        return text
+    if local_type == "base64":
+        try:
+            return base64.b64decode(text.strip().encode("ascii"))
+        except Exception as exc:
+            raise MarshallingError(f"bad base64 payload: {exc}") from exc
+    if local_type == "Array":
+        return [decode_value(item) for item in element]
+    if local_type == "Struct":
+        return {local_name(member): decode_value(member) for member in element}
+    raise MarshallingError(f"unknown xsi:type {type_attr!r} on {local_name(element)!r}")
+
+
+# ---------------------------------------------------------------------------
+# Envelope construction
+# ---------------------------------------------------------------------------
+
+
+def _open_envelope(writer: XmlWriter) -> None:
+    writer.open("SOAP-ENV:Envelope", _ENVELOPE_ATTRS)
+    writer.open("SOAP-ENV:Body")
+
+
+def _close_envelope(writer: XmlWriter) -> None:
+    writer.close()  # Body
+    writer.close()  # Envelope
+
+
+def build_request(operation: str, args: list[Any], service_ns: str = DEFAULT_SERVICE_NS) -> bytes:
+    """RPC request: ``<m:operation><arg0/>...</m:operation>``."""
+    if not is_xml_name(operation):
+        raise SoapError(f"operation name {operation!r} is not a valid XML name")
+    writer = XmlWriter()
+    _open_envelope(writer)
+    writer.open(f"m:{operation}", {"xmlns:m": service_ns})
+    for index, value in enumerate(args):
+        encode_value(writer, f"arg{index}", value)
+    writer.close()
+    _close_envelope(writer)
+    return writer.tobytes()
+
+
+def build_response(operation: str, value: Any, service_ns: str = DEFAULT_SERVICE_NS) -> bytes:
+    """RPC response: ``<m:operationResponse><return/></m:operationResponse>``."""
+    if not is_xml_name(operation):
+        raise SoapError(f"operation name {operation!r} is not a valid XML name")
+    writer = XmlWriter()
+    _open_envelope(writer)
+    writer.open(f"m:{operation}Response", {"xmlns:m": service_ns})
+    encode_value(writer, "return", value)
+    writer.close()
+    _close_envelope(writer)
+    return writer.tobytes()
+
+
+def build_fault(faultcode: str, faultstring: str, detail: str = "") -> bytes:
+    """SOAP Fault envelope."""
+    writer = XmlWriter()
+    _open_envelope(writer)
+    writer.open("SOAP-ENV:Fault")
+    writer.leaf("faultcode", text=faultcode)
+    writer.leaf("faultstring", text=faultstring)
+    if detail:
+        writer.leaf("detail", text=detail)
+    writer.close()
+    _close_envelope(writer)
+    return writer.tobytes()
+
+
+# ---------------------------------------------------------------------------
+# Envelope parsing
+# ---------------------------------------------------------------------------
+
+
+def parse_envelope(data: bytes) -> SoapMessage:
+    """Parse any of the three envelope shapes produced above."""
+    root = xmlutil.parse_document(data)
+    if root.tag != xmlutil.qname(SOAP_ENV_NS, "Envelope"):
+        raise SoapError(f"root element is {root.tag!r}, not a SOAP Envelope")
+    body = xmlutil.require_child(root, SOAP_ENV_NS, "Body")
+    entries = list(body)
+    if not entries:
+        raise SoapError("SOAP Body is empty")
+    entry = entries[0]
+
+    if entry.tag == xmlutil.qname(SOAP_ENV_NS, "Fault"):
+        fields = {local_name(child): (child.text or "") for child in entry}
+        return SoapMessage(
+            kind="fault",
+            faultcode=fields.get("faultcode", "SOAP-ENV:Server"),
+            faultstring=fields.get("faultstring", ""),
+            detail=fields.get("detail", ""),
+        )
+
+    name = local_name(entry)
+    if name.endswith("Response"):
+        operation = name[: -len("Response")]
+        value_elements = list(entry)
+        value = decode_value(value_elements[0]) if value_elements else None
+        return SoapMessage(kind="response", operation=operation, value=value)
+
+    args = [decode_value(child) for child in entry]
+    return SoapMessage(kind="request", operation=name, args=args)

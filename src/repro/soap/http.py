@@ -1,0 +1,303 @@
+"""HTTP/1.0-style transport over the simulated TCP.
+
+Faithful to the era the paper describes: one connection per exchange
+(``Connection: close``), textual headers, ``Content-Length`` framing.  The
+deliberate costs — handshake round trips, header bytes, per-connection
+state — are what experiments C3/C4 measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import HttpError, ProtocolError, TransportError
+from repro.net.addressing import NodeAddress
+from repro.net.simkernel import SimFuture
+from repro.net.transport import Connection, TransportStack
+
+_CRLF = b"\r\n"
+_HEADER_END = b"\r\n\r\n"
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+
+def reason_for(status: int) -> str:
+    """Default reason phrase for a status code."""
+    return _REASONS.get(status, "Unknown")
+
+
+@dataclass
+class HttpRequest:
+    """One HTTP request message."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def header(self, name: str, default: str = "") -> str:
+        for key, value in self.headers.items():
+            if key.lower() == name.lower():
+                return value
+        return default
+
+    def to_bytes(self) -> bytes:
+        headers = dict(self.headers)
+        headers.setdefault("Content-Length", str(len(self.body)))
+        headers.setdefault("Connection", "close")
+        lines = [f"{self.method} {self.path} HTTP/1.0".encode("ascii")]
+        lines += [f"{key}: {value}".encode("latin-1") for key, value in headers.items()]
+        return _CRLF.join(lines) + _HEADER_END + self.body
+
+
+@dataclass
+class HttpResponse:
+    """One HTTP response message."""
+
+    status: int
+    reason: str = ""
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not self.reason:
+            self.reason = reason_for(self.status)
+
+    def header(self, name: str, default: str = "") -> str:
+        for key, value in self.headers.items():
+            if key.lower() == name.lower():
+                return value
+        return default
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def to_bytes(self) -> bytes:
+        headers = dict(self.headers)
+        headers.setdefault("Content-Length", str(len(self.body)))
+        headers.setdefault("Connection", "close")
+        lines = [f"HTTP/1.0 {self.status} {self.reason}".encode("ascii")]
+        lines += [f"{key}: {value}".encode("latin-1") for key, value in headers.items()]
+        return _CRLF.join(lines) + _HEADER_END + self.body
+
+
+def _parse_head(raw: bytes) -> tuple[list[str], dict[str, str]]:
+    """Split the header block into (start-line parts, headers)."""
+    text = raw.decode("latin-1")
+    lines = text.split("\r\n")
+    start = lines[0].split(" ", 2)
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line {line!r}")
+        headers[name.strip()] = value.strip()
+    return start, headers
+
+
+class _MessageAssembler:
+    """Accumulates stream bytes until one complete HTTP message arrives."""
+
+    def __init__(self) -> None:
+        self._buffer = b""
+        self._head: tuple[list[str], dict[str, str]] | None = None
+        self._body_needed = 0
+
+    def feed(self, data: bytes) -> tuple[list[str], dict[str, str], bytes] | None:
+        """Returns (start-line parts, headers, body) once complete."""
+        self._buffer += data
+        if self._head is None:
+            end = self._buffer.find(_HEADER_END)
+            if end < 0:
+                return None
+            self._head = _parse_head(self._buffer[:end])
+            self._buffer = self._buffer[end + len(_HEADER_END) :]
+            headers = self._head[1]
+            try:
+                self._body_needed = int(headers.get("Content-Length", "0"))
+            except ValueError as exc:
+                raise ProtocolError("bad Content-Length") from exc
+        if len(self._buffer) < self._body_needed:
+            return None
+        start, headers = self._head
+        body = self._buffer[: self._body_needed]
+        return start, headers, body
+
+
+#: Server handler signature.
+Handler = Callable[[HttpRequest], HttpResponse]
+
+
+class HttpServer:
+    """Routes requests by exact path, with optional prefix routes."""
+
+    def __init__(self, stack: TransportStack, port: int = 80) -> None:
+        self.stack = stack
+        self.port = port
+        self._routes: dict[str, Handler] = {}
+        self._prefix_routes: list[tuple[str, Handler]] = []
+        self._listener = stack.listen(port, self._on_connection)
+        self.requests_served = 0
+
+    def register(self, path: str, handler: Handler) -> None:
+        self._routes[path] = handler
+
+    def register_prefix(self, prefix: str, handler: Handler) -> None:
+        self._prefix_routes.append((prefix, handler))
+
+    def close(self) -> None:
+        self._listener.close()
+
+    # -- internals ------------------------------------------------------------
+
+    def _on_connection(self, conn: Connection) -> None:
+        assembler = _MessageAssembler()
+
+        def on_data(connection: Connection, data: bytes) -> None:
+            try:
+                complete = assembler.feed(data)
+            except ProtocolError:
+                self._finish(connection, HttpResponse(400, body=b"malformed request"))
+                return
+            if complete is None:
+                return
+            start, headers, body = complete
+            if len(start) != 3:
+                self._finish(connection, HttpResponse(400, body=b"bad request line"))
+                return
+            request = HttpRequest(method=start[0], path=start[1], headers=headers, body=body)
+            self._dispatch(connection, request)
+
+        conn.set_receiver(on_data)
+
+    def _dispatch(self, conn: Connection, request: HttpRequest) -> None:
+        handler = self._routes.get(request.path)
+        if handler is None:
+            for prefix, prefix_handler in self._prefix_routes:
+                if request.path.startswith(prefix):
+                    handler = prefix_handler
+                    break
+        if handler is None:
+            self._finish(conn, HttpResponse(404, body=b"no such path"))
+            return
+        try:
+            response = handler(request)
+        except Exception as exc:  # a handler bug must not kill the server
+            response = HttpResponse(500, body=str(exc).encode("utf-8"))
+        self.requests_served += 1
+        if isinstance(response, SimFuture):
+            # Asynchronous handler: hold the connection until it resolves.
+            def on_done(future: SimFuture) -> None:
+                exc = future.exception()
+                if exc is not None:
+                    self._finish(conn, HttpResponse(500, body=str(exc).encode("utf-8")))
+                else:
+                    self._finish(conn, future.result())
+
+            response.add_done_callback(on_done)
+        else:
+            self._finish(conn, response)
+
+    @staticmethod
+    def _finish(conn: Connection, response: HttpResponse) -> None:
+        if conn.state != Connection.ESTABLISHED:
+            return  # client gave up while an async handler was running
+        conn.send(response.to_bytes())
+        conn.close()
+
+
+class HttpClient:
+    """Issues one-shot HTTP exchanges; each opens and closes a connection."""
+
+    def __init__(self, stack: TransportStack) -> None:
+        self.stack = stack
+        self.requests_sent = 0
+
+    def request(
+        self,
+        dst: NodeAddress,
+        port: int,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers: dict[str, str] | None = None,
+    ) -> SimFuture:
+        """Returns a future resolving to :class:`HttpResponse` (any status);
+        transport failures resolve to :class:`TransportError`."""
+        future: SimFuture = SimFuture()
+        request = HttpRequest(method=method, path=path, headers=dict(headers or {}), body=body)
+        self.requests_sent += 1
+
+        def on_connected(conn_future: SimFuture) -> None:
+            exc = conn_future.exception()
+            if exc is not None:
+                future.set_exception(exc)
+                return
+            conn: Connection = conn_future.result()
+            assembler = _MessageAssembler()
+
+            def on_data(connection: Connection, data: bytes) -> None:
+                try:
+                    complete = assembler.feed(data)
+                except ProtocolError as parse_exc:
+                    if not future.done():
+                        future.set_exception(parse_exc)
+                    connection.close()
+                    return
+                if complete is None:
+                    return
+                start, resp_headers, resp_body = complete
+                if len(start) < 2 or not start[1].isdigit():
+                    if not future.done():
+                        future.set_exception(ProtocolError("bad status line"))
+                    connection.close()
+                    return
+                reason = start[2] if len(start) > 2 else ""
+                response = HttpResponse(
+                    status=int(start[1]), reason=reason, headers=resp_headers, body=resp_body
+                )
+                connection.close()
+                if not future.done():
+                    future.set_result(response)
+
+            def on_closed(connection: Connection) -> None:
+                if not future.done():
+                    future.set_exception(TransportError("connection closed mid-response"))
+
+            conn.set_receiver(on_data)
+            conn.on_close(on_closed)
+            conn.send(request.to_bytes())
+
+        self.stack.connect(dst, port).add_done_callback(on_connected)
+        return future
+
+    def get(self, dst: NodeAddress, port: int, path: str) -> SimFuture:
+        return self.request(dst, port, "GET", path)
+
+    def post(
+        self,
+        dst: NodeAddress,
+        port: int,
+        path: str,
+        body: bytes,
+        headers: dict[str, str] | None = None,
+    ) -> SimFuture:
+        return self.request(dst, port, "POST", path, body=body, headers=headers)
+
+
+def expect_ok(response: HttpResponse) -> HttpResponse:
+    """Raise :class:`HttpError` unless the status is 2xx."""
+    if not response.ok:
+        raise HttpError(response.status, response.reason, response.body)
+    return response

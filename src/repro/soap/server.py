@@ -1,0 +1,123 @@
+"""SOAP RPC server endpoint.
+
+Services register a dispatcher; the endpoint URL space is
+``/soap/<service-name>``.  Application exceptions become SOAP Faults with
+``faultcode SOAP-ENV:Server``; malformed envelopes yield
+``SOAP-ENV:Client`` faults, mirroring Apache SOAP's behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import ReproError, SoapError
+from repro.net.simkernel import SimFuture
+from repro.net.transport import TransportStack
+from repro.soap import envelope
+from repro.soap.http import HttpRequest, HttpResponse, HttpServer
+
+#: A service dispatcher: (operation, args) -> return value (may raise).
+Dispatcher = Callable[[str, list[Any]], Any]
+
+SOAP_PATH_PREFIX = "/soap/"
+DEFAULT_SOAP_PORT = 8080
+
+
+class SoapServer:
+    """Hosts any number of named SOAP services on one HTTP port."""
+
+    def __init__(self, stack: TransportStack, port: int = DEFAULT_SOAP_PORT) -> None:
+        self.stack = stack
+        self.port = port
+        self.http = HttpServer(stack, port)
+        self.http.register_prefix(SOAP_PATH_PREFIX, self._handle)
+        self._services: dict[str, Dispatcher] = {}
+        self.calls_handled = 0
+        self.faults_returned = 0
+
+    def register_service(self, name: str, dispatcher: Dispatcher) -> None:
+        if name in self._services:
+            raise SoapError(f"SOAP service {name!r} already registered")
+        self._services[name] = dispatcher
+
+    def unregister_service(self, name: str) -> None:
+        self._services.pop(name, None)
+
+    @property
+    def service_names(self) -> list[str]:
+        return sorted(self._services)
+
+    def path_for(self, service: str) -> str:
+        return SOAP_PATH_PREFIX + service
+
+    def close(self) -> None:
+        self.http.close()
+
+    # -- internals ------------------------------------------------------------
+
+    def _handle(self, request: HttpRequest) -> HttpResponse:
+        if request.method != "POST":
+            return HttpResponse(405, body=b"SOAP endpoints accept POST only")
+        service_name = request.path[len(SOAP_PATH_PREFIX) :]
+        dispatcher = self._services.get(service_name)
+        if dispatcher is None:
+            return self._fault_response(
+                404, "SOAP-ENV:Client", f"no such service {service_name!r}"
+            )
+        try:
+            message = envelope.parse_envelope(request.body)
+        except SoapError as exc:
+            return self._fault_response(400, "SOAP-ENV:Client", str(exc))
+        if message.kind != "request":
+            return self._fault_response(
+                400, "SOAP-ENV:Client", f"expected request envelope, got {message.kind}"
+            )
+        try:
+            result = dispatcher(message.operation, message.args)
+        except ReproError as exc:
+            return self._fault_response(
+                500, "SOAP-ENV:Server", str(exc), detail=type(exc).__name__
+            )
+        except Exception as exc:  # dispatcher bug: still answer with a Fault
+            return self._fault_response(
+                500, "SOAP-ENV:Server", f"internal error: {exc}", detail=type(exc).__name__
+            )
+        if isinstance(result, SimFuture):
+            # Asynchronous dispatcher (e.g. a gateway bridging to another
+            # island): resolve to the HTTP response when the value arrives.
+            pending: SimFuture = SimFuture()
+
+            def on_done(future: SimFuture) -> None:
+                exc = future.exception()
+                if exc is not None:
+                    pending.set_result(
+                        self._fault_response(
+                            500, "SOAP-ENV:Server", str(exc), detail=type(exc).__name__
+                        )
+                    )
+                    return
+                try:
+                    response = self._ok_response(message.operation, future.result())
+                except ReproError as encode_exc:
+                    pending.set_result(
+                        self._fault_response(500, "SOAP-ENV:Server", str(encode_exc))
+                    )
+                    return
+                self.calls_handled += 1
+                pending.set_result(response)
+
+            result.add_done_callback(on_done)
+            return pending
+        self.calls_handled += 1
+        return self._ok_response(message.operation, result)
+
+    def _ok_response(self, operation: str, result) -> HttpResponse:
+        body = envelope.build_response(operation, result)
+        return HttpResponse(200, headers={"Content-Type": "text/xml"}, body=body)
+
+    def _fault_response(
+        self, status: int, faultcode: str, faultstring: str, detail: str = ""
+    ) -> HttpResponse:
+        self.faults_returned += 1
+        body = envelope.build_fault(faultcode, faultstring, detail)
+        return HttpResponse(status, headers={"Content-Type": "text/xml"}, body=body)

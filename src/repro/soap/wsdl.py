@@ -1,0 +1,164 @@
+"""WSDL-like service description documents.
+
+The prototype's Virtual Service Repository "has been implemented by WSDL
+... and UDDI" (paper Section 4.1).  A :class:`WsdlDocument` is the unit the
+repository stores: the service name, its gateway location, its typed
+operations, and free-form context attributes (island, device class, room,
+...) used for context-aware queries.
+
+Types use XSD names: ``int``, ``double``, ``string``, ``boolean``,
+``base64``, ``anyType`` (lists/structs/any) and ``void`` for no return.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+
+from repro.errors import SoapError
+from repro.net.addressing import NodeAddress
+from repro.soap import xmlutil
+from repro.soap.xmlutil import WSDL_NS, XmlWriter, local_name
+
+XSD_TYPES = frozenset(
+    {"int", "double", "string", "boolean", "base64", "anyType", "void"}
+)
+
+
+def make_location(address: NodeAddress, port: int, service: str) -> str:
+    """Render a gateway endpoint locator, e.g. ``soap://backbone/2:8080/soap/TV``."""
+    return f"soap://{address}:{port}/soap/{service}"
+
+
+def parse_location(location: str) -> tuple[NodeAddress, int, str]:
+    """Inverse of :func:`make_location` → (address, port, service name)."""
+    scheme, sep, rest = location.partition("://")
+    if not sep or scheme != "soap":
+        raise SoapError(f"unsupported location {location!r}")
+    hostpart, sep, path = rest.partition("/soap/")
+    if not sep:
+        raise SoapError(f"location {location!r} has no /soap/ path")
+    addr_text, sep, port_text = hostpart.rpartition(":")
+    if not sep or not port_text.isdigit():
+        raise SoapError(f"location {location!r} has no port")
+    try:
+        address = NodeAddress.parse(addr_text)
+    except ValueError as exc:
+        raise SoapError(str(exc)) from exc
+    return address, int(port_text), path
+
+
+@dataclass(frozen=True)
+class WsdlPart:
+    """One message part: a named, typed parameter."""
+
+    name: str
+    type: str  # an XSD type name from :data:`XSD_TYPES`
+
+    def __post_init__(self) -> None:
+        if self.type not in XSD_TYPES:
+            raise SoapError(f"unknown XSD type {self.type!r} for part {self.name!r}")
+
+
+@dataclass(frozen=True)
+class WsdlOperation:
+    """One operation of a port type."""
+
+    name: str
+    inputs: tuple[WsdlPart, ...] = ()
+    output: str = "void"
+    oneway: bool = False
+
+    def __post_init__(self) -> None:
+        if self.output not in XSD_TYPES:
+            raise SoapError(f"unknown return type {self.output!r} on {self.name!r}")
+
+
+@dataclass
+class WsdlDocument:
+    """A complete service description."""
+
+    service: str
+    location: str
+    operations: tuple[WsdlOperation, ...] = ()
+    context: dict[str, str] = field(default_factory=dict)
+
+    def operation(self, name: str) -> WsdlOperation:
+        for op in self.operations:
+            if op.name == name:
+                return op
+        raise SoapError(f"service {self.service!r} has no operation {name!r}")
+
+    def has_operation(self, name: str) -> bool:
+        return any(op.name == name for op in self.operations)
+
+    # -- serialisation ----------------------------------------------------------
+
+    def to_xml(self) -> bytes:
+        writer = XmlWriter()
+        writer.open(
+            "wsdl:definitions",
+            {"xmlns:wsdl": WSDL_NS, "name": self.service},
+        )
+        writer.open("wsdl:service", {"name": self.service})
+        writer.leaf("wsdl:port", {"location": self.location})
+        writer.close()
+        writer.open("wsdl:portType", {"name": f"{self.service}PortType"})
+        for op in self.operations:
+            attrs = {"name": op.name, "output": op.output}
+            if op.oneway:
+                attrs["oneway"] = "true"
+            writer.open("wsdl:operation", attrs)
+            for part in op.inputs:
+                writer.leaf("wsdl:part", {"name": part.name, "type": part.type})
+            writer.close()
+        writer.close()
+        if self.context:
+            writer.open("wsdl:context")
+            for key in sorted(self.context):
+                writer.leaf("wsdl:attribute", {"name": key, "value": self.context[key]})
+            writer.close()
+        writer.close()
+        return writer.tobytes()
+
+    @staticmethod
+    def from_xml(data: bytes) -> "WsdlDocument":
+        root = xmlutil.parse_document(data)
+        if local_name(root) != "definitions":
+            raise SoapError(f"not a WSDL document (root {local_name(root)!r})")
+        service_el = xmlutil.require_child(root, WSDL_NS, "service")
+        name = service_el.get("name") or ""
+        port_el = xmlutil.require_child(service_el, WSDL_NS, "port")
+        location = port_el.get("location") or ""
+        if not name or not location:
+            raise SoapError("WSDL service/port missing name or location")
+
+        operations: list[WsdlOperation] = []
+        port_type = xmlutil.find_child(root, WSDL_NS, "portType")
+        if port_type is not None:
+            for op_el in port_type:
+                parts = tuple(
+                    WsdlPart(part.get("name") or "", part.get("type") or "anyType")
+                    for part in op_el
+                )
+                operations.append(
+                    WsdlOperation(
+                        name=op_el.get("name") or "",
+                        inputs=parts,
+                        output=op_el.get("output") or "void",
+                        oneway=op_el.get("oneway") == "true",
+                    )
+                )
+
+        context: dict[str, str] = {}
+        context_el = xmlutil.find_child(root, WSDL_NS, "context")
+        if context_el is not None:
+            for attr_el in context_el:
+                context[attr_el.get("name") or ""] = attr_el.get("value") or ""
+
+        return WsdlDocument(
+            service=name,
+            location=location,
+            operations=tuple(operations),
+            context=context,
+        )

@@ -1,0 +1,164 @@
+"""Small XML toolkit: a deterministic writer and parsing helpers.
+
+The writer produces the prefixed, namespace-declared markup a 2002-era SOAP
+stack would emit, so envelope byte counts in the payload benchmarks are
+realistic.  Parsing uses the stdlib ``xml.etree.ElementTree`` with explicit
+``{uri}local`` qualified names.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Iterable, Mapping
+
+from repro.errors import SoapError
+
+SOAP_ENV_NS = "http://schemas.xmlsoap.org/soap/envelope/"
+SOAP_ENC_NS = "http://schemas.xmlsoap.org/soap/encoding/"
+XSI_NS = "http://www.w3.org/2001/XMLSchema-instance"
+XSD_NS = "http://www.w3.org/2001/XMLSchema"
+WSDL_NS = "http://schemas.xmlsoap.org/wsdl/"
+
+#: prefix -> namespace URI used by the writer (and expected by tests).
+STANDARD_PREFIXES = {
+    "SOAP-ENV": SOAP_ENV_NS,
+    "SOAP-ENC": SOAP_ENC_NS,
+    "xsi": XSI_NS,
+    "xsd": XSD_NS,
+    "wsdl": WSDL_NS,
+}
+
+
+def escape_text(text: str) -> str:
+    """Escape character data."""
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+    )
+
+
+def escape_attr(text: str) -> str:
+    """Escape an attribute value (double-quoted)."""
+    return escape_text(text).replace('"', "&quot;").replace("\n", "&#10;")
+
+
+_ASCII_LETTERS = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ")
+_ASCII_NAME_CHARS = _ASCII_LETTERS | frozenset("0123456789_-.")
+
+
+def is_xml_name(name: str) -> bool:
+    """Conservative check for names we are willing to use as element names
+    (struct member keys cross this check before marshalling).
+
+    Deliberately ASCII-only: Python's ``str.isalpha`` accepts Unicode
+    letters that XML 1.0 name rules reject, so we stay well inside the
+    intersection.
+    """
+    if not name:
+        return False
+    first = name[0]
+    if first not in _ASCII_LETTERS and first != "_":
+        return False
+    return all(ch in _ASCII_NAME_CHARS for ch in name)
+
+
+class XmlWriter:
+    """Builds an XML document as text, tracking open elements.
+
+    >>> writer = XmlWriter()
+    >>> writer.open("root", {"a": "1"})
+    >>> writer.leaf("child", text="hi")
+    >>> writer.close()
+    >>> writer.tostring()
+    '<?xml version="1.0" encoding="UTF-8"?>\\n<root a="1"><child>hi</child></root>'
+    """
+
+    def __init__(self, declaration: bool = True) -> None:
+        self._parts: list[str] = []
+        if declaration:
+            self._parts.append('<?xml version="1.0" encoding="UTF-8"?>\n')
+        self._stack: list[str] = []
+
+    def open(self, tag: str, attrs: Mapping[str, str] | None = None) -> None:
+        self._parts.append(f"<{tag}{self._render_attrs(attrs)}>")
+        self._stack.append(tag)
+
+    def close(self) -> None:
+        if not self._stack:
+            raise SoapError("XmlWriter.close with no open element")
+        tag = self._stack.pop()
+        self._parts.append(f"</{tag}>")
+
+    def leaf(self, tag: str, attrs: Mapping[str, str] | None = None, text: str | None = None) -> None:
+        """A complete element in one call: ``<tag attrs>text</tag>`` or
+        ``<tag attrs/>`` when ``text`` is None."""
+        rendered = self._render_attrs(attrs)
+        if text is None:
+            self._parts.append(f"<{tag}{rendered}/>")
+        else:
+            self._parts.append(f"<{tag}{rendered}>{escape_text(text)}</{tag}>")
+
+    def raw(self, markup: str) -> None:
+        """Append pre-rendered markup (caller guarantees well-formedness)."""
+        self._parts.append(markup)
+
+    def tostring(self) -> str:
+        if self._stack:
+            raise SoapError(f"unclosed elements: {self._stack}")
+        return "".join(self._parts)
+
+    def tobytes(self) -> bytes:
+        return self.tostring().encode("utf-8")
+
+    @staticmethod
+    def _render_attrs(attrs: Mapping[str, str] | None) -> str:
+        if not attrs:
+            return ""
+        return "".join(f' {key}="{escape_attr(value)}"' for key, value in attrs.items())
+
+
+def qname(ns: str, local: str) -> str:
+    """ElementTree qualified name."""
+    return f"{{{ns}}}{local}"
+
+
+def parse_document(data: bytes | str) -> ET.Element:
+    """Parse a document, converting parse errors into :class:`SoapError`."""
+    try:
+        if isinstance(data, bytes):
+            return ET.fromstring(data)
+        return ET.fromstring(data)
+    except ET.ParseError as exc:
+        raise SoapError(f"malformed XML: {exc}") from exc
+
+
+def local_name(element: ET.Element) -> str:
+    """Tag name with any ``{uri}`` prefix stripped."""
+    tag = element.tag
+    if tag.startswith("{"):
+        return tag.rpartition("}")[2]
+    return tag
+
+
+def attr(element: ET.Element, ns: str, local: str) -> str | None:
+    """Namespaced attribute lookup."""
+    return element.get(qname(ns, local))
+
+
+def children(element: ET.Element) -> Iterable[ET.Element]:
+    """Child elements as a list."""
+    return list(element)
+
+
+def find_child(element: ET.Element, ns: str, local: str) -> ET.Element | None:
+    """First child named ``{ns}local``, or None."""
+    return element.find(qname(ns, local))
+
+
+def require_child(element: ET.Element, ns: str, local: str) -> ET.Element:
+    """Like :func:`find_child` but raises :class:`SoapError` when absent."""
+    child = find_child(element, ns, local)
+    if child is None:
+        raise SoapError(f"missing required element {local!r} in {local_name(element)!r}")
+    return child

@@ -1,0 +1,32 @@
+"""Minimal UPnP substrate.
+
+The paper's related work (Section 5): "We can connect the UPnP service to
+other middleware by developing a PCM for UPnP."  This package provides the
+UPnP subset a PCM needs — and :mod:`repro.pcms.upnp_pcm` is that PCM,
+demonstrating the headline claim that a new middleware joins the framework
+with one module and zero changes elsewhere (experiment C5):
+
+- :mod:`repro.upnp.ssdp` — SSDP discovery: periodic ``NOTIFY ssdp:alive``
+  announcements and ``M-SEARCH`` with unicast responses, over UDP 1900.
+- :mod:`repro.upnp.description` — device/service description documents
+  (friendly name, UDN, action tables), served over HTTP.
+- :mod:`repro.upnp.device` — :class:`UpnpDevice`: hosts descriptions,
+  SOAP-style control endpoints and GENA-style event subscriptions.
+- :mod:`repro.upnp.control` — :class:`UpnpControlPoint`: discovery, device
+  description fetch, action invocation, event subscription with HTTP
+  callbacks (UPnP *can* push over IP — unlike the inter-island SOAP VSG).
+"""
+
+from repro.upnp.control import UpnpControlPoint
+from repro.upnp.description import DeviceDescription, ServiceDescription
+from repro.upnp.device import UpnpDevice
+from repro.upnp.ssdp import SsdpAnnouncer, SsdpListener
+
+__all__ = [
+    "DeviceDescription",
+    "ServiceDescription",
+    "SsdpAnnouncer",
+    "SsdpListener",
+    "UpnpControlPoint",
+    "UpnpDevice",
+]

@@ -1,0 +1,166 @@
+"""UPnP device/service description documents.
+
+One XML document per device, served at its SSDP LOCATION: friendly name,
+UDN, and a service list whose actions are described inline (a flattened
+SCPD — enough for a PCM to generate typed interfaces).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+
+from repro.errors import UpnpError
+from repro.soap.xmlutil import XmlWriter, local_name, parse_document
+
+ARG_TYPES = ("i4", "r8", "string", "boolean", "anyType")
+
+#: UPnP argument type -> neutral XSD name (used by the PCM).
+UPNP_TO_XSD = {
+    "i4": "int",
+    "r8": "double",
+    "string": "string",
+    "boolean": "boolean",
+    "anyType": "anyType",
+}
+XSD_TO_UPNP = {xsd: upnp for upnp, xsd in UPNP_TO_XSD.items()}
+
+
+@dataclass(frozen=True)
+class ActionArgument:
+    """One typed input argument of a UPnP action."""
+
+    name: str
+    type: str  # an entry of ARG_TYPES
+
+    def __post_init__(self) -> None:
+        if self.type not in ARG_TYPES:
+            raise UpnpError(f"unknown UPnP argument type {self.type!r}")
+
+
+@dataclass(frozen=True)
+class Action:
+    """One UPnP action (flattened SCPD entry)."""
+
+    name: str
+    inputs: tuple[ActionArgument, ...] = ()
+    output: str = ""  # '' = no return; else an ARG_TYPES entry
+
+    def __post_init__(self) -> None:
+        if self.output and self.output not in ARG_TYPES:
+            raise UpnpError(f"unknown UPnP return type {self.output!r}")
+
+
+@dataclass
+class ServiceDescription:
+    """One service of a device: ids, endpoint paths, action table."""
+
+    service_id: str  # e.g. 'urn:upnp-org:serviceId:SwitchPower'
+    service_type: str  # e.g. 'urn:schemas-upnp-org:service:SwitchPower:1'
+    control_path: str
+    event_path: str
+    actions: tuple[Action, ...] = ()
+
+    def action(self, name: str) -> Action:
+        for action in self.actions:
+            if action.name == name:
+                return action
+        raise UpnpError(f"service {self.service_id!r} has no action {name!r}")
+
+
+@dataclass
+class DeviceDescription:
+    """A root device's description document."""
+
+    friendly_name: str
+    device_type: str
+    udn: str  # 'uuid:...'
+    services: list[ServiceDescription] = field(default_factory=list)
+
+    def service(self, service_id: str) -> ServiceDescription:
+        for service in self.services:
+            if service.service_id == service_id:
+                return service
+        raise UpnpError(f"device {self.udn!r} has no service {service_id!r}")
+
+    # -- XML ------------------------------------------------------------
+
+    def to_xml(self) -> bytes:
+        writer = XmlWriter()
+        writer.open("root", {"xmlns": "urn:schemas-upnp-org:device-1-0"})
+        writer.open("device")
+        writer.leaf("deviceType", text=self.device_type)
+        writer.leaf("friendlyName", text=self.friendly_name)
+        writer.leaf("UDN", text=self.udn)
+        writer.open("serviceList")
+        for service in self.services:
+            writer.open("service")
+            writer.leaf("serviceId", text=service.service_id)
+            writer.leaf("serviceType", text=service.service_type)
+            writer.leaf("controlURL", text=service.control_path)
+            writer.leaf("eventSubURL", text=service.event_path)
+            writer.open("actionList")
+            for action in service.actions:
+                writer.open("action", {"name": action.name, "output": action.output})
+                for argument in action.inputs:
+                    writer.leaf("argument", {"name": argument.name, "type": argument.type})
+                writer.close()
+            writer.close()
+            writer.close()
+        writer.close()
+        writer.close()
+        writer.close()
+        return writer.tobytes()
+
+    @staticmethod
+    def from_xml(data: bytes) -> "DeviceDescription":
+        root = parse_document(data)
+        device_el = _child(root, "device")
+        services: list[ServiceDescription] = []
+        service_list = _child(device_el, "serviceList", required=False)
+        if service_list is not None:
+            for service_el in service_list:
+                actions = []
+                action_list = _child(service_el, "actionList", required=False)
+                if action_list is not None:
+                    for action_el in action_list:
+                        arguments = tuple(
+                            ActionArgument(arg.get("name") or "", arg.get("type") or "string")
+                            for arg in action_el
+                        )
+                        actions.append(
+                            Action(
+                                name=action_el.get("name") or "",
+                                inputs=arguments,
+                                output=action_el.get("output") or "",
+                            )
+                        )
+                services.append(
+                    ServiceDescription(
+                        service_id=_text(service_el, "serviceId"),
+                        service_type=_text(service_el, "serviceType"),
+                        control_path=_text(service_el, "controlURL"),
+                        event_path=_text(service_el, "eventSubURL"),
+                        actions=tuple(actions),
+                    )
+                )
+        return DeviceDescription(
+            friendly_name=_text(device_el, "friendlyName"),
+            device_type=_text(device_el, "deviceType"),
+            udn=_text(device_el, "UDN"),
+            services=services,
+        )
+
+
+def _child(element: ET.Element, name: str, required: bool = True) -> ET.Element | None:
+    for child in element:
+        if local_name(child) == name:
+            return child
+    if required:
+        raise UpnpError(f"description lacks <{name}>")
+    return None
+
+
+def _text(element: ET.Element, name: str) -> str:
+    child = _child(element, name)
+    return (child.text or "").strip()

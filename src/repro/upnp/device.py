@@ -1,0 +1,193 @@
+"""UPnP devices: description hosting, control endpoints, GENA eventing."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import UpnpError
+from repro.net.network import Network
+from repro.net.segment import Segment
+from repro.net.simkernel import SimFuture
+from repro.net.transport import TransportStack
+from repro.soap import envelope
+from repro.soap.http import HttpClient, HttpRequest, HttpResponse, HttpServer
+from repro.upnp.description import (
+    Action,
+    ActionArgument,
+    DeviceDescription,
+    ServiceDescription,
+)
+from repro.upnp.ssdp import SsdpAnnouncer
+from repro.upnp.urls import make_url, parse_url
+
+DESCRIPTION_PATH = "/description.xml"
+DEFAULT_DEVICE_PORT = 80
+
+#: An action implementation: ``callable(*args) -> value``.
+ActionImpl = Callable[..., Any]
+
+#: Action table entry: (implementation, input (name, type) pairs, output type).
+ActionSpec = tuple[ActionImpl, tuple[tuple[str, str], ...], str]
+
+
+class UpnpDevice:
+    """One UPnP device on an IP segment."""
+
+    def __init__(
+        self,
+        network: Network,
+        name: str,
+        segment: Segment | str,
+        friendly_name: str,
+        device_type: str,
+        port: int = DEFAULT_DEVICE_PORT,
+    ) -> None:
+        if isinstance(segment, str):
+            segment = network.segment(segment)
+        self.network = network
+        self.segment = segment
+        self.node = network.create_node(name)
+        network.attach(self.node, segment)
+        self.stack = TransportStack(self.node, network)
+        self.sim = network.sim
+        self.port = port
+        self.http = HttpServer(self.stack, port)
+        self.http_client = HttpClient(self.stack)
+        self.udn = f"uuid:{name}"
+        self.description = DeviceDescription(
+            friendly_name=friendly_name, device_type=device_type, udn=self.udn
+        )
+        self._implementations: dict[str, dict[str, ActionSpec]] = {}
+        self._subscriptions: dict[str, list[str]] = {}  # short id -> callback URLs
+        self._sid_counter = 0
+        self.http.register(DESCRIPTION_PATH, self._serve_description)
+        self.location = make_url(
+            self.stack.local_address(segment), port, DESCRIPTION_PATH
+        )
+        self.announcer = SsdpAnnouncer(
+            self.stack, segment, location=self.location, usn=self.udn
+        )
+        self.announcer.start()
+        self.actions_served = 0
+        self.notifications_sent = 0
+
+    # -- services ------------------------------------------------------------
+
+    def add_service(self, short_id: str, actions: dict[str, ActionSpec]) -> ServiceDescription:
+        """Add one service; ``actions`` maps action name to
+        (implementation, ((arg_name, upnp_type), ...), output_type_or_'')."""
+        if short_id in self._implementations:
+            raise UpnpError(f"service {short_id!r} already added")
+        control_path = f"/control/{short_id}"
+        event_path = f"/event/{short_id}"
+        described = tuple(
+            Action(
+                name=action_name,
+                inputs=tuple(ActionArgument(n, t) for n, t in arg_spec),
+                output=output,
+            )
+            for action_name, (impl, arg_spec, output) in actions.items()
+        )
+        service = ServiceDescription(
+            service_id=f"urn:repro:serviceId:{short_id}",
+            service_type=f"urn:schemas-repro:service:{short_id}:1",
+            control_path=control_path,
+            event_path=event_path,
+            actions=described,
+        )
+        self.description.services.append(service)
+        self._implementations[short_id] = actions
+        self._subscriptions[short_id] = []
+        self.http.register(control_path, lambda request, sid=short_id: self._control(sid, request))
+        self.http.register(event_path, lambda request, sid=short_id: self._gena(sid, request))
+        return service
+
+    # -- HTTP handlers ------------------------------------------------------------
+
+    def _serve_description(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse(
+            200, headers={"Content-Type": "text/xml"}, body=self.description.to_xml()
+        )
+
+    def _control(self, short_id: str, request: HttpRequest) -> HttpResponse:
+        if request.method != "POST":
+            return HttpResponse(405)
+        try:
+            message = envelope.parse_envelope(request.body)
+        except Exception as exc:
+            return HttpResponse(400, body=envelope.build_fault("SOAP-ENV:Client", str(exc)))
+        table = self._implementations[short_id]
+        spec = table.get(message.operation)
+        if spec is None:
+            return HttpResponse(
+                404,
+                body=envelope.build_fault(
+                    "SOAP-ENV:Client", f"no action {message.operation!r}"
+                ),
+            )
+        impl, _args, _output = spec
+        try:
+            value = impl(*message.args)
+        except Exception as exc:
+            return HttpResponse(
+                500, body=envelope.build_fault("SOAP-ENV:Server", str(exc))
+            )
+        if isinstance(value, SimFuture):
+            # Bridged actions (the VSG bridge device) resolve asynchronously.
+            pending: SimFuture = SimFuture()
+
+            def on_done(future: SimFuture) -> None:
+                exc = future.exception()
+                if exc is not None:
+                    pending.set_result(
+                        HttpResponse(500, body=envelope.build_fault("SOAP-ENV:Server", str(exc)))
+                    )
+                    return
+                self.actions_served += 1
+                pending.set_result(self._ok(message.operation, future.result()))
+
+            value.add_done_callback(on_done)
+            return pending
+        self.actions_served += 1
+        return self._ok(message.operation, value)
+
+    @staticmethod
+    def _ok(operation: str, value: Any) -> HttpResponse:
+        return HttpResponse(
+            200,
+            headers={"Content-Type": "text/xml"},
+            body=envelope.build_response(operation, value),
+        )
+
+    def _gena(self, short_id: str, request: HttpRequest) -> HttpResponse:
+        if request.method != "SUBSCRIBE":
+            return HttpResponse(405)
+        callback = request.header("Callback").strip("<>")
+        if not callback:
+            return HttpResponse(400, body=b"SUBSCRIBE without Callback")
+        self._sid_counter += 1
+        self._subscriptions[short_id].append(callback)
+        return HttpResponse(
+            200, headers={"SID": f"uuid:sub-{self._sid_counter}", "Timeout": "Second-1800"}
+        )
+
+    # -- eventing ------------------------------------------------------------
+
+    def notify(self, short_id: str, variable: str, value: Any) -> int:
+        """GENA NOTIFY all subscribers of ``short_id``; returns how many."""
+        callbacks = self._subscriptions.get(short_id, [])
+        body = envelope.build_request("propertyset", [{variable: value}])
+        for callback in callbacks:
+            address, port, path = parse_url(callback)
+            self.notifications_sent += 1
+            future = self.http_client.request(
+                address, port, "NOTIFY", path, body=body,
+                headers={"NT": "upnp:event", "Content-Type": "text/xml"},
+            )
+            future.add_done_callback(lambda f: f.exception())  # fire and forget
+        return len(callbacks)
+
+    def close(self) -> None:
+        self.announcer.stop()
+        self.announcer.close()
+        self.http.close()

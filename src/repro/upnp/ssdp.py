@@ -1,0 +1,183 @@
+"""SSDP discovery (Simple Service Discovery Protocol subset).
+
+Textual HTTP-over-UDP messages on port 1900: devices multicast
+``NOTIFY * HTTP/1.1`` alive/byebye announcements carrying their
+description LOCATION; control points multicast ``M-SEARCH`` and devices
+answer with unicast ``HTTP/1.1 200 OK`` responses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.net.addressing import NodeAddress
+from repro.net.segment import Segment
+from repro.net.simkernel import Event
+from repro.net.transport import TransportStack
+
+SSDP_PORT = 1900
+DEFAULT_ANNOUNCE_INTERVAL = 30.0
+_CRLF = "\r\n"
+
+
+def _render(start: str, headers: dict[str, str]) -> bytes:
+    lines = [start] + [f"{key}: {value}" for key, value in headers.items()]
+    return (_CRLF.join(lines) + _CRLF + _CRLF).encode("latin-1")
+
+
+def _parse(data: bytes) -> tuple[str, dict[str, str]] | None:
+    try:
+        text = data.decode("latin-1")
+    except UnicodeDecodeError:
+        return None
+    lines = text.split(_CRLF)
+    if not lines or not lines[0]:
+        return None
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().upper()] = value.strip()
+    return lines[0], headers
+
+
+class SsdpAnnouncer:
+    """Device side: alive/byebye announcements + M-SEARCH responses."""
+
+    def __init__(
+        self,
+        stack: TransportStack,
+        segment: Segment | str,
+        location: str,
+        usn: str,
+        notification_type: str = "upnp:rootdevice",
+        interval: float = DEFAULT_ANNOUNCE_INTERVAL,
+    ) -> None:
+        self.stack = stack
+        self.segment = segment
+        self.location = location
+        self.usn = usn
+        self.notification_type = notification_type
+        self.interval = interval
+        self._socket = stack.udp_socket(SSDP_PORT)
+        self._socket.on_datagram(self._on_datagram)
+        self._timer: Event | None = None
+        self._running = False
+        self.announcements_sent = 0
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._announce()
+
+    def stop(self, send_byebye: bool = True) -> None:
+        if not self._running:
+            return
+        self._running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if send_byebye:
+            self._socket.broadcast(
+                self.segment,
+                SSDP_PORT,
+                _render(
+                    "NOTIFY * HTTP/1.1",
+                    {"NT": self.notification_type, "NTS": "ssdp:byebye", "USN": self.usn},
+                ),
+            )
+
+    def close(self) -> None:
+        self.stop(send_byebye=False)
+        self._socket.close()
+
+    def _announce(self) -> None:
+        if not self._running:
+            return
+        self.announcements_sent += 1
+        self._socket.broadcast(
+            self.segment,
+            SSDP_PORT,
+            _render(
+                "NOTIFY * HTTP/1.1",
+                {
+                    "NT": self.notification_type,
+                    "NTS": "ssdp:alive",
+                    "USN": self.usn,
+                    "LOCATION": self.location,
+                    "CACHE-CONTROL": f"max-age={int(self.interval * 2)}",
+                },
+            ),
+        )
+        self._timer = self.stack.sim.schedule(self.interval, self._announce)
+
+    def _on_datagram(self, src: NodeAddress, src_port: int, data: bytes) -> None:
+        parsed = _parse(data)
+        if parsed is None:
+            return
+        start, headers = parsed
+        if not start.startswith("M-SEARCH"):
+            return
+        target = headers.get("ST", "ssdp:all")
+        if target not in ("ssdp:all", self.notification_type):
+            return
+        self._socket.sendto(
+            src,
+            src_port,
+            _render(
+                "HTTP/1.1 200 OK",
+                {"ST": self.notification_type, "USN": self.usn, "LOCATION": self.location},
+            ),
+        )
+
+
+class SsdpListener:
+    """Control-point side: hears announcements, issues searches."""
+
+    def __init__(
+        self,
+        stack: TransportStack,
+        on_alive: Callable[[str, str], None] | None = None,
+        on_byebye: Callable[[str], None] | None = None,
+    ) -> None:
+        """``on_alive(usn, location)``; ``on_byebye(usn)``."""
+        self.stack = stack
+        self.known: dict[str, str] = {}  # usn -> location
+        self._on_alive = on_alive
+        self._on_byebye = on_byebye
+        self._socket = stack.udp_socket(SSDP_PORT)
+        self._socket.on_datagram(self._on_datagram)
+
+    def search(self, segment: Segment | str, target: str = "ssdp:all") -> None:
+        self._socket.broadcast(
+            segment,
+            SSDP_PORT,
+            _render("M-SEARCH * HTTP/1.1", {"MAN": '"ssdp:discover"', "ST": target, "MX": "1"}),
+        )
+
+    def close(self) -> None:
+        self._socket.close()
+
+    def _on_datagram(self, src: NodeAddress, src_port: int, data: bytes) -> None:
+        parsed = _parse(data)
+        if parsed is None:
+            return
+        start, headers = parsed
+        usn = headers.get("USN", "")
+        if not usn:
+            return
+        if start.startswith("NOTIFY") and headers.get("NTS") == "ssdp:byebye":
+            self.known.pop(usn, None)
+            if self._on_byebye is not None:
+                self._on_byebye(usn)
+            return
+        location = headers.get("LOCATION", "")
+        if not location:
+            return
+        is_new = usn not in self.known
+        self.known[usn] = location
+        if is_new and self._on_alive is not None:
+            self._on_alive(usn, location)

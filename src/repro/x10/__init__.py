@@ -1,0 +1,60 @@
+"""Simulated X10 substrate.
+
+X10 is the fourth middleware of the paper's prototype (Figure 3) and the
+heart of its Universal Remote Controller application (Figure 5).  It is a
+1970s powerline-carrier protocol: devices listen on the mains for 4-bit
+house and unit codes; a PC drives the powerline through a CM11A controller
+attached over RS-232.  This package reproduces that stack:
+
+- :mod:`repro.x10.codes` — the real X10 house/unit nibble encoding tables
+  and function codes (from the CM11A programming protocol document the
+  paper cites as [15]).
+- :mod:`repro.x10.powerline` — transceivers exchanging 2-byte X10 frames
+  on a :class:`repro.net.segment.PowerlineSegment` at powerline speed
+  (~0.3 s per frame — the slowest medium in the whole simulation).
+- :mod:`repro.x10.cm11a` — the CM11A serial protocol: header/code bytes,
+  checksum handshakes, 0x55 ready signals, and the 0x5A poll sequence for
+  received events, byte-for-byte in the style of the real device.
+- :mod:`repro.x10.controller` — :class:`X10Controller`, the high-level PC
+  API (turn_on / turn_off / dim / events).
+- :mod:`repro.x10.devices` — lamp and appliance modules, motion sensors
+  and the remote handset.
+"""
+
+from repro.x10.cm11a import Cm11aDriver, Cm11aInterface
+from repro.x10.codes import (
+    FUNCTION_NAMES,
+    X10Address,
+    X10Function,
+    decode_address_byte,
+    decode_function_byte,
+    encode_address_byte,
+    encode_function_byte,
+)
+from repro.x10.controller import X10Controller
+from repro.x10.devices import (
+    ApplianceModule,
+    LampModule,
+    MotionSensor,
+    RemoteHandset,
+)
+from repro.x10.powerline import PowerlineTransceiver, X10Signal
+
+__all__ = [
+    "ApplianceModule",
+    "Cm11aDriver",
+    "Cm11aInterface",
+    "FUNCTION_NAMES",
+    "LampModule",
+    "MotionSensor",
+    "PowerlineTransceiver",
+    "RemoteHandset",
+    "X10Address",
+    "X10Controller",
+    "X10Function",
+    "X10Signal",
+    "decode_address_byte",
+    "decode_function_byte",
+    "encode_address_byte",
+    "encode_function_byte",
+]

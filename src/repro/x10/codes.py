@@ -1,0 +1,108 @@
+"""X10 code tables, as specified in the CM11A programming protocol.
+
+X10's house codes A–P and unit codes 1–16 do not map to binary in order;
+both use the same non-monotonic nibble table reproduced below.  Getting
+this right matters because the CM11A benchmark asserts byte-exact frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.errors import X10Error
+
+#: House code letter -> 4-bit code (CM11A spec table).
+HOUSE_CODES = {
+    "A": 0b0110, "B": 0b1110, "C": 0b0010, "D": 0b1010,
+    "E": 0b0001, "F": 0b1001, "G": 0b0101, "H": 0b1101,
+    "I": 0b0111, "J": 0b1111, "K": 0b0011, "L": 0b1011,
+    "M": 0b0000, "N": 0b1000, "O": 0b0100, "P": 0b1100,
+}
+
+#: Unit number (1-16) -> 4-bit code (same table shifted to numbers).
+UNIT_CODES = {
+    1: 0b0110, 2: 0b1110, 3: 0b0010, 4: 0b1010,
+    5: 0b0001, 6: 0b1001, 7: 0b0101, 8: 0b1101,
+    9: 0b0111, 10: 0b1111, 11: 0b0011, 12: 0b1011,
+    13: 0b0000, 14: 0b1000, 15: 0b0100, 16: 0b1100,
+}
+
+_HOUSE_FROM_CODE = {code: letter for letter, code in HOUSE_CODES.items()}
+_UNIT_FROM_CODE = {code: unit for unit, code in UNIT_CODES.items()}
+
+
+class X10Function(IntEnum):
+    """4-bit X10 function codes."""
+
+    ALL_UNITS_OFF = 0b0000
+    ALL_LIGHTS_ON = 0b0001
+    ON = 0b0010
+    OFF = 0b0011
+    DIM = 0b0100
+    BRIGHT = 0b0101
+    ALL_LIGHTS_OFF = 0b0110
+    EXTENDED_CODE = 0b0111
+    HAIL_REQUEST = 0b1000
+    HAIL_ACK = 0b1001
+    PRESET_DIM_1 = 0b1010
+    PRESET_DIM_2 = 0b1011
+    EXTENDED_DATA = 0b1100
+    STATUS_ON = 0b1101
+    STATUS_OFF = 0b1110
+    STATUS_REQUEST = 0b1111
+
+
+FUNCTION_NAMES = {function: function.name for function in X10Function}
+
+
+@dataclass(frozen=True, order=True)
+class X10Address:
+    """A house/unit pair like ``A1`` or ``P16``."""
+
+    house: str
+    unit: int
+
+    def __post_init__(self) -> None:
+        if self.house not in HOUSE_CODES:
+            raise X10Error(f"house code must be A-P, got {self.house!r}")
+        if self.unit not in UNIT_CODES:
+            raise X10Error(f"unit code must be 1-16, got {self.unit!r}")
+
+    def __str__(self) -> str:
+        return f"{self.house}{self.unit}"
+
+    @staticmethod
+    def parse(text: str) -> "X10Address":
+        """Parse ``'A1'``-style addresses."""
+        if len(text) < 2:
+            raise X10Error(f"malformed X10 address {text!r}")
+        house, unit_text = text[0].upper(), text[1:]
+        if not unit_text.isdigit():
+            raise X10Error(f"malformed X10 address {text!r}")
+        return X10Address(house, int(unit_text))
+
+
+def encode_address_byte(address: X10Address) -> int:
+    """House nibble in the high bits, unit nibble in the low bits."""
+    return (HOUSE_CODES[address.house] << 4) | UNIT_CODES[address.unit]
+
+
+def decode_address_byte(byte: int) -> X10Address:
+    """Inverse of :func:`encode_address_byte`."""
+    house_code = (byte >> 4) & 0x0F
+    unit_code = byte & 0x0F
+    return X10Address(_HOUSE_FROM_CODE[house_code], _UNIT_FROM_CODE[unit_code])
+
+
+def encode_function_byte(house: str, function: X10Function) -> int:
+    """House nibble in the high bits, function code in the low bits."""
+    if house not in HOUSE_CODES:
+        raise X10Error(f"house code must be A-P, got {house!r}")
+    return (HOUSE_CODES[house] << 4) | int(function)
+
+
+def decode_function_byte(byte: int) -> tuple[str, X10Function]:
+    """Inverse of :func:`encode_function_byte` -> (house, function)."""
+    house_code = (byte >> 4) & 0x0F
+    return _HOUSE_FROM_CODE[house_code], X10Function(byte & 0x0F)

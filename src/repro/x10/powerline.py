@@ -1,0 +1,126 @@
+"""Powerline transceivers.
+
+An X10 transmission on the wire is modelled as one 2-byte frame:
+``[code byte, flags byte]``.  The code byte carries house+unit (address
+frames) or house+function (function frames); the flags byte marks which it
+is and carries the dim repeat count for DIM/BRIGHT.  At powerline bandwidth
+this frame costs ~0.33 virtual seconds — so an address+function pair lands
+around 0.7 s, matching real X10's order of magnitude and dominating every
+cross-middleware latency that ends at an X10 device (experiment F4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import X10Error
+from repro.net.frames import Frame
+from repro.net.network import Network
+from repro.net.node import Interface, Node
+from repro.net.segment import PowerlineSegment, Segment
+from repro.x10.codes import (
+    X10Address,
+    X10Function,
+    decode_address_byte,
+    decode_function_byte,
+    encode_address_byte,
+    encode_function_byte,
+)
+
+PROTO_X10 = "x10"
+
+_FLAG_FUNCTION = 0x01
+
+
+@dataclass(frozen=True)
+class X10Signal:
+    """One decoded powerline transmission."""
+
+    is_function: bool
+    address: X10Address | None = None
+    house: str = ""
+    function: X10Function | None = None
+    dims: int = 0
+
+    @staticmethod
+    def for_address(address: X10Address) -> "X10Signal":
+        return X10Signal(is_function=False, address=address, house=address.house)
+
+    @staticmethod
+    def for_function(house: str, function: X10Function, dims: int = 0) -> "X10Signal":
+        return X10Signal(is_function=True, house=house, function=function, dims=dims)
+
+    def encode(self) -> bytes:
+        if self.is_function:
+            if self.function is None:
+                raise X10Error("function signal without a function code")
+            flags = _FLAG_FUNCTION | ((self.dims & 0x1F) << 1)
+            return bytes([encode_function_byte(self.house, self.function), flags])
+        if self.address is None:
+            raise X10Error("address signal without an address")
+        return bytes([encode_address_byte(self.address), 0])
+
+    @staticmethod
+    def decode(payload: bytes) -> "X10Signal":
+        if len(payload) != 2:
+            raise X10Error(f"X10 frame must be 2 bytes, got {len(payload)}")
+        code, flags = payload[0], payload[1]
+        if flags & _FLAG_FUNCTION:
+            house, function = decode_function_byte(code)
+            return X10Signal.for_function(house, function, dims=(flags >> 1) & 0x1F)
+        return X10Signal.for_address(decode_address_byte(code))
+
+    def __str__(self) -> str:
+        if self.is_function:
+            suffix = f" dims={self.dims}" if self.dims else ""
+            return f"{self.house}:{self.function.name}{suffix}"
+        return f"addr {self.address}"
+
+
+class PowerlineTransceiver:
+    """Attachment of one node to the powerline, speaking X10 frames."""
+
+    def __init__(
+        self,
+        network: Network,
+        node: Node,
+        powerline: PowerlineSegment | Segment | str,
+    ) -> None:
+        if isinstance(powerline, str):
+            powerline = network.segment(powerline)
+        self.network = network
+        self.node = node
+        self.interface: Interface = network.attach(node, powerline)
+        self._listeners: list[Callable[[X10Signal], None]] = []
+        node.register_protocol(PROTO_X10, self._on_frame)
+        self.signals_sent = 0
+        self.signals_received = 0
+
+    def on_signal(self, listener: Callable[[X10Signal], None]) -> None:
+        self._listeners.append(listener)
+
+    def transmit(self, signal: X10Signal) -> float:
+        """Send one signal; returns virtual completion time of the frame."""
+        self.signals_sent += 1
+        return self.interface.broadcast(PROTO_X10, signal.encode(), note=str(signal))
+
+    def transmit_address(self, address: X10Address) -> float:
+        return self.transmit(X10Signal.for_address(address))
+
+    def transmit_function(self, house: str, function: X10Function, dims: int = 0) -> float:
+        return self.transmit(X10Signal.for_function(house, function, dims))
+
+    def transmit_command(self, address: X10Address, function: X10Function, dims: int = 0) -> float:
+        """The standard two-frame sequence: address then function."""
+        self.transmit_address(address)
+        return self.transmit_function(address.house, function, dims)
+
+    def _on_frame(self, interface: Interface, frame: Frame) -> None:
+        try:
+            signal = X10Signal.decode(frame.payload)
+        except X10Error:
+            return  # powerline noise
+        self.signals_received += 1
+        for listener in list(self._listeners):
+            listener(signal)

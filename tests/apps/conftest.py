@@ -1,0 +1,10 @@
+import pytest
+
+from repro.apps.home import build_smart_home
+
+
+@pytest.fixture
+def home():
+    built = build_smart_home()
+    built.connect()
+    return built

@@ -1,0 +1,109 @@
+"""Direct unit tests for the simulated Jini appliances."""
+
+import pytest
+
+from repro.errors import JiniError
+from repro.devices.appliances import AirConditioner, Refrigerator
+from repro.devices.av import Laserdisc, NetworkVcr
+
+
+class TestLaserdisc:
+    def test_chapter_navigation(self):
+        disc = Laserdisc()
+        assert disc.next_chapter() == 2
+        assert disc.previous_chapter() == 1
+        assert disc.goto_chapter(12) == 12
+
+    def test_chapter_bounds_raise(self):
+        disc = Laserdisc()
+        with pytest.raises(JiniError):
+            disc.goto_chapter(0)
+        with pytest.raises(JiniError):
+            disc.goto_chapter(Laserdisc.CHAPTERS + 1)
+
+    def test_previous_at_start_raises(self):
+        disc = Laserdisc()
+        with pytest.raises(JiniError):
+            disc.previous_chapter()
+
+    def test_command_log_records_everything(self):
+        disc = Laserdisc()
+        disc.play()
+        disc.goto_chapter(3)
+        disc.stop()
+        assert disc.command_log == ["play", "goto_chapter 3", "stop"]
+
+    def test_ops_table_matches_methods(self):
+        for op in Laserdisc.JINI_OPS:
+            assert callable(getattr(Laserdisc, op))
+
+
+class TestNetworkVcr:
+    def test_record_lifecycle(self):
+        vcr = NetworkVcr()
+        vcr.set_channel(5)
+        assert vcr.start_record("News") is True
+        assert vcr.get_state() == "RECORD"
+        assert vcr.stop_record() is True
+        assert vcr.list_recordings() == [{"title": "News", "channel": 5}]
+
+    def test_cannot_double_record(self):
+        vcr = NetworkVcr()
+        vcr.start_record("A")
+        with pytest.raises(JiniError, match="already recording"):
+            vcr.start_record("B")
+
+    def test_cannot_tune_while_recording(self):
+        vcr = NetworkVcr()
+        vcr.start_record("A")
+        with pytest.raises(JiniError, match="while recording"):
+            vcr.set_channel(9)
+
+    def test_stop_without_recording_is_false(self):
+        assert NetworkVcr().stop_record() is False
+
+    def test_channel_bounds(self):
+        vcr = NetworkVcr()
+        with pytest.raises(JiniError):
+            vcr.set_channel(0)
+        with pytest.raises(JiniError):
+            vcr.set_channel(1000)
+
+
+class TestRefrigerator:
+    def test_temperature_bounds(self):
+        fridge = Refrigerator()
+        assert fridge.set_temperature(2.0) == 2.0
+        with pytest.raises(JiniError):
+            fridge.set_temperature(-20.0)
+        with pytest.raises(JiniError):
+            fridge.set_temperature(15.0)
+
+    def test_contents_management(self):
+        fridge = Refrigerator()
+        fridge.add_item("cheese")
+        assert "cheese" in fridge.list_contents()
+        assert fridge.remove_item("cheese") is True
+        assert fridge.remove_item("cheese") is False
+
+    def test_contents_copy_not_aliased(self):
+        fridge = Refrigerator()
+        snapshot = fridge.list_contents()
+        snapshot.append("ghost")
+        assert "ghost" not in fridge.list_contents()
+
+
+class TestAirConditioner:
+    def test_power_and_target(self):
+        aircon = AirConditioner()
+        aircon.power_on()
+        assert aircon.powered
+        assert aircon.set_target(25.0) == 25.0
+        with pytest.raises(JiniError):
+            aircon.set_target(5.0)
+
+    def test_modes(self):
+        aircon = AirConditioner()
+        assert aircon.set_mode("heat") == "heat"
+        with pytest.raises(JiniError):
+            aircon.set_mode("turbo")

@@ -1,0 +1,85 @@
+"""Tests for context-aware scenes and VSR context queries."""
+
+import pytest
+
+from repro.apps.scenes import SceneController
+
+
+class TestContextQueries:
+    def test_find_services_by_room(self, home):
+        living = {d.service for d in home.find_services(room="living")}
+        assert living == {
+            "Laserdisc", "Vcr", "AirConditioner",
+            "Digital_TV_display", "Digital_TV_tuner", "X10_A3_fan",
+        }
+        hall = {d.service for d in home.find_services(room="hall")}
+        assert hall == {"DV_Camera_camera", "DV_Camera_vcr", "X10_A1_hall_lamp"}
+
+    def test_find_services_by_middleware(self, home):
+        x10 = {d.service for d in home.find_services(middleware="x10")}
+        assert x10 == {
+            "X10_A1_hall_lamp", "X10_A2_porch_lamp", "X10_A3_fan", "X10_house_A",
+        }
+
+    def test_room_context_crosses_middleware(self, home):
+        """One room's devices span three middleware — the point of putting
+        context in the VSR rather than in any single middleware."""
+        living = home.find_services(room="living")
+        middlewares = {d.context["middleware"] for d in living}
+        assert middlewares == {"jini", "havi", "x10"}
+
+    def test_compound_context_query(self, home):
+        results = home.find_services(room="living", middleware="havi")
+        assert {d.service for d in results} == {
+            "Digital_TV_display", "Digital_TV_tuner",
+        }
+
+
+class TestScenes:
+    def set_everything_on(self, home):
+        home.invoke_from("jini", "Digital_TV_display", "power_on")
+        home.invoke_from("jini", "Laserdisc", "play")
+        home.invoke_from("jini", "X10_A3_fan", "turn_on")
+        home.invoke_from("jini", "X10_A1_hall_lamp", "turn_on")
+
+    def test_room_off_spans_middleware(self, home):
+        self.set_everything_on(home)
+        scenes = SceneController(home)
+        commanded = scenes.room_off("living")
+        assert commanded >= 3
+        assert not home.tv_display.powered       # HAVi
+        assert not home.laserdisc.playing        # Jini
+        assert not home.fan.on                   # X10
+        assert home.lamps["hall"].on             # different room: untouched
+
+    def test_all_off(self, home):
+        self.set_everything_on(home)
+        scenes = SceneController(home)
+        scenes.all_off()
+        assert not home.tv_display.powered
+        assert not home.laserdisc.playing
+        assert not home.fan.on
+        assert not home.lamps["hall"].on
+
+    def test_middleware_off(self, home):
+        self.set_everything_on(home)
+        scenes = SceneController(home)
+        scenes.middleware_off("x10")
+        assert not home.fan.on and not home.lamps["hall"].on
+        assert home.tv_display.powered  # other middleware untouched
+
+    def test_scene_is_best_effort_on_device_failure(self, home):
+        """A dead island must not abort the rest of the scene."""
+        self.set_everything_on(home)
+        home.islands["havi"].gateway.shutdown()
+        scenes = SceneController(home, from_island="jini")
+        scenes.room_off("living")
+        assert not home.laserdisc.playing
+        assert not home.fan.on
+        assert home.tv_display.powered  # unreachable, skipped gracefully
+
+    def test_actions_log_names_island_per_device(self, home):
+        scenes = SceneController(home)
+        scenes.room_off("hall")
+        islands = {island for _s, _o, island in scenes.actions_log}
+        assert "havi" in islands and "x10" in islands

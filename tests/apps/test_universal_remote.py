@@ -1,0 +1,81 @@
+"""Tests for the Universal Remote Controller (Figure 5)."""
+
+import pytest
+
+from repro.errors import FrameworkError
+from repro.apps.home import build_smart_home
+from repro.apps.universal_remote import UniversalRemote
+from repro.x10.codes import X10Function
+
+
+@pytest.fixture
+def remote(home):
+    remote = UniversalRemote(home)
+    remote.bind_default_layout()
+    return remote
+
+
+class TestFigure5:
+    def test_x10_remote_controls_jini_laserdisc(self, home, remote):
+        """The paper's photo caption, as an executable assertion."""
+        remote.press("A4")
+        assert home.laserdisc.playing
+        remote.press("A4", X10Function.OFF)
+        assert not home.laserdisc.playing
+
+    def test_x10_remote_controls_havi_dv_camera(self, home, remote):
+        remote.press("A5")
+        assert home.camera.capturing
+        remote.press("A5", X10Function.OFF)
+        assert not home.camera.capturing
+
+    def test_x10_remote_controls_havi_tv(self, home, remote):
+        remote.press("A6")
+        assert home.tv_display.powered
+
+    def test_x10_remote_sends_mail(self, home, remote):
+        remote.press("A7", settle=15.0)
+        box = home.mail_server.store.mailbox("user@home.sim")
+        assert len(box) == 1
+        assert box.messages[0].subject == "doorbell"
+
+    def test_plain_x10_devices_still_work(self, home, remote):
+        """The remote controls 'not only X10 devices but also Jini and
+        HAVi services' — the X10 half must be unaffected."""
+        remote.press("A1")
+        assert home.lamps["hall"].on
+
+    def test_invocation_counts_accumulate(self, home, remote):
+        remote.press("A4")
+        remote.press("A4")
+        counts = remote.invocation_counts()
+        assert counts["Laserdisc.play"] == 2
+
+    def test_custom_binding(self, home, remote):
+        remote.bind("A8", "Digital_TV_tuner", "set_channel", [9])
+        remote.press("A8")
+        assert home.tv_tuner.channel == 9
+
+    def test_default_layout_skips_missing_services(self):
+        built = build_smart_home(with_mail=False)
+        built.connect()
+        remote = UniversalRemote(built)
+        bound = remote.bind_default_layout()
+        assert bound == len(UniversalRemote.DEFAULT_LAYOUT) - 1  # mail binding skipped
+
+    def test_requires_x10_island(self):
+        built = build_smart_home(with_x10=False)
+        built.connect()
+        with pytest.raises(FrameworkError):
+            UniversalRemote(built)
+
+    def test_end_to_end_latency_is_powerline_dominated(self, home, remote):
+        """Pressing a button costs around a second of virtual time: two
+        powerline frames plus the CM11A poll dwarf the SOAP/RMI legs."""
+        from repro.x10.codes import X10Address
+
+        home.handset.press_on(X10Address("A", 4))
+        home.run(0.3)  # first powerline frame still on the wire
+        assert not home.laserdisc.playing
+        home.run(5.0)
+        assert home.laserdisc.playing

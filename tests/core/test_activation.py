@@ -1,0 +1,126 @@
+"""Tests for dynamic service activation (the future-work extension)."""
+
+import pytest
+
+from repro.core.activation import ACTIVE, DORMANT, ActivatableService
+from repro.core.interface import simple_interface
+from repro.net.simkernel import Simulator
+
+
+class Player:
+    instances = 0
+
+    def __init__(self):
+        Player.instances += 1
+        self.plays = 0
+        self.shut_down = False
+
+    def play(self):
+        self.plays += 1
+        return self.plays
+
+    def boom(self):
+        raise RuntimeError("device fault")
+
+    def shutdown(self):
+        self.shut_down = True
+
+
+@pytest.fixture(autouse=True)
+def reset_counter():
+    Player.instances = 0
+
+
+class TestActivation:
+    def test_first_call_pays_activation_delay(self):
+        sim = Simulator()
+        service = ActivatableService(sim, Player, activation_delay=2.0)
+        assert service.state == DORMANT
+        future = service("play", [])
+        t0 = sim.now
+        assert sim.run_until_complete(future) == 1
+        assert sim.now - t0 >= 2.0
+        assert service.state == ACTIVE
+        assert Player.instances == 1
+
+    def test_subsequent_calls_are_immediate(self):
+        sim = Simulator()
+        service = ActivatableService(sim, Player, activation_delay=2.0)
+        sim.run_until_complete(service("play", []))
+        t0 = sim.now
+        assert sim.run_until_complete(service("play", [])) == 2
+        assert sim.now == t0  # no new activation
+        assert service.activations == 1
+
+    def test_calls_during_activation_queue_in_order(self):
+        sim = Simulator()
+        service = ActivatableService(sim, Player, activation_delay=1.0)
+        futures = [service("play", []) for _ in range(3)]
+        results = [sim.run_until_complete(f) for f in futures]
+        assert results == [1, 2, 3]
+        assert Player.instances == 1  # one activation serves all three
+
+    def test_idle_timeout_deactivates_and_reactivates(self):
+        sim = Simulator()
+        service = ActivatableService(sim, Player, activation_delay=0.5, idle_timeout=10.0)
+        sim.run_until_complete(service("play", []))
+        first_instance = service.instance
+        sim.run_for(11.0)
+        assert service.state == DORMANT
+        assert first_instance.shut_down  # orderly shutdown hook ran
+        assert service.deactivations == 1
+        # Next call re-activates with a fresh instance.
+        assert sim.run_until_complete(service("play", [])) == 1
+        assert Player.instances == 2
+
+    def test_activity_postpones_idle_timeout(self):
+        sim = Simulator()
+        service = ActivatableService(sim, Player, activation_delay=0.1, idle_timeout=10.0)
+        sim.run_until_complete(service("play", []))
+        for _ in range(4):
+            sim.run_for(8.0)
+            sim.run_until_complete(service("play", []))
+        assert service.state == ACTIVE
+        assert service.deactivations == 0
+
+    def test_implementation_errors_propagate(self):
+        sim = Simulator()
+        service = ActivatableService(sim, Player, activation_delay=0.1)
+        with pytest.raises(RuntimeError, match="device fault"):
+            sim.run_until_complete(service("boom", []))
+
+
+class TestThroughTheFramework:
+    def test_activatable_service_across_islands(self, sim, net):
+        """An island exports a dormant service; the first cross-island call
+        wakes it — dynamic activation end to end."""
+        from repro.core.framework import MetaMiddleware
+        from repro.net.segment import EthernetSegment
+        from tests.core.toys import ToyPcm
+
+        backbone = net.create_segment(EthernetSegment, "backbone")
+        mm = MetaMiddleware(net, backbone)
+        island_a = mm.add_island("a", None, lambda i: ToyPcm(i.gateway, {}))
+        island_b = mm.add_island("b", None, lambda i: ToyPcm(i.gateway, {}))
+        sim.run_until_complete(mm.connect())
+
+        interface = simple_interface("SleepyPlayer", {"play": ("->int",)})
+        service = ActivatableService(sim, Player, activation_delay=3.0)
+        sim.run_until_complete(
+            island_a.gateway.export_service("SleepyPlayer", interface, service)
+        )
+        sim.run_until_complete(mm.refresh())
+
+        assert service.state == DORMANT
+        t0 = sim.now
+        assert sim.run_until_complete(
+            island_b.gateway.invoke("SleepyPlayer", "play", [])
+        ) == 1
+        first_latency = sim.now - t0
+        assert first_latency >= 3.0  # paid the activation
+
+        t0 = sim.now
+        assert sim.run_until_complete(
+            island_b.gateway.invoke("SleepyPlayer", "play", [])
+        ) == 2
+        assert sim.now - t0 < 1.0  # warm path

@@ -1,0 +1,114 @@
+"""Direct unit tests for EventRouter bookkeeping and gateway control ops,
+plus the Jini remote-event wire forms that carry lookup transitions."""
+
+import pytest
+
+from repro.core.framework import MetaMiddleware
+from repro.jini.events import EventRegistration, RemoteEvent
+from repro.jini.lease import Lease
+from repro.net.segment import EthernetSegment
+
+from tests.core.toys import ToyPcm
+
+
+class TestJiniEventWireForms:
+    def test_remote_event_roundtrip(self):
+        event = RemoteEvent("lookup", 3, 17, {"transition": 1})
+        restored = RemoteEvent.from_wire(event.to_wire())
+        assert (restored.source, restored.event_id, restored.sequence) == ("lookup", 3, 17)
+        assert restored.payload == {"transition": 1}
+
+    def test_remote_event_defaults_on_partial_wire(self):
+        event = RemoteEvent.from_wire({})
+        assert event.source == "" and event.event_id == 0 and event.payload is None
+
+    def test_event_registration_roundtrip(self):
+        registration = EventRegistration(5, Lease(9, 120.0))
+        restored = EventRegistration.from_wire(registration.to_wire())
+        assert restored.event_id == 5
+        assert restored.lease.lease_id == 9
+        assert restored.lease.expiration == 120.0
+
+
+@pytest.fixture
+def gateway_pair(sim, net):
+    backbone = net.create_segment(EthernetSegment, "backbone")
+    mm = MetaMiddleware(net, backbone)
+    island_a = mm.add_island("a", None, lambda i: ToyPcm(i.gateway, {}))
+    island_b = mm.add_island("b", None, lambda i: ToyPcm(i.gateway, {}))
+    sim.run_until_complete(mm.connect())
+    return sim, island_a.gateway, island_b.gateway
+
+
+class TestEventRouterUnits:
+    def test_handle_subscribe_records_topics_per_island(self, gateway_pair):
+        sim, gw_a, gw_b = gateway_pair
+        router = gw_a.events
+        assert router.handle_subscribe("b", "t1", "soap://backbone/3:8080/soap/_gateway")
+        router.handle_subscribe("b", "t2", "")
+        router.publish("t1", 1)
+        router.publish("t2", 2)
+        router.publish("t3", 3)  # nobody subscribed
+        queued = router.handle_fetch("b")
+        assert [e["topic"] for e in queued] == ["t1", "t2"]
+
+    def test_fetch_drains_the_queue(self, gateway_pair):
+        sim, gw_a, gw_b = gateway_pair
+        router = gw_a.events
+        router.handle_subscribe("b", "t", "")
+        router.publish("t", "x")
+        assert len(router.handle_fetch("b")) == 1
+        assert router.handle_fetch("b") == []
+
+    def test_handle_push_delivers_locally(self, gateway_pair):
+        sim, gw_a, gw_b = gateway_pair
+        received = []
+        gw_a.events._local_subs.setdefault("t", []).append(
+            lambda topic, payload, island: received.append((payload, island))
+        )
+        gw_a.events.handle_push(
+            {"topic": "t", "payload": 5, "island": "elsewhere", "published_at": 0.0}
+        )
+        assert received == [(5, "elsewhere")]
+
+    def test_sequence_numbers_monotonic(self, gateway_pair):
+        sim, gw_a, gw_b = gateway_pair
+        router = gw_a.events
+        router.handle_subscribe("b", "t", "")
+        for value in range(5):
+            router.publish("t", value)
+        sequences = [e["sequence"] for e in router.handle_fetch("b")]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == 5
+
+    def test_delivery_log_cap(self, gateway_pair):
+        sim, gw_a, gw_b = gateway_pair
+        router = gw_a.events
+        router.delivery_log_limit = 3
+        router._local_subs.setdefault("t", []).append(lambda *a: None)
+        for value in range(10):
+            router.publish("t", value)
+        assert len(router.delivery_log) == 3
+
+
+class TestGatewayControlOps:
+    def test_ping_identifies_the_island(self, gateway_pair):
+        sim, gw_a, gw_b = gateway_pair
+        from repro.soap.wsdl import parse_location
+
+        address, port, service = parse_location(gw_a.protocol.control_location())
+        answer = sim.run_until_complete(
+            gw_b.protocol.client.call(address, service, "ping", [], port=port)
+        )
+        assert answer == "a"
+
+    def test_unknown_control_operation_faults(self, gateway_pair):
+        sim, gw_a, gw_b = gateway_pair
+        from repro.errors import SoapFault
+        from repro.soap.wsdl import parse_location
+
+        address, port, service = parse_location(gw_a.protocol.control_location())
+        with pytest.raises(SoapFault):
+            sim.run_until_complete(
+                gw_b.protocol.client.call(address, service, "reboot", [], port=port)
+            )

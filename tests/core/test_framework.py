@@ -1,0 +1,219 @@
+"""Tests for the VSG, the SOAP gateway binding, and MetaMiddleware."""
+
+import pytest
+
+from repro.errors import (
+    ConversionError,
+    FrameworkError,
+    GatewayError,
+    RemoteServiceError,
+    ServiceNotFoundError,
+)
+from repro.core.framework import MetaMiddleware
+from repro.core.interface import simple_interface
+from repro.net.segment import EthernetSegment
+
+from tests.core.toys import Lamp, Thermometer, ToyPcm
+
+LAMP_IFACE = simple_interface(
+    "Lamp", {"set_level": ("int", "->int"), "get_level": ("->int",), "fail": ()}
+)
+THERMO_IFACE = simple_interface("Thermo", {"read": ("->double",)})
+
+
+@pytest.fixture
+def framework(sim, net):
+    backbone = net.create_segment(EthernetSegment, "backbone")
+    return MetaMiddleware(net, backbone)
+
+
+def add_toy_island(mm, name, services):
+    return mm.add_island(name, None, lambda island: ToyPcm(island.gateway, services))
+
+
+@pytest.fixture
+def two_islands(sim, framework):
+    lamp = Lamp()
+    island_a = add_toy_island(framework, "a", {"Lamp": (LAMP_IFACE, lamp)})
+    island_b = add_toy_island(framework, "b", {"Thermo": (THERMO_IFACE, Thermometer())})
+    sim.run_until_complete(framework.connect())
+    return framework, island_a, island_b, lamp
+
+
+class TestIntegration:
+    def test_catalog_lists_both_islands(self, sim, two_islands):
+        framework, island_a, island_b, lamp = two_islands
+        catalog = sim.run_until_complete(framework.catalog())
+        assert {(d.service, d.context["island"]) for d in catalog} == {
+            ("Lamp", "a"),
+            ("Thermo", "b"),
+        }
+
+    def test_cross_island_call_round_trip(self, sim, two_islands):
+        framework, island_a, island_b, lamp = two_islands
+        value = sim.run_until_complete(island_b.gateway.invoke("Lamp", "set_level", [9]))
+        assert value == 9
+        assert lamp.level == 9
+
+    def test_imported_facade_is_typed_proxy(self, sim, two_islands):
+        framework, island_a, island_b, lamp = two_islands
+        facade = island_b.pcm.facades["Lamp"]
+        assert sim.run_until_complete(facade.get_level()) == 0
+        with pytest.raises(ConversionError):
+            facade.set_level("high")
+
+    def test_local_calls_short_circuit(self, sim, two_islands):
+        framework, island_a, island_b, lamp = two_islands
+        before = island_a.gateway.calls_out
+        sim.run_until_complete(island_a.gateway.invoke("Lamp", "get_level", []))
+        assert island_a.gateway.calls_out == before  # never left the island
+        assert island_a.gateway.calls_local >= 1
+
+    def test_remote_fault_carries_original_error(self, sim, two_islands):
+        framework, island_a, island_b, lamp = two_islands
+        with pytest.raises(RemoteServiceError, match="lamp hardware fault"):
+            sim.run_until_complete(island_b.gateway.invoke("Lamp", "fail", []))
+
+    def test_unknown_service_fails_cleanly(self, sim, two_islands):
+        framework, island_a, island_b, lamp = two_islands
+        with pytest.raises(Exception):
+            sim.run_until_complete(island_b.gateway.invoke("Toaster", "pop", []))
+
+    def test_wrong_arity_rejected_at_gateway(self, sim, two_islands):
+        framework, island_a, island_b, lamp = two_islands
+        with pytest.raises(RemoteServiceError):
+            sim.run_until_complete(island_b.gateway.invoke("Lamp", "set_level", []))
+
+    def test_own_island_import_refused(self, sim, two_islands):
+        framework, island_a, island_b, lamp = two_islands
+        document = LAMP_IFACE.to_wsdl("soap://backbone/1:8080/soap/Lamp", {"island": "a"})
+        with pytest.raises(ConversionError, match="own island"):
+            island_a.pcm.import_service(document)
+
+    def test_duplicate_island_name_rejected(self, framework):
+        add_toy_island(framework, "x", {})
+        with pytest.raises(FrameworkError):
+            add_toy_island(framework, "x", {})
+
+    def test_duplicate_export_rejected(self, sim, two_islands):
+        framework, island_a, island_b, lamp = two_islands
+        with pytest.raises(GatewayError, match="already exports"):
+            island_a.gateway.export_service("Lamp", LAMP_IFACE, lambda op, args: None)
+
+
+class TestLateJoin:
+    def test_new_island_joins_with_refresh(self, sim, two_islands):
+        """The paper's 'effortlessly': one add_island + refresh, everything
+        reachable both ways with zero changes to existing islands."""
+        framework, island_a, island_b, lamp = two_islands
+        late_lamp = Lamp()
+        island_c = add_toy_island(framework, "c", {"Lamp2": (LAMP_IFACE, late_lamp)})
+        sim.run_until_complete(framework.refresh())
+        # New island reaches old services...
+        assert sim.run_until_complete(island_c.gateway.invoke("Thermo", "read", [])) == 21.5
+        # ...and old islands reach the new service.
+        assert sim.run_until_complete(island_a.gateway.invoke("Lamp2", "set_level", [3])) == 3
+        assert late_lamp.level == 3
+
+    def test_refresh_does_not_duplicate_imports(self, sim, two_islands):
+        framework, island_a, island_b, lamp = two_islands
+        sim.run_until_complete(framework.refresh())
+        sim.run_until_complete(framework.refresh())
+        assert list(island_b.pcm.facades) == ["Lamp"]
+
+
+class TestEvents:
+    def test_cross_island_event_via_polling(self, sim, two_islands):
+        framework, island_a, island_b, lamp = two_islands
+        received = []
+        sim.run_until_complete(
+            island_b.gateway.subscribe("alerts", lambda t, p, src: received.append((p, src)))
+        )
+        island_a.gateway.publish_event("alerts", {"level": "red"})
+        sim.run_for(5.0)
+        assert received == [({"level": "red"}, "a")]
+
+    def test_local_subscribers_get_events_immediately(self, sim, two_islands):
+        framework, island_a, island_b, lamp = two_islands
+        received = []
+        sim.run_until_complete(
+            island_a.gateway.subscribe("alerts", lambda t, p, src: received.append(p))
+        )
+        island_a.gateway.publish_event("alerts", 1)
+        sim.run_for(0.1)
+        assert received == [1]
+
+    def test_unsubscribed_topics_not_delivered(self, sim, two_islands):
+        framework, island_a, island_b, lamp = two_islands
+        received = []
+        sim.run_until_complete(
+            island_b.gateway.subscribe("alerts", lambda t, p, src: received.append(p))
+        )
+        island_a.gateway.publish_event("other-topic", 1)
+        sim.run_for(5.0)
+        assert received == []
+
+    def test_polling_latency_bounded_below_by_interval(self, sim, net):
+        """The C3 negative result in miniature: with a 10 s poll interval a
+        cross-island event cannot arrive faster than the next poll."""
+        backbone = net.create_segment(EthernetSegment, "bb")
+        mm = MetaMiddleware(net, backbone)
+        island_a = mm.add_island("a", None, lambda i: ToyPcm(i.gateway, {}), poll_interval=10.0)
+        island_b = mm.add_island("b", None, lambda i: ToyPcm(i.gateway, {}), poll_interval=10.0)
+        sim.run_until_complete(mm.connect())
+        arrivals = []
+        sim.run_until_complete(
+            island_b.gateway.subscribe("t", lambda t, p, src: arrivals.append(sim.now))
+        )
+        published_at = sim.now
+        island_a.gateway.publish_event("t", "x")
+        sim.run_for(30.0)
+        assert len(arrivals) == 1
+        assert arrivals[0] - published_at >= 1.0  # far above network RTT
+
+    def test_event_sequence_preserved(self, sim, two_islands):
+        framework, island_a, island_b, lamp = two_islands
+        received = []
+        sim.run_until_complete(
+            island_b.gateway.subscribe("seq", lambda t, p, src: received.append(p))
+        )
+        for index in range(5):
+            island_a.gateway.publish_event("seq", index)
+        sim.run_for(10.0)
+        assert received == [0, 1, 2, 3, 4]
+
+
+class TestResilience:
+    def test_stale_location_retried_after_cache_invalidation(self, sim, two_islands):
+        framework, island_a, island_b, lamp = two_islands
+        # Prime island b's cache with Lamp's current location.
+        sim.run_until_complete(island_b.gateway.invoke("Lamp", "get_level", []))
+        # Move Lamp: simulate island a's gateway restarting on a new port.
+        island_a.gateway.protocol.stop()
+        from repro.core.gateway_soap import SoapGatewayProtocol
+
+        new_protocol = SoapGatewayProtocol(island_a.stack, port=9090)
+        island_a.gateway.protocol = new_protocol
+        new_protocol.start(island_a.gateway)
+        interface, handler = island_a.gateway._local["Lamp"]
+        document = interface.to_wsdl(
+            new_protocol.location("Lamp"), {"island": "a", "protocol": "soap"}
+        )
+        sim.run_until_complete(island_a.gateway.vsr.publish(document))
+        # The cached (stale) location fails; the gateway must refetch and retry.
+        value = sim.run_until_complete(island_b.gateway.invoke("Lamp", "get_level", []))
+        assert value == lamp.level
+
+    def test_dead_island_produces_transport_error(self, sim, two_islands):
+        framework, island_a, island_b, lamp = two_islands
+        island_a.gateway.protocol.stop()
+        with pytest.raises(Exception):
+            sim.run_until_complete(
+                island_b.gateway.invoke("Lamp", "get_level", []), timeout=120.0
+            )
+
+    def test_withdrawn_service_disappears_from_catalog(self, sim, two_islands):
+        framework, island_a, island_b, lamp = two_islands
+        sim.run_until_complete(island_a.gateway.withdraw_service("Lamp"))
+        catalog = sim.run_until_complete(framework.catalog())
+        assert {d.service for d in catalog} == {"Thermo"}

@@ -1,0 +1,93 @@
+"""Property-based fuzzing of the gateway's neutral call path.
+
+Whatever a caller throws at ``invoke`` — unknown services, unknown
+operations, wrong arities, hostile argument values — the outcome must be a
+resolved future (value or typed error), never a hung simulation or an
+escaped exception inside the event loop.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.framework import MetaMiddleware
+from repro.core.interface import simple_interface
+from repro.net.network import Network
+from repro.net.segment import EthernetSegment
+from repro.net.simkernel import Simulator
+
+from tests.core.toys import ToyPcm
+
+
+class Target:
+    def echo(self, value):
+        return value
+
+    def add(self, a, b):
+        return a + b
+
+
+def build_pair():
+    sim = Simulator()
+    net = Network(sim)
+    backbone = net.create_segment(EthernetSegment, "backbone")
+    mm = MetaMiddleware(net, backbone)
+    interface = simple_interface(
+        "Target", {"echo": ("anyType", "->anyType"), "add": ("int", "int", "->int")}
+    )
+    island_a = mm.add_island("a", None, lambda i: ToyPcm(i.gateway, {"Target": (interface, Target())}))
+    island_b = mm.add_island("b", None, lambda i: ToyPcm(i.gateway, {}))
+    sim.run_until_complete(mm.connect())
+    return sim, island_b.gateway
+
+
+_names = st.text(max_size=20)
+_args = st.lists(
+    st.one_of(
+        st.none(), st.booleans(), st.integers(), st.floats(allow_nan=False),
+        st.text(max_size=20), st.binary(max_size=20),
+        st.lists(st.integers(), max_size=3),
+        st.dictionaries(st.text(alphabet="abc", min_size=1, max_size=3), st.integers(), max_size=3),
+    ),
+    max_size=4,
+)
+
+
+class TestGatewayFuzz:
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(service=_names, operation=_names, args=_args)
+    def test_arbitrary_invocations_always_resolve(self, service, operation, args):
+        sim, gateway = build_pair()
+        future = gateway.invoke(service, operation, args)
+        try:
+            sim.run_until_complete(future, timeout=600.0)
+        except Exception:
+            pass  # a typed error is a fine outcome; hanging is not
+        assert future.done()
+
+    @settings(max_examples=30, deadline=None)
+    @given(args=_args)
+    def test_valid_service_wrong_shapes_fault_cleanly(self, args):
+        sim, gateway = build_pair()
+        future = gateway.invoke("Target", "add", args)
+        if len(args) == 2 and all(isinstance(a, int) and not isinstance(a, bool) for a in args):
+            assert sim.run_until_complete(future) == args[0] + args[1]
+        else:
+            with pytest.raises(Exception):
+                sim.run_until_complete(future, timeout=600.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        value=st.recursive(
+            st.one_of(st.none(), st.booleans(), st.integers(min_value=-(2**53), max_value=2**53),
+                      st.text(alphabet="abcXYZ ", max_size=15)),
+            lambda c: st.one_of(
+                st.lists(c, max_size=3),
+                st.dictionaries(st.text(alphabet="abc", min_size=1, max_size=4), c, max_size=3),
+            ),
+            max_leaves=8,
+        )
+    )
+    def test_any_marshallable_value_round_trips_through_the_bridge(self, value):
+        sim, gateway = build_pair()
+        result = sim.run_until_complete(gateway.invoke("Target", "echo", [value]))
+        assert result == value

@@ -1,0 +1,148 @@
+"""Tests for the neutral type system and value checking."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConversionError, InterfaceError
+from repro.core.interface import (
+    Operation,
+    Parameter,
+    ServiceInterface,
+    ValueType,
+    simple_interface,
+)
+from repro.core.values import check_args, check_result, check_value
+
+
+class TestInterfaceDefinitions:
+    def test_simple_interface_builder(self):
+        interface = simple_interface(
+            "Lamp", {"turn_on": ("->boolean",), "dim": ("int", "->int"), "name": ()}
+        )
+        assert interface.operation("turn_on").returns == ValueType.BOOL
+        dim = interface.operation("dim")
+        assert [p.type for p in dim.params] == [ValueType.INT]
+        assert interface.operation("name").returns == ValueType.VOID
+
+    def test_duplicate_operation_rejected(self):
+        op = Operation("x")
+        with pytest.raises(InterfaceError):
+            ServiceInterface("S", (op, op))
+
+    def test_duplicate_parameter_rejected(self):
+        with pytest.raises(InterfaceError):
+            Operation("op", (Parameter("a", ValueType.INT), Parameter("a", ValueType.INT)))
+
+    def test_void_parameter_rejected(self):
+        with pytest.raises(InterfaceError):
+            Parameter("p", ValueType.VOID)
+
+    def test_oneway_cannot_return(self):
+        with pytest.raises(InterfaceError):
+            Operation("op", (), ValueType.INT, oneway=True)
+
+    @pytest.mark.parametrize("bad", ["", "has space", "1start", "a<b"])
+    def test_bad_names_rejected(self, bad):
+        with pytest.raises(InterfaceError):
+            ServiceInterface(bad)
+        with pytest.raises(InterfaceError):
+            Operation(bad)
+
+    def test_wsdl_roundtrip(self):
+        interface = simple_interface(
+            "Camera",
+            {
+                "zoom": ("int", "->int"),
+                "status": ("->anyType",),
+                "label": ("string", "->void"),
+            },
+        )
+        document = interface.to_wsdl("soap://b/1:8080/soap/Camera", {"island": "havi"})
+        assert ServiceInterface.from_wsdl(document) == interface
+        assert document.context["island"] == "havi"
+
+    def test_missing_operation_raises(self):
+        interface = simple_interface("S", {"a": ()})
+        with pytest.raises(InterfaceError):
+            interface.operation("b")
+        assert interface.has_operation("a")
+        assert not interface.has_operation("b")
+
+    def test_value_type_xsd_mapping(self):
+        for member in ValueType:
+            assert ValueType.from_xsd(member.xsd_name) == member
+        with pytest.raises(InterfaceError):
+            ValueType.from_xsd("hyperreal")
+
+
+class TestValueChecking:
+    def test_scalar_acceptance(self):
+        assert check_value(5, ValueType.INT) == 5
+        assert check_value(2, ValueType.FLOAT) == 2.0
+        assert isinstance(check_value(2, ValueType.FLOAT), float)
+        assert check_value("x", ValueType.STRING) == "x"
+        assert check_value(True, ValueType.BOOL) is True
+        assert check_value(bytearray(b"ab"), ValueType.BYTES) == b"ab"
+
+    @pytest.mark.parametrize(
+        "value,value_type",
+        [
+            ("5", ValueType.INT),
+            (5.0, ValueType.INT),
+            (True, ValueType.INT),
+            (True, ValueType.FLOAT),
+            ("x", ValueType.FLOAT),
+            (5, ValueType.STRING),
+            (1, ValueType.BOOL),
+            ("x", ValueType.BYTES),
+        ],
+    )
+    def test_scalar_rejection(self, value, value_type):
+        with pytest.raises(ConversionError):
+            check_value(value, value_type)
+
+    def test_void_accepts_only_none(self):
+        assert check_value(None, ValueType.VOID) is None
+        with pytest.raises(ConversionError):
+            check_value(0, ValueType.VOID)
+
+    def test_any_deep_validation(self):
+        checked = check_value({"a": [1, (2, 3)], "b": bytearray(b"x")}, ValueType.ANY)
+        assert checked == {"a": [1, [2, 3]], "b": b"x"}
+        with pytest.raises(ConversionError):
+            check_value({"a": object()}, ValueType.ANY)
+        with pytest.raises(ConversionError):
+            check_value({1: "non-string key"}, ValueType.ANY)
+
+    def test_check_args_arity(self):
+        op = Operation("op", (Parameter("a", ValueType.INT),))
+        assert check_args(op, [1]) == [1]
+        with pytest.raises(ConversionError, match="expects 1"):
+            check_args(op, [])
+        with pytest.raises(ConversionError, match="expects 1"):
+            check_args(op, [1, 2])
+
+    def test_check_result(self):
+        op = Operation("op", (), ValueType.INT)
+        assert check_result(op, 5) == 5
+        with pytest.raises(ConversionError):
+            check_result(op, "five")
+
+    def test_error_messages_name_the_operation(self):
+        op = Operation("zoom", (Parameter("level", ValueType.INT),), ValueType.INT)
+        with pytest.raises(ConversionError, match="zoom.level"):
+            check_args(op, ["high"])
+
+    @given(st.integers())
+    def test_int_passthrough_property(self, value):
+        assert check_value(value, ValueType.INT) == value
+
+    @given(
+        st.recursive(
+            st.one_of(st.none(), st.booleans(), st.integers(), st.text(max_size=10)),
+            lambda c: st.one_of(st.lists(c, max_size=4), st.dictionaries(st.text(max_size=5), c, max_size=4)),
+            max_leaves=10,
+        )
+    )
+    def test_any_accepts_marshallable_trees(self, value):
+        check_value(value, ValueType.ANY)  # must not raise

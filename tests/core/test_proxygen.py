@@ -1,0 +1,100 @@
+"""Tests for runtime proxy generation (the Javassist analog)."""
+
+import pytest
+
+from repro.errors import ConversionError, InterfaceError
+from repro.core.interface import simple_interface
+from repro.core.proxygen import ProxyFactory, generate_proxy_class
+
+
+def recording_invoker(log):
+    def invoke(operation, args):
+        log.append((operation, args))
+        return ("result", operation)
+
+    return invoke
+
+
+@pytest.fixture
+def lamp_interface():
+    return simple_interface(
+        "Lamp",
+        {"turn_on": ("->boolean",), "dim": ("int", "->boolean"), "label": ("string",)},
+    )
+
+
+class TestGeneratedClasses:
+    def test_methods_exist_and_route_through_invoker(self, lamp_interface):
+        log = []
+        proxy_cls = generate_proxy_class(lamp_interface)
+        proxy = proxy_cls(recording_invoker(log))
+        assert proxy.turn_on() == ("result", "turn_on")
+        assert proxy.dim(5) == ("result", "dim")
+        assert log == [("turn_on", []), ("dim", [5])]
+
+    def test_class_name_derived_from_interface(self, lamp_interface):
+        assert generate_proxy_class(lamp_interface).__name__ == "LampProxy"
+
+    def test_argument_types_validated_before_invoker(self, lamp_interface):
+        log = []
+        proxy = generate_proxy_class(lamp_interface)(recording_invoker(log))
+        with pytest.raises(ConversionError):
+            proxy.dim("fifty")
+        with pytest.raises(ConversionError):
+            proxy.dim()
+        with pytest.raises(ConversionError):
+            proxy.dim(1, 2)
+        assert log == []  # nothing leaked through
+
+    def test_generated_docstrings_describe_signature(self, lamp_interface):
+        proxy_cls = generate_proxy_class(lamp_interface)
+        assert "dim(arg0: INT) -> BOOL" in proxy_cls.dim.__doc__
+
+    def test_interface_property(self, lamp_interface):
+        proxy = generate_proxy_class(lamp_interface)(lambda op, args: None)
+        assert proxy.interface is lamp_interface
+
+    def test_colliding_operation_names_rejected(self):
+        with pytest.raises(InterfaceError):
+            generate_proxy_class(simple_interface("Bad", {"interface": ()}))
+
+    def test_missing_method_raises_attribute_error(self, lamp_interface):
+        proxy = generate_proxy_class(lamp_interface)(lambda op, args: None)
+        with pytest.raises(AttributeError):
+            proxy.explode()
+
+
+class TestProxyFactory:
+    def test_cache_shared_for_identical_shapes(self, lamp_interface):
+        factory = ProxyFactory()
+        first = factory.proxy_class(lamp_interface)
+        same_shape = simple_interface(
+            "Lamp",
+            {"turn_on": ("->boolean",), "dim": ("int", "->boolean"), "label": ("string",)},
+        )
+        second = factory.proxy_class(same_shape)
+        assert first is second
+        assert factory.classes_generated == 1
+        assert factory.cache_hits == 1
+
+    def test_different_shapes_get_different_classes(self, lamp_interface):
+        factory = ProxyFactory()
+        first = factory.proxy_class(lamp_interface)
+        other = factory.proxy_class(simple_interface("Lamp", {"turn_on": ()}))
+        assert first is not other
+        assert factory.classes_generated == 2
+
+    def test_create_instantiates_with_invoker(self, lamp_interface):
+        factory = ProxyFactory()
+        log = []
+        proxy = factory.create(lamp_interface, recording_invoker(log))
+        proxy.label("kitchen")
+        assert log == [("label", ["kitchen"])]
+
+    def test_generation_scales_to_many_interfaces(self):
+        factory = ProxyFactory()
+        for index in range(50):
+            interface = simple_interface(f"Svc{index}", {f"op{index}": ("int", "->int")})
+            proxy = factory.create(interface, lambda op, args: args[0])
+            assert getattr(proxy, f"op{index}")(index) == index
+        assert factory.classes_generated == 50

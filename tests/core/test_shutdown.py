@@ -1,0 +1,48 @@
+"""Tests for orderly framework shutdown."""
+
+import pytest
+
+from repro.apps.home import build_smart_home
+
+
+class TestShutdown:
+    def test_shutdown_stops_polling_and_listeners(self):
+        home = build_smart_home()
+        home.connect()
+        # Arm some event polling first.
+        home.sim.run_until_complete(
+            home.islands["havi"].gateway.subscribe("x10.ON", lambda t, p, s: None)
+        )
+        home.run(5.0)
+        polls_before = home.islands["havi"].gateway.events.polls_performed
+        assert polls_before > 0
+        home.mm.shutdown()
+        home.run(30.0)
+        assert home.islands["havi"].gateway.events.polls_performed == polls_before
+
+    def test_calls_fail_after_shutdown(self):
+        home = build_smart_home()
+        home.connect()
+        home.mm.shutdown()
+        with pytest.raises(Exception):
+            home.invoke_from("jini", "Digital_TV_tuner", "get_channel")
+
+    def test_shutdown_unpublishes_jini_bridges(self):
+        home = build_smart_home()
+        home.connect()
+        bridged_before = sum(
+            1 for item in home.lookup.items() if item.attributes.get("bridged")
+        )
+        assert bridged_before > 0
+        home.mm.shutdown()
+        home.run(5.0)
+        bridged_after = sum(
+            1 for item in home.lookup.items() if item.attributes.get("bridged")
+        )
+        assert bridged_after == 0
+
+    def test_shutdown_is_idempotent(self):
+        home = build_smart_home()
+        home.connect()
+        home.mm.shutdown()
+        home.mm.shutdown()  # second call must not raise

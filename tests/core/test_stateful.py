@@ -1,0 +1,119 @@
+"""Stateful property testing of the two bookkeeping cores: the lease table
+and the VSR directory.  Hypothesis drives arbitrary interleavings of the
+public operations against a plain-Python model."""
+
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.errors import LeaseExpiredError, ServiceNotFoundError
+from repro.core.interface import simple_interface
+from repro.core.vsr import VsrDirectory
+from repro.jini.lease import LeaseTable
+from repro.net.simkernel import Simulator
+
+
+class LeaseTableMachine(RuleBasedStateMachine):
+    """The lease table must agree with a model of {id: expiry} at all
+    virtual times, under any interleaving of grant/renew/cancel/advance."""
+
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator()
+        self.table = LeaseTable(self.sim, max_duration=50.0)
+        self.model: dict[int, float] = {}
+
+    leases = Bundle("leases")
+
+    @rule(target=leases, duration=st.floats(min_value=0.1, max_value=100.0))
+    def grant(self, duration):
+        lease = self.table.grant(duration)
+        self.model[lease.lease_id] = self.sim.now + min(duration, 50.0)
+        return lease.lease_id
+
+    @rule(lease_id=leases, duration=st.floats(min_value=0.1, max_value=100.0))
+    def renew(self, lease_id, duration):
+        alive_in_model = self.model.get(lease_id, -1.0) > self.sim.now
+        try:
+            self.table.renew(lease_id, duration)
+            assert alive_in_model, "renewed a lease the model says is dead"
+            self.model[lease_id] = self.sim.now + min(duration, 50.0)
+        except LeaseExpiredError:
+            assert not alive_in_model, "refused to renew a live lease"
+            self.model.pop(lease_id, None)
+
+    @rule(lease_id=leases)
+    def cancel(self, lease_id):
+        self.table.cancel(lease_id)
+        self.model.pop(lease_id, None)
+
+    @rule(amount=st.floats(min_value=0.0, max_value=60.0))
+    def advance(self, amount):
+        self.sim.run_for(amount)
+        self.model = {
+            lease_id: expiry
+            for lease_id, expiry in self.model.items()
+            if expiry > self.sim.now
+        }
+
+    @invariant()
+    def liveness_agrees_with_model(self):
+        for lease_id, expiry in self.model.items():
+            assert self.table.is_live(lease_id) == (expiry > self.sim.now)
+
+
+class VsrDirectoryMachine(RuleBasedStateMachine):
+    """Publish/withdraw/find must behave like a dict keyed by service."""
+
+    def __init__(self):
+        super().__init__()
+        self.directory = VsrDirectory()
+        self.model: dict[str, str] = {}  # service -> island
+
+    names = st.sampled_from(["Alpha", "Beta", "Gamma", "Delta"])
+    islands = st.sampled_from(["jini", "havi", "x10"])
+
+    @rule(name=names, island=islands)
+    def publish(self, name, island):
+        interface = simple_interface(name, {"ping": ("->string",)})
+        self.directory.publish(
+            interface.to_wsdl(f"soap://b/1:8080/soap/{name}", {"island": island})
+        )
+        self.model[name] = island
+
+    @rule(name=names)
+    def withdraw(self, name):
+        existed = self.directory.withdraw(name)
+        assert existed == (name in self.model)
+        self.model.pop(name, None)
+
+    @rule(name=names)
+    def find_by_name(self, name):
+        if name in self.model:
+            document = self.directory.find_by_name(name)
+            assert document.context["island"] == self.model[name]
+        else:
+            try:
+                self.directory.find_by_name(name)
+                assert False, "found a withdrawn service"
+            except ServiceNotFoundError:
+                pass
+
+    @rule(island=islands)
+    def find_by_context(self, island):
+        found = {d.service for d in self.directory.find({"island": island})}
+        expected = {n for n, i in self.model.items() if i == island}
+        assert found == expected
+
+    @invariant()
+    def count_matches_model(self):
+        assert self.directory.service_count == len(self.model)
+        assert set(self.directory.service_names()) == set(self.model)
+
+
+TestLeaseTableStateful = LeaseTableMachine.TestCase
+TestVsrDirectoryStateful = VsrDirectoryMachine.TestCase

@@ -1,0 +1,136 @@
+"""Tests for the Virtual Service Repository."""
+
+import pytest
+
+from repro.errors import RepositoryError, ServiceNotFoundError, SoapFault
+from repro.core.interface import simple_interface
+from repro.core.vsr import UddiSoapService, VsrClient, VsrDirectory
+from repro.soap.server import SoapServer
+from repro.soap.wsdl import WsdlDocument
+
+
+def document(name="Svc", island="jini", **context):
+    interface = simple_interface(name, {"ping": ("->string",)})
+    full_context = {"island": island}
+    full_context.update(context)
+    return interface.to_wsdl(f"soap://backbone/1:8080/soap/{name}", full_context)
+
+
+class TestDirectory:
+    def test_publish_and_find(self):
+        directory = VsrDirectory()
+        directory.publish(document("A"))
+        assert directory.find_by_name("A").service == "A"
+        assert directory.service_count == 1
+
+    def test_republish_replaces(self):
+        directory = VsrDirectory()
+        directory.publish(document("A", island="jini"))
+        directory.publish(document("A", island="havi"))
+        assert directory.service_count == 1
+        assert directory.find_by_name("A").context["island"] == "havi"
+
+    def test_withdraw(self):
+        directory = VsrDirectory()
+        directory.publish(document("A"))
+        assert directory.withdraw("A") is True
+        assert directory.withdraw("A") is False
+        with pytest.raises(ServiceNotFoundError):
+            directory.find_by_name("A")
+
+    def test_context_filtering(self):
+        directory = VsrDirectory()
+        directory.publish(document("A", island="jini", room="kitchen"))
+        directory.publish(document("B", island="havi", room="kitchen"))
+        directory.publish(document("C", island="jini"))
+        assert {d.service for d in directory.find({"island": "jini"})} == {"A", "C"}
+        assert {d.service for d in directory.find({"room": "kitchen"})} == {"A", "B"}
+        assert [d.service for d in directory.find({})] == ["A", "B", "C"]
+
+    def test_unnamed_document_rejected(self):
+        directory = VsrDirectory()
+        with pytest.raises(RepositoryError):
+            directory.publish(WsdlDocument(service="", location="soap://x/1:1/soap/x"))
+
+    def test_change_listeners(self):
+        directory = VsrDirectory()
+        changes = []
+        directory.on_change(lambda name, doc: changes.append((name, doc is not None)))
+        directory.publish(document("A"))
+        directory.withdraw("A")
+        assert changes == [("A", True), ("A", False)]
+
+    def test_gateway_registry(self):
+        directory = VsrDirectory()
+        directory.register_gateway("jini", "soap://b/1:8080/soap/_gateway")
+        directory.register_gateway("havi", "soap://b/2:8080/soap/_gateway")
+        assert set(directory.gateways()) == {"jini", "havi"}
+
+
+@pytest.fixture
+def uddi_setup(sim, two_hosts):
+    server_stack, client_stack = two_hosts
+    soap_server = SoapServer(server_stack)
+    uddi = UddiSoapService(soap_server)
+    client = VsrClient(client_stack, server_stack.local_address(), cache_ttl=30.0)
+    return sim, uddi, client
+
+
+class TestSoapFacade:
+    def test_publish_find_roundtrip_over_the_wire(self, uddi_setup):
+        sim, uddi, client = uddi_setup
+        original = document("Laserdisc")
+        sim.run_until_complete(client.publish(original))
+        fetched = sim.run_until_complete(client.find_by_name("Laserdisc"))
+        assert fetched == original
+
+    def test_find_unknown_faults(self, uddi_setup):
+        sim, uddi, client = uddi_setup
+        with pytest.raises(SoapFault):
+            sim.run_until_complete(client.find_by_name("Ghost"))
+
+    def test_context_query_over_the_wire(self, uddi_setup):
+        sim, uddi, client = uddi_setup
+        sim.run_until_complete(client.publish(document("A", island="jini")))
+        sim.run_until_complete(client.publish(document("B", island="x10")))
+        docs = sim.run_until_complete(client.find({"island": "x10"}))
+        assert [d.service for d in docs] == ["B"]
+
+    def test_gateway_registration_over_the_wire(self, uddi_setup):
+        sim, uddi, client = uddi_setup
+        sim.run_until_complete(client.register_gateway("jini", "soap://b/9:8080/soap/_gateway"))
+        gateways = sim.run_until_complete(client.list_gateways())
+        assert gateways == {"jini": "soap://b/9:8080/soap/_gateway"}
+
+    def test_client_cache_avoids_repeat_lookups(self, uddi_setup):
+        sim, uddi, client = uddi_setup
+        sim.run_until_complete(client.publish(document("A")))
+        sim.run_until_complete(client.find_by_name("A"))
+        assert client.remote_lookups == 1
+        sim.run_until_complete(client.find_by_name("A"))
+        assert client.remote_lookups == 1
+        assert client.cache_hits == 1
+
+    def test_cache_expires_after_ttl(self, uddi_setup):
+        sim, uddi, client = uddi_setup
+        sim.run_until_complete(client.publish(document("A")))
+        sim.run_until_complete(client.find_by_name("A"))
+        sim.run_for(31.0)
+        sim.run_until_complete(client.find_by_name("A"))
+        assert client.remote_lookups == 2
+
+    def test_own_publish_invalidates_cache(self, uddi_setup):
+        sim, uddi, client = uddi_setup
+        sim.run_until_complete(client.publish(document("A", island="jini")))
+        sim.run_until_complete(client.find_by_name("A"))
+        sim.run_until_complete(client.publish(document("A", island="havi")))
+        fetched = sim.run_until_complete(client.find_by_name("A"))
+        assert fetched.context["island"] == "havi"
+
+    def test_explicit_invalidate(self, uddi_setup):
+        sim, uddi, client = uddi_setup
+        sim.run_until_complete(client.publish(document("A")))
+        sim.run_until_complete(client.find_by_name("A"))
+        client.invalidate("A")
+        sim.run_until_complete(client.find_by_name("A"))
+        assert client.remote_lookups == 2

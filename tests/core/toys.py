@@ -1,0 +1,53 @@
+"""A minimal in-process PCM used by core tests (no middleware substrate)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.interface import ServiceInterface
+from repro.core.pcm import ProtocolConversionManager
+from repro.net.simkernel import SimFuture
+
+
+class ToyPcm(ProtocolConversionManager):
+    """Exposes plain Python objects; imports become generated proxies."""
+
+    middleware_name = "toy"
+
+    def __init__(self, vsg, services: dict[str, tuple[ServiceInterface, Any]]):
+        super().__init__(vsg)
+        self._services = services
+        self.facades: dict[str, Any] = {}
+
+    def _discover_local_services(self):
+        discovered = []
+        for name, (interface, obj) in self._services.items():
+            def handler(operation, args, _obj=obj):
+                return getattr(_obj, operation)(*args)
+
+            discovered.append((name, interface, handler, {}))
+        return SimFuture.completed(discovered)
+
+    def _materialise(self, document, interface):
+        self.facades[document.service] = self.remote_proxy(document)
+        return SimFuture.completed(True)
+
+
+class Lamp:
+    def __init__(self):
+        self.level = 0
+
+    def set_level(self, value):
+        self.level = value
+        return value
+
+    def get_level(self):
+        return self.level
+
+    def fail(self):
+        raise RuntimeError("lamp hardware fault")
+
+
+class Thermometer:
+    def read(self):
+        return 21.5

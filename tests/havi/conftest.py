@@ -1,0 +1,41 @@
+"""HAVi test fixtures: a bus with a registry."""
+
+import pytest
+
+from repro.havi.bus1394 import Bus1394, HaviNode
+from repro.havi.registry import Registry, RegistryClient
+from repro.net.segment import IEEE1394Segment
+
+
+@pytest.fixture
+def bus(sim, net):
+    segment = net.create_segment(IEEE1394Segment, "havi-1394")
+    return Bus1394(net, segment)
+
+
+@pytest.fixture
+def registry_node(net, bus):
+    node = HaviNode(net, "registry-host", bus)
+    registry = Registry(node)
+    return node, registry
+
+
+@pytest.fixture
+def havi_node_factory(net, bus):
+    counter = {"n": 0}
+
+    def factory(name=None):
+        counter["n"] += 1
+        return HaviNode(net, name or f"havi{counter['n']}", bus)
+
+    return factory
+
+
+@pytest.fixture
+def registry_client_for(registry_node):
+    host_node, _registry = registry_node
+
+    def factory(havi_node):
+        return RegistryClient.for_bus(havi_node, host_node)
+
+    return factory

@@ -1,0 +1,106 @@
+"""Tests for IEEE1394 bus management."""
+
+import pytest
+
+from repro.errors import HaviError
+from repro.havi.bus1394 import ISO_BANDWIDTH_BUDGET, ISO_CHANNELS, Bus1394, HaviNode
+from repro.net.segment import EthernetSegment, IEEE1394Segment
+
+
+class TestMembership:
+    def test_join_assigns_guid_and_phy_id(self, net, bus):
+        a = HaviNode(net, "a", bus)
+        b = HaviNode(net, "b", bus)
+        assert a.guid != b.guid
+        assert {a.phy_id, b.phy_id} == {0, 1}
+        assert bus.root is b  # highest phy id
+
+    def test_each_join_triggers_bus_reset(self, net, bus):
+        resets = []
+        bus.on_bus_reset(lambda: resets.append(bus.reset_count))
+        HaviNode(net, "a", bus)
+        HaviNode(net, "b", bus)
+        assert len(resets) == 2
+
+    def test_leave_reassigns_phy_ids_but_keeps_guids(self, net, bus):
+        a = HaviNode(net, "a", bus)
+        b = HaviNode(net, "b", bus)
+        c = HaviNode(net, "c", bus)
+        guid_c = c.guid
+        bus.leave(b)
+        assert c.phy_id == 1  # compacted
+        assert c.guid == guid_c  # stable
+        with pytest.raises(HaviError):
+            bus.node_by_guid(b.guid)
+
+    def test_leave_unknown_node_rejected(self, net, bus, sim):
+        other_segment = net.create_segment(IEEE1394Segment, "other-1394")
+        other_bus = Bus1394(net, other_segment)
+        stranger = HaviNode(net, "stranger", other_bus)
+        with pytest.raises(HaviError):
+            bus.leave(stranger)
+
+    def test_bus_requires_1394_segment(self, net, sim):
+        eth = net.create_segment(EthernetSegment, "eth")
+        with pytest.raises(HaviError):
+            Bus1394(net, eth)
+
+    def test_empty_bus_has_no_root(self, bus):
+        with pytest.raises(HaviError):
+            bus.root
+
+
+class TestAsyncPackets:
+    def test_unicast_by_guid(self, sim, net, bus):
+        a = HaviNode(net, "a", bus)
+        b = HaviNode(net, "b", bus)
+        seen = []
+        # Bypass messaging: watch raw frames on b.
+        b.node.unregister_protocol("1394-async")
+        b.node.register_protocol("1394-async", lambda iface, frame: seen.append(frame.payload))
+        bus.send_async(a, b.guid, b"quadlet")
+        sim.run()
+        assert seen == [b"quadlet"]
+
+    def test_send_to_departed_node_raises(self, net, bus):
+        a = HaviNode(net, "a", bus)
+        b = HaviNode(net, "b", bus)
+        bus.leave(b)
+        with pytest.raises(HaviError):
+            bus.send_async(a, b.guid, b"x")
+
+
+class TestIsochronousResources:
+    def test_channel_allocation_and_release(self, net, bus):
+        a = HaviNode(net, "a", bus)
+        channel = bus.allocate_channel(a.guid, 25_000_000)
+        assert 0 <= channel < ISO_CHANNELS
+        assert bus.channels_allocated == 1
+        bus.release_channel(channel, 25_000_000)
+        assert bus.channels_allocated == 0
+        assert bus.iso_bandwidth_free == ISO_BANDWIDTH_BUDGET
+
+    def test_channels_exhaust_at_64(self, net, bus):
+        a = HaviNode(net, "a", bus)
+        for _ in range(ISO_CHANNELS):
+            bus.allocate_channel(a.guid, 1000)
+        with pytest.raises(HaviError, match="64"):
+            bus.allocate_channel(a.guid, 1000)
+
+    def test_bandwidth_budget_enforced(self, net, bus):
+        a = HaviNode(net, "a", bus)
+        bus.allocate_channel(a.guid, int(ISO_BANDWIDTH_BUDGET * 8 * 0.9))
+        with pytest.raises(HaviError, match="bandwidth"):
+            bus.allocate_channel(a.guid, int(ISO_BANDWIDTH_BUDGET * 8 * 0.2))
+
+    def test_release_unallocated_channel_rejected(self, bus):
+        with pytest.raises(HaviError):
+            bus.release_channel(5, 1000)
+
+    def test_departing_node_resources_reclaimed(self, net, bus):
+        a = HaviNode(net, "a", bus)
+        b = HaviNode(net, "b", bus)
+        bus.allocate_channel(b.guid, 1_000_000)
+        bus.allocate_channel(a.guid, 1_000_000)
+        bus.leave(b)
+        assert bus.channels_allocated == 1

@@ -1,0 +1,75 @@
+"""Tests for the HAVi TLV codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MarshallingError
+from repro.havi.codec import decode, encode
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=False),
+    st.text(max_size=60),
+    st.binary(max_size=60),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=8), children, max_size=5),
+    ),
+    max_leaves=25,
+)
+
+
+def normalise(value):
+    if isinstance(value, (list, tuple)):
+        return [normalise(item) for item in value]
+    if isinstance(value, dict):
+        return {key: normalise(member) for key, member in value.items()}
+    if isinstance(value, bytearray):
+        return bytes(value)
+    return value
+
+
+class TestRoundTrip:
+    @given(_values)
+    def test_roundtrip(self, value):
+        assert decode(encode(value)) == normalise(value)
+
+    def test_no_java_magic(self):
+        """The two binary codecs are genuinely different wire formats."""
+        from repro.jini.marshalling import marshal
+
+        assert encode(42) != marshal(42)
+        assert not encode("x").startswith(b"\xac\xed")
+
+    def test_compactness_vs_soap(self):
+        from repro.soap.envelope import build_request
+
+        value = {"op": "zoom", "args": [5]}
+        assert len(encode(value)) * 5 < len(build_request("zoom", [5]))
+
+    def test_length_limits_enforced(self):
+        with pytest.raises(MarshallingError):
+            encode("x" * 70000)  # 16-bit length field
+        with pytest.raises(MarshallingError):
+            encode(2**63)
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(MarshallingError):
+            encode({3: "x"})
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(MarshallingError):
+            decode(encode(1) + b"\x00")
+
+    @given(st.binary(max_size=50))
+    def test_arbitrary_bytes_never_crash(self, junk):
+        try:
+            decode(junk)
+        except MarshallingError:
+            pass

@@ -1,0 +1,128 @@
+"""Tests for the HAVi Messaging System."""
+
+import pytest
+
+from repro.errors import HaviError
+from repro.havi.messaging import Seid
+from repro.net.simkernel import SimFuture
+
+
+class TestSeid:
+    def test_wire_roundtrip(self):
+        seid = Seid(0x800_0001, 0x102)
+        assert Seid.from_wire(seid.to_wire()) == seid
+
+    @pytest.mark.parametrize("bad", [None, [1], [1, 2, 3], "x", {}])
+    def test_malformed_wire_rejected(self, bad):
+        with pytest.raises(HaviError):
+            Seid.from_wire(bad)
+
+
+class TestRequestResponse:
+    def test_cross_node_request(self, sim, havi_node_factory):
+        a, b = havi_node_factory(), havi_node_factory()
+        target = b.messaging.register_element(
+            lambda src, op, args: {"op": op, "sum": sum(args)}
+        )
+        source = a.messaging.register_element(lambda *a: None)
+        result = sim.run_until_complete(
+            a.messaging.send_request(source, target, "add", [1, 2, 3])
+        )
+        assert result == {"op": "add", "sum": 6}
+
+    def test_same_node_request_loops_locally(self, sim, havi_node_factory):
+        a = havi_node_factory()
+        target = a.messaging.register_element(lambda src, op, args: "local")
+        source = a.messaging.register_element(lambda *x: None)
+        assert sim.run_until_complete(a.messaging.send_request(source, target, "op", [])) == "local"
+
+    def test_handler_exception_propagates_as_havi_error(self, sim, havi_node_factory):
+        a, b = havi_node_factory(), havi_node_factory()
+
+        def broken(src, op, args):
+            raise ValueError("bad input")
+
+        target = b.messaging.register_element(broken)
+        source = a.messaging.register_element(lambda *x: None)
+        with pytest.raises(HaviError, match="bad input"):
+            sim.run_until_complete(a.messaging.send_request(source, target, "op", []))
+
+    def test_unknown_element_rejected(self, sim, havi_node_factory):
+        a, b = havi_node_factory(), havi_node_factory()
+        source = a.messaging.register_element(lambda *x: None)
+        ghost = Seid(b.guid, 0x7777)
+        with pytest.raises(HaviError, match="no element"):
+            sim.run_until_complete(a.messaging.send_request(source, ghost, "op", []))
+
+    def test_foreign_source_seid_rejected(self, sim, havi_node_factory):
+        a, b = havi_node_factory(), havi_node_factory()
+        target = b.messaging.register_element(lambda src, op, args: 1)
+        foreign_source = Seid(b.guid, 0x300)
+        future = a.messaging.send_request(foreign_source, target, "op", [])
+        with pytest.raises(HaviError, match="does not belong"):
+            sim.run_until_complete(future)
+
+    def test_handler_returning_future_resolves_later(self, sim, havi_node_factory):
+        a, b = havi_node_factory(), havi_node_factory()
+
+        def deferred(src, op, args):
+            future = SimFuture()
+            sim.schedule(2.0, future.set_result, "eventually")
+            return future
+
+        target = b.messaging.register_element(deferred)
+        source = a.messaging.register_element(lambda *x: None)
+        t0 = sim.now
+        assert sim.run_until_complete(a.messaging.send_request(source, target, "op", [])) == "eventually"
+        assert sim.now - t0 >= 2.0
+
+    def test_duplicate_local_id_rejected(self, havi_node_factory):
+        a = havi_node_factory()
+        a.messaging.register_element(lambda *x: None, local_id=0x500)
+        with pytest.raises(HaviError):
+            a.messaging.register_element(lambda *x: None, local_id=0x500)
+
+    def test_unregistered_element_stops_answering(self, sim, havi_node_factory):
+        a, b = havi_node_factory(), havi_node_factory()
+        target = b.messaging.register_element(lambda src, op, args: 1)
+        b.messaging.unregister_element(target)
+        source = a.messaging.register_element(lambda *x: None)
+        with pytest.raises(HaviError):
+            sim.run_until_complete(a.messaging.send_request(source, target, "op", []))
+
+    def test_src_seid_visible_to_handler(self, sim, havi_node_factory):
+        a, b = havi_node_factory(), havi_node_factory()
+        seen = []
+
+        def handler(src, op, args):
+            seen.append(src)
+            return None
+
+        target = b.messaging.register_element(handler)
+        source = a.messaging.register_element(lambda *x: None)
+        sim.run_until_complete(a.messaging.send_request(source, target, "op", []))
+        assert seen == [source]
+
+
+class TestEvents:
+    def test_broadcast_event_reaches_all_nodes_including_sender(self, sim, havi_node_factory):
+        nodes = [havi_node_factory() for _ in range(3)]
+        received = {node.name: [] for node in nodes}
+        for node in nodes:
+            node.messaging.subscribe_events(
+                lambda src, event, n=node.name: received[n].append(event)
+            )
+        source = nodes[0].messaging.register_element(lambda *x: None)
+        nodes[0].messaging.send_event(source, {"type": "state_change", "value": 5})
+        sim.run()
+        for node in nodes:
+            assert received[node.name] == [{"type": "state_change", "value": 5}]
+
+    def test_event_source_seid_delivered(self, sim, havi_node_factory):
+        a, b = havi_node_factory(), havi_node_factory()
+        sources = []
+        b.messaging.subscribe_events(lambda src, event: sources.append(src))
+        source = a.messaging.register_element(lambda *x: None)
+        a.messaging.send_event(source, {"x": 1})
+        sim.run()
+        assert sources == [source]

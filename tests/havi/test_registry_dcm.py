@@ -1,0 +1,158 @@
+"""Tests for the registry and the DCM/FCM device model."""
+
+import pytest
+
+from repro.errors import HaviError, ServiceNotFoundError
+from repro.havi.dcm import Dcm, FcmHandle
+from repro.havi.fcm_types import (
+    AvDiscFcm,
+    CameraFcm,
+    DisplayFcm,
+    TunerFcm,
+    VcrFcm,
+)
+
+
+@pytest.fixture
+def camera_device(sim, havi_node_factory, registry_client_for):
+    node = havi_node_factory("camcorder")
+    dcm = Dcm(node, "DV Camera", "camcorder")
+    camera = CameraFcm(dcm)
+    vcr = VcrFcm(dcm)
+    client = registry_client_for(node)
+    sim.run_until_complete(dcm.register(client))
+    return node, dcm, camera, vcr
+
+
+class TestRegistry:
+    def test_register_and_query_by_attributes(self, sim, camera_device, havi_node_factory, registry_client_for):
+        controller = havi_node_factory("controller")
+        client = registry_client_for(controller)
+        fcms = sim.run_until_complete(client.query({"element_type": "fcm"}))
+        assert {attrs["fcm_type"] for _seid, attrs in fcms} == {"camera", "vcr"}
+        dcms = sim.run_until_complete(client.query({"element_type": "dcm"}))
+        assert len(dcms) == 1
+        assert dcms[0][1]["device_name"] == "DV Camera"
+
+    def test_find_one(self, sim, camera_device, havi_node_factory, registry_client_for):
+        controller = havi_node_factory("controller")
+        client = registry_client_for(controller)
+        seid, attrs = sim.run_until_complete(client.find_one({"fcm_type": "camera"}))
+        assert attrs["device_name"] == "DV Camera"
+
+    def test_find_one_absent_raises(self, sim, camera_device, havi_node_factory, registry_client_for):
+        controller = havi_node_factory("controller")
+        client = registry_client_for(controller)
+        with pytest.raises(ServiceNotFoundError):
+            sim.run_until_complete(client.find_one({"fcm_type": "toaster"}))
+
+    def test_unregister(self, sim, camera_device, havi_node_factory, registry_client_for, registry_node):
+        node, dcm, camera, vcr = camera_device
+        client = registry_client_for(node)
+        assert sim.run_until_complete(client.unregister(camera.seid)) is True
+        _host, registry = registry_node
+        assert registry.entry_count == 2  # dcm + vcr remain
+        assert sim.run_until_complete(client.unregister(camera.seid)) is False
+
+    def test_departed_node_entries_dropped_on_reset(self, sim, net, bus, camera_device, registry_node):
+        node, dcm, camera, vcr = camera_device
+        _host, registry = registry_node
+        assert registry.entry_count == 3
+        bus.leave(node)
+        assert registry.entry_count == 0
+
+
+class TestFcmDispatch:
+    def test_remote_command(self, sim, camera_device, havi_node_factory):
+        node, dcm, camera, vcr = camera_device
+        controller = havi_node_factory("controller")
+        handle = FcmHandle(controller.messaging, camera.seid)
+        assert sim.run_until_complete(handle.call("zoom", 4)) == 4
+        assert camera.zoom_level == 4
+
+    def test_describe_lists_full_command_set(self, sim, camera_device, havi_node_factory):
+        node, dcm, camera, vcr = camera_device
+        controller = havi_node_factory("controller")
+        handle = FcmHandle(controller.messaging, camera.seid)
+        description = sim.run_until_complete(handle.describe())
+        assert description["fcm_type"] == "camera"
+        assert set(description["commands"]) == set(CameraFcm.COMMANDS)
+        assert description["returns"]["zoom"] == "int"
+
+    def test_unknown_command_rejected(self, sim, camera_device, havi_node_factory):
+        node, dcm, camera, vcr = camera_device
+        controller = havi_node_factory("controller")
+        handle = FcmHandle(controller.messaging, camera.seid)
+        with pytest.raises(HaviError, match="no command"):
+            sim.run_until_complete(handle.call("levitate"))
+
+    def test_wrong_arity_rejected(self, sim, camera_device, havi_node_factory):
+        node, dcm, camera, vcr = camera_device
+        controller = havi_node_factory("controller")
+        handle = FcmHandle(controller.messaging, camera.seid)
+        with pytest.raises(HaviError, match="expects"):
+            sim.run_until_complete(handle.call("zoom"))
+
+    def test_dcm_reports_its_fcms(self, sim, camera_device, havi_node_factory):
+        node, dcm, camera, vcr = camera_device
+        controller = havi_node_factory("controller")
+        handle = FcmHandle(controller.messaging, dcm.seid)
+        info = sim.run_until_complete(handle.call("get_device_info"))
+        assert info["device_class"] == "camcorder"
+        assert len(info["fcm_seids"]) == 2
+
+
+class TestFcmBehaviour:
+    def make(self, fcm_cls, havi_node_factory):
+        node = havi_node_factory()
+        dcm = Dcm(node, "Dev", "test")
+        return fcm_cls(dcm)
+
+    def test_vcr_transport_and_recording_spans(self, havi_node_factory):
+        vcr = self.make(VcrFcm, havi_node_factory)
+        assert vcr.get_transport_state() == "STOP"
+        vcr.record()
+        vcr.advance(120)
+        vcr.stop()
+        assert vcr.recorded_spans == [(0, 120)]
+        vcr.wind(-60)
+        assert vcr.get_position() == 60
+
+    def test_vcr_cannot_wind_while_recording(self, havi_node_factory):
+        vcr = self.make(VcrFcm, havi_node_factory)
+        vcr.record()
+        with pytest.raises(HaviError):
+            vcr.wind(10)
+
+    def test_camera_validation(self, havi_node_factory):
+        camera = self.make(CameraFcm, havi_node_factory)
+        with pytest.raises(HaviError):
+            camera.zoom(0)
+        with pytest.raises(HaviError):
+            camera.pan(100)
+        camera.start_capture()
+        assert camera.get_status() == {"capturing": True, "zoom": 1, "pan": 0}
+
+    def test_display_inputs_and_messages(self, havi_node_factory):
+        display = self.make(DisplayFcm, havi_node_factory)
+        display.power_on()
+        assert display.set_input("1394") == "1394"
+        with pytest.raises(HaviError):
+            display.set_input("vga")
+        display.show_message("hello")
+        assert display.messages == ["hello"]
+
+    def test_avdisc_chapter_clamping(self, havi_node_factory):
+        disc = self.make(AvDiscFcm, havi_node_factory)
+        assert disc.goto_chapter(999) == AvDiscFcm.CHAPTERS
+        assert disc.goto_chapter(-5) == 1
+        disc.play()
+        assert disc.get_state() == "PLAY"
+
+    def test_tuner_channel_bounds(self, havi_node_factory):
+        tuner = self.make(TunerFcm, havi_node_factory)
+        assert tuner.channel_down() == 1  # clamped at bottom
+        tuner.set_channel(999)
+        assert tuner.channel_up() == 999  # clamped at top
+        with pytest.raises(HaviError):
+            tuner.set_channel(0)

@@ -1,0 +1,90 @@
+"""Tests for the stream manager — including the bus-locality rule behind
+the paper's multimedia negative result."""
+
+import pytest
+
+from repro.errors import HaviError
+from repro.havi.bus1394 import Bus1394, HaviNode
+from repro.havi.dcm import Dcm
+from repro.havi.fcm_types import CameraFcm, DisplayFcm
+from repro.havi.streams import FORMAT_BANDWIDTH, Plug, StreamManager
+from repro.net.segment import IEEE1394Segment
+
+
+@pytest.fixture
+def av_pair(sim, net, bus, havi_node_factory):
+    cam_node = havi_node_factory("cam")
+    camera = CameraFcm(Dcm(cam_node, "Cam", "camcorder"))
+    tv_node = havi_node_factory("tv")
+    display = DisplayFcm(Dcm(tv_node, "TV", "display"))
+    return StreamManager(bus), camera, display
+
+
+class TestConnections:
+    def test_connect_allocates_channel_and_flows_data(self, sim, bus, av_pair):
+        manager, camera, display = av_pair
+        connection = manager.connect(Plug(camera, "out"), Plug(display, "in"), "DV")
+        assert bus.channels_allocated == 1
+        sim.run_for(10.0)
+        expected = FORMAT_BANDWIDTH["DV"] / 8 * 10
+        assert display.bytes_displayed == pytest.approx(expected, rel=0.11)
+
+    def test_disconnect_stops_flow_and_frees_channel(self, sim, bus, av_pair):
+        manager, camera, display = av_pair
+        connection = manager.connect(Plug(camera, "out"), Plug(display, "in"), "DV")
+        sim.run_for(2.0)
+        flowed = display.bytes_displayed
+        connection.disconnect()
+        sim.run_for(5.0)
+        assert display.bytes_displayed == flowed
+        assert bus.channels_allocated == 0
+        assert manager.active_connections == 0
+
+    def test_direction_rules(self, av_pair):
+        manager, camera, display = av_pair
+        with pytest.raises(HaviError):
+            manager.connect(Plug(display, "in"), Plug(camera, "out"))
+        with pytest.raises(HaviError):
+            manager.connect(Plug(camera, "out"), Plug(camera, "out"))
+
+    def test_plug_index_validation(self, av_pair):
+        manager, camera, display = av_pair
+        with pytest.raises(HaviError, match="no out plug"):
+            Plug(camera, "out", index=5).validate()
+        with pytest.raises(HaviError, match="no in plug"):
+            Plug(camera, "in").validate()  # cameras have no input plug
+
+    def test_unknown_format_rejected(self, av_pair):
+        manager, camera, display = av_pair
+        with pytest.raises(HaviError, match="format"):
+            manager.connect(Plug(camera, "out"), Plug(display, "in"), "VHS")
+
+    def test_streams_cannot_leave_the_bus(self, sim, net, av_pair):
+        """The Section 4.2 negative result at substrate level: an FCM on a
+        different 1394 bus is unreachable isochronously."""
+        manager, camera, display = av_pair
+        other_segment = net.create_segment(IEEE1394Segment, "other-1394")
+        other_bus = Bus1394(net, other_segment)
+        foreign_node = HaviNode(net, "foreign-tv", other_bus)
+        foreign_display = DisplayFcm(Dcm(foreign_node, "Foreign TV", "display"))
+        with pytest.raises(HaviError, match="cannot leave"):
+            manager.connect(Plug(camera, "out"), Plug(foreign_display, "in"), "DV")
+
+    def test_many_streams_until_bandwidth_exhausted(self, sim, net, bus, havi_node_factory):
+        manager = StreamManager(bus)
+        connections = []
+        with pytest.raises(HaviError):
+            for _ in range(20):  # 20 * 28.8 Mb/s > 320 Mb/s budget
+                cam = CameraFcm(Dcm(havi_node_factory(), "C", "camcorder"))
+                tv = DisplayFcm(Dcm(havi_node_factory(), "T", "display"))
+                connections.append(manager.connect(Plug(cam, "out"), Plug(tv, "in"), "DV"))
+        assert len(connections) >= 10  # plenty fit before exhaustion
+
+    def test_stream_hooks_called(self, sim, av_pair):
+        manager, camera, display = av_pair
+        events = []
+        camera.on_stream_connected = lambda conn, role: events.append(("connect", role))
+        camera.on_stream_disconnected = lambda conn, role: events.append(("disconnect", role))
+        connection = manager.connect(Plug(camera, "out"), Plug(display, "in"))
+        connection.disconnect()
+        assert events == [("connect", "source"), ("disconnect", "source")]

@@ -1,0 +1,185 @@
+"""Failure injection across the whole bridged home.
+
+The framework's job is to make heterogeneity invisible; these tests make
+sure *failures* stay visible and contained: a broken island degrades its
+own services only, faults keep their meaning across two protocol
+conversions, and recovery paths (lease expiry, cache invalidation,
+gateway restart) actually run.
+"""
+
+import pytest
+
+from repro.errors import RemoteServiceError, ServiceNotFoundError
+from repro.apps.home import build_smart_home
+
+
+@pytest.fixture
+def home():
+    built = build_smart_home()
+    built.connect()
+    return built
+
+
+class TestIslandFailures:
+    def test_dead_gateway_degrades_only_its_island(self, home):
+        home.islands["havi"].gateway.shutdown()
+        # HAVi services are now unreachable...
+        with pytest.raises(Exception):
+            home.invoke_from("jini", "DV_Camera_camera", "zoom", [3])
+        # ...but every other island keeps working.
+        assert home.invoke_from("jini", "Refrigerator", "get_temperature") == 4.0
+        assert home.invoke_from("mail", "X10_A1_hall_lamp", "turn_on") is True
+        assert home.invoke_from("x10", "InternetMail", "send",
+                                ["u@home.sim", "s", "b"]) is True
+
+    def test_gateway_restart_on_new_port_recovers(self, home):
+        """VSR staleness: the gateway moves, cached locations go stale, the
+        retry-after-invalidate path restores service."""
+        from repro.core.gateway_soap import SoapGatewayProtocol
+
+        # Prime the jini island's cache with the HAVi gateway's location.
+        assert home.invoke_from("jini", "Digital_TV_tuner", "get_channel") == 1
+        havi = home.islands["havi"]
+        havi.gateway.protocol.stop()
+        new_protocol = SoapGatewayProtocol(havi.stack, port=9191)
+        havi.gateway.protocol = new_protocol
+        new_protocol.start(havi.gateway)
+        # Republishing is what a restarted gateway does on boot.
+        for name in havi.gateway.exported_services:
+            interface, _handler = havi.gateway._local[name]
+            document = interface.to_wsdl(
+                new_protocol.location(name),
+                {"island": "havi", "protocol": "soap", "middleware": "havi"},
+            )
+            home.sim.run_until_complete(havi.gateway.vsr.publish(document))
+        assert home.invoke_from("jini", "Digital_TV_tuner", "get_channel") == 1
+
+    def test_withdrawn_service_fails_with_not_found(self, home):
+        home.sim.run_until_complete(
+            home.islands["jini"].gateway.withdraw_service("Laserdisc")
+        )
+        home.islands["havi"].gateway.vsr.invalidate("Laserdisc")
+        with pytest.raises(Exception) as excinfo:
+            home.invoke_from("havi", "Laserdisc", "play")
+        assert "Laserdisc" in str(excinfo.value)
+
+
+class TestFaultTranslation:
+    def test_device_error_survives_double_conversion(self, home):
+        """HAVi error -> neutral fault -> SOAP Fault -> neutral fault ->
+        caller exception, with the message intact."""
+        with pytest.raises(RemoteServiceError, match="zoom level 99 out of range"):
+            home.invoke_from("jini", "DV_Camera_camera", "zoom", [99])
+
+    def test_type_error_rejected_at_the_first_boundary(self, home):
+        before = home.camera.zoom_level
+        with pytest.raises(RemoteServiceError):
+            home.invoke_from("jini", "DV_Camera_camera", "zoom", ["wide"])
+        assert home.camera.zoom_level == before  # never reached the device
+
+    def test_arity_error_rejected(self, home):
+        with pytest.raises(RemoteServiceError, match="expects"):
+            home.invoke_from("havi", "Refrigerator", "set_temperature", [])
+
+    def test_unknown_operation_rejected(self, home):
+        with pytest.raises(RemoteServiceError):
+            home.invoke_from("havi", "Refrigerator", "defrost_everything", [])
+
+
+class TestLossyMedia:
+    def test_powerline_loss_is_contained(self, home):
+        """A lossy powerline breaks X10 commands but nothing else; after
+        the interference clears, X10 recovers."""
+        import random
+
+        powerline = home.network.segment("powerline")
+        rng = random.Random(7)
+        powerline.loss_model = lambda frame: rng.random() < 1.0  # total loss
+        home.invoke_from("jini", "X10_A1_hall_lamp", "turn_on")
+        assert not home.lamps["hall"].on  # frames never arrived
+        # The rest of the home is untouched.
+        assert home.invoke_from("jini", "Refrigerator", "get_temperature") == 4.0
+        # Interference clears; X10 works again.
+        powerline.loss_model = None
+        home.invoke_from("jini", "X10_A1_hall_lamp", "turn_on")
+        assert home.lamps["hall"].on
+
+    def test_serial_corruption_retried_transparently(self, home):
+        """Corrupt the first CM11A checksum; the driver retries and the
+        command still lands."""
+        from repro.net.frames import Frame
+
+        serial = home.network.segment("serial0")
+        original_transmit = serial.transmit
+        corrupted = {"done": False}
+
+        def corrupt_once(sender, frame):
+            if (not corrupted["done"] and sender is home.cm11a.port.interface
+                    and len(frame.payload) == 1):
+                corrupted["done"] = True
+                frame = Frame(frame.src, frame.dst, frame.protocol,
+                              bytes([frame.payload[0] ^ 0xFF]), frame.note)
+            return original_transmit(sender, frame)
+
+        serial.transmit = corrupt_once
+        assert home.invoke_from("havi", "X10_A1_hall_lamp", "turn_on") is True
+        assert home.lamps["hall"].on
+        assert home.controller.driver.checksum_retries == 1
+
+
+class TestLeaseDynamics:
+    def test_jini_service_crash_disappears_via_lease_expiry(self, home):
+        """Stop renewing the fridge's lease (simulating a crash): the
+        lookup service withdraws it; the bridged view goes stale but the
+        lookup itself is truthful."""
+        service = home.jini_services["Refrigerator"]
+        service.renewals.forget(service.registration_lease)
+        before = home.lookup.registered_count
+        home.run(200.0)
+        assert home.lookup.registered_count < before
+
+    def test_bridged_registrations_outlive_many_lease_periods(self, home):
+        home.run(1000.0)  # many 120s bridge leases
+        from repro.jini.service import JiniClient, JiniHost
+
+        host = JiniHost(home.network, "survivor-check", home.network.segment("jini-eth"))
+        client = JiniClient(host)
+        lookup_ref = home.sim.run_until_complete(client.discover_lookup())
+        items = home.sim.run_until_complete(
+            client.lookup(lookup_ref, interface="vsg.InternetMail")
+        )
+        assert len(items) == 1
+
+
+class TestMalformedTraffic:
+    def test_garbage_to_the_soap_port_is_survivable(self, home):
+        """Raw TCP garbage at a gateway's SOAP endpoint must not break the
+        gateway for legitimate callers."""
+        from repro.net.transport import TransportStack
+
+        node = home.network.create_node("fuzzer")
+        home.network.attach(node, home.mm.backbone)
+        stack = TransportStack(node, home.network)
+        gateway_address = home.islands["jini"].stack.local_address(home.mm.backbone)
+        conn = home.sim.run_until_complete(stack.connect(gateway_address, 8080))
+        conn.send(b"\xde\xad\xbe\xef" * 100)
+        conn.send(b"POST /soap/Laserdisc HTTP/1.0\r\nContent-Length: 3\r\n\r\nxml")
+        home.run(2.0)
+        assert home.invoke_from("havi", "Laserdisc", "get_state") in ("PLAY", "STOP")
+
+    def test_garbage_on_discovery_ports_is_ignored(self, home):
+        from repro.net.transport import TransportStack
+
+        node = home.network.create_node("udp-fuzzer")
+        home.network.attach(node, home.network.segment("jini-eth"))
+        stack = TransportStack(node, home.network)
+        sock = stack.udp_socket()
+        for payload in (b"", b"\x00", b"\xac\xed\x00\x05\xfe", b"not-marshalled"):
+            sock.broadcast(home.network.segment("jini-eth"), 4160, payload)
+        home.run(2.0)
+        # Discovery still works afterwards.
+        from repro.jini.service import JiniClient, JiniHost
+
+        host = JiniHost(home.network, "post-fuzz", home.network.segment("jini-eth"))
+        client = JiniClient(host)
+        assert home.sim.run_until_complete(client.discover_lookup()) == home.lookup.ref

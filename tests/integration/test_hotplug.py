@@ -1,0 +1,73 @@
+"""Devices added after the initial integration.
+
+The paper's home is not static: appliances get plugged in.  Each
+middleware has its own appearance mechanism (Jini registration, HAVi bus
+join + registry, UPnP ssdp:alive, an X10 module simply existing at an
+address); these tests cover how each one becomes framework-visible.
+"""
+
+import pytest
+
+from repro.havi.bus1394 import HaviNode
+from repro.havi.dcm import Dcm
+from repro.havi.fcm_types import TunerFcm
+from repro.havi.registry import RegistryClient
+from repro.pcms.x10_pcm import X10DeviceInfo
+from repro.x10.codes import X10Address
+from repro.x10.devices import ApplianceModule
+
+
+@pytest.fixture
+def home():
+    from repro.apps.home import build_smart_home
+
+    built = build_smart_home()
+    built.connect()
+    return built
+
+
+class TestLateDevices:
+    def test_late_havi_device_appears_after_refresh(self, home):
+        """Plug a HAVi radio in: bus reset, registry registration, then one
+        framework refresh makes it callable from any island."""
+        radio_node = HaviNode(home.network, "havi-radio", home.bus)
+        radio_dcm = Dcm(radio_node, "Kitchen_Radio", "tuner", room="kitchen")
+        radio = TunerFcm(radio_dcm)
+        client = RegistryClient.for_bus(radio_node, home.havi_registry.havi_node)
+        home.sim.run_until_complete(radio_dcm.register(client))
+        home.sim.run_until_complete(home.mm.refresh())
+        assert home.invoke_from("jini", "Kitchen_Radio_tuner", "set_channel", [3]) == 3
+        assert radio.channel == 3
+
+    def test_bus_reset_does_not_break_existing_services(self, home):
+        """The join's bus reset reassigns phy ids; GUIDs (and therefore
+        SEIDs) are stable, so in-flight service wiring survives."""
+        HaviNode(home.network, "havi-newcomer", home.bus)  # join -> reset
+        assert home.bus.reset_count >= 4
+        assert home.invoke_from("jini", "DV_Camera_camera", "zoom", [2]) == 2
+
+    def test_late_x10_module_with_device_map_update(self, home):
+        """X10 has no discovery: the installer adds the module *and* the
+        map entry, then refresh exports it."""
+        heater = ApplianceModule(home.network, "heater", "powerline", X10Address("A", 6))
+        pcm = home.islands["x10"].pcm
+        pcm.device_map.append(X10DeviceInfo(X10Address("A", 6), "heater", "appliance", room="bath"))
+        home.sim.run_until_complete(home.mm.refresh())
+        assert home.invoke_from("havi", "X10_A6_heater", "turn_on") is True
+        assert heater.on
+
+    def test_late_devices_searchable_by_context(self, home):
+        radio_node = HaviNode(home.network, "havi-radio", home.bus)
+        radio_dcm = Dcm(radio_node, "Kitchen_Radio", "tuner", room="kitchen")
+        TunerFcm(radio_dcm)
+        client = RegistryClient.for_bus(radio_node, home.havi_registry.havi_node)
+        home.sim.run_until_complete(radio_dcm.register(client))
+        home.sim.run_until_complete(home.mm.refresh())
+        kitchen = {d.service for d in home.find_services(room="kitchen")}
+        assert "Kitchen_Radio_tuner" in kitchen
+        assert "Refrigerator" in kitchen  # spans middleware
+
+    def test_refresh_is_cheap_when_nothing_changed(self, home):
+        t0 = home.sim.now
+        home.sim.run_until_complete(home.mm.refresh())
+        assert home.sim.now - t0 < 1.0  # re-export skips, imports dedupe

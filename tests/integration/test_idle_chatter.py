@@ -1,0 +1,66 @@
+"""Background-traffic regression guard.
+
+The bridged home is never perfectly silent: Jini lookup announcements,
+lease renewals, CM11A polling, SOAP event polls.  This suite pins the
+*composition* of that idle chatter so a future change that accidentally
+introduces a chatty loop (or silences a keepalive) fails loudly.
+"""
+
+import pytest
+
+from repro.apps.home import build_smart_home
+from repro.net.monitor import TrafficMonitor
+
+
+@pytest.fixture
+def idle_minute():
+    home = build_smart_home()
+    home.connect()
+    monitor = TrafficMonitor().watch(*home.network.segments.values())
+    home.run(60.0)
+    return home, monitor
+
+
+class TestIdleChatter:
+    def test_backbone_is_quiet_without_subscriptions(self, idle_minute):
+        """With no event subscriptions, an idle minute costs (almost)
+        nothing on the backbone: no polling loops are armed.  A few stray
+        TCP close-handshake frames from connect time may still drain."""
+        home, monitor = idle_minute
+        backbone = monitor.per_segment.get("backbone", {})
+        backbone_bytes = sum(stats.bytes for stats in backbone.values())
+        assert backbone_bytes < 200
+
+    def test_jini_island_carries_announcements_and_renewals(self, idle_minute):
+        home, monitor = idle_minute
+        jini = monitor.per_segment["jini-eth"]
+        assert jini["udp"].frames >= 3   # periodic multicast announcements
+        assert jini["tcp"].frames > 0    # lease renewals over RMI
+
+    def test_powerline_is_silent_when_nothing_happens(self, idle_minute):
+        home, monitor = idle_minute
+        assert "powerline" not in monitor.per_segment
+
+    def test_havi_bus_is_silent_at_idle(self, idle_minute):
+        home, monitor = idle_minute
+        assert "havi-1394" not in monitor.per_segment
+
+    def test_idle_minute_total_is_bounded(self, idle_minute):
+        """The whole home idles on under 10 KB/min of management traffic —
+        the kind of number a 2002 embedded deployment would care about."""
+        home, monitor = idle_minute
+        assert monitor.total_bytes < 10_000
+
+    def test_subscriptions_add_polling_load_to_backbone_only(self):
+        home = build_smart_home(poll_interval=2.0)
+        home.connect()
+        home.sim.run_until_complete(
+            home.islands["havi"].gateway.subscribe("x10.ON", lambda t, p, s: None)
+        )
+        monitor = TrafficMonitor().watch(*home.network.segments.values())
+        home.run(60.0)
+        backbone_bytes = sum(
+            stats.bytes for stats in monitor.per_segment.get("backbone", {}).values()
+        )
+        assert backbone_bytes > 10_000  # ~30 polls/min of HTTP exchanges
+        assert "powerline" not in monitor.per_segment

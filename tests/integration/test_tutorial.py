@@ -1,0 +1,86 @@
+"""The docs/TUTORIAL.md code must keep working verbatim-in-spirit."""
+
+from repro.apps import build_smart_home
+from repro.core.interface import simple_interface
+from repro.core.pcm import ProtocolConversionManager
+from repro.net.simkernel import SimFuture
+
+
+class BlinkHub:
+    def __init__(self):
+        self.devices = {}
+
+
+class BlinkLight:
+    def __init__(self):
+        self.lit = False
+
+    def flash(self, times: int) -> int:
+        self.lit = True
+        return times
+
+
+class BlinkPcm(ProtocolConversionManager):
+    middleware_name = "blinknet"
+
+    def __init__(self, vsg, hub: BlinkHub):
+        super().__init__(vsg)
+        self.hub = hub
+
+    def _discover_local_services(self):
+        discovered = []
+        for name, device in self.hub.devices.items():
+            if name in self.imported:
+                continue  # a facade we installed: never re-export (loop!)
+            interface = simple_interface(name, {"flash": ("int", "->int")})
+
+            def handler(operation, args, _device=device):
+                return getattr(_device, operation)(*args)
+
+            discovered.append((name, interface, handler, {"vendor": "blink"}))
+        return SimFuture.completed(discovered)
+
+    def _materialise(self, document, interface):
+        self.hub.devices[document.service] = self.remote_proxy(document)
+        return SimFuture.completed(True)
+
+
+class TestTutorial:
+    def build(self):
+        home = build_smart_home()
+        home.connect()
+        hub = BlinkHub()
+        hub.devices["PorchBlinker"] = BlinkLight()
+        home.mm.add_island("blinknet", None, lambda i: BlinkPcm(i.gateway, hub))
+        home.sim.run_until_complete(home.mm.refresh())
+        return home, hub
+
+    def test_old_islands_reach_blinknet(self):
+        home, hub = self.build()
+        assert home.invoke_from("jini", "PorchBlinker", "flash", [3]) == 3
+        assert hub.devices["PorchBlinker"].lit
+
+    def test_blinknet_native_clients_reach_old_islands(self):
+        home, hub = self.build()
+        laserdisc = hub.devices["Laserdisc"]
+        home.sim.run_until_complete(laserdisc.play())
+        assert home.laserdisc.playing
+
+    def test_loop_prevention_on_double_refresh(self):
+        """Facades must never be re-exported: names AND owning islands of
+        every catalog entry must survive a second refresh (a hijacked
+        service keeps its name but moves island — check both)."""
+        home, hub = self.build()
+
+        def snapshot():
+            return {
+                (d.service, d.context["island"])
+                for d in home.sim.run_until_complete(home.mm.catalog())
+            }
+
+        before = snapshot()
+        home.sim.run_until_complete(home.mm.refresh())
+        assert snapshot() == before
+        # Foreign services still live on their own islands and still work.
+        assert ("Laserdisc", "jini") in before
+        assert home.invoke_from("havi", "Laserdisc", "get_state") in ("PLAY", "STOP")

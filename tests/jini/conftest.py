@@ -1,0 +1,30 @@
+"""Jini test fixtures: an island with a lookup service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jini.lookup import LookupService
+from repro.jini.service import JiniHost
+
+
+@pytest.fixture
+def jini_island(sim, net):
+    from repro.net.segment import EthernetSegment
+
+    segment = net.create_segment(EthernetSegment, "jini-eth")
+    lus_host = JiniHost(net, "lus", segment)
+    lookup = LookupService(lus_host.runtime, segment)
+    return segment, lookup
+
+
+@pytest.fixture
+def jini_host_factory(net, jini_island):
+    segment, _lookup = jini_island
+    counter = {"n": 0}
+
+    def factory(name: str | None = None) -> JiniHost:
+        counter["n"] += 1
+        return JiniHost(net, name or f"host{counter['n']}", segment)
+
+    return factory

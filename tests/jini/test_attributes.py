@@ -1,0 +1,68 @@
+"""Tests for Jini attribute modification (setAttributes semantics)."""
+
+import pytest
+
+from repro.jini.service import JiniClient, JiniService
+
+
+class Probe:
+    def ping(self):
+        return "pong"
+
+
+class TestUpdateAttributes:
+    def publish(self, sim, lookup, host, attributes):
+        service = JiniService(host, Probe(), ("svc.Probe",), attributes)
+        sim.run_until_complete(service.publish(lookup.ref, duration=60.0))
+        return service
+
+    def test_new_attributes_visible_in_lookup(self, sim, jini_island, jini_host_factory):
+        _, lookup = jini_island
+        service = self.publish(sim, lookup, jini_host_factory(), {"room": "hall"})
+        sim.run_until_complete(service.update_attributes({"room": "kitchen"}))
+        client = JiniClient(jini_host_factory())
+        items = sim.run_until_complete(
+            client.lookup(lookup.ref, attributes={"room": "kitchen"})
+        )
+        assert len(items) == 1
+        assert not sim.run_until_complete(
+            client.lookup(lookup.ref, attributes={"room": "hall"})
+        )
+
+    def test_service_id_stable_across_updates(self, sim, jini_island, jini_host_factory):
+        _, lookup = jini_island
+        service = self.publish(sim, lookup, jini_host_factory(), {"v": 1})
+        original_id = service.service_id
+        sim.run_until_complete(service.update_attributes({"v": 2}))
+        assert service.service_id == original_id
+        assert lookup.registered_count == 1  # replaced, not duplicated
+
+    def test_update_fires_match_transition(self, sim, jini_island, jini_host_factory):
+        _, lookup = jini_island
+        service = self.publish(sim, lookup, jini_host_factory(), {"state": "idle"})
+        client = JiniClient(jini_host_factory())
+        events = []
+        sim.run_until_complete(
+            client.register_listener(
+                lookup.ref, events.append,
+                attributes={"state": "busy"}, duration=300.0,
+            )
+        )
+        sim.run_until_complete(service.update_attributes({"state": "busy"}))
+        sim.run_for(1.0)
+        assert len(events) == 1
+        assert events[0].payload["transition"] == 1  # NOMATCH -> MATCH
+
+    def test_renewal_continues_after_update(self, sim, jini_island, jini_host_factory):
+        _, lookup = jini_island
+        service = self.publish(sim, lookup, jini_host_factory(), {})
+        sim.run_until_complete(service.update_attributes({"x": 1}))
+        sim.run_for(300.0)  # several lease periods
+        assert lookup.registered_count == 1
+
+    def test_update_before_publish_fails(self, sim, jini_host_factory):
+        from repro.errors import JiniError
+
+        service = JiniService(jini_host_factory(), Probe(), ("svc.Probe",))
+        with pytest.raises(JiniError):
+            sim.run_until_complete(service.update_attributes({"x": 1}))

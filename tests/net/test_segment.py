@@ -1,0 +1,169 @@
+"""Tests for broadcast media models."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.addressing import BROADCAST
+from repro.net.frames import Frame
+from repro.net.network import Network
+from repro.net.segment import (
+    EthernetSegment,
+    IEEE1394Segment,
+    PowerlineSegment,
+    SerialLink,
+)
+from repro.net.simkernel import Simulator
+
+
+def build(segment_cls, n_nodes=2, **kwargs):
+    sim = Simulator()
+    net = Network(sim)
+    segment = net.create_segment(segment_cls, "seg", **kwargs)
+    nodes = []
+    for index in range(n_nodes):
+        node = net.create_node(f"n{index}")
+        net.attach(node, segment)
+        nodes.append(node)
+    return sim, net, segment, nodes
+
+
+class TestTransmission:
+    def test_unicast_reaches_only_addressee(self):
+        sim, net, segment, (a, b) = build(EthernetSegment, 2)
+        seen = []
+        b.register_protocol("test", lambda iface, frame: seen.append(frame.payload))
+        a.interfaces[0].send(b.interfaces[0].hw_address, "test", b"hello")
+        sim.run()
+        assert seen == [b"hello"]
+
+    def test_unicast_not_delivered_to_third_party(self):
+        sim, net, segment, (a, b, c) = build(EthernetSegment, 3)
+        seen_c = []
+        c.register_protocol("test", lambda iface, frame: seen_c.append(frame))
+        a.interfaces[0].send(b.interfaces[0].hw_address, "test", b"private")
+        sim.run()
+        assert seen_c == []
+
+    def test_broadcast_reaches_everyone_but_sender(self):
+        sim, net, segment, nodes = build(EthernetSegment, 4)
+        seen = {node.name: [] for node in nodes}
+        for node in nodes:
+            node.register_protocol(
+                "test", lambda iface, frame, n=node.name: seen[n].append(frame.payload)
+            )
+        nodes[0].interfaces[0].broadcast("test", b"all")
+        sim.run()
+        assert seen["n0"] == []
+        assert all(seen[f"n{i}"] == [b"all"] for i in (1, 2, 3))
+
+    def test_promiscuous_interface_sees_foreign_unicast(self):
+        sim, net, segment, (a, b, c) = build(EthernetSegment, 3)
+        seen_c = []
+        c.interfaces[0].promiscuous = True
+        c.register_protocol("test", lambda iface, frame: seen_c.append(frame.payload))
+        a.interfaces[0].send(b.interfaces[0].hw_address, "test", b"sniffed")
+        sim.run()
+        assert seen_c == [b"sniffed"]
+
+    def test_down_interface_receives_nothing(self):
+        sim, net, segment, (a, b) = build(EthernetSegment, 2)
+        seen = []
+        b.register_protocol("test", lambda iface, frame: seen.append(frame))
+        b.interfaces[0].up = False
+        a.interfaces[0].broadcast("test", b"x")
+        sim.run()
+        assert seen == []
+
+    def test_down_interface_cannot_send(self):
+        sim, net, segment, (a, b) = build(EthernetSegment, 2)
+        a.interfaces[0].up = False
+        with pytest.raises(NetworkError):
+            a.interfaces[0].broadcast("test", b"x")
+
+
+class TestTiming:
+    def test_transmission_time_scales_with_size_and_bandwidth(self):
+        sim, net, segment, (a, b) = build(EthernetSegment, 2)
+        small = Frame(a.interfaces[0].hw_address, BROADCAST, "t", b"x" * 100)
+        large = Frame(a.interfaces[0].hw_address, BROADCAST, "t", b"x" * 1000)
+        assert segment.transmission_time(large) > segment.transmission_time(small)
+        expected = (1000 + segment.header_overhead) * 8 / segment.bandwidth_bps
+        assert segment.transmission_time(large) == pytest.approx(expected)
+
+    def test_busy_medium_serialises_transmissions(self):
+        sim, net, segment, (a, b) = build(EthernetSegment, 2)
+        arrivals = []
+        b.register_protocol("t", lambda iface, frame: arrivals.append(sim.now))
+        # Two 1500-byte frames sent at the same instant must arrive one
+        # transmission-time apart.
+        a.interfaces[0].broadcast("t", b"x" * 1500)
+        a.interfaces[0].broadcast("t", b"x" * 1500)
+        sim.run()
+        assert len(arrivals) == 2
+        gap = arrivals[1] - arrivals[0]
+        one_tx = segment.transmission_time(
+            Frame(a.interfaces[0].hw_address, BROADCAST, "t", b"x" * 1500)
+        )
+        assert gap == pytest.approx(one_tx)
+
+    def test_powerline_is_orders_of_magnitude_slower_than_ethernet(self):
+        _, _, powerline, _ = build(PowerlineSegment, 2)
+        _, _, ethernet, _ = build(EthernetSegment, 2)
+        frame = Frame(BROADCAST, BROADCAST, "x10", b"\x66\x00")
+        assert powerline.transmission_time(frame) > 1000 * ethernet.transmission_time(frame)
+        # An X10 frame takes on the order of a third of a second.
+        assert 0.1 < powerline.transmission_time(frame) < 1.0
+
+    def test_ieee1394_is_fastest(self):
+        _, _, firewire, _ = build(IEEE1394Segment, 2)
+        _, _, ethernet, _ = build(EthernetSegment, 2)
+        frame = Frame(BROADCAST, BROADCAST, "t", b"x" * 1000)
+        assert firewire.transmission_time(frame) < ethernet.transmission_time(frame)
+
+
+class TestTopologyRules:
+    def test_serial_link_limited_to_two_endpoints(self):
+        sim = Simulator()
+        net = Network(sim)
+        link = net.create_segment(SerialLink, "ser")
+        for index in range(2):
+            node = net.create_node(f"n{index}")
+            net.attach(node, link)
+        third = net.create_node("n2")
+        with pytest.raises(NetworkError):
+            net.attach(third, link)
+
+    def test_double_attach_rejected(self):
+        sim, net, segment, (a, b) = build(EthernetSegment, 2)
+        with pytest.raises(NetworkError):
+            segment.attach(a.interfaces[0])
+
+    def test_zero_bandwidth_rejected(self):
+        sim = Simulator()
+        with pytest.raises(NetworkError):
+            EthernetSegment(sim, "bad", bandwidth_bps=0)
+
+
+class TestLossModel:
+    def test_loss_model_drops_frames(self):
+        sim, net, segment, (a, b) = build(PowerlineSegment, 2)
+        seen = []
+        b.register_protocol("t", lambda iface, frame: seen.append(frame))
+        segment.loss_model = lambda frame: True  # drop everything
+        a.interfaces[0].broadcast("t", b"\x01\x02")
+        sim.run()
+        assert seen == []
+        assert segment.frames_sent == 1  # it still occupied the wire
+
+    def test_deterministic_seeded_loss(self):
+        import random
+
+        rng = random.Random(42)
+        sim, net, segment, (a, b) = build(PowerlineSegment, 2)
+        seen = []
+        b.register_protocol("t", lambda iface, frame: seen.append(frame))
+        segment.loss_model = lambda frame: rng.random() < 0.5
+        for _ in range(20):
+            a.interfaces[0].broadcast("t", b"\x01\x02")
+        sim.run()
+        assert 0 < len(seen) < 20  # some lost, some delivered

@@ -1,0 +1,158 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError, TimeoutError
+from repro.net.simkernel import SimFuture, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(3.0, fired.append, "last")
+        sim.run()
+        assert fired == ["early", "late", "last"]
+        assert sim.now == 3.0
+
+    def test_same_instant_fires_fifo(self):
+        sim = Simulator()
+        fired = []
+        for tag in range(5):
+            sim.schedule(1.0, fired.append, tag)
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(1.0, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+        # Cancelling twice is harmless.
+        event.cancel()
+
+    def test_callback_can_schedule_more_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(1.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 4.0
+
+    def test_run_until_bound_advances_clock_exactly(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, fired.append, "future")
+        sim.run(until=4.0)
+        assert fired == []
+        assert sim.now == 4.0
+        sim.run_for(6.0)
+        assert fired == ["future"]
+
+    def test_call_soon_runs_after_queued_same_instant(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.0, fired.append, "first")
+        sim.call_soon(fired.append, "second")
+        sim.run()
+        assert fired == ["first", "second"]
+
+    def test_step_returns_false_when_empty(self):
+        sim = Simulator()
+        assert sim.step() is False
+
+    def test_pending_events_counts_only_live(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        cancelled = sim.schedule(1.0, lambda: None)
+        cancelled.cancel()
+        assert sim.pending_events == 1
+        keep.cancel()
+        assert sim.pending_events == 0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    def test_firing_order_is_sorted_by_time(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, fired.append, delay)
+        sim.run()
+        assert fired == sorted(delays)
+
+
+class TestSimFuture:
+    def test_result_before_done_raises(self):
+        future = SimFuture()
+        with pytest.raises(SimulationError):
+            future.result()
+
+    def test_double_resolution_rejected(self):
+        future = SimFuture()
+        future.set_result(1)
+        with pytest.raises(SimulationError):
+            future.set_result(2)
+
+    def test_callbacks_fire_on_resolution_and_late_add(self):
+        future = SimFuture()
+        seen = []
+        future.add_done_callback(lambda f: seen.append(("early", f.result())))
+        future.set_result(42)
+        future.add_done_callback(lambda f: seen.append(("late", f.result())))
+        assert seen == [("early", 42), ("late", 42)]
+
+    def test_exception_propagates_through_result(self):
+        future = SimFuture.failed(ValueError("boom"))
+        assert isinstance(future.exception(), ValueError)
+        with pytest.raises(ValueError):
+            future.result()
+
+    def test_run_until_complete_returns_value(self):
+        sim = Simulator()
+        future = SimFuture()
+        sim.schedule(2.0, future.set_result, "done")
+        assert sim.run_until_complete(future) == "done"
+        assert sim.now == 2.0
+
+    def test_run_until_complete_timeout(self):
+        sim = Simulator()
+        future = SimFuture()
+        sim.schedule(100.0, future.set_result, "too late")
+        with pytest.raises(TimeoutError):
+            sim.run_until_complete(future, timeout=10.0)
+
+    def test_run_until_complete_detects_deadlock(self):
+        sim = Simulator()
+        future = SimFuture()  # nothing will ever resolve it
+        with pytest.raises(SimulationError):
+            sim.run_until_complete(future)
+
+    def test_gather_preserves_order(self):
+        sim = Simulator()
+        futures = [SimFuture() for _ in range(3)]
+        sim.schedule(3.0, futures[0].set_result, "a")
+        sim.schedule(1.0, futures[1].set_result, "b")
+        sim.schedule(2.0, futures[2].set_result, "c")
+        assert sim.gather(futures) == ["a", "b", "c"]

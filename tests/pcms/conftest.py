@@ -1,0 +1,12 @@
+"""PCM tests all run against the fully built smart home."""
+
+import pytest
+
+from repro.apps.home import build_smart_home
+
+
+@pytest.fixture
+def home():
+    built = build_smart_home()
+    built.connect()
+    return built

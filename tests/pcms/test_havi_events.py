@@ -1,0 +1,52 @@
+"""Tests for HAVi event bridging (FCM state changes on the framework bus)."""
+
+import pytest
+
+
+class TestHaviEventBridging:
+    def subscribe(self, home, island, topic):
+        received = []
+        home.sim.run_until_complete(
+            home.islands[island].gateway.subscribe(
+                topic, lambda t, p, src: received.append((t, p))
+            )
+        )
+        return received
+
+    def test_camera_capture_event_crosses_islands(self, home):
+        received = self.subscribe(home, "jini", "havi.capture")
+        home.invoke_from("mail", "DV_Camera_camera", "start_capture")
+        home.run(8.0)
+        assert len(received) == 1
+        topic, payload = received[0]
+        assert payload["device_name"] == "DV_Camera"
+        assert payload["payload"] is True
+
+    def test_vcr_transport_events(self, home):
+        received = self.subscribe(home, "x10", "havi.transport_state")
+        home.invoke_from("jini", "DV_Camera_vcr", "record")
+        home.invoke_from("jini", "DV_Camera_vcr", "stop")
+        home.run(8.0)
+        states = [payload["payload"] for _t, payload in received]
+        assert states == ["RECORD", "STOP"]
+
+    def test_no_event_without_state_change(self, home):
+        received = self.subscribe(home, "jini", "havi.capture")
+        home.invoke_from("jini", "DV_Camera_camera", "stop_capture")  # already stopped
+        home.run(8.0)
+        assert received == []
+
+    def test_local_havi_control_also_bridged(self, home):
+        """Events fired by *native* HAVi activity (not framework calls)
+        still reach other islands."""
+        received = self.subscribe(home, "jini", "havi.transport_state")
+        home.camera_vcr.play()  # direct local FCM action
+        home.run(8.0)
+        assert [p["payload"] for _t, p in received] == ["PLAY"]
+
+    def test_pcm_event_counter(self, home):
+        pcm = home.islands["havi"].pcm
+        before = pcm.events_bridged
+        home.camera.start_capture()
+        home.run(1.0)
+        assert pcm.events_bridged == before + 1

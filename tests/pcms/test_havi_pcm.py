@@ -1,0 +1,105 @@
+"""Tests for the HAVi PCM: both proxy directions."""
+
+import pytest
+
+from repro.errors import ConversionError, HaviError, RemoteServiceError
+from repro.havi.bus1394 import HaviNode
+from repro.havi.dcm import FcmHandle
+from repro.havi.messaging import REGISTRY_LOCAL_ID, Seid
+from repro.havi.registry import RegistryClient
+from repro.pcms.havi_pcm import interface_from_describe, service_name_for
+from repro.core.interface import ValueType
+
+
+class TestNamingAndTypes:
+    def test_service_name_for(self):
+        assert service_name_for("DV Camera", "camera") == "DV_Camera_camera"
+        assert service_name_for("Digital-TV", "display") == "Digital_TV_display"
+        with pytest.raises(ConversionError):
+            service_name_for("@#$", "fcm")
+
+    def test_interface_from_describe_maps_types(self):
+        description = {
+            "fcm_type": "camera",
+            "commands": {"zoom": ["int"], "label": ["string", "boolean"]},
+            "returns": {"zoom": "int"},
+        }
+        interface = interface_from_describe("Cam", description)
+        zoom = interface.operation("zoom")
+        assert zoom.params[0].type == ValueType.INT
+        assert zoom.returns == ValueType.INT
+        label = interface.operation("label")
+        assert [p.type for p in label.params] == [ValueType.STRING, ValueType.BOOL]
+        assert label.returns == ValueType.ANY  # unspecified return
+
+
+class TestClientProxyDirection:
+    def test_fcms_exported_per_function(self, home):
+        catalog = home.sim.run_until_complete(home.mm.catalog())
+        havi_services = {d.service for d in catalog if d.context.get("island") == "havi"}
+        assert havi_services == {
+            "Digital_TV_display",
+            "Digital_TV_tuner",
+            "DV_Camera_camera",
+            "DV_Camera_vcr",
+        }
+
+    def test_context_carries_fcm_metadata(self, home):
+        catalog = home.sim.run_until_complete(home.mm.catalog())
+        camera = next(d for d in catalog if d.service == "DV_Camera_camera")
+        assert camera.context["fcm_type"] == "camera"
+        assert camera.context["device_class"] == "camcorder"
+
+    def test_cross_island_call_becomes_havi_message(self, home):
+        before = home.islands["havi"].pcm.havi_node.messaging.messages_sent
+        assert home.invoke_from("jini", "Digital_TV_tuner", "set_channel", [42]) == 42
+        assert home.tv_tuner.channel == 42
+        after = home.islands["havi"].pcm.havi_node.messaging.messages_sent
+        assert after > before  # real HAVi messages crossed the 1394 bus
+
+    def test_havi_error_crosses_as_remote_fault(self, home):
+        with pytest.raises(RemoteServiceError, match="out of range"):
+            home.invoke_from("jini", "DV_Camera_camera", "zoom", [99])
+
+
+class TestServerProxyDirection:
+    def find_virtual_fcm(self, home, service):
+        """A native HAVi controller node finds the bridged FCM through the
+        ordinary registry."""
+        controller = HaviNode(home.network, f"native-{service}", home.bus)
+        registry_host = home.havi_registry.havi_node
+        client = RegistryClient(
+            controller.messaging, Seid(registry_host.guid, REGISTRY_LOCAL_ID)
+        )
+        seid, attrs = home.sim.run_until_complete(
+            client.find_one({"fcm_type": "bridged", "device_name": service})
+        )
+        return FcmHandle(controller.messaging, seid), attrs
+
+    def test_native_havi_controller_plays_jini_laserdisc(self, home):
+        handle, attrs = self.find_virtual_fcm(home, "Laserdisc")
+        assert attrs["bridged"] is True
+        assert home.sim.run_until_complete(handle.call("play")) is True
+        assert home.laserdisc.playing
+
+    def test_virtual_fcm_describe_reflects_interface(self, home):
+        handle, _ = self.find_virtual_fcm(home, "Laserdisc")
+        description = home.sim.run_until_complete(handle.describe())
+        assert description["fcm_type"] == "bridged"
+        assert "goto_chapter" in description["commands"]
+
+    def test_virtual_fcm_validates_types_before_forwarding(self, home):
+        handle, _ = self.find_virtual_fcm(home, "Laserdisc")
+        with pytest.raises(HaviError):
+            home.sim.run_until_complete(handle.call("goto_chapter", "five"))
+
+    def test_virtual_fcm_for_x10_lamp(self, home):
+        handle, _ = self.find_virtual_fcm(home, "X10_A2_porch_lamp")
+        assert home.sim.run_until_complete(handle.call("turn_on")) is True
+        assert home.lamps["porch"].on
+
+    def test_bridged_fcms_not_reexported(self, home):
+        home.sim.run_until_complete(home.mm.refresh())
+        catalog = home.sim.run_until_complete(home.mm.catalog())
+        havi_names = [d.service for d in catalog if d.context.get("island") == "havi"]
+        assert len(havi_names) == 4

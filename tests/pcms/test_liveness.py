@@ -1,0 +1,86 @@
+"""Tests for liveness propagation and hot plug (Jini and UPnP PCMs)."""
+
+import pytest
+
+from repro.devices.av import Laserdisc
+from repro.jini.service import JiniService, JiniHost
+
+
+class TestJiniLiveness:
+    @pytest.fixture
+    def live_home(self, home):
+        home.sim.run_until_complete(home.islands["jini"].pcm.enable_liveness())
+        return home
+
+    def test_hotplug_device_becomes_reachable_framework_wide(self, live_home):
+        """Plug a brand-new Jini device in at runtime: without any refresh
+        it appears in the VSR and other islands can call it."""
+        home = live_home
+        second_disc = Laserdisc()
+        host = JiniHost(home.network, "jini-disc2", home.network.segment("jini-eth"))
+        service = JiniService(
+            host, second_disc, (Laserdisc.JINI_INTERFACE,),
+            {"name": "Laserdisc2", "ops": Laserdisc.JINI_OPS},
+        )
+        home.sim.run_until_complete(service.publish(home.lookup.ref))
+        home.run(2.0)  # transition event + export settle
+        assert home.islands["jini"].pcm.hotplug_exports == 1
+        assert home.invoke_from("havi", "Laserdisc2", "play") is True
+        assert second_disc.playing
+
+    def test_crashed_device_withdrawn_from_vsr(self, live_home):
+        """Let the fridge's lease lapse: the framework catalog drops it."""
+        home = live_home
+        service = home.jini_services["Refrigerator"]
+        service.renewals.forget(service.registration_lease)
+        home.run(200.0)
+        catalog = home.sim.run_until_complete(home.mm.catalog())
+        assert "Refrigerator" not in {d.service for d in catalog}
+        assert home.islands["jini"].pcm.withdrawals >= 1
+
+    def test_healthy_services_unaffected(self, live_home):
+        home = live_home
+        home.run(300.0)
+        catalog = home.sim.run_until_complete(home.mm.catalog())
+        names = {d.service for d in catalog}
+        assert {"Laserdisc", "Vcr", "Refrigerator", "AirConditioner"} <= names
+
+    def test_liveness_registration_survives_many_lease_periods(self, live_home):
+        """The PCM's own event-registration lease is auto-renewed."""
+        home = live_home
+        home.run(1000.0)
+        # Crash a device after a long uptime: the watcher must still react.
+        service = home.jini_services["AirConditioner"]
+        service.renewals.forget(service.registration_lease)
+        home.run(200.0)
+        catalog = home.sim.run_until_complete(home.mm.catalog())
+        assert "AirConditioner" not in {d.service for d in catalog}
+
+
+class TestUpnpLiveness:
+    @pytest.fixture
+    def upnp_home(self, home):
+        from repro.apps.home import add_upnp_island
+
+        add_upnp_island(home)
+        home.sim.run_until_complete(home.mm.refresh())
+        return home
+
+    def test_byebye_withdraws_services(self, upnp_home):
+        home = upnp_home
+        light = home.upnp_devices["light"]
+        light.announcer.stop(send_byebye=True)
+        home.run(3.0)
+        catalog = home.sim.run_until_complete(home.mm.catalog())
+        names = {d.service for d in catalog}
+        assert "Porchlight_SwitchPower" not in names
+        assert "Renderer_AVTransport" in names  # the other device stays
+        assert home.islands["upnp"].pcm.withdrawals == 1
+
+    def test_withdrawn_service_fails_from_other_islands(self, upnp_home):
+        home = upnp_home
+        home.upnp_devices["light"].announcer.stop(send_byebye=True)
+        home.run(3.0)
+        home.islands["jini"].gateway.vsr.invalidate("Porchlight_SwitchPower")
+        with pytest.raises(Exception):
+            home.invoke_from("jini", "Porchlight_SwitchPower", "GetStatus")

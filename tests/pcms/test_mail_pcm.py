@@ -1,0 +1,49 @@
+"""Tests for the Internet Mail PCM."""
+
+import pytest
+
+
+class TestClientProxyDirection:
+    def test_internet_mail_in_catalog(self, home):
+        catalog = home.sim.run_until_complete(home.mm.catalog())
+        mail_doc = next(d for d in catalog if d.service == "InternetMail")
+        assert mail_doc.context["island"] == "mail"
+        assert mail_doc.has_operation("send")
+        assert mail_doc.has_operation("check_inbox")
+
+    def test_any_island_can_send_mail(self, home):
+        for island in ("jini", "havi", "x10"):
+            assert home.invoke_from(
+                island, "InternetMail", "send",
+                ["user@home.sim", f"from {island}", "body"],
+            ) is True
+        box = home.mail_server.store.mailbox("user@home.sim")
+        assert sorted(m.subject for m in box.messages) == [
+            "from havi", "from jini", "from x10",
+        ]
+
+    def test_check_inbox_round_trip(self, home):
+        home.invoke_from("jini", "InternetMail", "send", ["a@home.sim", "s1", "b1"])
+        inbox = home.invoke_from("havi", "InternetMail", "check_inbox", ["a@home.sim"])
+        assert len(inbox) == 1
+        assert inbox[0]["subject"] == "s1"
+        # Drained: second check is empty.
+        assert home.invoke_from("havi", "InternetMail", "check_inbox", ["a@home.sim"]) == []
+
+    def test_real_smtp_traffic_flows(self, home):
+        before = home.mail_server.smtp.messages_accepted
+        home.invoke_from("x10", "InternetMail", "send", ["u@home.sim", "s", "b"])
+        assert home.mail_server.smtp.messages_accepted == before + 1
+
+
+class TestEventForwarding:
+    def test_events_forwarded_as_email(self, home):
+        pcm = home.islands["mail"].pcm
+        home.sim.run_until_complete(pcm.forward_events_to("watcher@home.sim", "x10.ON"))
+        home.motion_sensor.trigger()
+        home.run(15.0)
+        box = home.mail_server.store.mailbox("watcher@home.sim")
+        assert len(box) == 1
+        assert "x10.ON" in box.messages[0].subject
+        assert "A9" in box.messages[0].body
+        assert pcm.events_forwarded == 1

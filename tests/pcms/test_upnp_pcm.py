@@ -1,0 +1,95 @@
+"""Tests for the UPnP PCM and the late-join ('effortlessly') claim."""
+
+import pytest
+
+from repro.apps.home import add_upnp_island
+from repro.net.transport import TransportStack
+from repro.upnp.control import UpnpControlPoint
+
+
+@pytest.fixture
+def upnp_home(home):
+    add_upnp_island(home)
+    home.sim.run_until_complete(home.mm.refresh())
+    return home
+
+
+class TestLateJoin:
+    def test_one_refresh_integrates_everything(self, upnp_home):
+        catalog = upnp_home.sim.run_until_complete(upnp_home.mm.catalog())
+        upnp_services = {d.service for d in catalog if d.context["island"] == "upnp"}
+        assert upnp_services == {"Porchlight_SwitchPower", "Renderer_AVTransport"}
+        assert len(catalog) == 15
+
+    def test_existing_islands_unchanged(self, upnp_home):
+        """Joining must not disturb the original four islands."""
+        assert upnp_home.invoke_from("jini", "Digital_TV_tuner", "get_channel") == 1
+        assert upnp_home.invoke_from("havi", "Refrigerator", "get_temperature") == 4.0
+
+    def test_every_old_island_reaches_upnp(self, upnp_home):
+        for island in ("jini", "havi", "x10", "mail"):
+            assert upnp_home.invoke_from(island, "Renderer_AVTransport", "Play") is True
+
+    def test_upnp_island_reaches_every_old_island(self, upnp_home):
+        assert upnp_home.invoke_from("upnp", "Laserdisc", "play") is True
+        assert upnp_home.invoke_from("upnp", "Digital_TV_display", "power_on") is True
+        assert upnp_home.invoke_from("upnp", "X10_A1_hall_lamp", "turn_on") is True
+
+
+class TestClientProxyDirection:
+    def test_typed_interface_from_upnp_description(self, upnp_home):
+        catalog = upnp_home.sim.run_until_complete(upnp_home.mm.catalog())
+        transport = next(d for d in catalog if d.service == "Renderer_AVTransport")
+        set_volume = transport.operation("SetVolume")
+        assert set_volume.inputs[0].type == "int"
+        assert set_volume.output == "int"
+
+    def test_action_invocation_from_remote_island(self, upnp_home):
+        assert upnp_home.invoke_from("jini", "Renderer_AVTransport", "SetVolume", [80]) == 80
+        assert upnp_home.upnp_state["renderer"]["volume"] == 80
+
+    def test_gena_events_bridged_to_framework_bus(self, upnp_home):
+        received = []
+        upnp_home.sim.run_until_complete(
+            upnp_home.islands["jini"].gateway.subscribe(
+                "upnp.Status", lambda t, p, src: received.append(p)
+            )
+        )
+        upnp_home.invoke_from("havi", "Porchlight_SwitchPower", "SetTarget", [True])
+        upnp_home.run(8.0)
+        assert received == [{"udn": "uuid:upnp-light", "value": True}]
+
+
+class TestServerProxyDirection:
+    def native_control_point(self, upnp_home):
+        node = upnp_home.network.create_node("native-cp")
+        upnp_home.network.attach(node, upnp_home.network.segment("upnp-eth"))
+        stack = TransportStack(node, upnp_home.network)
+        control_point = UpnpControlPoint(stack)
+        control_point.search("upnp-eth")
+        upnp_home.run(2.0)
+        return control_point
+
+    def test_bridge_device_advertises_foreign_services(self, upnp_home):
+        control_point = self.native_control_point(upnp_home)
+        bridge_usn = "uuid:VSG_Bridge"
+        assert bridge_usn in control_point.discovered
+        description, base = upnp_home.sim.run_until_complete(
+            control_point.fetch_description(control_point.discovered[bridge_usn])
+        )
+        ids = {s.service_id for s in description.services}
+        assert "urn:repro:serviceId:Laserdisc" in ids
+        assert "urn:repro:serviceId:X10_A1_hall_lamp" in ids
+        assert "urn:repro:serviceId:InternetMail" in ids
+
+    def test_native_control_point_drives_jini_device(self, upnp_home):
+        control_point = self.native_control_point(upnp_home)
+        description, base = upnp_home.sim.run_until_complete(
+            control_point.fetch_description(control_point.discovered["uuid:VSG_Bridge"])
+        )
+        service = description.service("urn:repro:serviceId:Laserdisc")
+        chapter = upnp_home.sim.run_until_complete(
+            control_point.invoke(base, service, "goto_chapter", [12])
+        )
+        assert chapter == 12
+        assert upnp_home.laserdisc.chapter == 12

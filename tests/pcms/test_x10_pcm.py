@@ -1,0 +1,127 @@
+"""Tests for the X10 PCM: device exports, button bindings, event bridging."""
+
+import pytest
+
+from repro.errors import ConversionError
+from repro.x10.codes import X10Address, X10Function
+
+
+class TestClientProxyDirection:
+    def test_mapped_devices_exported_sensors_excluded(self, home):
+        catalog = home.sim.run_until_complete(home.mm.catalog())
+        x10_services = {d.service for d in catalog if d.context.get("island") == "x10"}
+        assert x10_services == {
+            "X10_A1_hall_lamp", "X10_A2_porch_lamp", "X10_A3_fan", "X10_house_A",
+        }
+
+    def test_lamp_exports_dimming_appliance_does_not(self, home):
+        catalog = home.sim.run_until_complete(home.mm.catalog())
+        lamp = next(d for d in catalog if d.service == "X10_A1_hall_lamp")
+        fan = next(d for d in catalog if d.service == "X10_A3_fan")
+        assert lamp.has_operation("dim")
+        assert not fan.has_operation("dim")
+
+    def test_remote_call_drives_real_powerline(self, home):
+        assert home.invoke_from("jini", "X10_A1_hall_lamp", "turn_on") is True
+        assert home.lamps["hall"].on
+        assert home.cm11a.transmissions >= 2  # address + function frames
+
+    def test_dim_from_another_island(self, home):
+        home.invoke_from("havi", "X10_A1_hall_lamp", "turn_on")
+        home.invoke_from("havi", "X10_A1_hall_lamp", "dim", [50])
+        assert 40 <= home.lamps["hall"].level <= 60
+
+    def test_x10_latency_dominates_cross_island_call(self, home):
+        """Figure 4's shape: the IP legs are milliseconds, the powerline
+        legs hundreds of milliseconds."""
+        t0 = home.sim.now
+        home.invoke_from("jini", "X10_A3_fan", "turn_on")
+        assert home.sim.now - t0 > 0.5
+
+
+class TestServerProxyDirection:
+    def test_button_binding_invokes_remote_service(self, home):
+        pcm = home.islands["x10"].pcm
+        pcm.bind_button(X10Address("A", 4), "Laserdisc", "play")
+        home.handset.press_on(X10Address("A", 4))
+        home.run(5.0)
+        assert home.laserdisc.playing
+        assert pcm.bindings[(X10Address("A", 4), X10Function.ON)].invocations == 1
+
+    def test_binding_with_arguments(self, home):
+        pcm = home.islands["x10"].pcm
+        pcm.bind_button(X10Address("A", 5), "Digital_TV_tuner", "set_channel", [7])
+        home.handset.press_on(X10Address("A", 5))
+        home.run(5.0)
+        assert home.tv_tuner.channel == 7
+
+    def test_on_and_off_bind_separately(self, home):
+        pcm = home.islands["x10"].pcm
+        pcm.bind_button(X10Address("A", 4), "Laserdisc", "play", function=X10Function.ON)
+        pcm.bind_button(X10Address("A", 4), "Laserdisc", "stop", function=X10Function.OFF)
+        home.handset.press_on(X10Address("A", 4))
+        home.run(5.0)
+        assert home.laserdisc.playing
+        home.handset.press_off(X10Address("A", 4))
+        home.run(5.0)
+        assert not home.laserdisc.playing
+
+    def test_binding_unknown_service_rejected(self, home):
+        pcm = home.islands["x10"].pcm
+        with pytest.raises(ConversionError, match="not imported"):
+            pcm.bind_button(X10Address("A", 4), "Ghost", "op")
+
+    def test_unbind(self, home):
+        pcm = home.islands["x10"].pcm
+        pcm.bind_button(X10Address("A", 4), "Laserdisc", "play")
+        pcm.unbind_button(X10Address("A", 4))
+        home.handset.press_on(X10Address("A", 4))
+        home.run(5.0)
+        assert not home.laserdisc.playing
+
+
+class TestEventBridging:
+    def test_motion_sensor_event_reaches_other_islands(self, home):
+        received = []
+        home.sim.run_until_complete(
+            home.islands["havi"].gateway.subscribe(
+                "x10.ON", lambda t, p, src: received.append(p)
+            )
+        )
+        home.motion_sensor.trigger()
+        home.run(10.0)
+        assert len(received) == 1
+        assert received[0]["address"] == "A9"
+        assert received[0]["function"] == "ON"
+
+    def test_handset_presses_published_as_events(self, home):
+        received = []
+        home.sim.run_until_complete(
+            home.islands["mail"].gateway.subscribe(
+                "x10.OFF", lambda t, p, src: received.append(p)
+            )
+        )
+        home.handset.press_off(X10Address("A", 2))
+        home.run(10.0)
+        assert [e["address"] for e in received] == ["A2"]
+
+
+class TestHouseWideService:
+    def test_house_service_in_catalog(self, home):
+        catalog = home.sim.run_until_complete(home.mm.catalog())
+        house = next(d for d in catalog if d.service == "X10_house_A")
+        assert house.has_operation("all_units_off")
+        assert house.has_operation("all_lights_on")
+        assert house.context["x10_kind"] == "house"
+
+    def test_all_lights_on_from_another_island(self, home):
+        assert home.invoke_from("havi", "X10_house_A", "all_lights_on") is True
+        assert home.lamps["hall"].on and home.lamps["porch"].on
+        assert not home.fan.on  # appliances are not lights
+
+    def test_all_units_off_from_another_island(self, home):
+        home.invoke_from("jini", "X10_A1_hall_lamp", "turn_on")
+        home.invoke_from("jini", "X10_A3_fan", "turn_on")
+        assert home.invoke_from("mail", "X10_house_A", "all_units_off") is True
+        assert not home.lamps["hall"].on
+        assert not home.fan.on

@@ -1,0 +1,207 @@
+"""Tests for SOAP envelopes and the Section-5 value encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MarshallingError, SoapError, SoapFault
+from repro.soap import envelope
+from repro.soap.envelope import build_fault, build_request, build_response, parse_envelope
+from repro.soap.xmlutil import XmlWriter
+
+
+def roundtrip_value(value):
+    data = build_request("op", [value])
+    message = parse_envelope(data)
+    assert message.kind == "request"
+    return message.args[0]
+
+
+# Identifier-like ASCII keys only: SOAP structs become XML element names.
+_keys = st.text(alphabet="abcdefghijKLMNOP", min_size=1, max_size=10)
+
+# XML 1.0 cannot carry control characters or unpaired surrogates.
+_xml_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cc", "Cs")), max_size=50
+)
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    _xml_text,
+    st.binary(max_size=50),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(_keys, children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+
+class TestValueRoundTrips:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -42,
+            2**31,
+            1.5,
+            -0.25,
+            "",
+            "plain",
+            "escapes <&> \"quotes\" 'and' é漢",
+            b"",
+            b"\x00\xff binary",
+            [],
+            [1, "two", 3.0, None],
+            {},
+            {"nested": {"list": [1, [2, [3]]]}},
+        ],
+    )
+    def test_specific_values(self, value):
+        result = roundtrip_value(value)
+        if isinstance(value, tuple):
+            value = list(value)
+        assert result == value
+
+    @given(_values)
+    def test_arbitrary_values_roundtrip(self, value):
+        def normalise(v):
+            if isinstance(v, tuple):
+                return [normalise(item) for item in v]
+            if isinstance(v, list):
+                return [normalise(item) for item in v]
+            if isinstance(v, dict):
+                return {k: normalise(m) for k, m in v.items()}
+            if isinstance(v, bytearray):
+                return bytes(v)
+            return v
+
+        assert roundtrip_value(value) == normalise(value)
+
+    def test_bool_distinct_from_int(self):
+        assert roundtrip_value(True) is True
+        assert roundtrip_value(1) == 1
+        assert not isinstance(roundtrip_value(1), bool)
+
+    def test_unencodable_value_rejected(self):
+        with pytest.raises(MarshallingError):
+            build_request("op", [object()])
+
+    def test_bad_struct_key_rejected(self):
+        with pytest.raises(MarshallingError):
+            build_request("op", [{"no spaces allowed": 1}])
+        with pytest.raises(MarshallingError):
+            build_request("op", [{1: "non-string key"}])
+
+
+class TestEnvelopes:
+    def test_request_shape(self):
+        message = parse_envelope(build_request("turnOn", [1, "two"]))
+        assert message.kind == "request"
+        assert message.operation == "turnOn"
+        assert message.args == [1, "two"]
+
+    def test_response_shape(self):
+        message = parse_envelope(build_response("turnOn", {"ok": True}))
+        assert message.kind == "response"
+        assert message.operation == "turnOn"
+        assert message.value == {"ok": True}
+
+    def test_void_response(self):
+        message = parse_envelope(build_response("reset", None))
+        assert message.value is None
+
+    def test_fault_shape_and_raise(self):
+        message = parse_envelope(build_fault("SOAP-ENV:Server", "boom", "detail here"))
+        assert message.kind == "fault"
+        assert message.faultcode == "SOAP-ENV:Server"
+        with pytest.raises(SoapFault) as excinfo:
+            message.raise_if_fault()
+        assert excinfo.value.detail == "detail here"
+
+    def test_request_envelope_is_textual_xml(self):
+        data = build_request("op", [42])
+        text = data.decode("utf-8")
+        assert text.startswith('<?xml version="1.0"')
+        assert "SOAP-ENV:Envelope" in text
+        assert 'xsi:type="xsd:int"' in text
+
+    def test_bad_operation_name_rejected(self):
+        with pytest.raises(SoapError):
+            build_request("has space", [])
+        with pytest.raises(SoapError):
+            build_response("1digit", None)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            b"",
+            b"not xml at all",
+            b"<wrong/>",
+            b'<?xml version="1.0"?><SOAP-ENV:Envelope xmlns:SOAP-ENV="http://schemas.xmlsoap.org/soap/envelope/"><SOAP-ENV:Body/></SOAP-ENV:Envelope>',
+        ],
+    )
+    def test_malformed_envelopes_rejected(self, bad):
+        with pytest.raises(SoapError):
+            parse_envelope(bad)
+
+    def test_xml_payload_size_is_many_times_binary(self):
+        """The cost the paper accepts for SOAP's simplicity."""
+        from repro.jini.marshalling import marshal
+
+        args = [5, "play", True]
+        soap_size = len(build_request("invoke", args))
+        binary_size = len(marshal({"op": "invoke", "args": args}))
+        assert soap_size > 3 * binary_size
+
+
+class TestXmlWriter:
+    def test_nested_document(self):
+        writer = XmlWriter(declaration=False)
+        writer.open("a", {"x": "1"})
+        writer.leaf("b", text="text")
+        writer.leaf("c")
+        writer.close()
+        assert writer.tostring() == '<a x="1"><b>text</b><c/></a>'
+
+    def test_unclosed_elements_detected(self):
+        writer = XmlWriter()
+        writer.open("a")
+        with pytest.raises(SoapError):
+            writer.tostring()
+
+    def test_close_without_open_detected(self):
+        writer = XmlWriter()
+        with pytest.raises(SoapError):
+            writer.close()
+
+    def test_attribute_escaping(self):
+        writer = XmlWriter(declaration=False)
+        writer.leaf("a", {"v": 'quote " amp & lt <'}, None)
+        text = writer.tostring()
+        assert "&quot;" in text and "&amp;" in text and "&lt;" in text
+
+    @given(st.text(max_size=100))
+    def test_text_escaping_roundtrips_through_parser(self, text):
+        import xml.etree.ElementTree as ET
+
+        # Strip control chars XML 1.0 cannot carry at all, and \r which the
+        # parser normalises to \n per the XML spec.
+        clean = "".join(
+            ch for ch in text if ch in "\t\n" or (ord(ch) >= 0x20 and ord(ch) != 0x7F)
+        )
+        # Also strip surrogates, which cannot be encoded.
+        clean = clean.encode("utf-8", errors="ignore").decode("utf-8")
+        writer = XmlWriter(declaration=False)
+        writer.leaf("t", text=clean)
+        parsed = ET.fromstring(writer.tostring())
+        assert (parsed.text or "") == clean

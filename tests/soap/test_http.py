@@ -1,0 +1,147 @@
+"""Tests for the HTTP/1.0-style transport."""
+
+import pytest
+
+from repro.errors import HttpError
+from repro.net.simkernel import SimFuture
+from repro.soap.http import (
+    HttpClient,
+    HttpRequest,
+    HttpResponse,
+    HttpServer,
+    expect_ok,
+)
+
+
+@pytest.fixture
+def server_client(sim, two_hosts):
+    a, b = two_hosts
+    server = HttpServer(b, 80)
+    client = HttpClient(a)
+    return sim, server, client, b.local_address()
+
+
+class TestMessages:
+    def test_request_serialisation(self):
+        request = HttpRequest("POST", "/soap/Calc", {"X-Thing": "1"}, b"body")
+        raw = request.to_bytes()
+        assert raw.startswith(b"POST /soap/Calc HTTP/1.0\r\n")
+        assert b"Content-Length: 4" in raw
+        assert b"Connection: close" in raw
+        assert raw.endswith(b"\r\n\r\nbody")
+
+    def test_response_defaults_reason(self):
+        assert HttpResponse(404).reason == "Not Found"
+        assert HttpResponse(200).ok
+        assert not HttpResponse(500).ok
+
+    def test_header_lookup_case_insensitive(self):
+        request = HttpRequest("GET", "/", {"Content-Type": "text/xml"})
+        assert request.header("content-type") == "text/xml"
+        assert request.header("missing", "dflt") == "dflt"
+
+    def test_expect_ok_raises_on_error_status(self):
+        with pytest.raises(HttpError):
+            expect_ok(HttpResponse(500, body=b"oops"))
+        response = HttpResponse(200)
+        assert expect_ok(response) is response
+
+
+class TestExchanges:
+    def test_get_roundtrip(self, server_client):
+        sim, server, client, address = server_client
+        server.register("/hello", lambda req: HttpResponse(200, body=b"hi " + req.method.encode()))
+        response = sim.run_until_complete(client.get(address, 80, "/hello"))
+        assert response.status == 200
+        assert response.body == b"hi GET"
+
+    def test_post_body_delivered(self, server_client):
+        sim, server, client, address = server_client
+        bodies = []
+
+        def handler(request):
+            bodies.append(request.body)
+            return HttpResponse(200, body=b"ok")
+
+        server.register("/submit", handler)
+        payload = b"x" * 5000  # several MTUs
+        response = sim.run_until_complete(client.post(address, 80, "/submit", payload))
+        assert response.status == 200
+        assert bodies == [payload]
+
+    def test_unknown_path_404(self, server_client):
+        sim, server, client, address = server_client
+        response = sim.run_until_complete(client.get(address, 80, "/nope"))
+        assert response.status == 404
+
+    def test_prefix_routing(self, server_client):
+        sim, server, client, address = server_client
+        server.register_prefix("/soap/", lambda req: HttpResponse(200, body=req.path.encode()))
+        response = sim.run_until_complete(client.get(address, 80, "/soap/AnyService"))
+        assert response.body == b"/soap/AnyService"
+
+    def test_handler_exception_becomes_500(self, server_client):
+        sim, server, client, address = server_client
+
+        def broken(request):
+            raise RuntimeError("handler bug")
+
+        server.register("/broken", broken)
+        response = sim.run_until_complete(client.get(address, 80, "/broken"))
+        assert response.status == 500
+        assert b"handler bug" in response.body
+
+    def test_async_handler_resolves_later(self, server_client):
+        sim, server, client, address = server_client
+
+        def slow(request):
+            future = SimFuture()
+            sim.schedule(5.0, future.set_result, HttpResponse(200, body=b"eventually"))
+            return future
+
+        server.register("/slow", slow)
+        t0 = sim.now
+        response = sim.run_until_complete(client.get(address, 80, "/slow"))
+        assert response.body == b"eventually"
+        assert sim.now - t0 >= 5.0
+
+    def test_async_handler_failure_becomes_500(self, server_client):
+        sim, server, client, address = server_client
+
+        def failing(request):
+            return SimFuture.failed(ValueError("deferred bug"))
+
+        server.register("/fail", failing)
+        response = sim.run_until_complete(client.get(address, 80, "/fail"))
+        assert response.status == 500
+
+    def test_each_exchange_uses_fresh_connection(self, server_client):
+        """HTTP/1.0 behaviour: connection per request (the stack weight
+        the paper's Section 4.2 complains about)."""
+        sim, server, client, address = server_client
+        server.register("/a", lambda req: HttpResponse(200))
+        for _ in range(3):
+            sim.run_until_complete(client.get(address, 80, "/a"))
+        assert client.requests_sent == 3
+        assert server.requests_served == 3
+        # After the close handshakes drain, no connections linger.
+        sim.run()
+        assert client.stack.open_connections == 0
+
+    def test_closed_server_refuses(self, sim, two_hosts):
+        a, b = two_hosts
+        server = HttpServer(b, 80)
+        client = HttpClient(a)
+        server.close()
+        with pytest.raises(Exception):
+            sim.run_until_complete(client.get(b.local_address(), 80, "/"))
+
+    def test_concurrent_requests_from_one_client(self, server_client):
+        sim, server, client, address = server_client
+        server.register("/n", lambda req: HttpResponse(200, body=req.header("X-N").encode()))
+        futures = [
+            client.request(address, 80, "GET", "/n", headers={"X-N": str(n)})
+            for n in range(5)
+        ]
+        results = [sim.run_until_complete(f) for f in futures]
+        assert [r.body for r in results] == [b"0", b"1", b"2", b"3", b"4"]

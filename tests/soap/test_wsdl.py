@@ -1,0 +1,98 @@
+"""Tests for WSDL documents and location strings."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SoapError
+from repro.net.addressing import NodeAddress
+from repro.soap.wsdl import (
+    WsdlDocument,
+    WsdlOperation,
+    WsdlPart,
+    make_location,
+    parse_location,
+)
+
+
+def sample_document():
+    return WsdlDocument(
+        service="Laserdisc",
+        location="soap://backbone/2:8080/soap/Laserdisc",
+        operations=(
+            WsdlOperation("play", (), "boolean"),
+            WsdlOperation(
+                "goto_chapter", (WsdlPart("arg0", "int"),), "int"
+            ),
+            WsdlOperation("notify", (WsdlPart("arg0", "string"),), "void", oneway=True),
+        ),
+        context={"island": "jini", "middleware": "jini"},
+    )
+
+
+class TestDocuments:
+    def test_xml_roundtrip(self):
+        document = sample_document()
+        assert WsdlDocument.from_xml(document.to_xml()) == document
+
+    def test_roundtrip_without_operations_or_context(self):
+        document = WsdlDocument(service="S", location="soap://b/1:1/soap/S")
+        assert WsdlDocument.from_xml(document.to_xml()) == document
+
+    def test_operation_lookup(self):
+        document = sample_document()
+        assert document.operation("play").output == "boolean"
+        assert document.has_operation("goto_chapter")
+        assert not document.has_operation("rewind")
+        with pytest.raises(SoapError):
+            document.operation("rewind")
+
+    def test_unknown_types_rejected(self):
+        with pytest.raises(SoapError):
+            WsdlPart("x", "quaternion")
+        with pytest.raises(SoapError):
+            WsdlOperation("op", (), "quaternion")
+
+    def test_not_wsdl_rejected(self):
+        with pytest.raises(SoapError):
+            WsdlDocument.from_xml(b"<other/>")
+
+    @given(
+        st.text(alphabet="abcdefgh", min_size=1, max_size=10),
+        st.lists(
+            st.sampled_from(["int", "double", "string", "boolean", "base64", "anyType"]),
+            max_size=4,
+        ),
+        st.sampled_from(["int", "double", "string", "boolean", "void", "anyType"]),
+    )
+    def test_roundtrip_property(self, name, param_types, output):
+        operations = (
+            WsdlOperation(
+                "op",
+                tuple(WsdlPart(f"arg{i}", t) for i, t in enumerate(param_types)),
+                output,
+            ),
+        )
+        document = WsdlDocument(
+            service=name, location=f"soap://seg/1:8080/soap/{name}", operations=operations
+        )
+        assert WsdlDocument.from_xml(document.to_xml()) == document
+
+
+class TestLocations:
+    def test_roundtrip(self):
+        address = NodeAddress("backbone", 7)
+        location = make_location(address, 8080, "TV")
+        assert parse_location(location) == (address, 8080, "TV")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "http://x/1:80/soap/S",  # wrong scheme
+            "soap://backbone/2/soap/S",  # no port
+            "soap://backbone/2:80/other/S",  # wrong path
+            "garbage",
+        ],
+    )
+    def test_malformed_locations_rejected(self, bad):
+        with pytest.raises(SoapError):
+            parse_location(bad)

@@ -1,0 +1,65 @@
+"""Focused tests for the XML toolkit helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SoapError
+from repro.soap import xmlutil
+from repro.soap.xmlutil import is_xml_name, local_name, parse_document, qname
+
+
+class TestNames:
+    @pytest.mark.parametrize(
+        "name", ["a", "Abc", "_x", "op_1", "with-dash", "with.dot", "arg0"]
+    )
+    def test_valid_names(self, name):
+        assert is_xml_name(name)
+
+    @pytest.mark.parametrize(
+        "name", ["", "1abc", "-x", ".x", "has space", "a<b", "a&b", "Ĳ", "漢字", "a:b"]
+    )
+    def test_invalid_names(self, name):
+        assert not is_xml_name(name)
+
+    @given(st.text(max_size=20))
+    def test_accepted_names_are_always_parseable_as_element_names(self, name):
+        if not is_xml_name(name):
+            return
+        parsed = parse_document(f"<{name}/>".encode())
+        assert parsed.tag == name
+
+
+class TestParsing:
+    def test_qname_and_local_name(self):
+        element = parse_document(b'<a xmlns="urn:x"><b/></a>')
+        assert element.tag == qname("urn:x", "a")
+        assert local_name(element) == "a"
+        assert local_name(list(element)[0]) == "b"
+
+    def test_unprefixed_local_name_passthrough(self):
+        element = parse_document(b"<plain/>")
+        assert local_name(element) == "plain"
+
+    def test_require_child_errors_name_the_parent(self):
+        element = parse_document(b'<a xmlns="urn:x"/>')
+        with pytest.raises(SoapError, match="missing required element"):
+            xmlutil.require_child(element, "urn:x", "b")
+
+    def test_find_child_returns_none_when_absent(self):
+        element = parse_document(b'<a xmlns="urn:x"/>')
+        assert xmlutil.find_child(element, "urn:x", "b") is None
+
+    def test_namespaced_attribute_lookup(self):
+        element = parse_document(
+            b'<a xmlns:p="urn:p" p:type="int" plain="1"/>'
+        )
+        assert xmlutil.attr(element, "urn:p", "type") == "int"
+        assert xmlutil.attr(element, "urn:p", "missing") is None
+
+    @pytest.mark.parametrize("bad", [b"", b"<", b"<a>", b"<a></b>", b"text only"])
+    def test_malformed_documents_raise_soap_error(self, bad):
+        with pytest.raises(SoapError):
+            parse_document(bad)
+
+    def test_str_input_accepted(self):
+        assert parse_document("<a/>").tag == "a"

@@ -1,0 +1,62 @@
+"""Property-based tests for UPnP descriptions and URLs."""
+
+from hypothesis import given, strategies as st
+
+from repro.net.addressing import NodeAddress
+from repro.upnp.description import (
+    ARG_TYPES,
+    Action,
+    ActionArgument,
+    DeviceDescription,
+    ServiceDescription,
+)
+from repro.upnp.urls import make_url, parse_url
+
+_name = st.text(alphabet="abcdefghijKLMNOP_", min_size=1, max_size=12)
+_xml_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cc", "Cs"),
+                           blacklist_characters="\r"),
+    min_size=1, max_size=20,
+).map(str.strip).filter(bool)
+
+_argument = st.builds(ActionArgument, name=_name, type=st.sampled_from(ARG_TYPES))
+_action = st.builds(
+    Action,
+    name=_name,
+    inputs=st.lists(_argument, max_size=3).map(tuple),
+    output=st.sampled_from(("",) + ARG_TYPES),
+)
+_service = st.builds(
+    ServiceDescription,
+    service_id=_name.map(lambda n: f"urn:x:serviceId:{n}"),
+    service_type=_name.map(lambda n: f"urn:x:service:{n}:1"),
+    control_path=_name.map(lambda n: f"/control/{n}"),
+    event_path=_name.map(lambda n: f"/event/{n}"),
+    actions=st.lists(_action, max_size=4).map(tuple),
+)
+_device = st.builds(
+    DeviceDescription,
+    friendly_name=_xml_text,
+    device_type=_name.map(lambda n: f"urn:x:device:{n}:1"),
+    udn=_name.map(lambda n: f"uuid:{n}"),
+    services=st.lists(_service, max_size=3),
+)
+
+
+class TestProperties:
+    @given(_device)
+    def test_description_xml_roundtrip(self, description):
+        assert DeviceDescription.from_xml(description.to_xml()) == description
+
+    @given(
+        st.text(alphabet="abcdef-", min_size=1, max_size=10),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=1, max_value=65535),
+        st.text(alphabet="abcdef/.-_", max_size=20),
+    )
+    def test_url_roundtrip(self, segment, host, port, path):
+        address = NodeAddress(segment, host)
+        url = make_url(address, port, "/" + path.lstrip("/"))
+        parsed_address, parsed_port, parsed_path = parse_url(url)
+        assert (parsed_address, parsed_port) == (address, port)
+        assert parsed_path == "/" + path.lstrip("/")

@@ -1,0 +1,25 @@
+"""X10 test fixtures: powerline, serial link, CM11A and controller."""
+
+import pytest
+
+from repro.net.segment import PowerlineSegment, SerialLink
+from repro.x10.cm11a import Cm11aInterface
+from repro.x10.controller import X10Controller
+
+
+@pytest.fixture
+def powerline(net):
+    return net.create_segment(PowerlineSegment, "powerline")
+
+
+@pytest.fixture
+def serial(net):
+    return net.create_segment(SerialLink, "serial0")
+
+
+@pytest.fixture
+def x10_setup(sim, net, powerline, serial):
+    cm11a = Cm11aInterface(net, "cm11a", serial, powerline)
+    pc = net.create_node("pc")
+    controller = X10Controller(net, pc, serial)
+    return cm11a, controller

@@ -1,0 +1,48 @@
+"""Property-based tests for CM11A header bytes and end-to-end commands."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.network import Network
+from repro.net.segment import PowerlineSegment, SerialLink
+from repro.net.simkernel import Simulator
+from repro.x10.cm11a import Cm11aInterface, make_header
+from repro.x10.codes import HOUSE_CODES, X10Address, X10Function
+from repro.x10.controller import X10Controller
+from repro.x10.devices import ApplianceModule
+
+
+class TestHeaderProperties:
+    @given(st.booleans(), st.integers(min_value=0, max_value=22))
+    def test_header_fields_recoverable(self, is_function, dims):
+        header = make_header(is_function, dims)
+        assert bool(header & 0x02) == is_function
+        assert (header >> 3) & 0x1F == dims
+        assert header & 0x04  # the always-set bit
+
+    @given(st.booleans(), st.integers(min_value=0, max_value=22))
+    def test_header_is_one_byte(self, is_function, dims):
+        assert 0 <= make_header(is_function, dims) <= 0xFF
+
+
+class TestEndToEndProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.sampled_from(sorted(HOUSE_CODES)),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_any_address_commandable(self, house, unit):
+        """Whatever the address, a full CM11A round trip switches exactly
+        that module."""
+        sim = Simulator()
+        net = Network(sim)
+        powerline = net.create_segment(PowerlineSegment, "pl")
+        serial = net.create_segment(SerialLink, "ser")
+        Cm11aInterface(net, "cm11a", serial, powerline)
+        pc = net.create_node("pc")
+        controller = X10Controller(net, pc, serial)
+        target = ApplianceModule(net, "target", powerline, X10Address(house, unit))
+        other_unit = unit % 16 + 1
+        other = ApplianceModule(net, "other", powerline, X10Address(house, other_unit))
+        sim.run_until_complete(controller.turn_on(X10Address(house, unit)))
+        assert target.on
+        assert not other.on

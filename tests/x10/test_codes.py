@@ -1,0 +1,79 @@
+"""Tests for the X10 code tables — byte-exact against the CM11A spec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import X10Error
+from repro.x10.codes import (
+    HOUSE_CODES,
+    UNIT_CODES,
+    X10Address,
+    X10Function,
+    decode_address_byte,
+    decode_function_byte,
+    encode_address_byte,
+    encode_function_byte,
+)
+
+
+class TestSpecTables:
+    def test_known_house_codes_from_cm11a_spec(self):
+        # Spot checks against the published table.
+        assert HOUSE_CODES["A"] == 0b0110
+        assert HOUSE_CODES["M"] == 0b0000
+        assert HOUSE_CODES["P"] == 0b1100
+        assert HOUSE_CODES["E"] == 0b0001
+
+    def test_house_and_unit_tables_are_permutations(self):
+        assert sorted(HOUSE_CODES.values()) == list(range(16))
+        assert sorted(UNIT_CODES.values()) == list(range(16))
+
+    def test_a1_encodes_to_0x66(self):
+        # House A = 0110, unit 1 = 0110 -> 0x66, the classic A1 byte.
+        assert encode_address_byte(X10Address("A", 1)) == 0x66
+
+    def test_function_byte_layout(self):
+        # House A + ON (0010) -> 0110_0010.
+        assert encode_function_byte("A", X10Function.ON) == 0x62
+        assert encode_function_byte("P", X10Function.STATUS_REQUEST) == 0xCF
+
+
+class TestRoundTrips:
+    @given(st.sampled_from(sorted(HOUSE_CODES)), st.integers(min_value=1, max_value=16))
+    def test_address_roundtrip(self, house, unit):
+        address = X10Address(house, unit)
+        assert decode_address_byte(encode_address_byte(address)) == address
+
+    @given(st.sampled_from(sorted(HOUSE_CODES)), st.sampled_from(list(X10Function)))
+    def test_function_roundtrip(self, house, function):
+        byte = encode_function_byte(house, function)
+        assert decode_function_byte(byte) == (house, function)
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_every_byte_decodes_as_some_address(self, byte):
+        address = decode_address_byte(byte)
+        assert encode_address_byte(address) == byte
+
+
+class TestValidation:
+    @pytest.mark.parametrize("house,unit", [("Q", 1), ("a", 1), ("", 1), ("A", 0), ("A", 17)])
+    def test_bad_addresses_rejected(self, house, unit):
+        with pytest.raises(X10Error):
+            X10Address(house, unit)
+
+    def test_parse(self):
+        assert X10Address.parse("A1") == X10Address("A", 1)
+        assert X10Address.parse("p16") == X10Address("P", 16)
+        for bad in ["", "A", "1A", "A0", "AX"]:
+            with pytest.raises(X10Error):
+                X10Address.parse(bad)
+
+    def test_str_roundtrip(self):
+        for house in HOUSE_CODES:
+            for unit in (1, 9, 16):
+                address = X10Address(house, unit)
+                assert X10Address.parse(str(address)) == address
+
+    def test_bad_house_for_function_rejected(self):
+        with pytest.raises(X10Error):
+            encode_function_byte("Z", X10Function.ON)

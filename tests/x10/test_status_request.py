@@ -1,0 +1,51 @@
+"""Tests for two-way X10: STATUS_REQUEST / STATUS_ON / STATUS_OFF."""
+
+import pytest
+
+from repro.errors import X10Error
+from repro.x10.codes import X10Address
+from repro.x10.devices import ApplianceModule, LampModule
+
+
+class TestStatusRequest:
+    def test_status_of_off_module(self, sim, net, powerline, x10_setup):
+        cm11a, controller = x10_setup
+        LampModule(net, "lamp", powerline, X10Address("A", 1))
+        assert sim.run_until_complete(controller.status_request(X10Address("A", 1))) is False
+
+    def test_status_reflects_state_changes(self, sim, net, powerline, x10_setup):
+        cm11a, controller = x10_setup
+        lamp = LampModule(net, "lamp", powerline, X10Address("A", 1))
+        sim.run_until_complete(controller.turn_on(X10Address("A", 1)))
+        assert sim.run_until_complete(controller.status_request(X10Address("A", 1))) is True
+        sim.run_until_complete(controller.turn_off(X10Address("A", 1)))
+        assert sim.run_until_complete(controller.status_request(X10Address("A", 1))) is False
+
+    def test_appliance_modules_also_answer(self, sim, net, powerline, x10_setup):
+        cm11a, controller = x10_setup
+        fan = ApplianceModule(net, "fan", powerline, X10Address("B", 5))
+        sim.run_until_complete(controller.turn_on(X10Address("B", 5)))
+        assert sim.run_until_complete(controller.status_request(X10Address("B", 5))) is True
+
+    def test_absent_module_times_out(self, sim, net, powerline, x10_setup):
+        cm11a, controller = x10_setup
+        future = controller.status_request(X10Address("C", 9), timeout=10.0)
+        with pytest.raises(X10Error, match="no status reply"):
+            sim.run_until_complete(future)
+
+    def test_only_addressed_module_replies(self, sim, net, powerline, x10_setup):
+        cm11a, controller = x10_setup
+        on_lamp = LampModule(net, "on-lamp", powerline, X10Address("A", 1))
+        off_lamp = LampModule(net, "off-lamp", powerline, X10Address("A", 2))
+        sim.run_until_complete(controller.turn_on(X10Address("A", 1)))
+        # Ask the OFF lamp: the ON lamp must stay quiet.
+        assert sim.run_until_complete(controller.status_request(X10Address("A", 2))) is False
+
+    def test_is_on_operation_through_the_framework(self, sim):
+        from repro.apps import build_smart_home
+
+        home = build_smart_home()
+        home.connect()
+        assert home.invoke_from("jini", "X10_A3_fan", "is_on") is False
+        home.invoke_from("jini", "X10_A3_fan", "turn_on")
+        assert home.invoke_from("jini", "X10_A3_fan", "is_on") is True
