@@ -108,17 +108,19 @@ def build_smart_home(
     with_mail: bool = True,
     poll_interval: float = 2.0,
     protocol_factory=None,
+    policy=None,
 ) -> SmartHome:
     """Assemble the full topology (not yet connected — call ``.connect()``).
 
     ``protocol_factory`` overrides the gateway protocol for every island
     (``TransportStack -> GatewayProtocol``); the default is the prototype's
-    SOAP binding.
+    SOAP binding.  ``policy`` (a :class:`repro.core.resilience.CallPolicy`)
+    sets every island's resilience knobs — deadlines, retries, breaker.
     """
     sim = sim or Simulator()
     network = Network(sim)
     backbone = network.create_segment(EthernetSegment, "backbone")
-    mm = MetaMiddleware(network, backbone)
+    mm = MetaMiddleware(network, backbone, policy=policy)
     home = SmartHome(sim=sim, network=network, mm=mm)
 
     if with_jini:

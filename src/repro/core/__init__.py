@@ -30,12 +30,22 @@ from repro.core.interface import (
 )
 from repro.core.pcm import ProtocolConversionManager
 from repro.core.proxygen import ProxyFactory, generate_proxy_class
+from repro.core.resilience import (
+    CallPolicy,
+    CircuitBreaker,
+    HeartbeatMonitor,
+    ResilientExecutor,
+)
 from repro.core.vsg import GatewayProtocol, VirtualServiceGateway
 from repro.core.vsr import UddiSoapService, VsrClient, VsrDirectory
 
 __all__ = [
     "ActivatableService",
+    "CallPolicy",
+    "CircuitBreaker",
     "GatewayProtocol",
+    "HeartbeatMonitor",
+    "ResilientExecutor",
     "Island",
     "MetaMiddleware",
     "Operation",

@@ -27,6 +27,7 @@ from repro.soap.server import SoapServer
 from repro.soap.wsdl import WsdlDocument
 from repro.core.gateway_soap import DEFAULT_GATEWAY_PORT, SoapGatewayProtocol
 from repro.core.pcm import ProtocolConversionManager
+from repro.core.resilience import CallPolicy
 from repro.core.vsg import GatewayProtocol, VirtualServiceGateway
 from repro.core.vsr import UddiSoapService, VsrClient
 
@@ -58,11 +59,14 @@ class MetaMiddleware:
         network: Network,
         backbone: Segment,
         directory_port: int = DEFAULT_GATEWAY_PORT,
+        policy: CallPolicy | None = None,
     ) -> None:
         self.network = network
         self.sim: Simulator = network.sim
         self.backbone = backbone
         self.directory_port = directory_port
+        #: Default resilience policy for islands that don't bring their own.
+        self.policy = policy or CallPolicy()
         self.islands: dict[str, Island] = {}
         # The UDDI directory node on the backbone.
         self.directory_node = network.create_node("uddi-directory")
@@ -81,25 +85,34 @@ class MetaMiddleware:
         pcm_factory: PcmFactory | None = None,
         protocol_factory: ProtocolFactory | None = None,
         poll_interval: float = 2.0,
+        policy: CallPolicy | None = None,
     ) -> Island:
         """Create the island's gateway node (multi-homed: island segment +
-        backbone), VSG, and — if a factory is given — its PCM."""
+        backbone), VSG, and — if a factory is given — its PCM.  ``policy``
+        overrides the framework-wide :class:`CallPolicy` for this island."""
         if name in self.islands:
             raise FrameworkError(f"island {name!r} already exists")
         if isinstance(segment, str):
             segment = self.network.segment(segment)
+        policy = policy or self.policy
         node = self.network.create_node(f"gw-{name}")
         self.network.attach(node, self.backbone)
         if segment is not None and segment is not self.backbone:
             self.network.attach(node, segment)
         stack = TransportStack(node, self.network)
-        vsr_client = VsrClient(stack, self.directory_address, self.directory_port)
+        vsr_client = VsrClient(
+            stack,
+            self.directory_address,
+            self.directory_port,
+            lookup_deadline=policy.directory_deadline,
+        )
         if protocol_factory is None:
             protocol = SoapGatewayProtocol(stack)
         else:
             protocol = protocol_factory(stack)
         gateway = VirtualServiceGateway(
-            name, node, stack, protocol, vsr_client, poll_interval=poll_interval
+            name, node, stack, protocol, vsr_client,
+            poll_interval=poll_interval, policy=policy,
         )
         island = Island(name=name, segment=segment, node=node, stack=stack, gateway=gateway)
         if pcm_factory is not None:
@@ -182,6 +195,14 @@ class MetaMiddleware:
         if any_island is None:
             return SimFuture.completed([])
         return any_island.gateway.vsr.find({})
+
+    def resilience_report(self) -> dict[str, dict]:
+        """Per-island resilience counters (see
+        :meth:`VirtualServiceGateway.resilience_stats`)."""
+        return {
+            name: island.gateway.resilience_stats()
+            for name, island in sorted(self.islands.items())
+        }
 
     def shutdown(self) -> None:
         for island in self.islands.values():

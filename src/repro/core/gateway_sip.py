@@ -163,6 +163,26 @@ class SipGatewayProtocol(GatewayProtocol):
         raw.add_done_callback(check)
         return result
 
+    def ping_remote(self, control_location: str) -> SimFuture:
+        if self.ua is None:
+            raise GatewayError("SIP gateway protocol not started")
+        raw = self.ua.send_message(control_location, envelope.build_request("ping", []))
+        result: SimFuture = SimFuture()
+
+        def check(future: SimFuture) -> None:
+            exc = future.exception()
+            if exc is not None:
+                result.set_exception(exc)
+            elif not future.result().ok:
+                result.set_exception(
+                    GatewayError(f"ping rejected: {future.result().status}")
+                )
+            else:
+                result.set_result(envelope.parse_envelope(future.result().body).value)
+
+        raw.add_done_callback(check)
+        return result
+
     def push_event(self, control_location: str, event: dict[str, Any]) -> None:
         if self.ua is None:
             raise GatewayError("SIP gateway protocol not started")

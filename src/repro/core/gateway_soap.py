@@ -116,6 +116,10 @@ class SoapGatewayProtocol(GatewayProtocol):
         address, port, service = parse_location(control_location)
         return self.client.call(address, service, "fetch_events", [island], port=port)
 
+    def ping_remote(self, control_location: str) -> SimFuture:
+        address, port, service = parse_location(control_location)
+        return self.client.call(address, service, "ping", [], port=port)
+
     def push_event(self, control_location: str, event: dict[str, Any]) -> None:
         raise GatewayError("SOAP/HTTP cannot push events (paper Section 4.2)")
 

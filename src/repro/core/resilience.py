@@ -1,0 +1,426 @@
+"""Resilience layer for cross-island calls.
+
+The paper demonstrates transparent reachability on a healthy network; this
+module keeps the bridge honest under partial failure (the concern SINk and
+the service-composition surveys raise for heterogeneous-middleware
+gateways).  Three cooperating pieces, all policy-driven and deterministic:
+
+- :class:`CallPolicy` — per-island knobs: a virtual-time *deadline* per
+  remote attempt, bounded *retries* with exponential backoff (jitter drawn
+  from a seeded RNG so chaotic runs replay bit-for-bit), and circuit-breaker
+  parameters.
+- :class:`CircuitBreaker` — one per remote island, the classic three-state
+  machine: CLOSED counts consecutive connectivity failures; at the threshold
+  it OPENs and calls fail fast; after ``breaker_reset_timeout`` it goes
+  HALF_OPEN and admits a bounded number of probes that decide between
+  re-closing and re-opening.
+- :class:`ResilientExecutor` — runs one attempt factory under the policy:
+  deadline race, retry loop, breaker accounting, and counters the
+  benchmarks read.
+
+A *connectivity* failure (timeout, transport error, unreachable gateway)
+trips the breaker; a well-formed remote fault (:class:`RemoteServiceError`)
+proves the island is alive and *resets* it — an application error is not an
+outage.
+
+:class:`HeartbeatMonitor` is the proactive side: it pings every registered
+gateway's control endpoint on a fixed period and keeps a health table the
+gateway exposes in its stats.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    RemoteServiceError,
+    ServiceNotFoundError,
+)
+from repro.net.simkernel import Event, SimFuture, Simulator
+
+
+@dataclass(frozen=True)
+class CallPolicy:
+    """Per-island resilience knobs for remote invocations.
+
+    The defaults are deliberately conservative: a 30 s virtual deadline
+    (matching the transport's connect timeout), no retries, and a breaker
+    that only opens after five straight connectivity failures — healthy
+    topologies behave exactly as before this layer existed.
+    """
+
+    #: Virtual seconds one remote attempt may take; 0 disables the deadline.
+    deadline: float = 30.0
+    #: Extra attempts after the first failed one (0 = single attempt).
+    max_retries: int = 0
+    #: First backoff delay in virtual seconds.
+    backoff_base: float = 0.2
+    #: Multiplier applied to the delay per further retry.
+    backoff_multiplier: float = 2.0
+    #: Jitter as a fraction of the delay, drawn from the policy's seeded RNG.
+    backoff_jitter: float = 0.1
+    #: Consecutive connectivity failures that open the breaker; 0 disables it.
+    breaker_threshold: int = 5
+    #: Virtual seconds an OPEN breaker waits before going HALF_OPEN.
+    breaker_reset_timeout: float = 10.0
+    #: Probe attempts admitted while HALF_OPEN before re-deciding.
+    breaker_half_open_probes: int = 1
+    #: Gateway heartbeat period; 0 disables heartbeating.
+    heartbeat_interval: float = 0.0
+    #: Deadline for one heartbeat ping.
+    heartbeat_deadline: float = 5.0
+    #: Missed heartbeats before an island is marked dead.
+    heartbeat_failure_threshold: int = 2
+    #: Deadline for VSR directory lookups; 0 falls back to transport timeouts.
+    directory_deadline: float = 0.0
+    #: Seed for the backoff-jitter RNG (determinism across runs).
+    seed: int = 0
+
+
+def is_connectivity_failure(exc: BaseException) -> bool:
+    """True when a failed attempt says nothing about the *service* but a lot
+    about the *path*: the breaker and retry loop act only on these."""
+    if isinstance(exc, (RemoteServiceError, ServiceNotFoundError, CircuitOpenError)):
+        return False
+    return True
+
+
+def with_deadline(
+    sim: Simulator,
+    future: SimFuture,
+    deadline: float,
+    make_exc: Callable[[], BaseException],
+) -> SimFuture:
+    """Race ``future`` against a virtual-time deadline.
+
+    Resolves like ``future`` if it settles in time, otherwise fails with
+    ``make_exc()``; a late resolution of the original future is ignored.
+    Returns ``future`` untouched when ``deadline`` is 0 (disabled).
+    """
+    if not deadline:
+        return future
+    result: SimFuture = SimFuture()
+    timer = sim.schedule(deadline, lambda: result.set_exception(make_exc())
+                         if not result.done() else None)
+
+    def on_done(done: SimFuture) -> None:
+        if result.done():
+            return
+        timer.cancel()
+        exc = done.exception()
+        if exc is not None:
+            result.set_exception(exc)
+        else:
+            result.set_result(done.result())
+
+    future.add_done_callback(on_done)
+    return result
+
+
+class CircuitBreaker:
+    """Per-remote-island breaker with half-open probing."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, sim: Simulator, policy: CallPolicy, island: str) -> None:
+        self.sim = sim
+        self.policy = policy
+        self.island = island
+        self.state = CircuitBreaker.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self.opens = 0
+        self.fast_failures = 0
+        self.probes = 0
+
+    # -- admission ----------------------------------------------------------
+
+    def admit(self) -> None:
+        """Raise :class:`CircuitOpenError` unless a call may proceed.
+
+        An OPEN breaker whose reset timeout elapsed transitions to
+        HALF_OPEN here, admitting up to ``breaker_half_open_probes``
+        concurrent probes.
+        """
+        if self.policy.breaker_threshold <= 0 or self.state == CircuitBreaker.CLOSED:
+            return
+        retry_at = self._opened_at + self.policy.breaker_reset_timeout
+        if self.state == CircuitBreaker.OPEN:
+            if self.sim.now < retry_at:
+                self.fast_failures += 1
+                raise CircuitOpenError(self.island, retry_at)
+            self.state = CircuitBreaker.HALF_OPEN
+            self._probes_in_flight = 0
+        if self._probes_in_flight >= self.policy.breaker_half_open_probes:
+            self.fast_failures += 1
+            raise CircuitOpenError(self.island, retry_at)
+        self._probes_in_flight += 1
+        self.probes += 1
+
+    # -- outcome accounting --------------------------------------------------
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        if self.state != CircuitBreaker.CLOSED:
+            self.state = CircuitBreaker.CLOSED
+            self._probes_in_flight = 0
+
+    def record_failure(self) -> None:
+        if self.policy.breaker_threshold <= 0:
+            return
+        if self.state == CircuitBreaker.HALF_OPEN:
+            # A failed probe re-opens immediately and restarts the clock.
+            self._open()
+            return
+        self._consecutive_failures += 1
+        if (
+            self.state == CircuitBreaker.CLOSED
+            and self._consecutive_failures >= self.policy.breaker_threshold
+        ):
+            self._open()
+
+    def _open(self) -> None:
+        self.state = CircuitBreaker.OPEN
+        self._opened_at = self.sim.now
+        self._consecutive_failures = 0
+        self._probes_in_flight = 0
+        self.opens += 1
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "state": self.state,
+            "opens": self.opens,
+            "fast_failures": self.fast_failures,
+            "probes": self.probes,
+        }
+
+
+class ResilientExecutor:
+    """Runs remote attempts under a :class:`CallPolicy` for one gateway."""
+
+    def __init__(self, sim: Simulator, policy: CallPolicy) -> None:
+        self.sim = sim
+        self.policy = policy
+        self._rng = random.Random(policy.seed)
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self.attempts = 0
+        self.timeouts = 0
+        self.retries = 0
+        self.failures = 0
+        self.successes = 0
+
+    def breaker_for(self, island: str) -> CircuitBreaker:
+        breaker = self._breakers.get(island)
+        if breaker is None:
+            breaker = CircuitBreaker(self.sim, self.policy, island)
+            self._breakers[island] = breaker
+        return breaker
+
+    def backoff_delay(self, retry_index: int) -> float:
+        """Deterministic exponential backoff with seeded jitter."""
+        delay = self.policy.backoff_base * (
+            self.policy.backoff_multiplier ** retry_index
+        )
+        if self.policy.backoff_jitter:
+            delay += delay * self.policy.backoff_jitter * self._rng.random()
+        return delay
+
+    def execute(
+        self, island: str, attempt_factory: Callable[[], SimFuture]
+    ) -> SimFuture:
+        """Run ``attempt_factory`` under deadline/retry/breaker policy.
+
+        ``attempt_factory`` is invoked once per attempt and must return a
+        fresh :class:`SimFuture`.  The returned future resolves with the
+        first successful attempt's value, or with the last failure once the
+        policy is exhausted (fast :class:`CircuitOpenError` when the
+        island's breaker is open).
+        """
+        result: SimFuture = SimFuture()
+        breaker = self.breaker_for(island)
+        state = {"retry": 0}
+
+        def run_attempt() -> None:
+            try:
+                breaker.admit()
+            except CircuitOpenError as exc:
+                result.set_exception(exc)
+                return
+            self.attempts += 1
+            try:
+                attempt = attempt_factory()
+            except Exception as exc:
+                after_failure(exc)
+                return
+            guarded = with_deadline(
+                self.sim,
+                attempt,
+                self.policy.deadline,
+                lambda: DeadlineExceededError(
+                    f"remote call to island {island!r} exceeded "
+                    f"{self.policy.deadline}s deadline"
+                ),
+            )
+
+            def on_done(done: SimFuture) -> None:
+                exc = done.exception()
+                if exc is None:
+                    self.successes += 1
+                    breaker.record_success()
+                    result.set_result(done.result())
+                    return
+                if isinstance(exc, DeadlineExceededError):
+                    self.timeouts += 1
+                after_failure(exc)
+
+            guarded.add_done_callback(on_done)
+
+        def after_failure(exc: BaseException) -> None:
+            if is_connectivity_failure(exc):
+                breaker.record_failure()
+            elif isinstance(exc, RemoteServiceError):
+                # The island answered: connectivity is fine.
+                breaker.record_success()
+            if (
+                not is_connectivity_failure(exc)
+                or state["retry"] >= self.policy.max_retries
+            ):
+                self.failures += 1
+                result.set_exception(exc)
+                return
+            delay = self.backoff_delay(state["retry"])
+            state["retry"] += 1
+            self.retries += 1
+            self.sim.schedule(delay, run_attempt)
+
+        run_attempt()
+        return result
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "attempts": self.attempts,
+            "successes": self.successes,
+            "failures": self.failures,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "breakers": {
+                island: breaker.snapshot()
+                for island, breaker in sorted(self._breakers.items())
+            },
+        }
+
+
+@dataclass
+class GatewayHealth:
+    """Liveness record for one remote gateway, kept by the heartbeat."""
+
+    island: str
+    alive: bool = True
+    last_seen: float = 0.0
+    consecutive_failures: int = 0
+    pings: int = 0
+    failures: int = 0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "alive": self.alive,
+            "last_seen": self.last_seen,
+            "pings": self.pings,
+            "failures": self.failures,
+        }
+
+
+class HeartbeatMonitor:
+    """Periodic liveness probing of every other registered gateway.
+
+    Each tick lists the VSR's gateway registry (served from the client's
+    cache when the directory itself is down) and pings each foreign control
+    endpoint through the gateway's own interchange protocol.  An island is
+    marked dead after ``heartbeat_failure_threshold`` straight misses and
+    resurrected by the first successful ping.
+    """
+
+    def __init__(self, vsg: Any) -> None:
+        self.vsg = vsg
+        self.sim: Simulator = vsg.sim
+        self.policy: CallPolicy = vsg.policy
+        self.health: dict[str, GatewayHealth] = {}
+        self.ticks = 0
+        self._timer: Event | None = None
+        self._running = False
+
+    def start(self) -> None:
+        if self._running or self.policy.heartbeat_interval <= 0:
+            return
+        self._running = True
+        self._timer = self.sim.schedule(self.policy.heartbeat_interval, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.ticks += 1
+
+        def on_gateways(future: SimFuture) -> None:
+            if future.exception() is None:
+                gateways: dict[str, str] = future.result()
+                for island, location in sorted(gateways.items()):
+                    if island != self.vsg.island:
+                        self._ping(island, location)
+            self._reschedule()
+
+        self.vsg.vsr.list_gateways().add_done_callback(on_gateways)
+
+    def _reschedule(self) -> None:
+        if self._running:
+            self._timer = self.sim.schedule(self.policy.heartbeat_interval, self._tick)
+
+    def _ping(self, island: str, location: str) -> None:
+        record = self.health.setdefault(island, GatewayHealth(island=island))
+        record.pings += 1
+        try:
+            raw = self.vsg.protocol.ping_remote(location)
+        except Exception:
+            raw = SimFuture.failed(
+                DeadlineExceededError(f"heartbeat to {island!r} unsendable")
+            )
+        guarded = with_deadline(
+            self.sim,
+            raw,
+            self.policy.heartbeat_deadline,
+            lambda: DeadlineExceededError(
+                f"heartbeat to island {island!r} exceeded "
+                f"{self.policy.heartbeat_deadline}s"
+            ),
+        )
+
+        def on_done(done: SimFuture) -> None:
+            if done.exception() is None:
+                record.alive = True
+                record.last_seen = self.sim.now
+                record.consecutive_failures = 0
+            else:
+                record.failures += 1
+                record.consecutive_failures += 1
+                if record.consecutive_failures >= self.policy.heartbeat_failure_threshold:
+                    record.alive = False
+
+        guarded.add_done_callback(on_done)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        return {
+            island: record.snapshot()
+            for island, record in sorted(self.health.items())
+        }

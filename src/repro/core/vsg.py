@@ -16,7 +16,12 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.errors import ConversionError, GatewayError, ServiceNotFoundError
+from repro.errors import (
+    CircuitOpenError,
+    ConversionError,
+    GatewayError,
+    ServiceNotFoundError,
+)
 from repro.net.node import Node
 from repro.net.simkernel import Event, SimFuture
 from repro.net.transport import TransportStack
@@ -24,6 +29,7 @@ from repro.soap.wsdl import WsdlDocument
 from repro.core import values
 from repro.core.calls import ServiceCall
 from repro.core.interface import ServiceInterface
+from repro.core.resilience import CallPolicy, HeartbeatMonitor, ResilientExecutor
 from repro.core.vsr import VsrClient
 
 #: A local service handler: ``handler(operation, args) -> value | SimFuture``.
@@ -69,6 +75,11 @@ class GatewayProtocol:
 
     def poll_events(self, control_location: str, island: str) -> SimFuture:
         """Fetch queued events for ``island`` (pull protocols only)."""
+        raise NotImplementedError
+
+    def ping_remote(self, control_location: str) -> SimFuture:
+        """Liveness probe of a remote gateway's control endpoint; resolves
+        to the remote island name (used by the heartbeat monitor)."""
         raise NotImplementedError
 
 
@@ -258,6 +269,7 @@ class VirtualServiceGateway:
         protocol: GatewayProtocol,
         vsr: VsrClient,
         poll_interval: float = DEFAULT_POLL_INTERVAL,
+        policy: CallPolicy | None = None,
     ) -> None:
         self.island = island
         self.node = node
@@ -266,13 +278,20 @@ class VirtualServiceGateway:
         self.protocol = protocol
         self.vsr = vsr
         self.poll_interval = poll_interval
+        self.policy = policy or CallPolicy()
+        self.resilience = ResilientExecutor(self.sim, self.policy)
+        self.heartbeat = HeartbeatMonitor(self)
         self._local: dict[str, tuple[ServiceInterface, LocalHandler]] = {}
         self.events = EventRouter(self)
         self._next_call_id = 1
         self.calls_out = 0
         self.calls_in = 0
         self.calls_local = 0
+        self.stale_refreshes = 0
+        self._paused = False
+        self._pause_queue: list[tuple[ServiceCall, SimFuture]] = []
         protocol.start(self)
+        self.heartbeat.start()
 
     # -- exporting (Client Proxy side of the PCM) ----------------------------------
 
@@ -309,6 +328,15 @@ class VirtualServiceGateway:
     def dispatch_local(self, call: ServiceCall) -> SimFuture:
         """Execute a neutral call against a locally exported service."""
         self.calls_in += 1
+        if self._paused:
+            # A paused gateway is alive but unresponsive: the call parks
+            # until resume() and the *caller's* deadline decides its fate.
+            parked: SimFuture = SimFuture()
+            self._pause_queue.append((call, parked))
+            return parked
+        return self._dispatch_now(call)
+
+    def _dispatch_now(self, call: ServiceCall) -> SimFuture:
         entry = self._local.get(call.service)
         if entry is None:
             return SimFuture.failed(
@@ -375,15 +403,21 @@ class VirtualServiceGateway:
                 result.set_exception(exc)
                 return
             document: WsdlDocument = future.result()
-            remote = self.protocol.call_remote(document.location, call)
+            target = document.context.get("island") or document.location
+            remote = self.resilience.execute(
+                target, lambda: self.protocol.call_remote(document.location, call)
+            )
 
             def on_called(done: SimFuture) -> None:
                 call_exc = done.exception()
                 if call_exc is None:
                     result.set_result(done.result())
                     return
-                if not retried and not isinstance(call_exc, ServiceNotFoundError):
+                if not retried and not isinstance(
+                    call_exc, (ServiceNotFoundError, CircuitOpenError)
+                ):
                     # The cached location may be stale: refresh and retry once.
+                    self.stale_refreshes += 1
                     self.vsr.invalidate(call.service)
                     retry = self._invoke_remote(call, retried=True)
                     retry.add_done_callback(
@@ -407,11 +441,51 @@ class VirtualServiceGateway:
     def subscribe(self, topic: str, callback: EventCallback) -> SimFuture:
         return self.events.subscribe(topic, callback)
 
+    # -- resilience ------------------------------------------------------------
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    def pause(self) -> None:
+        """Stop answering inbound calls (they park) without dropping frames:
+        the fault injector's model of a wedged-but-connected gateway."""
+        self._paused = True
+
+    def resume(self) -> None:
+        """Process every call parked while paused, in arrival order."""
+        self._paused = False
+        parked, self._pause_queue = self._pause_queue, []
+        for call, future in parked:
+            self._dispatch_now(call).add_done_callback(
+                lambda done, f=future: f.set_exception(done.exception())
+                if done.exception() is not None
+                else f.set_result(done.result())
+            )
+
+    def resilience_stats(self) -> dict[str, Any]:
+        """Counters the chaos benchmarks read: executor totals, per-island
+        breaker state, directory degradation, heartbeat health."""
+        stats = self.resilience.stats()
+        stats.update(
+            {
+                "island": self.island,
+                "calls_out": self.calls_out,
+                "calls_in": self.calls_in,
+                "stale_refreshes": self.stale_refreshes,
+                "vsr_degraded_reads": self.vsr.degraded_reads,
+                "vsr_lookup_failures": self.vsr.lookup_failures,
+                "health": self.heartbeat.snapshot(),
+            }
+        )
+        return stats
+
     # -- lifecycle ------------------------------------------------------------
 
     def register_with_directory(self) -> SimFuture:
         return self.vsr.register_gateway(self.island, self.protocol.control_location())
 
     def shutdown(self) -> None:
+        self.heartbeat.stop()
         self.events.stop_polling()
         self.protocol.stop()

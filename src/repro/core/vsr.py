@@ -19,10 +19,16 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.errors import RepositoryError, ServiceNotFoundError
+from repro.errors import (
+    DirectoryUnavailableError,
+    RepositoryError,
+    ServiceNotFoundError,
+    SoapFault,
+)
 from repro.net.addressing import NodeAddress
 from repro.net.simkernel import SimFuture
 from repro.net.transport import TransportStack
+from repro.core.resilience import with_deadline
 from repro.soap.client import SoapClient
 from repro.soap.server import SoapServer
 from repro.soap.wsdl import WsdlDocument
@@ -138,6 +144,12 @@ class VsrClient:
     The cache holds resolved documents for ``cache_ttl`` virtual seconds;
     a stale entry that leads to a failed call is invalidated by the caller
     via :meth:`invalidate`.
+
+    Read failover: when the directory itself is unreachable, lookups fall
+    back to the last cached document *even past its TTL* (``allow_stale``),
+    counting the read in ``degraded_reads`` so gateway stats expose the
+    degraded mode.  ``lookup_deadline`` bounds each directory round trip in
+    virtual time (0 leaves only the transport's own timeouts).
     """
 
     def __init__(
@@ -146,20 +158,38 @@ class VsrClient:
         directory_address: NodeAddress,
         directory_port: int = 8080,
         cache_ttl: float = 30.0,
+        lookup_deadline: float = 0.0,
+        allow_stale: bool = True,
     ) -> None:
         self.stack = stack
         self.sim = stack.sim
         self.directory_address = directory_address
         self.directory_port = directory_port
         self.cache_ttl = cache_ttl
+        self.lookup_deadline = lookup_deadline
+        self.allow_stale = allow_stale
         self.soap = SoapClient(stack)
         self._cache: dict[str, tuple[float, WsdlDocument]] = {}
+        self._gateway_cache: dict[str, str] | None = None
         self.cache_hits = 0
         self.remote_lookups = 0
+        self.degraded_reads = 0
+        self.lookup_failures = 0
 
     def _call(self, operation: str, args: list[Any]) -> SimFuture:
-        return self.soap.call(
+        raw = self.soap.call(
             self.directory_address, UDDI_SERVICE_NAME, operation, args, port=self.directory_port
+        )
+        if not self.lookup_deadline:
+            return raw
+        return with_deadline(
+            self.sim,
+            raw,
+            self.lookup_deadline,
+            lambda: DirectoryUnavailableError(
+                f"VSR directory {self.directory_address} did not answer "
+                f"{operation!r} within {self.lookup_deadline}s"
+            ),
         )
 
     def publish(self, document: WsdlDocument) -> SimFuture:
@@ -171,7 +201,13 @@ class VsrClient:
         return self._call("withdraw", [service])
 
     def find_by_name(self, service: str) -> SimFuture:
-        """Resolve to a :class:`WsdlDocument` (cached)."""
+        """Resolve to a :class:`WsdlDocument` (cached).
+
+        A directory failure (as opposed to "no such service") falls back to
+        any cached document regardless of age when ``allow_stale`` is set —
+        the degraded read mode that keeps resolution alive through a UDDI
+        outage.
+        """
         cached = self._cache.get(service)
         if cached is not None and self.sim.now - cached[0] <= self.cache_ttl:
             self.cache_hits += 1
@@ -182,6 +218,15 @@ class VsrClient:
         def decode(future: SimFuture) -> None:
             exc = future.exception()
             if exc is not None:
+                if isinstance(exc, (SoapFault, ServiceNotFoundError)):
+                    # The directory answered: its verdict is authoritative.
+                    result.set_exception(exc)
+                    return
+                self.lookup_failures += 1
+                if self.allow_stale and cached is not None:
+                    self.degraded_reads += 1
+                    result.set_result(cached[1])
+                    return
                 result.set_exception(exc)
                 return
             document = WsdlDocument.from_xml(str(future.result()).encode("utf-8"))
@@ -214,7 +259,32 @@ class VsrClient:
         return self._call("register_gateway", [island, location])
 
     def list_gateways(self) -> SimFuture:
-        return self._call("list_gateways", [])
+        """Resolve to the ``island -> control location`` registry.
+
+        The last successful answer is remembered and served when the
+        directory is unreachable (another degraded read), so heartbeating
+        keeps working through a UDDI outage.
+        """
+        result: SimFuture = SimFuture()
+
+        def decode(future: SimFuture) -> None:
+            exc = future.exception()
+            if exc is None:
+                self._gateway_cache = dict(future.result())
+                result.set_result(future.result())
+                return
+            if isinstance(exc, (SoapFault, ServiceNotFoundError)):
+                result.set_exception(exc)
+                return
+            self.lookup_failures += 1
+            if self.allow_stale and self._gateway_cache is not None:
+                self.degraded_reads += 1
+                result.set_result(dict(self._gateway_cache))
+                return
+            result.set_exception(exc)
+
+        self._call("list_gateways", []).add_done_callback(decode)
+        return result
 
     def invalidate(self, service: str) -> None:
         self._cache.pop(service, None)

@@ -43,6 +43,10 @@ class TimeoutError(NetworkError):  # noqa: A001 - deliberate shadow, namespaced
     """A simulated operation did not complete within its virtual deadline."""
 
 
+class FaultInjectionError(ReproError):
+    """A fault plan referenced an unknown target or was malformed."""
+
+
 # ---------------------------------------------------------------------------
 # Protocol substrates
 # ---------------------------------------------------------------------------
@@ -146,6 +150,26 @@ class GatewayError(FrameworkError):
 
 class RepositoryError(FrameworkError):
     """Virtual Service Repository failure (conflict, stale entry)."""
+
+
+class DeadlineExceededError(GatewayError):
+    """A remote invocation exceeded its :class:`CallPolicy` deadline."""
+
+
+class CircuitOpenError(GatewayError):
+    """Fast failure: the target island's circuit breaker is open."""
+
+    def __init__(self, island: str, retry_at: float):
+        super().__init__(
+            f"circuit breaker open for island {island!r} (half-open probe at "
+            f"t={retry_at:.3f})"
+        )
+        self.island = island
+        self.retry_at = retry_at
+
+
+class DirectoryUnavailableError(RepositoryError):
+    """The VSR directory is unreachable and no cached entry can stand in."""
 
 
 class ConversionError(FrameworkError):

@@ -1,0 +1,36 @@
+"""Deterministic fault injection for the simulated home.
+
+A :class:`FaultPlan` is a schedule of chaos — link loss windows, latency
+spikes, backbone partitions, node crash/restart, gateway pause/resume — that
+a :class:`FaultInjector` arms on the simulation kernel.  All randomness
+(which frames a loss window drops) comes from RNGs seeded by the plan seed
+and the injection index, so every chaotic run is bit-for-bit reproducible;
+the :class:`FaultReport` records injected actions *and* observed effects
+(frames dropped, frames blocked, down time) for the chaos benchmarks.
+"""
+
+from repro.faults.plan import (
+    FaultAction,
+    FaultPlan,
+    FaultRecord,
+    FaultReport,
+    GatewayPause,
+    LatencySpike,
+    LinkLoss,
+    NodeCrash,
+    Partition,
+)
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultReport",
+    "GatewayPause",
+    "LatencySpike",
+    "LinkLoss",
+    "NodeCrash",
+    "Partition",
+]

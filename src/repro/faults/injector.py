@@ -1,0 +1,208 @@
+"""Arms a :class:`FaultPlan` on a simulated network.
+
+Each action kind maps onto an existing seam of the substrate:
+
+- :class:`LinkLoss` installs a seeded Bernoulli ``Segment.loss_model`` for
+  the window, then restores whatever model was there before;
+- :class:`LatencySpike` bumps ``Segment.propagation_delay``;
+- :class:`Partition` installs a ``Segment.delivery_filter`` that only lets
+  frames travel within a node group (broadcasts still reach same-side
+  interfaces);
+- :class:`NodeCrash` calls :meth:`Node.crash` / :meth:`Node.restart`;
+- :class:`GatewayPause` parks a gateway's inbound dispatch until resume.
+
+Window restorations are themselves simulator events, so a report read after
+the run describes exactly what the run experienced.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import FaultInjectionError
+from repro.faults.plan import (
+    FaultPlan,
+    FaultRecord,
+    FaultReport,
+    GatewayPause,
+    LatencySpike,
+    LinkLoss,
+    NodeCrash,
+    Partition,
+    ScheduledFault,
+)
+from repro.net.network import Network
+from repro.net.segment import Segment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.framework import MetaMiddleware
+    from repro.net.frames import Frame
+    from repro.net.node import Interface
+
+
+class _BernoulliLoss:
+    """Seeded per-frame drop model; counts what it did for the report."""
+
+    def __init__(self, rate: float, seed: str, previous: Callable | None) -> None:
+        self.rate = rate
+        self.rng = random.Random(seed)
+        self.previous = previous
+        self.seen = 0
+        self.dropped = 0
+
+    def __call__(self, frame: "Frame") -> bool:
+        if self.previous is not None and self.previous(frame):
+            return True
+        self.seen += 1
+        if self.rng.random() < self.rate:
+            self.dropped += 1
+            return True
+        return False
+
+
+class FaultInjector:
+    """Schedules a plan's actions on the network's simulation kernel."""
+
+    def __init__(
+        self,
+        network: Network,
+        plan: FaultPlan,
+        mm: "MetaMiddleware | None" = None,
+    ) -> None:
+        self.network = network
+        self.sim = network.sim
+        self.plan = plan
+        self.mm = mm
+        self._report = FaultReport(seed=plan.seed)
+        self._armed = False
+
+    # -- public API ---------------------------------------------------------
+
+    def arm(self) -> "FaultInjector":
+        """Validate every target now, then schedule all injections."""
+        if self._armed:
+            raise FaultInjectionError("fault plan already armed")
+        self._armed = True
+        for entry in self.plan.entries:
+            self._validate(entry)
+            self.sim.at(entry.time, self._apply, entry)
+        return self
+
+    def report(self) -> FaultReport:
+        return self._report
+
+    # -- validation ---------------------------------------------------------
+
+    def _validate(self, entry: ScheduledFault) -> None:
+        action = entry.action
+        if isinstance(action, (LinkLoss, LatencySpike, Partition)):
+            self.network.segment(action.segment)  # raises if unknown
+        elif isinstance(action, NodeCrash):
+            self.network.node(action.node)
+        elif isinstance(action, GatewayPause):
+            if self.mm is None:
+                raise FaultInjectionError(
+                    "GatewayPause needs a MetaMiddleware (pass mm= to the injector)"
+                )
+            self.mm.island(action.island)
+        else:
+            raise FaultInjectionError(f"unknown fault action {action!r}")
+
+    # -- application --------------------------------------------------------
+
+    def _apply(self, entry: ScheduledFault) -> None:
+        record = FaultRecord(
+            time=entry.time,
+            kind=entry.action.kind,
+            description=entry.action.describe(),
+        )
+        self._report.records.append(record)
+        action = entry.action
+        if isinstance(action, LinkLoss):
+            self._apply_loss(entry, action, record)
+        elif isinstance(action, LatencySpike):
+            self._apply_spike(action, record)
+        elif isinstance(action, Partition):
+            self._apply_partition(action, record)
+        elif isinstance(action, NodeCrash):
+            self._apply_crash(action, record)
+        elif isinstance(action, GatewayPause):
+            self._apply_pause(action, record)
+
+    def _apply_loss(
+        self, entry: ScheduledFault, action: LinkLoss, record: FaultRecord
+    ) -> None:
+        segment = self.network.segment(action.segment)
+        model = _BernoulliLoss(action.rate, self.plan.rng_seed(entry), segment.loss_model)
+        segment.loss_model = model
+
+        def restore() -> None:
+            # Another injection may have stacked on top of us; only unwind
+            # if we are still the installed model.
+            if segment.loss_model is model:
+                segment.loss_model = model.previous
+            record.observed["frames_seen"] = model.seen
+            record.observed["frames_dropped"] = model.dropped
+
+        self.sim.schedule(action.duration, restore)
+
+    def _apply_spike(self, action: LatencySpike, record: FaultRecord) -> None:
+        segment = self.network.segment(action.segment)
+        segment.propagation_delay += action.extra_delay
+
+        def restore() -> None:
+            segment.propagation_delay -= action.extra_delay
+            record.observed["restored"] = 1
+
+        self.sim.schedule(action.duration, restore)
+
+    def _apply_partition(self, action: Partition, record: FaultRecord) -> None:
+        segment = self.network.segment(action.segment)
+        group_of: dict[str, int] = {}
+        for index, group in enumerate(action.groups):
+            for node_name in group:
+                group_of[node_name] = index
+        blocked_before = segment.frames_blocked
+        previous = segment.delivery_filter
+
+        def same_side(sender: "Interface", receiver: "Interface") -> bool:
+            if previous is not None and not previous(sender, receiver):
+                return False
+            # Unlisted nodes share the implicit group -1.
+            return group_of.get(sender.node.name, -1) == group_of.get(
+                receiver.node.name, -1
+            )
+
+        segment.delivery_filter = same_side
+
+        def heal() -> None:
+            if segment.delivery_filter is same_side:
+                segment.delivery_filter = previous
+            record.observed["frames_blocked"] = (
+                segment.frames_blocked - blocked_before
+            )
+
+        self.sim.schedule(action.duration, heal)
+
+    def _apply_crash(self, action: NodeCrash, record: FaultRecord) -> None:
+        node = self.network.node(action.node)
+        node.crash()
+        record.observed["crashed_at"] = self.sim.now
+        if action.restart_after is not None:
+
+            def restart() -> None:
+                node.restart()
+                record.observed["restarted_at"] = self.sim.now
+
+            self.sim.schedule(action.restart_after, restart)
+
+    def _apply_pause(self, action: GatewayPause, record: FaultRecord) -> None:
+        gateway = self.mm.island(action.island).gateway
+        gateway.pause()
+
+        def resume() -> None:
+            gateway.resume()
+            record.observed["resumed_at"] = self.sim.now
+
+        self.sim.schedule(action.duration, resume)

@@ -1,0 +1,257 @@
+"""Fault plans and reports.
+
+A plan is data, not behaviour: a sorted schedule of (time, action) pairs
+plus one seed.  The :class:`~repro.faults.injector.FaultInjector` turns it
+into simulator events; keeping the description inert makes plans trivially
+comparable, printable and replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import FaultInjectionError
+
+
+# ---------------------------------------------------------------------------
+# Actions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """Base class; concrete actions below are plain frozen records."""
+
+    kind = "abstract"
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LinkLoss(FaultAction):
+    """Raise a segment's frame loss rate for a window (via ``loss_model``)."""
+
+    segment: str
+    rate: float
+    duration: float
+
+    kind = "link-loss"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultInjectionError(f"loss rate {self.rate} outside [0, 1]")
+        if self.duration <= 0:
+            raise FaultInjectionError(f"loss window must be positive: {self.duration}")
+
+    def describe(self) -> str:
+        return f"loss {self.rate:.0%} on {self.segment} for {self.duration:g}s"
+
+
+@dataclass(frozen=True)
+class LatencySpike(FaultAction):
+    """Add propagation delay to a segment for a window."""
+
+    segment: str
+    extra_delay: float
+    duration: float
+
+    kind = "latency-spike"
+
+    def __post_init__(self) -> None:
+        if self.extra_delay <= 0 or self.duration <= 0:
+            raise FaultInjectionError("latency spike needs positive delay and duration")
+
+    def describe(self) -> str:
+        return (
+            f"+{self.extra_delay * 1000:g}ms on {self.segment} "
+            f"for {self.duration:g}s"
+        )
+
+
+@dataclass(frozen=True)
+class Partition(FaultAction):
+    """Split a segment into isolated groups of nodes for a window.
+
+    ``groups`` name node groups by node name; nodes on the segment that
+    appear in no group form one extra implicit group (they stay connected
+    to each other but to nobody listed).
+    """
+
+    segment: str
+    groups: tuple[frozenset[str], ...]
+    duration: float
+
+    kind = "partition"
+
+    def __post_init__(self) -> None:
+        if len(self.groups) < 1:
+            raise FaultInjectionError("partition needs at least one group")
+        if self.duration <= 0:
+            raise FaultInjectionError("partition window must be positive")
+        seen: set[str] = set()
+        for group in self.groups:
+            overlap = seen & group
+            if overlap:
+                raise FaultInjectionError(
+                    f"nodes in more than one partition group: {sorted(overlap)}"
+                )
+            seen |= group
+
+    @staticmethod
+    def of(segment: str, *groups, duration: float) -> "Partition":
+        """Convenience: ``Partition.of("backbone", {"a"}, {"b"}, duration=5)``."""
+        return Partition(
+            segment=segment,
+            groups=tuple(frozenset(group) for group in groups),
+            duration=duration,
+        )
+
+    def describe(self) -> str:
+        sides = " | ".join(",".join(sorted(group)) for group in self.groups)
+        return f"partition {self.segment} [{sides}] for {self.duration:g}s"
+
+
+@dataclass(frozen=True)
+class NodeCrash(FaultAction):
+    """Take a node's interfaces down; optionally restart it later."""
+
+    node: str
+    restart_after: float | None = None
+
+    kind = "node-crash"
+
+    def __post_init__(self) -> None:
+        if self.restart_after is not None and self.restart_after <= 0:
+            raise FaultInjectionError("restart_after must be positive when given")
+
+    def describe(self) -> str:
+        if self.restart_after is None:
+            return f"crash {self.node} (no restart)"
+        return f"crash {self.node}, restart after {self.restart_after:g}s"
+
+
+@dataclass(frozen=True)
+class GatewayPause(FaultAction):
+    """Wedge an island's gateway (alive but unresponsive) for a window."""
+
+    island: str
+    duration: float
+
+    kind = "gateway-pause"
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise FaultInjectionError("pause window must be positive")
+
+    def describe(self) -> str:
+        return f"pause gateway {self.island} for {self.duration:g}s"
+
+
+# ---------------------------------------------------------------------------
+# Plan
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScheduledFault:
+    """One planned injection; ``index`` seeds the action's private RNG."""
+
+    time: float
+    action: FaultAction
+    index: int
+
+
+class FaultPlan:
+    """An ordered, seeded schedule of fault injections."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._entries: list[ScheduledFault] = []
+
+    def at(self, time: float, action: FaultAction) -> "FaultPlan":
+        """Schedule ``action`` at virtual ``time``; chainable."""
+        if time < 0:
+            raise FaultInjectionError(f"cannot inject in the past: t={time}")
+        if not isinstance(action, FaultAction):
+            raise FaultInjectionError(f"not a fault action: {action!r}")
+        self._entries.append(ScheduledFault(time, action, len(self._entries)))
+        return self
+
+    @property
+    def entries(self) -> list[ScheduledFault]:
+        """Entries in firing order (time, then insertion order)."""
+        return sorted(self._entries, key=lambda entry: (entry.time, entry.index))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def rng_seed(self, entry: ScheduledFault) -> str:
+        """Stable per-injection RNG seed string."""
+        return f"{self.seed}:{entry.index}:{entry.action.kind}"
+
+
+# ---------------------------------------------------------------------------
+# Report
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FaultRecord:
+    """One injected fault and what it observably did."""
+
+    time: float
+    kind: str
+    description: str
+    #: Filled in as the fault's effects land (e.g. at window end).
+    observed: dict[str, Any] = field(default_factory=dict)
+
+    def as_row(self) -> tuple[str, str, str, str]:
+        effects = ", ".join(
+            f"{key}={value}" for key, value in sorted(self.observed.items())
+        )
+        return (f"{self.time:g}s", self.kind, self.description, effects or "-")
+
+
+@dataclass
+class FaultReport:
+    """Everything a chaotic run injected and observed, deterministically
+    ordered so identical seeds yield identical reports."""
+
+    seed: int
+    records: list[FaultRecord] = field(default_factory=list)
+
+    @property
+    def injected(self) -> int:
+        return len(self.records)
+
+    def by_kind(self, kind: str) -> list[FaultRecord]:
+        return [record for record in self.records if record.kind == kind]
+
+    def total_observed(self, key: str) -> int:
+        return sum(int(record.observed.get(key, 0)) for record in self.records)
+
+    def as_rows(self) -> list[tuple[str, str, str, str]]:
+        return [record.as_row() for record in self.records]
+
+    def as_dict(self) -> dict[str, Any]:
+        """Canonical form for determinism comparisons across runs."""
+        return {
+            "seed": self.seed,
+            "records": [
+                {
+                    "time": record.time,
+                    "kind": record.kind,
+                    "description": record.description,
+                    "observed": dict(sorted(record.observed.items())),
+                }
+                for record in self.records
+            ],
+        }
+
+    def render(self) -> str:
+        lines = [f"fault report (seed={self.seed}, injected={self.injected})"]
+        for row in self.as_rows():
+            lines.append("  " + " | ".join(row))
+        return "\n".join(lines)

@@ -85,6 +85,25 @@ class Node:
                 return interface
         raise NetworkError(f"node {self.name} has no interface on {segment.name}")
 
+    # -- failure injection ---------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """True unless every interface is administratively down."""
+        return any(interface.up for interface in self.interfaces) or not self.interfaces
+
+    def crash(self) -> None:
+        """Take every interface down: frames in flight towards the node are
+        lost on arrival and sends raise, exactly like pulled power."""
+        for interface in self.interfaces:
+            interface.up = False
+
+    def restart(self) -> None:
+        """Bring every interface back up.  Protocol state registered on the
+        node (listeners, handlers) survives, as for a fast process restart."""
+        for interface in self.interfaces:
+            interface.up = True
+
     def register_protocol(self, protocol: str, handler: FrameHandler) -> None:
         """Install the upper-layer handler for frames tagged ``protocol``.
         Registering twice for the same tag is an error (it would silently

@@ -65,9 +65,14 @@ class Segment:
         self.interfaces: list["Interface"] = []
         self.monitors: list["TrafficMonitor"] = []
         self.loss_model: Callable[[Frame], bool] | None = None
+        #: Per-receiver reachability hook ``(sender, receiver) -> deliverable``.
+        #: Unlike ``loss_model`` (whole-frame, counted as a drop) this models
+        #: partitions: a broadcast still reaches same-side interfaces.
+        self.delivery_filter: Callable[["Interface", "Interface"], bool] | None = None
         self._busy_until = 0.0
         self.frames_sent = 0
         self.bytes_sent = 0
+        self.frames_blocked = 0
 
     # -- topology -----------------------------------------------------------
 
@@ -111,6 +116,11 @@ class Segment:
             arrival = end + self.propagation_delay
             for interface in list(self.interfaces):
                 if interface is sender:
+                    continue
+                if self.delivery_filter is not None and not self.delivery_filter(
+                    sender, interface
+                ):
+                    self.frames_blocked += 1
                     continue
                 self.sim.at(arrival, interface.deliver, frame)
         return end

@@ -1,0 +1,87 @@
+"""Direct test for the VSG stale-cache retry path.
+
+When a service moves between islands, callers holding a cached WSDL document
+still dial the old gateway.  That gateway answers (so this is *not* a
+connectivity failure) with a not-found fault; the caller must invalidate the
+cache, re-resolve through the VSR, and retry exactly once.
+"""
+
+from repro.core.framework import MetaMiddleware
+from repro.core.interface import simple_interface
+from repro.net.segment import EthernetSegment
+
+from tests.core.toys import Lamp, ToyPcm
+
+import pytest
+
+LAMP_IFACE = simple_interface(
+    "Lamp", {"set_level": ("int", "->int"), "get_level": ("->int",), "fail": ()}
+)
+
+
+@pytest.fixture
+def home(sim, net):
+    backbone = net.create_segment(EthernetSegment, "backbone")
+    mm = MetaMiddleware(net, backbone)
+    lamp = Lamp()
+    island_a = mm.add_island(
+        "a", None, lambda island: ToyPcm(island.gateway, {"Lamp": (LAMP_IFACE, lamp)})
+    )
+    island_b = mm.add_island("b", None, lambda island: ToyPcm(island.gateway, {}))
+    island_c = mm.add_island("c", None, lambda island: ToyPcm(island.gateway, {}))
+    sim.run_until_complete(mm.connect())
+    return mm, island_a, island_b, island_c, lamp
+
+
+def move_lamp(sim, source, destination, lamp):
+    """Relocate the Lamp export the way a migrating device would: the old
+    island stops serving it, the new island publishes it (overwriting the
+    VSR registry entry with its own location)."""
+    del source.gateway._local["Lamp"]
+    sim.run_until_complete(
+        destination.gateway.export_service(
+            "Lamp", LAMP_IFACE, lambda op, args: getattr(lamp, op)(*args)
+        )
+    )
+
+
+class TestStaleCacheRetry:
+    def test_moved_service_refreshes_and_retries_exactly_once(self, sim, home):
+        mm, island_a, island_b, island_c, lamp = home
+        caller = island_c.gateway
+        # Prime c's cache with the Lamp living on island a.
+        assert sim.run_until_complete(caller.invoke("Lamp", "set_level", [3])) == 3
+        lookups_before = caller.vsr.remote_lookups
+        assert caller.stale_refreshes == 0
+
+        move_lamp(sim, island_a, island_b, lamp)
+
+        # The cached location now points at island a, which answers
+        # not-found; one invalidate + re-resolve reaches island b.
+        assert sim.run_until_complete(caller.invoke("Lamp", "set_level", [8])) == 8
+        assert lamp.level == 8
+        assert caller.stale_refreshes == 1
+        assert caller.vsr.remote_lookups == lookups_before + 1
+
+    def test_refreshed_location_is_cached_for_later_calls(self, sim, home):
+        mm, island_a, island_b, island_c, lamp = home
+        caller = island_c.gateway
+        sim.run_until_complete(caller.invoke("Lamp", "get_level", []))
+        move_lamp(sim, island_a, island_b, lamp)
+        sim.run_until_complete(caller.invoke("Lamp", "get_level", []))
+        lookups_after_refresh = caller.vsr.remote_lookups
+        # Follow-up calls use the refreshed cache entry: no new lookup,
+        # no new refresh.
+        assert sim.run_until_complete(caller.invoke("Lamp", "set_level", [5])) == 5
+        assert caller.vsr.remote_lookups == lookups_after_refresh
+        assert caller.stale_refreshes == 1
+
+    def test_healthy_calls_never_trigger_a_refresh(self, sim, home):
+        mm, island_a, island_b, island_c, lamp = home
+        caller = island_c.gateway
+        for level in (1, 2, 3):
+            assert (
+                sim.run_until_complete(caller.invoke("Lamp", "set_level", [level]))
+                == level
+            )
+        assert caller.stale_refreshes == 0

@@ -1,0 +1,198 @@
+"""Unit tests for the deterministic fault-injection subsystem."""
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    GatewayPause,
+    LatencySpike,
+    LinkLoss,
+    NodeCrash,
+    Partition,
+)
+from repro.net.network import Network
+from repro.net.segment import EthernetSegment
+from repro.net.simkernel import Simulator
+
+
+def make_lan(names=("a", "b")):
+    """A fresh sim + one Ethernet segment + raw nodes with a counting
+    'test'-protocol handler."""
+    sim = Simulator()
+    net = Network(sim)
+    eth = net.create_segment(EthernetSegment, "eth0")
+    received = {name: [] for name in names}
+    for name in names:
+        node = net.create_node(name)
+        net.attach(node, eth)
+        node.register_protocol(
+            "test", lambda iface, frame, _name=name: received[_name].append(frame)
+        )
+    return sim, net, eth, received
+
+
+def send(net, src, dst, payload=b"x"):
+    src_iface = net.node(src).interfaces[0]
+    dst_iface = net.node(dst).interfaces[0]
+    src_iface.send(dst_iface.hw_address, "test", payload)
+
+
+class TestPlanValidation:
+    def test_bad_loss_rate_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            LinkLoss("eth0", rate=1.5, duration=1.0)
+
+    def test_overlapping_partition_groups_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            Partition.of("eth0", {"a", "b"}, {"b"}, duration=1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan().at(-1.0, LinkLoss("eth0", rate=0.5, duration=1.0))
+
+    def test_unknown_segment_rejected_at_arm_time(self):
+        sim, net, eth, received = make_lan()
+        plan = FaultPlan().at(1.0, LinkLoss("nope", rate=0.5, duration=1.0))
+        with pytest.raises(Exception):
+            FaultInjector(net, plan).arm()
+
+    def test_gateway_pause_requires_metamiddleware(self):
+        sim, net, eth, received = make_lan()
+        plan = FaultPlan().at(1.0, GatewayPause("jini", duration=1.0))
+        with pytest.raises(FaultInjectionError, match="MetaMiddleware"):
+            FaultInjector(net, plan).arm()
+
+    def test_double_arm_rejected(self):
+        sim, net, eth, received = make_lan()
+        injector = FaultInjector(net, FaultPlan())
+        injector.arm()
+        with pytest.raises(FaultInjectionError):
+            injector.arm()
+
+
+class TestLinkLoss:
+    def run_lossy(self, seed):
+        sim, net, eth, received = make_lan()
+        plan = FaultPlan(seed=seed).at(1.0, LinkLoss("eth0", rate=0.5, duration=10.0))
+        injector = FaultInjector(net, plan).arm()
+        for k in range(100):
+            sim.at(1.0 + 0.05 * k, send, net, "a", "b", b"frame%d" % k)
+        sim.run(until=20.0)
+        return injector.report(), len(received["b"])
+
+    def test_loss_window_drops_and_restores(self):
+        report, delivered = self.run_lossy(seed=3)
+        record = report.by_kind("link-loss")[0]
+        assert record.observed["frames_seen"] == 100
+        dropped = record.observed["frames_dropped"]
+        assert 0 < dropped < 100
+        assert delivered == 100 - dropped
+
+    def test_loss_model_removed_after_window(self):
+        sim, net, eth, received = make_lan()
+        plan = FaultPlan(seed=1).at(0.0, LinkLoss("eth0", rate=1.0, duration=1.0))
+        FaultInjector(net, plan).arm()
+        sim.at(0.5, send, net, "a", "b")  # inside the window: lost
+        sim.at(2.0, send, net, "a", "b")  # after restore: delivered
+        sim.run()
+        assert eth.loss_model is None
+        assert len(received["b"]) == 1
+
+    def test_identical_seeds_identical_reports(self):
+        report1, delivered1 = self.run_lossy(seed=42)
+        report2, delivered2 = self.run_lossy(seed=42)
+        assert report1.as_dict() == report2.as_dict()
+        assert delivered1 == delivered2
+
+    def test_different_seeds_differ(self):
+        report1, _ = self.run_lossy(seed=1)
+        report2, _ = self.run_lossy(seed=2)
+        assert (
+            report1.by_kind("link-loss")[0].observed
+            != report2.by_kind("link-loss")[0].observed
+        )
+
+
+class TestPartition:
+    def test_cross_group_frames_blocked_then_heal(self):
+        sim, net, eth, received = make_lan(("a", "b", "c"))
+        plan = FaultPlan().at(
+            1.0, Partition.of("eth0", {"a"}, {"b", "c"}, duration=5.0)
+        )
+        injector = FaultInjector(net, plan).arm()
+        sim.at(2.0, send, net, "a", "b")  # cross-partition: blocked
+        sim.at(3.0, send, net, "b", "c")  # same side: delivered
+        sim.at(7.0, send, net, "a", "b")  # healed: delivered
+        sim.run()
+        assert len(received["b"]) == 1
+        assert len(received["c"]) == 1
+        assert eth.delivery_filter is None
+        record = injector.report().by_kind("partition")[0]
+        # Broadcast medium: the a->b frame was withheld from both far-side
+        # interfaces (b, c) and the b->c frame from a.
+        assert record.observed["frames_blocked"] == 3
+
+    def test_unlisted_nodes_share_the_implicit_group(self):
+        sim, net, eth, received = make_lan(("a", "b", "c"))
+        plan = FaultPlan().at(0.0, Partition.of("eth0", {"a"}, duration=5.0))
+        FaultInjector(net, plan).arm()
+        sim.at(1.0, send, net, "b", "c")  # both unlisted: still connected
+        sim.at(2.0, send, net, "a", "b")  # a is isolated
+        sim.run(until=4.0)
+        assert len(received["c"]) == 1
+        assert len(received["b"]) == 0
+
+
+class TestNodeCrash:
+    def test_crash_silences_and_restart_recovers(self):
+        sim, net, eth, received = make_lan()
+        plan = FaultPlan().at(1.0, NodeCrash("b", restart_after=3.0))
+        injector = FaultInjector(net, plan).arm()
+        sim.at(0.5, send, net, "a", "b")  # before the crash
+        sim.at(2.0, send, net, "a", "b")  # while down: lost on arrival
+        sim.at(5.0, send, net, "a", "b")  # after restart
+        sim.run()
+        assert len(received["b"]) == 2
+        assert net.node("b").alive
+        record = injector.report().by_kind("node-crash")[0]
+        assert record.observed["crashed_at"] == 1.0
+        assert record.observed["restarted_at"] == 4.0
+
+    def test_crash_without_restart_stays_down(self):
+        sim, net, eth, received = make_lan()
+        FaultInjector(net, FaultPlan().at(1.0, NodeCrash("b"))).arm()
+        sim.at(2.0, send, net, "a", "b")
+        sim.run()
+        assert len(received["b"]) == 0
+        assert not net.node("b").alive
+
+
+class TestLatencySpike:
+    def test_delay_added_and_restored(self):
+        sim, net, eth, received = make_lan()
+        base = eth.propagation_delay
+        plan = FaultPlan().at(1.0, LatencySpike("eth0", extra_delay=0.25, duration=2.0))
+        FaultInjector(net, plan).arm()
+        sim.run(until=1.5)
+        assert eth.propagation_delay == pytest.approx(base + 0.25)
+        sim.run(until=4.0)
+        assert eth.propagation_delay == pytest.approx(base)
+
+
+class TestReport:
+    def test_render_lists_every_injection(self):
+        sim, net, eth, received = make_lan()
+        plan = (
+            FaultPlan(seed=9)
+            .at(1.0, LinkLoss("eth0", rate=0.1, duration=1.0))
+            .at(2.0, NodeCrash("b", restart_after=1.0))
+        )
+        injector = FaultInjector(net, plan).arm()
+        sim.run()
+        report = injector.report()
+        assert report.injected == 2
+        text = report.render()
+        assert "link-loss" in text and "node-crash" in text
+        assert "seed=9" in text

@@ -1,0 +1,69 @@
+"""Segment.loss_model + TrafficMonitor accounting.
+
+A dropped frame must be *tallied* by every watching monitor (frames, bytes,
+dropped_frames) yet never reach a receiver: the books balance as
+``delivered == sent - dropped``.
+"""
+
+from repro.net.monitor import TrafficMonitor
+
+
+def wire_counting_receiver(net, name, received):
+    node = net.node(name)
+    node.register_protocol("test", lambda iface, frame: received.append(frame))
+    return node
+
+
+class TestLossAccounting:
+    def make_pair(self, net, eth):
+        received = []
+        node_a = net.create_node("a")
+        node_b = net.create_node("b")
+        net.attach(node_a, eth)
+        net.attach(node_b, eth)
+        node_b.register_protocol("test", lambda iface, frame: received.append(frame))
+        return node_a.interfaces[0], node_b.interfaces[0], received
+
+    def test_dropped_frames_tallied_but_not_delivered(self, sim, net, eth):
+        sender, receiver, received = self.make_pair(net, eth)
+        monitor = TrafficMonitor().watch(eth)
+        # Deterministic drop pattern: every third frame is lost.
+        counter = {"n": 0}
+
+        def every_third(frame):
+            counter["n"] += 1
+            return counter["n"] % 3 == 0
+
+        eth.loss_model = every_third
+        for k in range(30):
+            sim.at(0.1 * k, sender.send, receiver.hw_address, "test", b"payload")
+        sim.run()
+
+        stats = monitor.stats["test"]
+        assert stats.frames == 30
+        assert stats.dropped_frames == 10
+        assert len(received) == 30 - 10
+        # Dropped frames still count their bytes (payload + framing), so
+        # the byte total divides evenly across all 30 frames.
+        assert stats.bytes % 30 == 0
+        assert stats.bytes >= 30 * len(b"payload")
+
+    def test_per_segment_books_match_the_totals(self, sim, net, eth):
+        sender, receiver, received = self.make_pair(net, eth)
+        monitor = TrafficMonitor().watch(eth)
+        eth.loss_model = lambda frame: True  # black hole
+        for k in range(5):
+            sim.at(0.1 * k, sender.send, receiver.hw_address, "test", b"x")
+        sim.run()
+        assert len(received) == 0
+        assert monitor.stats["test"].dropped_frames == 5
+        assert monitor.per_segment["eth0"]["test"].dropped_frames == 5
+
+    def test_no_loss_model_drops_nothing(self, sim, net, eth):
+        sender, receiver, received = self.make_pair(net, eth)
+        monitor = TrafficMonitor().watch(eth)
+        for k in range(10):
+            sim.at(0.1 * k, sender.send, receiver.hw_address, "test", b"x")
+        sim.run()
+        assert monitor.stats["test"].dropped_frames == 0
+        assert len(received) == 10
