@@ -104,3 +104,36 @@ def test_c6_every_catalog_interface_is_generatable(bench_once):
            [(name, ops) for name, ops in generated], ("service", "operations"))
     assert len(generated) == 13
     assert factory.classes_generated == 13
+
+
+def test_c6_amortized_repeat_generation(bench_once):
+    """Repeated generation for already-seen interface shapes must cost
+    ~nothing: the process-wide fingerprint cache turns it into a lookup."""
+    import timeit
+
+    from repro.core.proxygen import clear_proxy_class_cache, generate_proxy_class
+
+    def run():
+        clear_proxy_class_cache()
+        interfaces = [interface_number(index) for index in range(50)]
+        cold = timeit.timeit(
+            lambda: [generate_proxy_class(i) for i in interfaces], number=1
+        )
+        warm = timeit.timeit(
+            lambda: [generate_proxy_class(i) for i in interfaces], number=1
+        )
+        return cold, warm
+
+    cold, warm = bench_once(run)
+    report(
+        "C6: cold vs amortized proxy generation (50 interfaces)",
+        [
+            ("cold (synthesis)", f"{cold * 1e3:.3f}ms"),
+            ("repeat (cache hit)", f"{warm * 1e3:.3f}ms"),
+            ("amortization", f"{cold / warm:.1f}x"),
+        ],
+        ("path", "cost"),
+    )
+    # A cache hit skips all method synthesis; it must be decisively
+    # cheaper than cold generation.
+    assert warm * 2 < cold

@@ -23,6 +23,7 @@ from repro.net.node import Node
 from repro.net.segment import Segment
 from repro.net.simkernel import SimFuture, Simulator
 from repro.net.transport import TransportStack
+from repro.soap.http import InterchangeConfig
 from repro.soap.server import SoapServer
 from repro.soap.wsdl import WsdlDocument
 from repro.core.gateway_soap import DEFAULT_GATEWAY_PORT, SoapGatewayProtocol
@@ -60,6 +61,7 @@ class MetaMiddleware:
         backbone: Segment,
         directory_port: int = DEFAULT_GATEWAY_PORT,
         policy: CallPolicy | None = None,
+        interchange: InterchangeConfig | None = None,
     ) -> None:
         self.network = network
         self.sim: Simulator = network.sim
@@ -67,6 +69,9 @@ class MetaMiddleware:
         self.directory_port = directory_port
         #: Default resilience policy for islands that don't bring their own.
         self.policy = policy or CallPolicy()
+        #: Default interchange config (None = legacy wire behaviour) used
+        #: by islands that don't bring their own protocol factory.
+        self.interchange = interchange
         self.islands: dict[str, Island] = {}
         # The UDDI directory node on the backbone.
         self.directory_node = network.create_node("uddi-directory")
@@ -86,15 +91,19 @@ class MetaMiddleware:
         protocol_factory: ProtocolFactory | None = None,
         poll_interval: float = 2.0,
         policy: CallPolicy | None = None,
+        interchange: InterchangeConfig | None = None,
     ) -> Island:
         """Create the island's gateway node (multi-homed: island segment +
         backbone), VSG, and — if a factory is given — its PCM.  ``policy``
-        overrides the framework-wide :class:`CallPolicy` for this island."""
+        overrides the framework-wide :class:`CallPolicy` for this island;
+        ``interchange`` likewise overrides the framework-wide fast-path
+        config for the island's SOAP protocol and VSR client."""
         if name in self.islands:
             raise FrameworkError(f"island {name!r} already exists")
         if isinstance(segment, str):
             segment = self.network.segment(segment)
         policy = policy or self.policy
+        interchange = interchange or self.interchange
         node = self.network.create_node(f"gw-{name}")
         self.network.attach(node, self.backbone)
         if segment is not None and segment is not self.backbone:
@@ -105,9 +114,10 @@ class MetaMiddleware:
             self.directory_address,
             self.directory_port,
             lookup_deadline=policy.directory_deadline,
+            interchange=interchange,
         )
         if protocol_factory is None:
-            protocol = SoapGatewayProtocol(stack)
+            protocol = SoapGatewayProtocol(stack, interchange=interchange)
         else:
             protocol = protocol_factory(stack)
         gateway = VirtualServiceGateway(

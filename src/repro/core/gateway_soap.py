@@ -19,6 +19,7 @@ from repro.errors import GatewayError, SoapFault
 from repro.net.simkernel import SimFuture
 from repro.net.transport import TransportStack
 from repro.soap.client import SoapClient
+from repro.soap.http import InterchangeConfig
 from repro.soap.server import SoapServer
 from repro.soap.wsdl import make_location, parse_location
 from repro.core.calls import ServiceCall, ServiceFault
@@ -29,16 +30,29 @@ DEFAULT_GATEWAY_PORT = 8080
 
 
 class SoapGatewayProtocol(GatewayProtocol):
-    """SOAP/HTTP gateway binding."""
+    """SOAP/HTTP gateway binding.
+
+    An :class:`InterchangeConfig` turns on the fast path for *outbound*
+    calls (keep-alive pooling, gzip, terse envelopes — all negotiated per
+    peer); the server side is always able to answer fast clients and
+    always answers legacy clients byte-identically, so mixed-version
+    federations interoperate.
+    """
 
     name = "soap"
     supports_push = False
 
-    def __init__(self, stack: TransportStack, port: int = DEFAULT_GATEWAY_PORT) -> None:
+    def __init__(
+        self,
+        stack: TransportStack,
+        port: int = DEFAULT_GATEWAY_PORT,
+        interchange: InterchangeConfig | None = None,
+    ) -> None:
         self.stack = stack
         self.port = port
+        self.interchange = interchange or InterchangeConfig()
         self.server: SoapServer | None = None
-        self.client = SoapClient(stack)
+        self.client = SoapClient(stack, self.interchange)
         self.vsg: VirtualServiceGateway | None = None
         self._exported: set[str] = set()
 
@@ -104,12 +118,37 @@ class SoapGatewayProtocol(GatewayProtocol):
         raw.add_done_callback(translate)
         return result
 
+    def invalidate_location(self, location: str) -> None:
+        """Evict pooled keep-alive connections to ``location``'s endpoint."""
+        try:
+            address, port, _service = parse_location(location)
+        except Exception:
+            return  # foreign-protocol location: nothing pooled for it here
+        self.client.invalidate_peer(address, port)
+
     # -- events ------------------------------------------------------------
 
     def subscribe_remote(self, control_location: str, island: str, topic: str) -> SimFuture:
         address, port, service = parse_location(control_location)
         return self.client.call(
             address, service, "subscribe", [island, topic, self.control_location()], port=port
+        )
+
+    def subscribe_remote_many(
+        self, control_location: str, island: str, topics: list[str]
+    ) -> SimFuture:
+        """Batched announce: one ``subscribe_many`` round trip carries the
+        whole topic list.  Single-topic lists take the legacy one-by-one
+        path so a lone subscription's wire bytes stay unchanged."""
+        if len(topics) <= 1:
+            return super().subscribe_remote_many(control_location, island, topics)
+        address, port, service = parse_location(control_location)
+        return self.client.call(
+            address,
+            service,
+            "subscribe_many",
+            [island, list(topics), self.control_location()],
+            port=port,
         )
 
     def poll_events(self, control_location: str, island: str) -> SimFuture:
@@ -132,6 +171,15 @@ class SoapGatewayProtocol(GatewayProtocol):
             island, topic = str(args[0]), str(args[1])
             control_location = str(args[2]) if len(args) > 2 else ""
             return self.vsg.events.handle_subscribe(island, topic, control_location)
+        if operation == "subscribe_many":
+            island = str(args[0])
+            topics = [str(topic) for topic in (args[1] or [])]
+            control_location = str(args[2]) if len(args) > 2 else ""
+            accepted = 0
+            for topic in topics:
+                if self.vsg.events.handle_subscribe(island, topic, control_location):
+                    accepted += 1
+            return accepted
         if operation == "fetch_events":
             return self.vsg.events.handle_fetch(str(args[0]))
         if operation == "ping":

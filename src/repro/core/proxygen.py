@@ -60,13 +60,38 @@ class GeneratedProxyBase:
         return f"<{type(self).__name__} proxy for {self._interface.name}>"
 
 
-def generate_proxy_class(interface: ServiceInterface) -> type:
-    """Synthesise a proxy class for ``interface``.
+def interface_fingerprint(interface: ServiceInterface) -> tuple:
+    """Structural signature of an interface: name plus every operation's
+    name, typed parameter list, return type and oneway flag.  Two
+    interfaces with the same fingerprint are interchangeable for proxy
+    purposes, so they share one synthesized class."""
+    return (
+        interface.name,
+        tuple(
+            (
+                operation.name,
+                tuple((param.name, param.type) for param in operation.params),
+                operation.returns,
+                operation.oneway,
+            )
+            for operation in interface.operations
+        ),
+    )
 
-    The class has one typed method per operation; instances take an
-    ``invoker`` callable.  Operation names that would collide with proxy
-    plumbing are rejected.
-    """
+
+#: Process-wide class cache keyed by :func:`interface_fingerprint` —
+#: repeated generation for the same interface shape (the common case: every
+#: island importing the same service) costs a dict lookup, not a ``type()``
+#: synthesis.  Amortized generation cost is what experiment C6 measures.
+_CLASS_CACHE: dict[tuple, type] = {}
+
+
+def clear_proxy_class_cache() -> None:
+    """Drop the process-wide class cache (cold-start benchmarks)."""
+    _CLASS_CACHE.clear()
+
+
+def _synthesize_proxy_class(interface: ServiceInterface) -> type:
     namespace: dict[str, Any] = {"_interface": interface}
     for operation in interface.operations:
         if operation.name.startswith("_") or operation.name in ("interface",):
@@ -78,12 +103,38 @@ def generate_proxy_class(interface: ServiceInterface) -> type:
     return type(class_name, (GeneratedProxyBase,), namespace)
 
 
+def generate_proxy_class(interface: ServiceInterface) -> type:
+    """Synthesise (or reuse) a proxy class for ``interface``.
+
+    The class has one typed method per operation; instances take an
+    ``invoker`` callable.  Operation names that would collide with proxy
+    plumbing are rejected.  Classes are cached process-wide by interface
+    fingerprint, so repeated calls for the same shape return the same
+    class object.
+    """
+    key = interface_fingerprint(interface)
+    cached = _CLASS_CACHE.get(key)
+    if cached is None:
+        cached = _synthesize_proxy_class(interface)
+        _CLASS_CACHE[key] = cached
+        return cached
+    if cached._interface is interface:
+        return cached
+    # Same shape but a different interface object: a trivial subclass keeps
+    # the caller's instance reachable via ``proxy.interface`` without
+    # re-synthesizing any methods (the expensive part).
+    return type(cached.__name__, (cached,), {"_interface": interface})
+
+
 class ProxyFactory:
     """Caches generated classes per interface shape.
 
     The cache key is the full structural signature, so two services sharing
     an interface share one class (as Javassist-generated classes would be
-    shared per Java interface).
+    shared per Java interface).  The per-factory counters track what *this*
+    factory asked for; class objects themselves come from the process-wide
+    fingerprint cache, so even a fresh factory reuses classes an earlier
+    one synthesized.
     """
 
     def __init__(self) -> None:
@@ -93,18 +144,7 @@ class ProxyFactory:
 
     @staticmethod
     def _signature(interface: ServiceInterface) -> tuple:
-        return (
-            interface.name,
-            tuple(
-                (
-                    operation.name,
-                    tuple((param.name, param.type) for param in operation.params),
-                    operation.returns,
-                    operation.oneway,
-                )
-                for operation in interface.operations
-            ),
-        )
+        return interface_fingerprint(interface)
 
     def proxy_class(self, interface: ServiceInterface) -> type:
         key = self._signature(interface)

@@ -139,6 +139,9 @@ class CircuitBreaker:
         self.opens = 0
         self.fast_failures = 0
         self.probes = 0
+        #: Invoked with the island name each time the breaker opens —
+        #: lets interested layers (pooled connections) react to outages.
+        self.on_open: Callable[[str], None] | None = None
 
     # -- admission ----------------------------------------------------------
 
@@ -192,6 +195,8 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._probes_in_flight = 0
         self.opens += 1
+        if self.on_open is not None:
+            self.on_open(self.island)
 
     def snapshot(self) -> dict[str, Any]:
         return {
@@ -210,16 +215,31 @@ class ResilientExecutor:
         self.policy = policy
         self._rng = random.Random(policy.seed)
         self._breakers: dict[str, CircuitBreaker] = {}
+        self._open_listeners: list[Callable[[str], None]] = []
         self.attempts = 0
         self.timeouts = 0
         self.retries = 0
         self.failures = 0
         self.successes = 0
 
+    def add_open_listener(self, listener: Callable[[str], None]) -> None:
+        """``listener(island)`` fires whenever any island's breaker opens.
+        The gateway uses this to evict pooled interchange connections to
+        an island that just proved unreachable."""
+        self._open_listeners.append(listener)
+        for breaker in self._breakers.values():
+            breaker.on_open = self._notify_open
+
+    def _notify_open(self, island: str) -> None:
+        for listener in list(self._open_listeners):
+            listener(island)
+
     def breaker_for(self, island: str) -> CircuitBreaker:
         breaker = self._breakers.get(island)
         if breaker is None:
             breaker = CircuitBreaker(self.sim, self.policy, island)
+            if self._open_listeners:
+                breaker.on_open = self._notify_open
             self._breakers[island] = breaker
         return breaker
 
@@ -416,6 +436,12 @@ class HeartbeatMonitor:
                 record.consecutive_failures += 1
                 if record.consecutive_failures >= self.policy.heartbeat_failure_threshold:
                     record.alive = False
+                # A failed probe also condemns any pooled keep-alive
+                # connection to that endpoint (getattr: vsg is duck-typed
+                # and bare test doubles may lack the protocol hook).
+                invalidate = getattr(self.vsg.protocol, "invalidate_location", None)
+                if invalidate is not None:
+                    invalidate(location)
 
         guarded.add_done_callback(on_done)
 

@@ -29,7 +29,12 @@ from repro.soap.wsdl import WsdlDocument
 from repro.core import values
 from repro.core.calls import ServiceCall
 from repro.core.interface import ServiceInterface
-from repro.core.resilience import CallPolicy, HeartbeatMonitor, ResilientExecutor
+from repro.core.resilience import (
+    CallPolicy,
+    HeartbeatMonitor,
+    ResilientExecutor,
+    is_connectivity_failure,
+)
 from repro.core.vsr import VsrClient
 
 #: A local service handler: ``handler(operation, args) -> value | SimFuture``.
@@ -68,6 +73,42 @@ class GatewayProtocol:
     def subscribe_remote(self, control_location: str, island: str, topic: str) -> SimFuture:
         """Tell a remote gateway that ``island`` wants ``topic`` events."""
         raise NotImplementedError
+
+    def subscribe_remote_many(
+        self, control_location: str, island: str, topics: list[str]
+    ) -> SimFuture:
+        """Announce several topic subscriptions to one remote gateway.
+
+        Default: one :meth:`subscribe_remote` round trip per topic (the
+        legacy wire behaviour); resolves to the number of topics accepted.
+        Protocols may override with a genuinely batched control operation.
+        """
+        result: SimFuture = SimFuture()
+        pending = {"count": len(topics), "ok": 0}
+        if not topics:
+            return SimFuture.completed(0)
+
+        def one_done(done: SimFuture) -> None:
+            if done.exception() is None:
+                pending["ok"] += 1
+            pending["count"] -= 1
+            if pending["count"] == 0 and not result.done():
+                result.set_result(pending["ok"])
+
+        for topic in topics:
+            try:
+                future = self.subscribe_remote(control_location, island, topic)
+            except Exception as exc:
+                future = SimFuture.failed(exc)
+            future.add_done_callback(one_done)
+        return result
+
+    def invalidate_location(self, location: str) -> None:
+        """Drop any cached transport state for ``location`` (pooled
+        keep-alive connections etc.).  Called by the resilience layer when
+        a breaker opens or a call fails on connectivity, so a partitioned
+        or crashed peer is never reached through a stale connection.
+        Default: nothing cached, nothing to do."""
 
     def push_event(self, control_location: str, event: dict[str, Any]) -> None:
         """Push one event to a subscriber gateway (push protocols only)."""
@@ -223,6 +264,62 @@ class EventRouter:
         self.vsg.vsr.list_gateways().add_done_callback(on_gateways)
         return result
 
+    def subscribe_many(self, topics: list[str], callback: EventCallback) -> SimFuture:
+        """Subscribe to several topics everywhere with one announcement
+        round trip per remote gateway (where the protocol supports
+        batching) instead of one per topic per gateway.
+
+        Resolves to the number of remote gateways that accepted at least
+        one topic.  The per-island poll loop is shared with single-topic
+        subscriptions — one ``fetch_events`` round trip drains every topic
+        queued for this island regardless of how it subscribed.
+        """
+        for topic in topics:
+            self._local_subs.setdefault(topic, []).append(callback)
+        result: SimFuture = SimFuture()
+        if not topics:
+            result.set_result(0)
+            return result
+
+        def on_gateways(future: SimFuture) -> None:
+            exc = future.exception()
+            if exc is not None:
+                result.set_exception(exc)
+                return
+            gateways: dict[str, str] = future.result()
+            remote = {
+                island: location
+                for island, location in gateways.items()
+                if island != self.vsg.island
+            }
+            if not remote:
+                result.set_result(0)
+                return
+            pending = len(remote)
+            count = {"ok": 0}
+
+            def one_done(done: SimFuture) -> None:
+                nonlocal pending
+                if done.exception() is None and done.result():
+                    count["ok"] += 1
+                pending -= 1
+                if pending == 0 and not result.done():
+                    result.set_result(count["ok"])
+
+            for island, location in remote.items():
+                try:
+                    batch_future = self.vsg.protocol.subscribe_remote_many(
+                        location, self.vsg.island, list(topics)
+                    )
+                except Exception as exc:
+                    batch_future = SimFuture.failed(exc)
+                batch_future.add_done_callback(one_done)
+                if not self.vsg.protocol.supports_push:
+                    self._ensure_poll_loop(location)
+
+        self.vsg.vsr.list_gateways().add_done_callback(on_gateways)
+        return result
+
     def _ensure_poll_loop(self, control_location: str) -> None:
         if control_location in self._poll_timers:
             return
@@ -283,6 +380,10 @@ class VirtualServiceGateway:
         self.heartbeat = HeartbeatMonitor(self)
         self._local: dict[str, tuple[ServiceInterface, LocalHandler]] = {}
         self.events = EventRouter(self)
+        #: island -> last known interchange location, for pooled-connection
+        #: eviction when that island's circuit breaker opens.
+        self._island_locations: dict[str, str] = {}
+        self.resilience.add_open_listener(self._on_breaker_open)
         self._next_call_id = 1
         self.calls_out = 0
         self.calls_in = 0
@@ -404,6 +505,7 @@ class VirtualServiceGateway:
                 return
             document: WsdlDocument = future.result()
             target = document.context.get("island") or document.location
+            self._island_locations[target] = document.location
             remote = self.resilience.execute(
                 target, lambda: self.protocol.call_remote(document.location, call)
             )
@@ -413,6 +515,11 @@ class VirtualServiceGateway:
                 if call_exc is None:
                     result.set_result(done.result())
                     return
+                if is_connectivity_failure(call_exc):
+                    # The path (not the service) failed: any pooled
+                    # keep-alive connection to that endpoint is suspect and
+                    # must not serve the retry.
+                    self.protocol.invalidate_location(document.location)
                 if not retried and not isinstance(
                     call_exc, (ServiceNotFoundError, CircuitOpenError)
                 ):
@@ -441,7 +548,20 @@ class VirtualServiceGateway:
     def subscribe(self, topic: str, callback: EventCallback) -> SimFuture:
         return self.events.subscribe(topic, callback)
 
+    def subscribe_many(self, topics: list[str], callback: EventCallback) -> SimFuture:
+        """Batched :meth:`subscribe`: one announcement round trip per
+        remote gateway for the whole topic list."""
+        return self.events.subscribe_many(topics, callback)
+
     # -- resilience ------------------------------------------------------------
+
+    def _on_breaker_open(self, island: str) -> None:
+        """A circuit breaker opening means the island is unreachable: evict
+        any pooled interchange connection so the half-open probe (and
+        everything after) starts from a fresh handshake."""
+        location = self._island_locations.get(island)
+        if location:
+            self.protocol.invalidate_location(location)
 
     @property
     def paused(self) -> bool:

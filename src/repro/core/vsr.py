@@ -30,10 +30,27 @@ from repro.net.simkernel import SimFuture
 from repro.net.transport import TransportStack
 from repro.core.resilience import with_deadline
 from repro.soap.client import SoapClient
+from repro.soap.http import InterchangeConfig
 from repro.soap.server import SoapServer
 from repro.soap.wsdl import WsdlDocument
 
 UDDI_SERVICE_NAME = "UDDI"
+
+
+def _follow(source: SimFuture) -> SimFuture:
+    """A fresh future that settles exactly like ``source`` (so coalesced
+    callers cannot interfere with each other's callbacks)."""
+    result: SimFuture = SimFuture()
+
+    def relay(done: SimFuture) -> None:
+        exc = done.exception()
+        if exc is not None:
+            result.set_exception(exc)
+        else:
+            result.set_result(done.result())
+
+    source.add_done_callback(relay)
+    return result
 
 
 class VsrDirectory:
@@ -150,6 +167,11 @@ class VsrClient:
     counting the read in ``degraded_reads`` so gateway stats expose the
     degraded mode.  ``lookup_deadline`` bounds each directory round trip in
     virtual time (0 leaves only the transport's own timeouts).
+
+    Concurrent lookups for the same service (or the gateway registry)
+    coalesce onto a single in-flight directory round trip — a burst of
+    calls to one not-yet-cached service costs one UDDI exchange, not one
+    per caller (``coalesced_lookups`` counts the savings).
     """
 
     def __init__(
@@ -160,6 +182,7 @@ class VsrClient:
         cache_ttl: float = 30.0,
         lookup_deadline: float = 0.0,
         allow_stale: bool = True,
+        interchange: InterchangeConfig | None = None,
     ) -> None:
         self.stack = stack
         self.sim = stack.sim
@@ -168,11 +191,14 @@ class VsrClient:
         self.cache_ttl = cache_ttl
         self.lookup_deadline = lookup_deadline
         self.allow_stale = allow_stale
-        self.soap = SoapClient(stack)
+        self.soap = SoapClient(stack, interchange)
         self._cache: dict[str, tuple[float, WsdlDocument]] = {}
         self._gateway_cache: dict[str, str] | None = None
+        self._inflight: dict[str, SimFuture] = {}
+        self._gateways_inflight: SimFuture | None = None
         self.cache_hits = 0
         self.remote_lookups = 0
+        self.coalesced_lookups = 0
         self.degraded_reads = 0
         self.lookup_failures = 0
 
@@ -212,10 +238,18 @@ class VsrClient:
         if cached is not None and self.sim.now - cached[0] <= self.cache_ttl:
             self.cache_hits += 1
             return SimFuture.completed(cached[1])
+        inflight = self._inflight.get(service)
+        if inflight is not None:
+            # Another caller is already resolving this name: share the
+            # round trip instead of issuing a duplicate.
+            self.coalesced_lookups += 1
+            return _follow(inflight)
         self.remote_lookups += 1
         result: SimFuture = SimFuture()
+        self._inflight[service] = result
 
         def decode(future: SimFuture) -> None:
+            self._inflight.pop(service, None)
             exc = future.exception()
             if exc is not None:
                 if isinstance(exc, (SoapFault, ServiceNotFoundError)):
@@ -263,11 +297,17 @@ class VsrClient:
 
         The last successful answer is remembered and served when the
         directory is unreachable (another degraded read), so heartbeating
-        keeps working through a UDDI outage.
+        keeps working through a UDDI outage.  Concurrent callers share one
+        in-flight round trip.
         """
+        if self._gateways_inflight is not None:
+            self.coalesced_lookups += 1
+            return _follow(self._gateways_inflight)
         result: SimFuture = SimFuture()
+        self._gateways_inflight = result
 
         def decode(future: SimFuture) -> None:
+            self._gateways_inflight = None
             exc = future.exception()
             if exc is None:
                 self._gateway_cache = dict(future.result())

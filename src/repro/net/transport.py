@@ -176,6 +176,21 @@ class Connection:
         self.state = Connection.CLOSING
         self._send_frame(_FIN, b"")
 
+    def abort(self) -> None:
+        """Tear down immediately: best-effort RST, then local close.
+
+        Unlike :meth:`close`, works from any state and never waits for the
+        peer — the caller may believe the path is dead (partition, crash),
+        so the RST is fire-and-forget and local state is reclaimed now.
+        """
+        if self.state == Connection.CLOSED:
+            return
+        try:
+            self._send_frame(_RST, b"")
+        except Exception:
+            pass  # interface may be down; local cleanup still proceeds
+        self._enter_closed()
+
     @property
     def key(self) -> tuple[NodeAddress, int, int]:
         return (self.remote, self.remote_port, self.local_port)

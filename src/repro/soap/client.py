@@ -9,17 +9,37 @@ from repro.net.addressing import NodeAddress
 from repro.net.simkernel import SimFuture
 from repro.net.transport import TransportStack
 from repro.soap import envelope
-from repro.soap.http import HttpClient, HttpResponse
-from repro.soap.server import DEFAULT_SOAP_PORT, SOAP_PATH_PREFIX
+from repro.soap.http import HttpClient, HttpResponse, InterchangeConfig
+from repro.soap.server import (
+    DEFAULT_SOAP_PORT,
+    SOAP_PATH_PREFIX,
+    TERSE_CONTENT_TYPE,
+    VERBOSE_CONTENT_TYPE,
+)
 
 
 class SoapClient:
-    """Calls named SOAP services hosted by a :class:`SoapServer`."""
+    """Calls named SOAP services hosted by a :class:`SoapServer`.
 
-    def __init__(self, stack: TransportStack) -> None:
+    With a fast :class:`InterchangeConfig` the underlying
+    :class:`HttpClient` pools keep-alive connections and negotiates gzip,
+    and this layer switches to terse envelopes for peers that have echoed
+    ``terse`` in their capability header.  The first exchange with any peer
+    is always verbose, so talking to a legacy server works unchanged.
+    """
+
+    def __init__(
+        self, stack: TransportStack, config: InterchangeConfig | None = None
+    ) -> None:
         self.stack = stack
-        self.http = HttpClient(stack)
+        self.config = config or InterchangeConfig()
+        self.http = HttpClient(stack, self.config)
         self.calls_sent = 0
+        self.terse_calls_sent = 0
+
+    def invalidate_peer(self, dst: NodeAddress, port: int | None = None) -> None:
+        """Evict any pooled keep-alive connections to ``dst``."""
+        self.http.invalidate(dst, port)
 
     def call(
         self,
@@ -35,9 +55,16 @@ class SoapClient:
         with :class:`SoapFault` (remote fault) / transport errors.
         """
         self.calls_sent += 1
-        body = envelope.build_request(operation, args)
+        terse = self.config.terse and "terse" in self.http.peer_features(dst, port)
+        if terse:
+            self.terse_calls_sent += 1
+            body = envelope.build_request_terse(operation, args)
+            content_type = TERSE_CONTENT_TYPE
+        else:
+            body = envelope.build_request(operation, args)
+            content_type = VERBOSE_CONTENT_TYPE + "; charset=utf-8"
         headers = {
-            "Content-Type": "text/xml; charset=utf-8",
+            "Content-Type": content_type,
             "SOAPAction": f'"{service}#{operation}"',
         }
         response_future = self.http.post(

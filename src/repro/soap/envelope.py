@@ -5,6 +5,20 @@ exactly these): ``int``, ``float``, ``str``, ``bool``, ``bytes`` (base64),
 ``None`` (``xsi:nil``), ``list`` (SOAP-ENC Array) and ``dict`` with
 identifier-like string keys (struct).  Everything round-trips:
 ``decode(encode(v)) == v``, which the hypothesis tests verify.
+
+Two wire encodings produce the same :class:`SoapMessage` model:
+
+- **verbose** — the faithful 2002 format above (namespaces, ``xsi:type``
+  attributes, XML declaration).  Always the default; the F2/C-series
+  baselines measure it.
+- **terse** — a negotiated compact XML dialect for the interchange fast
+  path: root ``<E>``, request ``<Q n="op">``, response ``<R n="op">``,
+  fault ``<F c=... s=... d=...>``, and single-letter typed values
+  ``<v t="i|d|s|b|x|z|a|r">`` (struct members carry ``n="key"``).  Same
+  value model, same round-trip guarantee, a fraction of the bytes.
+
+:func:`parse_envelope` accepts either and records which arrived in
+``SoapMessage.wire_format`` so servers can answer in kind.
 """
 
 from __future__ import annotations
@@ -54,6 +68,8 @@ class SoapMessage:
     faultcode: str = ""
     faultstring: str = ""
     detail: str = ""
+    #: Which encoding the message arrived in: ``"verbose"`` or ``"terse"``.
+    wire_format: str = "verbose"
 
     def raise_if_fault(self) -> "SoapMessage":
         if self.kind == "fault":
@@ -200,13 +216,173 @@ def build_fault(faultcode: str, faultstring: str, detail: str = "") -> bytes:
 
 
 # ---------------------------------------------------------------------------
+# Terse encoding (negotiated fast path)
+# ---------------------------------------------------------------------------
+
+#: Marker for the terse wire format (root element of every terse envelope).
+TERSE_ROOT = "E"
+
+_TERSE_TYPES = {"i", "d", "s", "b", "x", "z", "a", "r"}
+
+
+def encode_value_terse(writer: XmlWriter, value: Any, name: str = "") -> None:
+    """Append one ``<v t=...>`` element (``n=`` names struct members)."""
+    attrs: dict[str, str] = {"n": name} if name else {}
+    if value is None:
+        attrs["t"] = "z"
+        writer.leaf("v", attrs)
+    elif isinstance(value, bool):  # before int: bool is an int subclass
+        attrs["t"] = "b"
+        writer.leaf("v", attrs, "1" if value else "0")
+    elif isinstance(value, int):
+        attrs["t"] = "i"
+        writer.leaf("v", attrs, str(value))
+    elif isinstance(value, float):
+        attrs["t"] = "d"
+        writer.leaf("v", attrs, repr(value))
+    elif isinstance(value, str):
+        attrs["t"] = "s"
+        writer.leaf("v", attrs, value)
+    elif isinstance(value, (bytes, bytearray)):
+        attrs["t"] = "x"
+        writer.leaf("v", attrs, base64.b64encode(bytes(value)).decode("ascii"))
+    elif isinstance(value, (list, tuple)):
+        attrs["t"] = "a"
+        writer.open("v", attrs)
+        for item in value:
+            encode_value_terse(writer, item)
+        writer.close()
+    elif isinstance(value, dict):
+        attrs["t"] = "r"
+        writer.open("v", attrs)
+        for key, member in value.items():
+            if not isinstance(key, str) or not is_xml_name(key):
+                raise MarshallingError(
+                    f"struct keys must be XML-name-like strings, got {key!r}"
+                )
+            encode_value_terse(writer, member, name=key)
+        writer.close()
+    else:
+        raise MarshallingError(f"cannot SOAP-encode value of type {type(value).__name__}")
+
+
+def decode_value_terse(element: ET.Element) -> Any:
+    """Inverse of :func:`encode_value_terse`."""
+    kind = element.get("t", "")
+    text = element.text or ""
+    if kind == "z":
+        return None
+    if kind == "b":
+        return text.strip() == "1"
+    if kind == "i":
+        try:
+            return int(text.strip())
+        except ValueError as exc:
+            raise MarshallingError(f"bad int literal {text!r}") from exc
+    if kind == "d":
+        try:
+            return float(text.strip())
+        except ValueError as exc:
+            raise MarshallingError(f"bad float literal {text!r}") from exc
+    if kind == "s":
+        return text
+    if kind == "x":
+        try:
+            return base64.b64decode(text.strip().encode("ascii"))
+        except Exception as exc:
+            raise MarshallingError(f"bad base64 payload: {exc}") from exc
+    if kind == "a":
+        return [decode_value_terse(item) for item in element]
+    if kind == "r":
+        members: dict[str, Any] = {}
+        for member in element:
+            key = member.get("n", "")
+            if not key:
+                raise MarshallingError("terse struct member missing n= name")
+            members[key] = decode_value_terse(member)
+        return members
+    raise MarshallingError(f"unknown terse type code {kind!r}")
+
+
+def build_request_terse(operation: str, args: list[Any]) -> bytes:
+    """Terse request: ``<E><Q n="op"><v .../>...</Q></E>``."""
+    if not is_xml_name(operation):
+        raise SoapError(f"operation name {operation!r} is not a valid XML name")
+    writer = XmlWriter(declaration=False)
+    writer.open(TERSE_ROOT)
+    writer.open("Q", {"n": operation})
+    for value in args:
+        encode_value_terse(writer, value)
+    writer.close()
+    writer.close()
+    return writer.tobytes()
+
+
+def build_response_terse(operation: str, value: Any) -> bytes:
+    """Terse response: ``<E><R n="op"><v .../></R></E>``."""
+    if not is_xml_name(operation):
+        raise SoapError(f"operation name {operation!r} is not a valid XML name")
+    writer = XmlWriter(declaration=False)
+    writer.open(TERSE_ROOT)
+    writer.open("R", {"n": operation})
+    encode_value_terse(writer, value)
+    writer.close()
+    writer.close()
+    return writer.tobytes()
+
+
+def build_fault_terse(faultcode: str, faultstring: str, detail: str = "") -> bytes:
+    """Terse fault: ``<E><F c=... s=... d=.../></E>``."""
+    writer = XmlWriter(declaration=False)
+    writer.open(TERSE_ROOT)
+    attrs = {"c": faultcode, "s": faultstring}
+    if detail:
+        attrs["d"] = detail
+    writer.leaf("F", attrs)
+    writer.close()
+    return writer.tobytes()
+
+
+def _parse_terse(root: ET.Element) -> SoapMessage:
+    entries = list(root)
+    if not entries:
+        raise SoapError("terse envelope is empty")
+    entry = entries[0]
+    if entry.tag == "F":
+        return SoapMessage(
+            kind="fault",
+            faultcode=entry.get("c", "SOAP-ENV:Server"),
+            faultstring=entry.get("s", ""),
+            detail=entry.get("d", ""),
+            wire_format="terse",
+        )
+    operation = entry.get("n", "")
+    if not operation:
+        raise SoapError("terse envelope entry missing n= operation name")
+    if entry.tag == "R":
+        value_elements = list(entry)
+        value = decode_value_terse(value_elements[0]) if value_elements else None
+        return SoapMessage(
+            kind="response", operation=operation, value=value, wire_format="terse"
+        )
+    if entry.tag == "Q":
+        args = [decode_value_terse(child) for child in entry]
+        return SoapMessage(
+            kind="request", operation=operation, args=args, wire_format="terse"
+        )
+    raise SoapError(f"unknown terse entry {entry.tag!r}")
+
+
+# ---------------------------------------------------------------------------
 # Envelope parsing
 # ---------------------------------------------------------------------------
 
 
 def parse_envelope(data: bytes) -> SoapMessage:
-    """Parse any of the three envelope shapes produced above."""
+    """Parse any envelope shape produced above, verbose or terse."""
     root = xmlutil.parse_document(data)
+    if root.tag == TERSE_ROOT:
+        return _parse_terse(root)
     if root.tag != xmlutil.qname(SOAP_ENV_NS, "Envelope"):
         raise SoapError(f"root element is {root.tag!r}, not a SOAP Envelope")
     body = xmlutil.require_child(root, SOAP_ENV_NS, "Body")

@@ -1,19 +1,42 @@
-"""HTTP/1.0-style transport over the simulated TCP.
+"""HTTP transport over the simulated TCP: legacy one-shot and fast keep-alive.
 
-Faithful to the era the paper describes: one connection per exchange
-(``Connection: close``), textual headers, ``Content-Length`` framing.  The
-deliberate costs — handshake round trips, header bytes, per-connection
-state — are what experiments C3/C4 measure.
+Faithful to the era the paper describes: by default, one connection per
+exchange (``Connection: close``), textual headers, ``Content-Length``
+framing.  The deliberate costs — handshake round trips, header bytes,
+per-connection state — are what experiments C3/C4 measure.
+
+The F2 experiment showed those costs dominate the bridged path (~13× the
+latency, ~14× the bytes of native RMI, almost all TCP handshakes plus XML),
+so this module also implements an *opt-in* fast path, configured through
+:class:`InterchangeConfig`:
+
+- **keep-alive** — HTTP/1.1-style persistent connections with a
+  per-destination pool (:class:`HttpClient`), an idle timeout, an LRU cap
+  on pooled destinations, and :meth:`HttpClient.invalidate` so the
+  resilience layer can evict a pooled connection into a partitioned or
+  crashed peer instead of reusing it;
+- **compression** — ``Accept-Encoding: gzip`` negotiation; bodies above a
+  size floor travel gzip-compressed (deterministically: fixed level,
+  zeroed mtime);
+- **feature negotiation** — a fast client advertises what it accepts in an
+  ``X-Interchange`` header; servers echo their own capabilities only when
+  asked, so a legacy exchange is byte-identical to the seed wire format.
+
+Everything stays off unless a client is constructed with a fast config, and
+a fast client talking to a legacy server degrades transparently: the first
+exchange is always legacy-shaped, and upgrades happen only after the peer
+has proven it understands them.
 """
 
 from __future__ import annotations
 
+import gzip
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import HttpError, ProtocolError, TransportError
 from repro.net.addressing import NodeAddress
-from repro.net.simkernel import SimFuture
+from repro.net.simkernel import Event, SimFuture
 from repro.net.transport import Connection, TransportStack
 
 _CRLF = b"\r\n"
@@ -28,54 +51,129 @@ _REASONS = {
     500: "Internal Server Error",
 }
 
+#: Capability-negotiation header (client advert / server echo).
+FEATURES_HEADER = "X-Interchange"
+#: What this implementation's server side can do.
+SERVER_FEATURES = "terse gzip"
+#: Server-side floor below which response bodies are never compressed.
+COMPRESS_MIN_BYTES = 200
+
+
+@dataclass(frozen=True)
+class InterchangeConfig:
+    """Knobs for the interchange fast path.
+
+    The default instance is the legacy wire behaviour (one connection per
+    exchange, verbose XML, no compression) so the F2/C-series baselines
+    stay measurable; :data:`FAST_INTERCHANGE` turns everything on.
+    """
+
+    #: Reuse one pooled connection per destination (HTTP/1.1 keep-alive).
+    keep_alive: bool = False
+    #: LRU cap on pooled destinations; the least-recently-used idle
+    #: destination is closed when the cap is exceeded.
+    pool_destinations: int = 8
+    #: Virtual seconds an idle pooled connection survives before closing.
+    idle_timeout: float = 30.0
+    #: Negotiate ``Accept-Encoding: gzip`` with peers.
+    compress: bool = False
+    #: Request bodies below this size are sent uncompressed.
+    compress_min_bytes: int = COMPRESS_MIN_BYTES
+    #: Negotiate the terse envelope encoding (see ``repro.soap.envelope``).
+    terse: bool = False
+
+    @property
+    def fast(self) -> bool:
+        """True when any fast-path feature is enabled."""
+        return self.keep_alive or self.compress or self.terse
+
+    @property
+    def advertised_features(self) -> str:
+        """The ``X-Interchange`` advert this config sends to peers."""
+        parts = []
+        if self.terse:
+            parts.append("terse")
+        if self.compress:
+            parts.append("gzip")
+        return " ".join(parts)
+
+
+#: The seed wire behaviour: HTTP/1.0, connection per exchange, verbose XML.
+LEGACY_INTERCHANGE = InterchangeConfig()
+#: Everything on: keep-alive pool + gzip + terse envelopes.
+FAST_INTERCHANGE = InterchangeConfig(keep_alive=True, compress=True, terse=True)
+
+
+def gzip_bytes(data: bytes) -> bytes:
+    """Deterministic gzip (fixed level, zeroed mtime) so identical runs
+    put identical bytes on the wire."""
+    return gzip.compress(data, compresslevel=6, mtime=0)
+
+
+def gunzip_bytes(data: bytes) -> bytes:
+    try:
+        return gzip.decompress(data)
+    except Exception as exc:
+        raise ProtocolError(f"bad gzip body: {exc}") from exc
+
 
 def reason_for(status: int) -> str:
     """Default reason phrase for a status code."""
     return _REASONS.get(status, "Unknown")
 
 
+class _HeaderIndexMixin:
+    """Case-folded header lookup built once instead of an O(n) scan per
+    :meth:`header` call.  The index rebuilds itself if headers are added
+    after construction (detected by a length change)."""
+
+    headers: dict[str, str]
+
+    def _build_index(self) -> None:
+        self._index = {key.lower(): value for key, value in self.headers.items()}
+
+    def header(self, name: str, default: str = "") -> str:
+        if len(self._index) != len(self.headers):
+            self._build_index()
+        return self._index.get(name.lower(), default)
+
+
 @dataclass
-class HttpRequest:
+class HttpRequest(_HeaderIndexMixin):
     """One HTTP request message."""
 
     method: str
     path: str
     headers: dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    version: str = "HTTP/1.0"
 
-    def header(self, name: str, default: str = "") -> str:
-        for key, value in self.headers.items():
-            if key.lower() == name.lower():
-                return value
-        return default
+    def __post_init__(self) -> None:
+        self._build_index()
 
     def to_bytes(self) -> bytes:
         headers = dict(self.headers)
         headers.setdefault("Content-Length", str(len(self.body)))
         headers.setdefault("Connection", "close")
-        lines = [f"{self.method} {self.path} HTTP/1.0".encode("ascii")]
+        lines = [f"{self.method} {self.path} {self.version}".encode("ascii")]
         lines += [f"{key}: {value}".encode("latin-1") for key, value in headers.items()]
         return _CRLF.join(lines) + _HEADER_END + self.body
 
 
 @dataclass
-class HttpResponse:
+class HttpResponse(_HeaderIndexMixin):
     """One HTTP response message."""
 
     status: int
     reason: str = ""
     headers: dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    version: str = "HTTP/1.0"
 
     def __post_init__(self) -> None:
         if not self.reason:
             self.reason = reason_for(self.status)
-
-    def header(self, name: str, default: str = "") -> str:
-        for key, value in self.headers.items():
-            if key.lower() == name.lower():
-                return value
-        return default
+        self._build_index()
 
     @property
     def ok(self) -> bool:
@@ -85,34 +183,59 @@ class HttpResponse:
         headers = dict(self.headers)
         headers.setdefault("Content-Length", str(len(self.body)))
         headers.setdefault("Connection", "close")
-        lines = [f"HTTP/1.0 {self.status} {self.reason}".encode("ascii")]
+        lines = [f"{self.version} {self.status} {self.reason}".encode("ascii")]
         lines += [f"{key}: {value}".encode("latin-1") for key, value in headers.items()]
         return _CRLF.join(lines) + _HEADER_END + self.body
 
 
 def _parse_head(raw: bytes) -> tuple[list[str], dict[str, str]]:
-    """Split the header block into (start-line parts, headers)."""
+    """Split the header block into (start-line parts, headers).
+
+    Repeated header lines fold into one comma-joined value (RFC 2616
+    §4.2) instead of the last occurrence silently winning; the fold is
+    case-insensitive, keeping the first spelling of the name.
+    """
     text = raw.decode("latin-1")
     lines = text.split("\r\n")
     start = lines[0].split(" ", 2)
     headers: dict[str, str] = {}
+    canonical: dict[str, str] = {}  # folded name -> first-seen spelling
     for line in lines[1:]:
         if not line:
             continue
         name, sep, value = line.partition(":")
         if not sep:
             raise ProtocolError(f"malformed header line {line!r}")
-        headers[name.strip()] = value.strip()
+        name = name.strip()
+        value = value.strip()
+        folded = name.lower()
+        seen = canonical.get(folded)
+        if seen is None:
+            canonical[folded] = name
+            headers[name] = value
+        else:
+            headers[seen] = f"{headers[seen]}, {value}"
     return start, headers
 
 
 class _MessageAssembler:
-    """Accumulates stream bytes until one complete HTTP message arrives."""
+    """Accumulates stream bytes until one complete HTTP message arrives.
+
+    Reusable across messages on one keep-alive connection: returning a
+    complete message consumes it from the buffer and resets the head
+    state, so the next ``feed`` starts parsing the next message (any
+    already-buffered surplus bytes are kept).
+    """
 
     def __init__(self) -> None:
         self._buffer = b""
         self._head: tuple[list[str], dict[str, str]] | None = None
         self._body_needed = 0
+
+    @property
+    def has_buffered(self) -> bool:
+        """True when bytes of a further message are already buffered."""
+        return bool(self._buffer)
 
     def feed(self, data: bytes) -> tuple[list[str], dict[str, str], bytes] | None:
         """Returns (start-line parts, headers, body) once complete."""
@@ -132,7 +255,25 @@ class _MessageAssembler:
             return None
         start, headers = self._head
         body = self._buffer[: self._body_needed]
+        self._buffer = self._buffer[self._body_needed :]
+        self._head = None
+        self._body_needed = 0
         return start, headers, body
+
+
+def _build_response(start: list[str], headers: dict[str, str], body: bytes) -> HttpResponse:
+    """Turn an assembled message into an :class:`HttpResponse`, raising
+    :class:`ProtocolError` on a bad status line or undecodable body."""
+    if len(start) < 2 or not start[1].isdigit():
+        raise ProtocolError("bad status line")
+    reason = start[2] if len(start) > 2 else ""
+    response = HttpResponse(
+        status=int(start[1]), reason=reason, headers=headers, body=body,
+        version=start[0],
+    )
+    if response.header("Content-Encoding").lower() == "gzip":
+        response.body = gunzip_bytes(response.body)
+    return response
 
 
 #: Server handler signature.
@@ -140,7 +281,16 @@ Handler = Callable[[HttpRequest], HttpResponse]
 
 
 class HttpServer:
-    """Routes requests by exact path, with optional prefix routes."""
+    """Routes requests by exact path, with optional prefix routes.
+
+    The server side of the fast path is reactive and always on, because it
+    only ever activates when a request asks for it (so legacy exchanges
+    stay byte-identical): gzip request bodies are decompressed, responses
+    to ``Accept-Encoding: gzip`` requests are compressed past a size
+    floor, capabilities are echoed only to clients that advertised theirs,
+    and connections are kept open only for ``Connection: keep-alive``
+    requests.
+    """
 
     def __init__(self, stack: TransportStack, port: int = 80) -> None:
         self.stack = stack
@@ -149,6 +299,7 @@ class HttpServer:
         self._prefix_routes: list[tuple[str, Handler]] = []
         self._listener = stack.listen(port, self._on_connection)
         self.requests_served = 0
+        self.keepalive_reuses = 0
 
     def register(self, path: str, handler: Handler) -> None:
         self._routes[path] = handler
@@ -163,25 +314,53 @@ class HttpServer:
 
     def _on_connection(self, conn: Connection) -> None:
         assembler = _MessageAssembler()
+        served = {"count": 0}
 
         def on_data(connection: Connection, data: bytes) -> None:
-            try:
-                complete = assembler.feed(data)
-            except ProtocolError:
-                self._finish(connection, HttpResponse(400, body=b"malformed request"))
-                return
-            if complete is None:
-                return
-            start, headers, body = complete
-            if len(start) != 3:
-                self._finish(connection, HttpResponse(400, body=b"bad request line"))
-                return
-            request = HttpRequest(method=start[0], path=start[1], headers=headers, body=body)
-            self._dispatch(connection, request)
+            while True:
+                try:
+                    complete = assembler.feed(data)
+                except ProtocolError:
+                    self._respond(
+                        connection, None, HttpResponse(400, body=b"malformed request"),
+                        keep=False,
+                    )
+                    return
+                if complete is None:
+                    return
+                start, headers, body = complete
+                if len(start) != 3:
+                    self._respond(
+                        connection, None, HttpResponse(400, body=b"bad request line"),
+                        keep=False,
+                    )
+                    return
+                request = HttpRequest(
+                    method=start[0], path=start[1], headers=headers, body=body,
+                    version=start[2],
+                )
+                if request.header("Content-Encoding").lower() == "gzip":
+                    try:
+                        request.body = gunzip_bytes(request.body)
+                    except ProtocolError:
+                        self._respond(
+                            connection, None, HttpResponse(400, body=b"bad gzip body"),
+                            keep=False,
+                        )
+                        return
+                if served["count"]:
+                    self.keepalive_reuses += 1
+                served["count"] += 1
+                self._dispatch(connection, request)
+                # Loop in case a further pipelined request is buffered.
+                data = b""
+                if not assembler.has_buffered:
+                    return
 
         conn.set_receiver(on_data)
 
     def _dispatch(self, conn: Connection, request: HttpRequest) -> None:
+        keep = "keep-alive" in request.header("Connection").lower()
         handler = self._routes.get(request.path)
         if handler is None:
             for prefix, prefix_handler in self._prefix_routes:
@@ -189,7 +368,7 @@ class HttpServer:
                     handler = prefix_handler
                     break
         if handler is None:
-            self._finish(conn, HttpResponse(404, body=b"no such path"))
+            self._respond(conn, request, HttpResponse(404, body=b"no such path"), keep)
             return
         try:
             response = handler(request)
@@ -201,28 +380,277 @@ class HttpServer:
             def on_done(future: SimFuture) -> None:
                 exc = future.exception()
                 if exc is not None:
-                    self._finish(conn, HttpResponse(500, body=str(exc).encode("utf-8")))
+                    self._respond(
+                        conn, request,
+                        HttpResponse(500, body=str(exc).encode("utf-8")), keep,
+                    )
                 else:
-                    self._finish(conn, future.result())
+                    self._respond(conn, request, future.result(), keep)
 
             response.add_done_callback(on_done)
         else:
-            self._finish(conn, response)
+            self._respond(conn, request, response, keep)
 
-    @staticmethod
-    def _finish(conn: Connection, response: HttpResponse) -> None:
+    def _respond(
+        self,
+        conn: Connection,
+        request: HttpRequest | None,
+        response: HttpResponse,
+        keep: bool,
+    ) -> None:
         if conn.state != Connection.ESTABLISHED:
             return  # client gave up while an async handler was running
+        if request is not None:
+            if request.header(FEATURES_HEADER):
+                response.headers.setdefault(FEATURES_HEADER, SERVER_FEATURES)
+            if (
+                "gzip" in request.header("Accept-Encoding").lower()
+                and len(response.body) >= COMPRESS_MIN_BYTES
+                and "content-encoding" not in (k.lower() for k in response.headers)
+            ):
+                response.body = gzip_bytes(response.body)
+                response.headers["Content-Encoding"] = "gzip"
+        if keep:
+            response.version = "HTTP/1.1"
+            response.headers.setdefault("Connection", "keep-alive")
         conn.send(response.to_bytes())
-        conn.close()
+        if not keep:
+            conn.close()
+
+
+class _PooledConnection:
+    """One destination's persistent connection: a FIFO of pending
+    exchanges, one in flight at a time, an idle-close timer, and enough
+    bookkeeping to die cleanly when the path does."""
+
+    def __init__(self, client: "HttpClient", key: tuple[NodeAddress, int]) -> None:
+        self.client = client
+        self.key = key
+        self.conn: Connection | None = None
+        self.assembler = _MessageAssembler()
+        self.queue: list[tuple[HttpRequest, SimFuture]] = []
+        self.inflight: SimFuture | None = None
+        self.idle_timer: Event | None = None
+        self.connecting = False
+        self.dead = False
+        self.exchanges = 0
+
+    # -- public (driven by HttpClient) ---------------------------------------
+
+    def enqueue(self, request: HttpRequest, future: SimFuture) -> None:
+        self._cancel_idle_timer()
+        self.queue.append((request, future))
+        if self.conn is not None and self.conn.state == Connection.ESTABLISHED:
+            self._pump()
+        elif not self.connecting:
+            self._connect()
+
+    def abort(self, exc: BaseException) -> None:
+        """Evict: kill the transport connection and fail every pending
+        exchange with ``exc`` so callers retry on a fresh connection."""
+        if self.dead:
+            return
+        self.dead = True
+        self._cancel_idle_timer()
+        conn, self.conn = self.conn, None
+        if conn is not None:
+            conn.abort()
+        inflight, self.inflight = self.inflight, None
+        if inflight is not None and not inflight.done():
+            inflight.set_exception(exc)
+        queue, self.queue = self.queue, []
+        for _request, future in queue:
+            if not future.done():
+                future.set_exception(exc)
+
+    # -- internals ------------------------------------------------------------
+
+    def _connect(self) -> None:
+        self.connecting = True
+        dst, port = self.key
+
+        def on_connected(conn_future: SimFuture) -> None:
+            self.connecting = False
+            if self.dead:
+                if conn_future.exception() is None:
+                    conn_future.result().abort()
+                return
+            exc = conn_future.exception()
+            if exc is not None:
+                self.client._drop_entry(self)
+                self.abort(exc)
+                return
+            self.conn = conn_future.result()
+            self.assembler = _MessageAssembler()
+            self.conn.set_receiver(self._on_data)
+            self.conn.on_close(self._on_closed)
+            self._pump()
+
+        self.client.stack.connect(dst, port).add_done_callback(on_connected)
+
+    def _pump(self) -> None:
+        if self.inflight is not None or not self.queue:
+            return
+        if self.conn is None or self.conn.state != Connection.ESTABLISHED:
+            if not self.connecting:
+                self._connect()
+            return
+        request, future = self.queue.pop(0)
+        self.inflight = future
+        try:
+            self.conn.send(request.to_bytes())
+        except Exception as exc:
+            self.inflight = None
+            self.client._drop_entry(self)
+            if not future.done():
+                future.set_exception(TransportError(f"pooled send failed: {exc}"))
+            self.abort(TransportError(f"pooled connection unusable: {exc}"))
+
+    def _on_data(self, connection: Connection, data: bytes) -> None:
+        try:
+            complete = self.assembler.feed(data)
+            if complete is None:
+                return
+            response = _build_response(*complete)
+        except ProtocolError as exc:
+            future, self.inflight = self.inflight, None
+            if future is not None and not future.done():
+                future.set_exception(exc)
+            self.client._drop_entry(self)
+            self.abort(TransportError("pooled connection desynchronised"))
+            return
+        self.exchanges += 1
+        future, self.inflight = self.inflight, None
+        self.client._note_response(self.key, response)
+        if future is not None and not future.done():
+            future.set_result(response)
+        if "keep-alive" not in response.header("Connection").lower():
+            # Peer is closing after this exchange (legacy server): any
+            # queued requests reconnect fresh.
+            conn, self.conn = self.conn, None
+            if conn is not None:
+                conn.close()
+            if self.queue:
+                self._connect()
+            elif not self.dead:
+                self.client._drop_entry(self)
+                self.dead = True
+            return
+        if self.queue:
+            self._pump()
+        else:
+            self._start_idle_timer()
+
+    def _on_closed(self, connection: Connection) -> None:
+        if self.dead or connection is not self.conn:
+            return
+        self.conn = None
+        inflight, self.inflight = self.inflight, None
+        if inflight is not None and not inflight.done():
+            inflight.set_exception(TransportError("connection closed mid-response"))
+        if self.queue:
+            # Requests never sent are safe to replay on a new connection.
+            self._connect()
+        else:
+            self.client._drop_entry(self)
+            self.dead = True
+
+    def _start_idle_timer(self) -> None:
+        self._cancel_idle_timer()
+        timeout = self.client.config.idle_timeout
+        if timeout <= 0:
+            return
+        self.idle_timer = self.client.stack.sim.schedule(timeout, self._idle_close)
+
+    def _idle_close(self) -> None:
+        self.idle_timer = None
+        if self.inflight is not None or self.queue:
+            return
+        self.client._drop_entry(self)
+        self.abort(TransportError("pooled connection idle-closed"))
+
+    def _cancel_idle_timer(self) -> None:
+        if self.idle_timer is not None:
+            self.idle_timer.cancel()
+            self.idle_timer = None
+
+    @property
+    def idle(self) -> bool:
+        return self.inflight is None and not self.queue
 
 
 class HttpClient:
-    """Issues one-shot HTTP exchanges; each opens and closes a connection."""
+    """HTTP exchanges: one-shot by default, pooled keep-alive when the
+    config asks for it."""
 
-    def __init__(self, stack: TransportStack) -> None:
+    def __init__(self, stack: TransportStack, config: InterchangeConfig | None = None) -> None:
         self.stack = stack
+        self.config = config or LEGACY_INTERCHANGE
         self.requests_sent = 0
+        self.pooled_exchanges = 0
+        self.pooled_evictions = 0
+        self.compressed_requests = 0
+        #: destination -> pooled entry, in LRU order (oldest first).
+        self._pool: dict[tuple[NodeAddress, int], _PooledConnection] = {}
+        #: destination -> features the peer has proven it understands.
+        self._peer_features: dict[tuple[NodeAddress, int], frozenset[str]] = {}
+
+    # -- negotiation ------------------------------------------------------------
+
+    def peer_features(self, dst: NodeAddress, port: int) -> frozenset[str]:
+        """Capabilities learned from the peer's ``X-Interchange`` echo."""
+        return self._peer_features.get((dst, port), frozenset())
+
+    def _note_response(self, key: tuple[NodeAddress, int], response: HttpResponse) -> None:
+        advertised = response.header(FEATURES_HEADER)
+        if advertised:
+            self._peer_features[key] = frozenset(advertised.split())
+
+    # -- pool management --------------------------------------------------------
+
+    def invalidate(self, dst: NodeAddress, port: int | None = None) -> None:
+        """Evict pooled connections to ``dst`` (any port unless given).
+
+        The resilience layer calls this when a circuit breaker opens or a
+        call into ``dst`` fails with a connectivity error: a partitioned
+        or crashed peer must not be reached through a stale pooled
+        connection, and failing the pending exchanges here lets retries
+        run on a fresh connection immediately.
+        """
+        for key in list(self._pool):
+            if key[0] == dst and (port is None or key[1] == port):
+                entry = self._pool.pop(key)
+                self.pooled_evictions += 1
+                entry.abort(TransportError(f"pooled connection to {dst} invalidated"))
+
+    def _drop_entry(self, entry: _PooledConnection) -> None:
+        current = self._pool.get(entry.key)
+        if current is entry:
+            del self._pool[entry.key]
+
+    def _entry_for(self, key: tuple[NodeAddress, int]) -> _PooledConnection:
+        entry = self._pool.pop(key, None)
+        if entry is None:
+            entry = _PooledConnection(self, key)
+            self._evict_lru_idle()
+        self._pool[key] = entry  # (re-)append: most recently used last
+        return entry
+
+    def _evict_lru_idle(self) -> None:
+        if len(self._pool) < self.config.pool_destinations:
+            return
+        for key, entry in self._pool.items():  # oldest first
+            if entry.idle:
+                del self._pool[key]
+                self.pooled_evictions += 1
+                entry.abort(TransportError("pooled connection LRU-evicted"))
+                return
+
+    @property
+    def pooled_destinations(self) -> int:
+        return len(self._pool)
+
+    # -- requests ------------------------------------------------------------
 
     def request(
         self,
@@ -235,9 +663,39 @@ class HttpClient:
     ) -> SimFuture:
         """Returns a future resolving to :class:`HttpResponse` (any status);
         transport failures resolve to :class:`TransportError`."""
-        future: SimFuture = SimFuture()
-        request = HttpRequest(method=method, path=path, headers=dict(headers or {}), body=body)
         self.requests_sent += 1
+        headers = dict(headers or {})
+        if not self.config.fast:
+            request = HttpRequest(method=method, path=path, headers=headers, body=body)
+            return self._oneshot(dst, port, request)
+        key = (dst, port)
+        advert = self.config.advertised_features
+        if advert:
+            headers.setdefault(FEATURES_HEADER, advert)
+        if self.config.compress:
+            headers.setdefault("Accept-Encoding", "gzip")
+            if (
+                "gzip" in self._peer_features.get(key, frozenset())
+                and len(body) >= self.config.compress_min_bytes
+            ):
+                body = gzip_bytes(body)
+                headers["Content-Encoding"] = "gzip"
+                self.compressed_requests += 1
+        if not self.config.keep_alive:
+            request = HttpRequest(method=method, path=path, headers=headers, body=body)
+            return self._oneshot(dst, port, request)
+        headers.setdefault("Connection", "keep-alive")
+        request = HttpRequest(
+            method=method, path=path, headers=headers, body=body, version="HTTP/1.1"
+        )
+        future: SimFuture = SimFuture()
+        self.pooled_exchanges += 1
+        self._entry_for(key).enqueue(request, future)
+        return future
+
+    def _oneshot(self, dst: NodeAddress, port: int, request: HttpRequest) -> SimFuture:
+        """The legacy path: open, exchange once, close."""
+        future: SimFuture = SimFuture()
 
         def on_connected(conn_future: SimFuture) -> None:
             exc = conn_future.exception()
@@ -250,23 +708,15 @@ class HttpClient:
             def on_data(connection: Connection, data: bytes) -> None:
                 try:
                     complete = assembler.feed(data)
+                    if complete is None:
+                        return
+                    response = _build_response(*complete)
                 except ProtocolError as parse_exc:
                     if not future.done():
                         future.set_exception(parse_exc)
                     connection.close()
                     return
-                if complete is None:
-                    return
-                start, resp_headers, resp_body = complete
-                if len(start) < 2 or not start[1].isdigit():
-                    if not future.done():
-                        future.set_exception(ProtocolError("bad status line"))
-                    connection.close()
-                    return
-                reason = start[2] if len(start) > 2 else ""
-                response = HttpResponse(
-                    status=int(start[1]), reason=reason, headers=resp_headers, body=resp_body
-                )
+                self._note_response((dst, port), response)
                 connection.close()
                 if not future.done():
                     future.set_result(response)

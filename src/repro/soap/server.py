@@ -4,6 +4,11 @@ Services register a dispatcher; the endpoint URL space is
 ``/soap/<service-name>``.  Application exceptions become SOAP Faults with
 ``faultcode SOAP-ENV:Server``; malformed envelopes yield
 ``SOAP-ENV:Client`` faults, mirroring Apache SOAP's behaviour.
+
+The server answers in the encoding the request arrived in: a terse-envelope
+request (negotiated interchange fast path) gets a terse response, anything
+else gets the verbose 2002 format — so legacy clients never see a byte they
+would not have seen from the seed implementation.
 """
 
 from __future__ import annotations
@@ -22,6 +27,10 @@ Dispatcher = Callable[[str, list[Any]], Any]
 SOAP_PATH_PREFIX = "/soap/"
 DEFAULT_SOAP_PORT = 8080
 
+#: Content-Type announcing a terse envelope body.
+TERSE_CONTENT_TYPE = "application/x-soap-terse"
+VERBOSE_CONTENT_TYPE = "text/xml"
+
 
 class SoapServer:
     """Hosts any number of named SOAP services on one HTTP port."""
@@ -34,6 +43,7 @@ class SoapServer:
         self._services: dict[str, Dispatcher] = {}
         self.calls_handled = 0
         self.faults_returned = 0
+        self.terse_calls_handled = 0
 
     def register_service(self, name: str, dispatcher: Dispatcher) -> None:
         if name in self._services:
@@ -68,19 +78,29 @@ class SoapServer:
             message = envelope.parse_envelope(request.body)
         except SoapError as exc:
             return self._fault_response(400, "SOAP-ENV:Client", str(exc))
+        terse = message.wire_format == "terse"
+        if terse:
+            self.terse_calls_handled += 1
         if message.kind != "request":
             return self._fault_response(
-                400, "SOAP-ENV:Client", f"expected request envelope, got {message.kind}"
+                400,
+                "SOAP-ENV:Client",
+                f"expected request envelope, got {message.kind}",
+                terse=terse,
             )
         try:
             result = dispatcher(message.operation, message.args)
         except ReproError as exc:
             return self._fault_response(
-                500, "SOAP-ENV:Server", str(exc), detail=type(exc).__name__
+                500, "SOAP-ENV:Server", str(exc), detail=type(exc).__name__, terse=terse
             )
         except Exception as exc:  # dispatcher bug: still answer with a Fault
             return self._fault_response(
-                500, "SOAP-ENV:Server", f"internal error: {exc}", detail=type(exc).__name__
+                500,
+                "SOAP-ENV:Server",
+                f"internal error: {exc}",
+                detail=type(exc).__name__,
+                terse=terse,
             )
         if isinstance(result, SimFuture):
             # Asynchronous dispatcher (e.g. a gateway bridging to another
@@ -92,15 +112,21 @@ class SoapServer:
                 if exc is not None:
                     pending.set_result(
                         self._fault_response(
-                            500, "SOAP-ENV:Server", str(exc), detail=type(exc).__name__
+                            500,
+                            "SOAP-ENV:Server",
+                            str(exc),
+                            detail=type(exc).__name__,
+                            terse=terse,
                         )
                     )
                     return
                 try:
-                    response = self._ok_response(message.operation, future.result())
+                    response = self._ok_response(message.operation, future.result(), terse)
                 except ReproError as encode_exc:
                     pending.set_result(
-                        self._fault_response(500, "SOAP-ENV:Server", str(encode_exc))
+                        self._fault_response(
+                            500, "SOAP-ENV:Server", str(encode_exc), terse=terse
+                        )
                     )
                     return
                 self.calls_handled += 1
@@ -109,15 +135,30 @@ class SoapServer:
             result.add_done_callback(on_done)
             return pending
         self.calls_handled += 1
-        return self._ok_response(message.operation, result)
+        return self._ok_response(message.operation, result, terse)
 
-    def _ok_response(self, operation: str, result) -> HttpResponse:
-        body = envelope.build_response(operation, result)
-        return HttpResponse(200, headers={"Content-Type": "text/xml"}, body=body)
+    def _ok_response(self, operation: str, result, terse: bool = False) -> HttpResponse:
+        if terse:
+            body = envelope.build_response_terse(operation, result)
+            content_type = TERSE_CONTENT_TYPE
+        else:
+            body = envelope.build_response(operation, result)
+            content_type = VERBOSE_CONTENT_TYPE
+        return HttpResponse(200, headers={"Content-Type": content_type}, body=body)
 
     def _fault_response(
-        self, status: int, faultcode: str, faultstring: str, detail: str = ""
+        self,
+        status: int,
+        faultcode: str,
+        faultstring: str,
+        detail: str = "",
+        terse: bool = False,
     ) -> HttpResponse:
         self.faults_returned += 1
-        body = envelope.build_fault(faultcode, faultstring, detail)
-        return HttpResponse(status, headers={"Content-Type": "text/xml"}, body=body)
+        if terse:
+            body = envelope.build_fault_terse(faultcode, faultstring, detail)
+            content_type = TERSE_CONTENT_TYPE
+        else:
+            body = envelope.build_fault(faultcode, faultstring, detail)
+            content_type = VERBOSE_CONTENT_TYPE
+        return HttpResponse(status, headers={"Content-Type": content_type}, body=body)

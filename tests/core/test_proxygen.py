@@ -98,3 +98,45 @@ class TestProxyFactory:
             proxy = factory.create(interface, lambda op, args: args[0])
             assert getattr(proxy, f"op{index}")(index) == index
         assert factory.classes_generated == 50
+
+
+class TestGlobalClassCache:
+    """Process-wide memoization of synthesized classes by fingerprint."""
+
+    def test_same_interface_object_reuses_class(self):
+        from repro.core.proxygen import clear_proxy_class_cache
+
+        clear_proxy_class_cache()
+        interface = simple_interface("CachedSvc", {"go": ("int", "->int")})
+        assert generate_proxy_class(interface) is generate_proxy_class(interface)
+
+    def test_equal_interfaces_share_synthesized_methods(self):
+        from repro.core.proxygen import clear_proxy_class_cache
+
+        clear_proxy_class_cache()
+        first = simple_interface("CachedSvc", {"go": ("int", "->int")})
+        second = simple_interface("CachedSvc", {"go": ("int", "->int")})
+        cls_a = generate_proxy_class(first)
+        cls_b = generate_proxy_class(second)
+        # The expensive part — the method functions — is shared; only the
+        # interface back-pointer differs.
+        assert cls_b.go is cls_a.go
+        assert cls_a._interface is first
+        assert cls_b._interface is second
+
+    def test_fresh_factories_share_the_global_cache(self):
+        from repro.core.proxygen import clear_proxy_class_cache
+
+        clear_proxy_class_cache()
+        interface = simple_interface("CachedSvc", {"go": ("int", "->int")})
+        cls_a = ProxyFactory().proxy_class(interface)
+        cls_b = ProxyFactory().proxy_class(interface)
+        assert cls_a is cls_b
+
+    def test_per_factory_counters_unchanged(self):
+        interface = simple_interface("CachedSvc", {"go": ("int", "->int")})
+        factory = ProxyFactory()
+        factory.proxy_class(interface)
+        factory.proxy_class(interface)
+        assert factory.classes_generated == 1
+        assert factory.cache_hits == 1

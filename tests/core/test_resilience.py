@@ -412,3 +412,109 @@ class TestHeartbeat:
         sim.run_until_complete(mm.connect())
         sim.run_for(10.0)
         assert island_a.gateway.heartbeat.ticks == 0
+
+
+# ---------------------------------------------------------------------------
+# Pooled keep-alive connections under injected faults
+# ---------------------------------------------------------------------------
+
+
+class TestPooledConnectionsUnderFaults:
+    """The fast interchange must not let a pooled keep-alive connection
+    outlive the path it runs over: partitions and crashes give no close
+    event (frames just vanish), so eviction has to come from the
+    resilience layer's connectivity failures."""
+
+    @pytest.fixture
+    def fast_islands(self, sim, net):
+        from repro.soap.http import FAST_INTERCHANGE
+
+        backbone = net.create_segment(EthernetSegment, "backbone")
+        mm = MetaMiddleware(
+            net, backbone, policy=CHAOS_POLICY, interchange=FAST_INTERCHANGE
+        )
+        lamp = Lamp()
+        island_a = add_toy_island(mm, "a", {"Lamp": (LAMP_IFACE, lamp)})
+        island_b = add_toy_island(mm, "b", {"Thermo": (THERMO_IFACE, Thermometer())})
+        sim.run_until_complete(mm.connect())
+        return mm, island_a, island_b, lamp
+
+    def test_partition_mid_keepalive_evicts_and_retry_succeeds(
+        self, sim, net, fast_islands
+    ):
+        from repro.faults import FaultInjector, FaultPlan, Partition
+
+        mm, island_a, island_b, lamp = fast_islands
+        http = island_b.gateway.protocol.client.http
+        # Warm the pool: one bridged call pools a keep-alive connection.
+        assert sim.run_until_complete(
+            island_b.gateway.invoke("Lamp", "set_level", [5])
+        ) == 5
+        assert http.pooled_destinations >= 1
+        pooled_before = http.pooled_exchanges
+
+        # Partition a's gateway off the backbone mid-keep-alive.  The b
+        # side keeps its ESTABLISHED pooled connection — frames are
+        # silently dropped, no FIN/RST ever arrives.
+        plan = FaultPlan(seed=3).at(
+            sim.now,
+            Partition(
+                segment="backbone",
+                groups=(
+                    frozenset({"gw-a"}),
+                    frozenset({"gw-b", "uddi-directory"}),
+                ),
+                duration=6.0,
+            ),
+        )
+        FaultInjector(net, plan).arm()
+        sim.run_for(0.1)  # let the partition install
+
+        with pytest.raises(DeadlineExceededError):
+            sim.run_until_complete(island_b.gateway.invoke("Lamp", "get_level", []))
+        # The connectivity failure condemned the pooled connection.
+        assert http.pooled_evictions >= 1
+        assert http.pooled_destinations == 0
+
+        # Heal, wait out the breaker reset, retry: a *fresh* pooled
+        # connection must carry the call end to end.
+        sim.run_for(6.0 + CHAOS_POLICY.breaker_reset_timeout)
+        assert sim.run_until_complete(
+            island_b.gateway.invoke("Lamp", "get_level", [])
+        ) == 5
+        assert http.pooled_exchanges > pooled_before
+        assert http.pooled_destinations >= 1
+
+    def test_crash_mid_keepalive_evicts_and_restart_recovers(self, sim, fast_islands):
+        mm, island_a, island_b, lamp = fast_islands
+        http = island_b.gateway.protocol.client.http
+        assert sim.run_until_complete(
+            island_b.gateway.invoke("Lamp", "set_level", [7])
+        ) == 7
+        assert http.pooled_destinations >= 1
+
+        island_a.node.crash()
+        with pytest.raises(DeadlineExceededError):
+            sim.run_until_complete(island_b.gateway.invoke("Lamp", "get_level", []))
+        assert http.pooled_evictions >= 1
+        assert http.pooled_destinations == 0
+
+        island_a.node.restart()
+        sim.run_for(CHAOS_POLICY.breaker_reset_timeout)
+        assert sim.run_until_complete(
+            island_b.gateway.invoke("Lamp", "get_level", [])
+        ) == 7
+
+    def test_breaker_open_evicts_pooled_connection(self, sim, fast_islands):
+        """The breaker-open hook itself (not just per-call failures) must
+        clear the pool, so half-open probes start from a clean slate."""
+        mm, island_a, island_b, lamp = fast_islands
+        sim.run_until_complete(island_b.gateway.invoke("Lamp", "set_level", [1]))
+        island_a.node.crash()
+        # CHAOS_POLICY.breaker_threshold == 2: one invoke (original +
+        # stale-refresh retry = 2 connectivity failures) opens the breaker.
+        with pytest.raises(DeadlineExceededError):
+            sim.run_until_complete(island_b.gateway.invoke("Lamp", "get_level", []))
+        breaker = island_b.gateway.resilience.breaker_for("a")
+        assert breaker.state == CircuitBreaker.OPEN
+        assert island_b.gateway.protocol.client.http.pooled_destinations == 0

@@ -205,3 +205,85 @@ class TestXmlWriter:
         writer.leaf("t", text=clean)
         parsed = ET.fromstring(writer.tostring())
         assert (parsed.text or "") == clean
+
+
+class TestTerseEnvelopes:
+    """The negotiated compact encoding: same value model, far fewer bytes."""
+
+    def roundtrip_terse(self, value):
+        data = envelope.build_request_terse("op", [value])
+        message = parse_envelope(data)
+        assert message.kind == "request"
+        assert message.wire_format == "terse"
+        return message.args[0]
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -42,
+            2**31,
+            1.5,
+            -0.25,
+            "",
+            "plain",
+            "escapes <&> \"quotes\" 'and' é漢",
+            b"",
+            b"\x00\xffbinary",
+            [],
+            [1, "two", 3.0],
+            {},
+            {"a": 1, "b": [True, None]},
+            {"nested": {"deep": {"x": b"\x01"}}},
+        ],
+    )
+    def test_examples_roundtrip(self, value):
+        assert self.roundtrip_terse(value) == value
+
+    @given(_values)
+    def test_any_value_roundtrips(self, value):
+        assert self.roundtrip_terse(value) == value
+
+    def test_request_shape(self):
+        data = envelope.build_request_terse("setPower", [True, "lamp"])
+        assert data.startswith(b"<E><Q n=\"setPower\">")
+        message = parse_envelope(data)
+        assert message.operation == "setPower"
+        assert message.args == [True, "lamp"]
+
+    def test_response_roundtrip(self):
+        data = envelope.build_response_terse("getTemp", 21.5)
+        message = parse_envelope(data)
+        assert message.kind == "response"
+        assert message.operation == "getTemp"
+        assert message.value == 21.5
+        assert message.wire_format == "terse"
+
+    def test_fault_roundtrip(self):
+        data = envelope.build_fault_terse("SOAP-ENV:Server", "boom", "Detail")
+        message = parse_envelope(data)
+        assert message.kind == "fault"
+        assert message.faultcode == "SOAP-ENV:Server"
+        assert message.faultstring == "boom"
+        assert message.detail == "Detail"
+
+    def test_terse_is_much_smaller_than_verbose(self):
+        args = [{"reading": 21.5, "unit": "C", "ok": True}, [1, 2, 3], "sensor-7"]
+        verbose = build_request("report", args)
+        terse = envelope.build_request_terse("report", args)
+        assert len(terse) * 2 < len(verbose)
+
+    def test_verbose_messages_still_parse_as_verbose(self):
+        message = parse_envelope(build_request("op", [1]))
+        assert message.wire_format == "verbose"
+
+    def test_bad_operation_name_rejected(self):
+        with pytest.raises(SoapError):
+            envelope.build_request_terse("not a name", [])
+
+    def test_bad_struct_key_rejected(self):
+        with pytest.raises(MarshallingError):
+            envelope.build_request_terse("op", [{"bad key": 1}])

@@ -1,15 +1,20 @@
-"""Tests for the HTTP/1.0-style transport."""
+"""Tests for the HTTP/1.0-style transport and the keep-alive fast path."""
 
 import pytest
 
 from repro.errors import HttpError
 from repro.net.simkernel import SimFuture
 from repro.soap.http import (
+    FAST_INTERCHANGE,
+    FEATURES_HEADER,
     HttpClient,
     HttpRequest,
     HttpResponse,
     HttpServer,
+    InterchangeConfig,
+    _parse_head,
     expect_ok,
+    gzip_bytes,
 )
 
 
@@ -145,3 +150,148 @@ class TestExchanges:
         ]
         results = [sim.run_until_complete(f) for f in futures]
         assert [r.body for r in results] == [b"0", b"1", b"2", b"3", b"4"]
+
+
+class TestHeaderParsing:
+    def test_duplicate_headers_fold_comma_joined(self):
+        """Repeated header lines must fold per RFC 2616 §4.2, not silently
+        overwrite each other (regression: the old parser kept only the
+        last occurrence)."""
+        raw = (
+            b"GET / HTTP/1.0\r\n"
+            b"X-Tag: one\r\n"
+            b"X-Tag: two\r\n"
+            b"x-tag: three"
+        )
+        _start, headers = _parse_head(raw)
+        assert headers == {"X-Tag": "one, two, three"}
+
+    def test_duplicate_fold_keeps_first_spelling(self):
+        raw = b"GET / HTTP/1.0\r\nAccept-encoding: gzip\r\nACCEPT-ENCODING: br"
+        _start, headers = _parse_head(raw)
+        assert headers == {"Accept-encoding": "gzip, br"}
+
+    def test_header_index_survives_post_construction_mutation(self):
+        """The case-folded index is built once, but additions after
+        construction must still be visible through header()."""
+        response = HttpResponse(200, headers={"Content-Type": "text/xml"})
+        response.headers["X-Late"] = "yes"
+        assert response.header("x-late") == "yes"
+        assert response.header("CONTENT-TYPE") == "text/xml"
+
+
+class TestKeepAlive:
+    @pytest.fixture
+    def fast_pair(self, sim, two_hosts):
+        a, b = two_hosts
+        server = HttpServer(b, 80)
+        client = HttpClient(a, FAST_INTERCHANGE)
+        return sim, server, client, b.local_address()
+
+    def test_connection_reused_across_exchanges(self, fast_pair):
+        sim, server, client, address = fast_pair
+        server.register("/a", lambda req: HttpResponse(200, body=b"ok"))
+        for _ in range(4):
+            response = sim.run_until_complete(client.get(address, 80, "/a"))
+            assert response.status == 200
+        assert server.requests_served == 4
+        assert server.keepalive_reuses == 3
+        assert client.pooled_destinations == 1
+
+    def test_idle_timeout_closes_pooled_connection(self, sim, two_hosts):
+        a, b = two_hosts
+        server = HttpServer(b, 80)
+        client = HttpClient(a, InterchangeConfig(keep_alive=True, idle_timeout=5.0))
+        server.register("/a", lambda req: HttpResponse(200))
+        sim.run_until_complete(client.get(b.local_address(), 80, "/a"))
+        assert client.pooled_destinations == 1
+        sim.run()  # drains the idle timer
+        assert client.pooled_destinations == 0
+        assert client.stack.open_connections == 0
+
+    def test_invalidate_evicts_and_future_requests_reconnect(self, fast_pair):
+        sim, server, client, address = fast_pair
+        server.register("/a", lambda req: HttpResponse(200))
+        sim.run_until_complete(client.get(address, 80, "/a"))
+        client.invalidate(address)
+        assert client.pooled_destinations == 0
+        assert client.pooled_evictions == 1
+        response = sim.run_until_complete(client.get(address, 80, "/a"))
+        assert response.status == 200
+
+    def test_pool_lru_cap_evicts_idle_destination(self, sim, net, eth):
+        from tests.conftest import make_host
+
+        hosts = [make_host(net, f"h{i}", eth) for i in range(4)]
+        client_stack = make_host(net, "client", eth)
+        servers = [HttpServer(stack, 80) for stack in hosts]
+        for server in servers:
+            server.register("/a", lambda req: HttpResponse(200))
+        client = HttpClient(
+            client_stack, InterchangeConfig(keep_alive=True, pool_destinations=2)
+        )
+        for stack in hosts[:3]:
+            sim.run_until_complete(client.get(stack.local_address(), 80, "/a"))
+        # Cap is 2: pooling the 3rd destination evicted the LRU first one.
+        assert client.pooled_destinations == 2
+        assert client.pooled_evictions == 1
+
+    def test_legacy_server_close_degrades_transparently(self, sim, two_hosts):
+        """A keep-alive client talking to a server that answers
+        ``Connection: close`` must still complete every exchange."""
+        a, b = two_hosts
+        server = HttpServer(b, 80)
+        # Handler forces legacy behaviour by overriding the connection token.
+        server.register(
+            "/a", lambda req: HttpResponse(200, headers={"Connection": "close"})
+        )
+        client = HttpClient(a, InterchangeConfig(keep_alive=True))
+        for _ in range(3):
+            response = sim.run_until_complete(client.get(b.local_address(), 80, "/a"))
+            assert response.status == 200
+        sim.run()
+        assert client.stack.open_connections == 0
+
+
+class TestCompression:
+    def test_gzip_negotiation_roundtrip(self, sim, two_hosts):
+        a, b = two_hosts
+        server = HttpServer(b, 80)
+        client = HttpClient(a, InterchangeConfig(compress=True, compress_min_bytes=10))
+        big = b"event " * 200
+
+        def handler(request):
+            return HttpResponse(200, body=big)
+
+        server.register("/big", handler)
+        address = b.local_address()
+        first = sim.run_until_complete(client.post(address, 80, "/big", b"hello-world"))
+        # First exchange: response was compressed (we advertised), and the
+        # server's capability echo taught us the peer speaks gzip.
+        assert first.body == big
+        assert first.header("Content-Encoding") == "gzip"
+        assert "gzip" in client.peer_features(address, 80)
+        # Second request: body large enough now travels compressed.
+        second = sim.run_until_complete(client.post(address, 80, "/big", b"x" * 500))
+        assert second.body == big
+        assert client.compressed_requests == 1
+
+    def test_gzip_deterministic(self):
+        assert gzip_bytes(b"payload" * 50) == gzip_bytes(b"payload" * 50)
+
+    def test_legacy_exchange_carries_no_negotiation_headers(self, server_client):
+        """A default-config client must not leak fast-path headers — the
+        2002 wire format is the baseline the experiments measure."""
+        sim, server, client, address = server_client
+        seen = {}
+
+        def handler(request):
+            seen.update(request.headers)
+            return HttpResponse(200, body=b"ok" * 200)
+
+        server.register("/a", handler)
+        response = sim.run_until_complete(client.get(address, 80, "/a"))
+        assert FEATURES_HEADER not in seen
+        assert "Accept-Encoding" not in seen
+        assert response.header("Content-Encoding") == ""
+        assert response.header(FEATURES_HEADER) == ""
