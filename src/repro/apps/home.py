@@ -109,6 +109,7 @@ def build_smart_home(
     poll_interval: float = 2.0,
     protocol_factory=None,
     policy=None,
+    obs=None,
 ) -> SmartHome:
     """Assemble the full topology (not yet connected — call ``.connect()``).
 
@@ -116,11 +117,13 @@ def build_smart_home(
     (``TransportStack -> GatewayProtocol``); the default is the prototype's
     SOAP binding.  ``policy`` (a :class:`repro.core.resilience.CallPolicy`)
     sets every island's resilience knobs — deadlines, retries, breaker.
+    ``obs`` (a :class:`repro.obs.Observability`) turns on tracing/metrics
+    for every island; the default records nothing.
     """
     sim = sim or Simulator()
     network = Network(sim)
     backbone = network.create_segment(EthernetSegment, "backbone")
-    mm = MetaMiddleware(network, backbone, policy=policy)
+    mm = MetaMiddleware(network, backbone, policy=policy, obs=obs)
     home = SmartHome(sim=sim, network=network, mm=mm)
 
     if with_jini:

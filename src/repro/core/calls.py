@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import RemoteServiceError
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only, no runtime import
+    from repro.obs.trace import TraceContext
 
 
 @dataclass
@@ -17,6 +20,11 @@ class ServiceCall:
     args: list[Any] = field(default_factory=list)
     source_island: str = ""
     call_id: int = 0
+    #: Trace context this call belongs to (None when tracing is off).
+    #: Deliberately NOT part of the wire dict: across the interchange the
+    #: context travels in the ``X-Trace`` HTTP header, never the envelope,
+    #: so the 2002 wire format stays byte-identical.
+    trace: "TraceContext | None" = None
 
     def to_wire(self) -> dict[str, Any]:
         return {

@@ -23,6 +23,7 @@ from repro.net.node import Node
 from repro.net.segment import Segment
 from repro.net.simkernel import SimFuture, Simulator
 from repro.net.transport import TransportStack
+from repro.obs import NOOP_OBS
 from repro.soap.http import InterchangeConfig
 from repro.soap.server import SoapServer
 from repro.soap.wsdl import WsdlDocument
@@ -62,6 +63,7 @@ class MetaMiddleware:
         directory_port: int = DEFAULT_GATEWAY_PORT,
         policy: CallPolicy | None = None,
         interchange: InterchangeConfig | None = None,
+        obs: Any = None,
     ) -> None:
         self.network = network
         self.sim: Simulator = network.sim
@@ -72,12 +74,17 @@ class MetaMiddleware:
         #: Default interchange config (None = legacy wire behaviour) used
         #: by islands that don't bring their own protocol factory.
         self.interchange = interchange
+        #: Observability bundle (``repro.obs``) shared by every island and
+        #: the directory; the default no-op bundle records nothing.
+        self.obs = obs if obs is not None else NOOP_OBS
         self.islands: dict[str, Island] = {}
         # The UDDI directory node on the backbone.
         self.directory_node = network.create_node("uddi-directory")
         network.attach(self.directory_node, backbone)
         self.directory_stack = TransportStack(self.directory_node, network)
-        self.directory_soap = SoapServer(self.directory_stack, directory_port)
+        self.directory_soap = SoapServer(self.directory_stack, directory_port).observe(
+            self.obs, "uddi-directory"
+        )
         self.uddi = UddiSoapService(self.directory_soap)
         self.directory_address = self.directory_stack.local_address(backbone)
 
@@ -115,6 +122,8 @@ class MetaMiddleware:
             self.directory_port,
             lookup_deadline=policy.directory_deadline,
             interchange=interchange,
+            obs=self.obs,
+            label=name,
         )
         if protocol_factory is None:
             protocol = SoapGatewayProtocol(stack, interchange=interchange)
@@ -122,7 +131,7 @@ class MetaMiddleware:
             protocol = protocol_factory(stack)
         gateway = VirtualServiceGateway(
             name, node, stack, protocol, vsr_client,
-            poll_interval=poll_interval, policy=policy,
+            poll_interval=poll_interval, policy=policy, obs=self.obs,
         )
         island = Island(name=name, segment=segment, node=node, stack=stack, gateway=gateway)
         if pcm_factory is not None:

@@ -60,7 +60,8 @@ class SoapGatewayProtocol(GatewayProtocol):
 
     def start(self, vsg: VirtualServiceGateway) -> None:
         self.vsg = vsg
-        self.server = SoapServer(self.stack, self.port)
+        self.client.observe(vsg.obs, vsg.island)
+        self.server = SoapServer(self.stack, self.port).observe(vsg.obs, vsg.island)
         self.server.register_service(CONTROL_SERVICE, self._control_dispatch)
 
     def stop(self) -> None:
@@ -98,7 +99,9 @@ class SoapGatewayProtocol(GatewayProtocol):
 
     def call_remote(self, location: str, call: ServiceCall) -> SimFuture:
         address, port, service = parse_location(location)
-        raw = self.client.call(address, service, call.operation, call.args, port=port)
+        raw = self.client.call(
+            address, service, call.operation, call.args, port=port, trace=call.trace
+        )
         result: SimFuture = SimFuture()
 
         def translate(future: SimFuture) -> None:

@@ -36,7 +36,7 @@ class ProtocolConversionManager:
     def __init__(self, vsg: VirtualServiceGateway) -> None:
         self.vsg = vsg
         self.sim = vsg.sim
-        self.proxies = ProxyFactory()
+        self.proxies = ProxyFactory(obs=vsg.obs, island=vsg.island)
         self.exported: dict[str, ServiceInterface] = {}
         self.imported: dict[str, WsdlDocument] = {}
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.errors import InterfaceError
+from repro.net.simkernel import SimFuture
+from repro.obs import NOOP_OBS
 from repro.core import values
 from repro.core.interface import Operation, ServiceInterface
 
@@ -30,7 +32,23 @@ def _make_method(operation: Operation) -> Callable[..., Any]:
 
     def method(self: Any, *args: Any) -> Any:
         checked = values.check_args(operation, list(args))
-        return self._invoker(operation.name, checked)
+        tracer = self._obs.tracer
+        if not tracer.enabled:
+            return self._invoker(operation.name, checked)
+        # Proxy dispatch is where a native client enters the bridge, so
+        # this span is usually the root of a bridged call's trace.
+        span = tracer.start_span(
+            f"proxy.{self._interface.name}.{operation.name}",
+            island=self._obs_island,
+            kind="proxy",
+        )
+        with tracer.activate(span):
+            result = self._invoker(operation.name, checked)
+        if isinstance(result, SimFuture):
+            result.add_done_callback(lambda f: span.finish(f.exception()))
+        else:
+            span.finish()
+        return result
 
     method.__name__ = operation.name
     method.__qualname__ = operation.name
@@ -49,8 +67,10 @@ class GeneratedProxyBase:
 
     _interface: ServiceInterface
 
-    def __init__(self, invoker: Invoker) -> None:
+    def __init__(self, invoker: Invoker, *, obs: Any = None, island: str = "") -> None:
         self._invoker = invoker
+        self._obs = obs if obs is not None else NOOP_OBS
+        self._obs_island = island
 
     @property
     def interface(self) -> ServiceInterface:
@@ -137,10 +157,12 @@ class ProxyFactory:
     one synthesized.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Any = None, island: str = "") -> None:
         self._cache: dict[tuple, type] = {}
         self.classes_generated = 0
         self.cache_hits = 0
+        self.obs = obs if obs is not None else NOOP_OBS
+        self.island = island
 
     @staticmethod
     def _signature(interface: ServiceInterface) -> tuple:
@@ -159,4 +181,6 @@ class ProxyFactory:
 
     def create(self, interface: ServiceInterface, invoker: Invoker) -> Any:
         """Generate (or reuse) the class and instantiate it."""
-        return self.proxy_class(interface)(invoker)
+        return self.proxy_class(interface)(
+            invoker, obs=self.obs, island=self.island
+        )

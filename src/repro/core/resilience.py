@@ -41,6 +41,7 @@ from repro.errors import (
     ServiceNotFoundError,
 )
 from repro.net.simkernel import Event, SimFuture, Simulator
+from repro.obs import NOOP_OBS, NULL_SPAN
 
 
 @dataclass(frozen=True)
@@ -142,6 +143,14 @@ class CircuitBreaker:
         #: Invoked with the island name each time the breaker opens —
         #: lets interested layers (pooled connections) react to outages.
         self.on_open: Callable[[str], None] | None = None
+        #: Invoked as ``on_transition(island, old_state, new_state)`` on
+        #: every state change — the observability layer counts these.
+        self.on_transition: Callable[[str, str, str], None] | None = None
+
+    def _set_state(self, new_state: str) -> None:
+        old_state, self.state = self.state, new_state
+        if old_state != new_state and self.on_transition is not None:
+            self.on_transition(self.island, old_state, new_state)
 
     # -- admission ----------------------------------------------------------
 
@@ -159,7 +168,7 @@ class CircuitBreaker:
             if self.sim.now < retry_at:
                 self.fast_failures += 1
                 raise CircuitOpenError(self.island, retry_at)
-            self.state = CircuitBreaker.HALF_OPEN
+            self._set_state(CircuitBreaker.HALF_OPEN)
             self._probes_in_flight = 0
         if self._probes_in_flight >= self.policy.breaker_half_open_probes:
             self.fast_failures += 1
@@ -172,7 +181,7 @@ class CircuitBreaker:
     def record_success(self) -> None:
         self._consecutive_failures = 0
         if self.state != CircuitBreaker.CLOSED:
-            self.state = CircuitBreaker.CLOSED
+            self._set_state(CircuitBreaker.CLOSED)
             self._probes_in_flight = 0
 
     def record_failure(self) -> None:
@@ -190,7 +199,7 @@ class CircuitBreaker:
             self._open()
 
     def _open(self) -> None:
-        self.state = CircuitBreaker.OPEN
+        self._set_state(CircuitBreaker.OPEN)
         self._opened_at = self.sim.now
         self._consecutive_failures = 0
         self._probes_in_flight = 0
@@ -210,17 +219,33 @@ class CircuitBreaker:
 class ResilientExecutor:
     """Runs remote attempts under a :class:`CallPolicy` for one gateway."""
 
-    def __init__(self, sim: Simulator, policy: CallPolicy) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        policy: CallPolicy,
+        obs: Any = None,
+        label: str = "",
+    ) -> None:
         self.sim = sim
         self.policy = policy
+        self.obs = obs if obs is not None else NOOP_OBS
+        #: Metric namespace, normally the owning gateway's island name.
+        self.label = label
         self._rng = random.Random(policy.seed)
         self._breakers: dict[str, CircuitBreaker] = {}
         self._open_listeners: list[Callable[[str], None]] = []
+        self._transition_listeners: list[Callable[[str, str, str], None]] = []
         self.attempts = 0
         self.timeouts = 0
         self.retries = 0
         self.failures = 0
         self.successes = 0
+        metrics = self.obs.metrics
+        self._m_attempts = metrics.counter(f"resilience.{label}.attempts")
+        self._m_timeouts = metrics.counter(f"resilience.{label}.timeouts")
+        self._m_retries = metrics.counter(f"resilience.{label}.retries")
+        self._m_failures = metrics.counter(f"resilience.{label}.failures")
+        self._m_successes = metrics.counter(f"resilience.{label}.successes")
 
     def add_open_listener(self, listener: Callable[[str], None]) -> None:
         """``listener(island)`` fires whenever any island's breaker opens.
@@ -230,9 +255,25 @@ class ResilientExecutor:
         for breaker in self._breakers.values():
             breaker.on_open = self._notify_open
 
+    def add_transition_listener(
+        self, listener: Callable[[str, str, str], None]
+    ) -> None:
+        """``listener(island, old_state, new_state)`` fires on every breaker
+        state change (open, half-open probe admission, re-close)."""
+        self._transition_listeners.append(listener)
+
     def _notify_open(self, island: str) -> None:
         for listener in list(self._open_listeners):
             listener(island)
+
+    def _notify_transition(self, island: str, old: str, new: str) -> None:
+        # Transitions are rare (an outage, not a call), so the counter
+        # lookup can be lazy instead of cached per island.
+        self.obs.metrics.counter(
+            f"resilience.{self.label}.breaker.{island}.to_{new.replace('-', '_')}"
+        ).inc()
+        for listener in list(self._transition_listeners):
+            listener(island, old, new)
 
     def breaker_for(self, island: str) -> CircuitBreaker:
         breaker = self._breakers.get(island)
@@ -240,6 +281,7 @@ class ResilientExecutor:
             breaker = CircuitBreaker(self.sim, self.policy, island)
             if self._open_listeners:
                 breaker.on_open = self._notify_open
+            breaker.on_transition = self._notify_transition
             self._breakers[island] = breaker
         return breaker
 
@@ -253,7 +295,10 @@ class ResilientExecutor:
         return delay
 
     def execute(
-        self, island: str, attempt_factory: Callable[[], SimFuture]
+        self,
+        island: str,
+        attempt_factory: Callable[[], SimFuture],
+        span: Any = NULL_SPAN,
     ) -> SimFuture:
         """Run ``attempt_factory`` under deadline/retry/breaker policy.
 
@@ -262,6 +307,10 @@ class ResilientExecutor:
         first successful attempt's value, or with the last failure once the
         policy is exhausted (fast :class:`CircuitOpenError` when the
         island's breaker is open).
+
+        ``span``, when recording, receives annotations for retries,
+        timeouts and breaker fast-failures — the per-call trace of what the
+        policy did.
         """
         result: SimFuture = SimFuture()
         breaker = self.breaker_for(island)
@@ -271,9 +320,12 @@ class ResilientExecutor:
             try:
                 breaker.admit()
             except CircuitOpenError as exc:
+                if span.recording:
+                    span.annotate(f"breaker open for {island}; failing fast")
                 result.set_exception(exc)
                 return
             self.attempts += 1
+            self._m_attempts.inc()
             try:
                 attempt = attempt_factory()
             except Exception as exc:
@@ -293,11 +345,17 @@ class ResilientExecutor:
                 exc = done.exception()
                 if exc is None:
                     self.successes += 1
+                    self._m_successes.inc()
                     breaker.record_success()
                     result.set_result(done.result())
                     return
                 if isinstance(exc, DeadlineExceededError):
                     self.timeouts += 1
+                    self._m_timeouts.inc()
+                    if span.recording:
+                        span.annotate(
+                            f"attempt {state['retry'] + 1} to {island} timed out"
+                        )
                 after_failure(exc)
 
             guarded.add_done_callback(on_done)
@@ -313,11 +371,18 @@ class ResilientExecutor:
                 or state["retry"] >= self.policy.max_retries
             ):
                 self.failures += 1
+                self._m_failures.inc()
                 result.set_exception(exc)
                 return
             delay = self.backoff_delay(state["retry"])
             state["retry"] += 1
             self.retries += 1
+            self._m_retries.inc()
+            if span.recording:
+                span.annotate(
+                    f"retry {state['retry']}/{self.policy.max_retries} to "
+                    f"{island} after {delay:.3f}s backoff"
+                )
             self.sim.schedule(delay, run_attempt)
 
         run_attempt()

@@ -36,6 +36,7 @@ from repro.core.resilience import (
     is_connectivity_failure,
 )
 from repro.core.vsr import VsrClient
+from repro.obs import NOOP_OBS, NULL_SPAN
 
 #: A local service handler: ``handler(operation, args) -> value | SimFuture``.
 LocalHandler = Callable[[str, list[Any]], Any]
@@ -133,6 +134,9 @@ class EventRouter:
     paper's "HTTP ... does not map well to asynchronous notification".
     """
 
+    #: Poll-batch histogram bounds: events drained per fetch round trip.
+    POLL_BATCH_BUCKETS = (0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)
+
     def __init__(self, vsg: "VirtualServiceGateway") -> None:
         self.vsg = vsg
         self._local_subs: dict[str, list[EventCallback]] = {}
@@ -144,6 +148,13 @@ class EventRouter:
         self.events_published = 0
         self.events_delivered = 0
         self.polls_performed = 0
+        metrics = vsg.obs.metrics
+        self._m_published = metrics.counter(f"events.{vsg.island}.published")
+        self._m_delivered = metrics.counter(f"events.{vsg.island}.delivered")
+        self._m_polls = metrics.counter(f"events.{vsg.island}.polls")
+        self._m_poll_batch = metrics.histogram(
+            f"events.{vsg.island}.poll_batch", buckets=self.POLL_BATCH_BUCKETS
+        )
         #: Per-delivery records (topic, source island, published_at,
         #: delivered_at, latency) — read by the C3 latency experiment.
         self.delivery_log: list[dict[str, Any]] = []
@@ -154,6 +165,7 @@ class EventRouter:
     def publish(self, topic: str, payload: Any) -> None:
         self._sequence += 1
         self.events_published += 1
+        self._m_published.inc()
         event = {
             "topic": topic,
             "payload": payload,
@@ -190,6 +202,7 @@ class EventRouter:
             )
         for callback in callbacks:
             self.events_delivered += 1
+            self._m_delivered.inc()
             callback(event["topic"], event["payload"], event["island"])
 
     # -- inbound control (called by the protocol's server side) --------------------
@@ -329,6 +342,7 @@ class EventRouter:
 
     def _poll(self, control_location: str) -> None:
         self.polls_performed += 1
+        self._m_polls.inc()
         try:
             poll_future = self.vsg.protocol.poll_events(
                 control_location, self.vsg.island
@@ -340,7 +354,9 @@ class EventRouter:
 
         def on_events(future: SimFuture) -> None:
             if future.exception() is None:
-                for event in future.result():
+                batch = future.result()
+                self._m_poll_batch.observe(float(len(batch)))
+                for event in batch:
                     self._deliver_local(event)
             # Reschedule regardless: a transient failure must not end polling.
             self._poll_timers[control_location] = self.vsg.sim.schedule(
@@ -367,6 +383,7 @@ class VirtualServiceGateway:
         vsr: VsrClient,
         poll_interval: float = DEFAULT_POLL_INTERVAL,
         policy: CallPolicy | None = None,
+        obs: Any = None,
     ) -> None:
         self.island = island
         self.node = node
@@ -376,7 +393,16 @@ class VirtualServiceGateway:
         self.vsr = vsr
         self.poll_interval = poll_interval
         self.policy = policy or CallPolicy()
-        self.resilience = ResilientExecutor(self.sim, self.policy)
+        self.obs = obs if obs is not None else NOOP_OBS
+        metrics = self.obs.metrics
+        self._m_calls_out = metrics.counter(f"vsg.{island}.calls_out")
+        self._m_calls_in = metrics.counter(f"vsg.{island}.calls_in")
+        self._m_calls_local = metrics.counter(f"vsg.{island}.calls_local")
+        self._m_stale = metrics.counter(f"vsg.{island}.stale_refreshes")
+        self._m_latency = metrics.histogram(f"vsg.{island}.call_latency")
+        self.resilience = ResilientExecutor(
+            self.sim, self.policy, obs=self.obs, label=island
+        )
         self.heartbeat = HeartbeatMonitor(self)
         self._local: dict[str, tuple[ServiceInterface, LocalHandler]] = {}
         self.events = EventRouter(self)
@@ -429,15 +455,37 @@ class VirtualServiceGateway:
     def dispatch_local(self, call: ServiceCall) -> SimFuture:
         """Execute a neutral call against a locally exported service."""
         self.calls_in += 1
+        self._m_calls_in.inc()
+        tracer = self.obs.tracer
+        span = NULL_SPAN
+        if tracer.enabled:
+            # Join the caller's trace: explicit context on the call (set by
+            # invoke() or re-attached from X-Trace), else the ambient span
+            # (the SOAP server span).  Never start a fresh root here —
+            # untraced polls and heartbeats must stay untraced.
+            parent = call.trace or tracer.current()
+            if parent is not None:
+                span = tracer.start_span(
+                    f"vsg.dispatch {call.service}.{call.operation}",
+                    island=self.island,
+                    kind="server",
+                    parent=parent,
+                )
         if self._paused:
             # A paused gateway is alive but unresponsive: the call parks
             # until resume() and the *caller's* deadline decides its fate.
+            span.annotate("gateway paused; call parked")
             parked: SimFuture = SimFuture()
             self._pause_queue.append((call, parked))
+            if span.recording:
+                parked.add_done_callback(lambda f: span.finish(f.exception()))
             return parked
-        return self._dispatch_now(call)
+        result = self._dispatch_now(call, span)
+        if span.recording:
+            result.add_done_callback(lambda f: span.finish(f.exception()))
+        return result
 
-    def _dispatch_now(self, call: ServiceCall) -> SimFuture:
+    def _dispatch_now(self, call: ServiceCall, span: Any = NULL_SPAN) -> SimFuture:
         entry = self._local.get(call.service)
         if entry is None:
             return SimFuture.failed(
@@ -449,7 +497,10 @@ class VirtualServiceGateway:
         try:
             operation = interface.operation(call.operation)
             checked_args = values.check_args(operation, call.args)
-            outcome = handler(call.operation, checked_args)
+            # The dispatch span is ambient while the native handler runs,
+            # so PCM-level spans (e.g. the X10 power-line write) nest here.
+            with self.obs.tracer.activate(span):
+                outcome = handler(call.operation, checked_args)
         except Exception as exc:
             return SimFuture.failed(exc)
         if isinstance(outcome, SimFuture):
@@ -481,33 +532,71 @@ class VirtualServiceGateway:
         path).  Remote services are resolved through the VSR; a stale cache
         entry gets one retry after invalidation.
         """
+        tracer = self.obs.tracer
+        span = (
+            tracer.start_span(
+                f"vsg.invoke {service}.{operation}", island=self.island, kind="client"
+            )
+            if tracer.enabled
+            else NULL_SPAN
+        )
         call = ServiceCall(
             service=service,
             operation=operation,
             args=args,
             source_island=self.island,
             call_id=self._next_call_id,
+            trace=span.context if span.recording else None,
         )
         self._next_call_id += 1
+        started = self.sim.now
         if service in self._local:
             self.calls_local += 1
-            return self.dispatch_local(call)
-        return self._invoke_remote(call, retried=False)
+            self._m_calls_local.inc()
+            span.set_attribute("target", "local")
+            with tracer.activate(span):
+                result = self.dispatch_local(call)
+        else:
+            with tracer.activate(span):
+                result = self._invoke_remote(call, retried=False, span=span)
 
-    def _invoke_remote(self, call: ServiceCall, retried: bool) -> SimFuture:
+        def on_done(future: SimFuture) -> None:
+            self._m_latency.observe(self.sim.now - started)
+            span.finish(future.exception())
+
+        result.add_done_callback(on_done)
+        return result
+
+    def _invoke_remote(
+        self, call: ServiceCall, retried: bool, span: Any = NULL_SPAN
+    ) -> SimFuture:
         self.calls_out += 1
+        self._m_calls_out.inc()
         result: SimFuture = SimFuture()
+        tracer = self.obs.tracer
+        lookup = (
+            tracer.start_span(
+                f"vsr.lookup {call.service}", island=self.island, parent=call.trace
+            )
+            if tracer.enabled and call.trace is not None
+            else NULL_SPAN
+        )
 
         def on_resolved(future: SimFuture) -> None:
             exc = future.exception()
             if exc is not None:
+                lookup.finish(exc)
                 result.set_exception(exc)
                 return
             document: WsdlDocument = future.result()
             target = document.context.get("island") or document.location
+            lookup.set_attribute("target", target)
+            lookup.finish()
             self._island_locations[target] = document.location
             remote = self.resilience.execute(
-                target, lambda: self.protocol.call_remote(document.location, call)
+                target,
+                lambda: self.protocol.call_remote(document.location, call),
+                span=span,
             )
 
             def on_called(done: SimFuture) -> None:
@@ -525,8 +614,10 @@ class VirtualServiceGateway:
                 ):
                     # The cached location may be stale: refresh and retry once.
                     self.stale_refreshes += 1
+                    self._m_stale.inc()
+                    span.annotate(f"stale location; refreshing {call.service}")
                     self.vsr.invalidate(call.service)
-                    retry = self._invoke_remote(call, retried=True)
+                    retry = self._invoke_remote(call, retried=True, span=span)
                     retry.add_done_callback(
                         lambda f: result.set_exception(f.exception())
                         if f.exception() is not None

@@ -28,6 +28,7 @@ from repro.errors import (
 from repro.net.addressing import NodeAddress
 from repro.net.simkernel import SimFuture
 from repro.net.transport import TransportStack
+from repro.obs import NOOP_OBS
 from repro.core.resilience import with_deadline
 from repro.soap.client import SoapClient
 from repro.soap.http import InterchangeConfig
@@ -183,6 +184,8 @@ class VsrClient:
         lookup_deadline: float = 0.0,
         allow_stale: bool = True,
         interchange: InterchangeConfig | None = None,
+        obs: Any = None,
+        label: str = "",
     ) -> None:
         self.stack = stack
         self.sim = stack.sim
@@ -201,6 +204,18 @@ class VsrClient:
         self.coalesced_lookups = 0
         self.degraded_reads = 0
         self.lookup_failures = 0
+        self.obs = obs if obs is not None else NOOP_OBS
+        self.label = label
+        # The directory client gets its own metric namespace so its HTTP
+        # traffic never mixes with the gateway's interchange client.
+        self.soap.observe(self.obs, f"{label}.vsr" if label else "vsr")
+        metrics = self.obs.metrics
+        prefix = f"vsr.{label}" if label else "vsr.client"
+        self._m_cache_hits = metrics.counter(f"{prefix}.cache_hits")
+        self._m_remote_lookups = metrics.counter(f"{prefix}.remote_lookups")
+        self._m_coalesced = metrics.counter(f"{prefix}.coalesced_lookups")
+        self._m_degraded = metrics.counter(f"{prefix}.degraded_reads")
+        self._m_failures = metrics.counter(f"{prefix}.lookup_failures")
 
     def _call(self, operation: str, args: list[Any]) -> SimFuture:
         raw = self.soap.call(
@@ -237,14 +252,17 @@ class VsrClient:
         cached = self._cache.get(service)
         if cached is not None and self.sim.now - cached[0] <= self.cache_ttl:
             self.cache_hits += 1
+            self._m_cache_hits.inc()
             return SimFuture.completed(cached[1])
         inflight = self._inflight.get(service)
         if inflight is not None:
             # Another caller is already resolving this name: share the
             # round trip instead of issuing a duplicate.
             self.coalesced_lookups += 1
+            self._m_coalesced.inc()
             return _follow(inflight)
         self.remote_lookups += 1
+        self._m_remote_lookups.inc()
         result: SimFuture = SimFuture()
         self._inflight[service] = result
 
@@ -257,8 +275,10 @@ class VsrClient:
                     result.set_exception(exc)
                     return
                 self.lookup_failures += 1
+                self._m_failures.inc()
                 if self.allow_stale and cached is not None:
                     self.degraded_reads += 1
+                    self._m_degraded.inc()
                     result.set_result(cached[1])
                     return
                 result.set_exception(exc)
@@ -302,6 +322,7 @@ class VsrClient:
         """
         if self._gateways_inflight is not None:
             self.coalesced_lookups += 1
+            self._m_coalesced.inc()
             return _follow(self._gateways_inflight)
         result: SimFuture = SimFuture()
         self._gateways_inflight = result
@@ -317,8 +338,10 @@ class VsrClient:
                 result.set_exception(exc)
                 return
             self.lookup_failures += 1
+            self._m_failures.inc()
             if self.allow_stale and self._gateway_cache is not None:
                 self.degraded_reads += 1
+                self._m_degraded.inc()
                 result.set_result(dict(self._gateway_cache))
                 return
             result.set_exception(exc)

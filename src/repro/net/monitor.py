@@ -4,6 +4,13 @@ A :class:`TrafficMonitor` attaches to one or more segments and tallies
 frames and bytes per protocol tag.  The payload-size (C1) and stack-weight
 (C4) experiments read these counters; the Figure-4 trace benchmark uses the
 optional frame trace.
+
+Reset contract: :meth:`TrafficMonitor.reset` returns the monitor to its
+just-constructed state — every accumulator (``stats``, ``per_segment``,
+``trace``, ``trace_dropped``) is cleared while configuration
+(``name``, ``trace_enabled``, ``trace_limit``, watched segments) is kept.
+Any new accumulating field added to this class MUST also be cleared there;
+the regression tests compare a reset monitor against a fresh one.
 """
 
 from __future__ import annotations
@@ -49,6 +56,10 @@ class TrafficMonitor:
     stats: dict[str, ProtocolStats] = field(default_factory=dict)
     per_segment: dict[str, dict[str, ProtocolStats]] = field(default_factory=dict)
     trace: list[TraceEntry] = field(default_factory=list)
+    #: Trace entries discarded because ``trace`` already held
+    #: ``trace_limit`` entries.  Non-zero means the trace is incomplete —
+    #: a truncated Figure-4 trace used to look exactly like a short run.
+    trace_dropped: int = 0
 
     def watch(self, *segments: "Segment") -> "TrafficMonitor":
         for segment in segments:
@@ -70,19 +81,22 @@ class TrafficMonitor:
             bucket.bytes += size
             if dropped:
                 bucket.dropped_frames += 1
-        if self.trace_enabled and len(self.trace) < self.trace_limit:
-            self.trace.append(
-                TraceEntry(
-                    time=segment.sim.now,
-                    segment=segment.name,
-                    protocol=frame.protocol,
-                    src=str(frame.src),
-                    dst=str(frame.dst),
-                    size=size,
-                    dropped=dropped,
-                    note=frame.note,
+        if self.trace_enabled:
+            if len(self.trace) < self.trace_limit:
+                self.trace.append(
+                    TraceEntry(
+                        time=segment.sim.now,
+                        segment=segment.name,
+                        protocol=frame.protocol,
+                        src=str(frame.src),
+                        dst=str(frame.dst),
+                        size=size,
+                        dropped=dropped,
+                        note=frame.note,
+                    )
                 )
-            )
+            else:
+                self.trace_dropped += 1
 
     # -- summary accessors ------------------------------------------------------
 
@@ -103,15 +117,24 @@ class TrafficMonitor:
         return stats.frames if stats else 0
 
     def reset(self) -> None:
+        """Clear every accumulator (see the module docstring's contract)."""
         self.stats.clear()
         self.per_segment.clear()
         self.trace.clear()
+        self.trace_dropped = 0
 
     def summary_rows(self) -> list[tuple[str, int, int]]:
-        """(protocol, frames, bytes) rows sorted by descending bytes."""
+        """(protocol, frames, bytes) rows sorted by descending bytes.
+
+        When trace entries were discarded past ``trace_limit`` a final
+        ``("(trace dropped)", count, 0)`` row flags the truncation, so a
+        summary of an incomplete trace can't pass for a complete one.
+        """
         rows = [
             (protocol, stats.frames, stats.bytes)
             for protocol, stats in self.stats.items()
         ]
         rows.sort(key=lambda row: row[2], reverse=True)
+        if self.trace_dropped:
+            rows.append(("(trace dropped)", self.trace_dropped, 0))
         return rows

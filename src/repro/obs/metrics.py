@@ -1,0 +1,231 @@
+"""Deterministic metrics: named counters, gauges and fixed-bucket histograms.
+
+The registry is the numeric side of ``repro.obs``: while spans answer
+"where did *this* call spend its time", metrics answer "how often and how
+much, in aggregate" — per-island call counts and latency, breaker state
+transitions, VSR cache behaviour, connection-pool churn, event batching.
+
+Design points:
+
+- **Deterministic.**  No wall-clock, no sampling, no locks (the simulation
+  is single-threaded).  Histograms use fixed upper bounds supplied at
+  creation, so a snapshot of two identical runs is byte-identical.
+- **Cheap handles.**  Components look up their instruments once at
+  construction (``self._m_calls = metrics.counter("vsg.jini.calls_out")``)
+  and then pay one method call per event.  Repeated ``counter(name)``
+  calls return the same object.
+- **Zero cost when disabled.**  :class:`NullMetrics` hands out one shared
+  no-op instrument for every name; recording on it is a no-op method call
+  and the registry keeps no state.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+
+class Counter:
+    """Monotonically increasing count of events."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> Any:
+        return self.value
+
+
+class Gauge:
+    """A value that can move both ways (pool size, breaker state)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def snapshot(self) -> Any:
+        return self.value
+
+
+#: Default histogram bounds, tuned for virtual-time latencies (seconds):
+#: sub-millisecond native calls up through multi-second degraded bridged
+#: calls land in distinct buckets.
+DEFAULT_BUCKETS = (0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0)
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts per upper bound plus count/sum/min/max.
+
+    Bounds are fixed at creation, so the shape of the snapshot never
+    depends on the data — a requirement for byte-identical exports.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.bounds = tuple(sorted(buckets))
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # +1 = overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def snapshot(self) -> Any:
+        """Flat dict so the registry snapshot stays one level deep."""
+        flat: dict[str, Any] = {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+        for bound, count in zip(self.bounds, self.bucket_counts):
+            flat[f"le_{bound}"] = count
+        flat["overflow"] = self.bucket_counts[-1]
+        return flat
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+
+
+class MetricsRegistry:
+    """Process-wide named instruments with a deterministic snapshot."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, buckets)
+        elif tuple(sorted(buckets)) != instrument.bounds:
+            # A silent mismatch would put observations in a differently
+            # shaped histogram than the caller expects.
+            raise ValueError(
+                f"histogram {name!r} already registered with bounds "
+                f"{instrument.bounds}"
+            )
+        return instrument
+
+    def snapshot(self) -> dict[str, Any]:
+        """Name-sorted flat dict of every instrument's value (histograms
+        flatten to ``name.count`` / ``name.sum`` / ``name.le_<bound>`` ...)."""
+        merged: dict[str, Any] = {}
+        for store in (self._counters, self._gauges):
+            for name, instrument in store.items():
+                merged[name] = instrument.snapshot()
+        for name, histogram in self._histograms.items():
+            for key, value in histogram.snapshot().items():
+                merged[f"{name}.{key}"] = value
+        return {name: merged[name] for name in sorted(merged)}
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), sort_keys=True, indent=2)
+
+    def reset(self) -> None:
+        """Zero every instrument *in place* — components cache instrument
+        handles at construction, so the objects must stay live."""
+        for counter in self._counters.values():
+            counter.value = 0
+        for gauge in self._gauges.values():
+            gauge.value = 0.0
+        for histogram in self._histograms.values():
+            histogram.reset()
+
+
+class _NullInstrument:
+    """One object that can stand in for Counter, Gauge and Histogram."""
+
+    __slots__ = ()
+    name = ""
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def snapshot(self) -> Any:
+        return 0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """Disabled registry: every lookup returns the shared no-op instrument."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets: Iterable[float] = ()) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> dict[str, Any]:
+        return {}
+
+    def to_json(self) -> str:
+        return "{}"
+
+    def reset(self) -> None:
+        pass

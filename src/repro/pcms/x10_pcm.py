@@ -130,9 +130,21 @@ class X10Pcm(ProtocolConversionManager):
         address = info.address
 
         def handler(operation: str, args: list[Any]) -> SimFuture:
+            # Island-local span for the native powerline work: only created
+            # when a bridged call is already being traced (the VSG dispatch
+            # span is ambient here), so untraced local traffic costs nothing.
+            tracer = self.vsg.obs.tracer
+            span = None
+            if tracer.enabled and tracer.current() is not None:
+                span = tracer.start_span(
+                    f"x10.{operation} {address}", island=self.vsg.island, kind="native"
+                )
             if operation == "is_on":
                 # Two-way X10: the module itself answers on the powerline.
-                return self.controller.status_request(address)
+                status = self.controller.status_request(address)
+                if span is not None:
+                    status.add_done_callback(lambda f, s=span: s.finish(f.exception()))
+                return status
             if operation == "turn_on":
                 raw = self.controller.turn_on(address)
             elif operation == "turn_off":
@@ -142,13 +154,20 @@ class X10Pcm(ProtocolConversionManager):
             elif operation == "brighten":
                 raw = self.controller.brighten(address, int(args[0]))
             else:
+                if span is not None:
+                    span.finish()
                 raise ConversionError(f"X10 device has no operation {operation!r}")
             result: SimFuture = SimFuture()
-            raw.add_done_callback(
-                lambda future: result.set_exception(future.exception())
-                if future.exception() is not None
-                else result.set_result(True)
-            )
+
+            def relay(future: SimFuture) -> None:
+                if span is not None:
+                    span.finish(future.exception())
+                if future.exception() is not None:
+                    result.set_exception(future.exception())
+                else:
+                    result.set_result(True)
+
+            raw.add_done_callback(relay)
             return result
 
         context = {

@@ -8,6 +8,8 @@ from repro.errors import SoapError, SoapFault
 from repro.net.addressing import NodeAddress
 from repro.net.simkernel import SimFuture
 from repro.net.transport import TransportStack
+from repro.obs import NOOP_OBS, NULL_SPAN
+from repro.obs.trace import TRACE_HEADER, TraceContext
 from repro.soap import envelope
 from repro.soap.http import HttpClient, HttpResponse, InterchangeConfig
 from repro.soap.server import (
@@ -36,6 +38,16 @@ class SoapClient:
         self.http = HttpClient(stack, self.config)
         self.calls_sent = 0
         self.terse_calls_sent = 0
+        self.obs = NOOP_OBS
+        self.label = ""
+
+    def observe(self, obs: Any, label: str = "") -> "SoapClient":
+        """Attach an observability bundle; ``label`` (normally the owning
+        island) namespaces the metrics and tags the spans."""
+        self.obs = obs
+        self.label = label
+        self.http.observe(obs, label)
+        return self
 
     def invalidate_peer(self, dst: NodeAddress, port: int | None = None) -> None:
         """Evict any pooled keep-alive connections to ``dst``."""
@@ -48,14 +60,36 @@ class SoapClient:
         operation: str,
         args: list[Any],
         port: int = DEFAULT_SOAP_PORT,
+        trace: TraceContext | None = None,
     ) -> SimFuture:
         """Invoke ``service.operation(*args)`` at ``dst``.
 
         The returned future resolves to the decoded return value, or fails
         with :class:`SoapFault` (remote fault) / transport errors.
+
+        ``trace`` joins the call to an existing trace; without it the
+        ambient active span (if any) is used.  Traced calls carry the
+        context to the peer in the ``X-Trace`` header — untraced calls add
+        no header, leaving the wire byte-identical to the seed format.
         """
         self.calls_sent += 1
+        tracer = self.obs.tracer
+        span = NULL_SPAN
+        if tracer.enabled:
+            parent = trace if trace is not None else tracer.current()
+            if parent is not None:
+                span = tracer.start_span(
+                    f"soap.call {service}.{operation}",
+                    island=self.label,
+                    kind="client",
+                    parent=parent,
+                )
         terse = self.config.terse and "terse" in self.http.peer_features(dst, port)
+        encode = (
+            tracer.start_span("soap.encode", island=self.label, parent=span)
+            if span.recording
+            else NULL_SPAN
+        )
         if terse:
             self.terse_calls_sent += 1
             body = envelope.build_request_terse(operation, args)
@@ -63,36 +97,53 @@ class SoapClient:
         else:
             body = envelope.build_request(operation, args)
             content_type = VERBOSE_CONTENT_TYPE + "; charset=utf-8"
+        encode.set_attribute("wire_format", "terse" if terse else "verbose")
+        encode.set_attribute("bytes", len(body))
+        encode.finish()
         headers = {
             "Content-Type": content_type,
             "SOAPAction": f'"{service}#{operation}"',
         }
-        response_future = self.http.post(
-            dst, port, SOAP_PATH_PREFIX + service, body, headers=headers
-        )
+        if span.recording:
+            headers[TRACE_HEADER] = span.context.to_header()
+        with tracer.activate(span):
+            response_future = self.http.post(
+                dst, port, SOAP_PATH_PREFIX + service, body, headers=headers
+            )
         result: SimFuture = SimFuture()
 
         def on_response(future: SimFuture) -> None:
             exc = future.exception()
             if exc is not None:
+                span.finish(exc)
                 result.set_exception(exc)
                 return
             response: HttpResponse = future.result()
+            decode = (
+                tracer.start_span("soap.decode", island=self.label, parent=span)
+                if span.recording
+                else NULL_SPAN
+            )
             try:
                 message = envelope.parse_envelope(response.body)
             except SoapError as parse_exc:
+                decode.finish(parse_exc)
+                span.finish(parse_exc)
                 result.set_exception(parse_exc)
                 return
+            decode.set_attribute("wire_format", message.wire_format)
+            decode.finish()
             if message.kind == "fault":
-                result.set_exception(
-                    SoapFault(message.faultcode, message.faultstring, message.detail)
-                )
+                fault = SoapFault(message.faultcode, message.faultstring, message.detail)
+                span.finish(fault)
+                result.set_exception(fault)
             elif message.kind == "response":
+                span.finish()
                 result.set_result(message.value)
             else:
-                result.set_exception(
-                    SoapError(f"expected response envelope, got {message.kind}")
-                )
+                bad = SoapError(f"expected response envelope, got {message.kind}")
+                span.finish(bad)
+                result.set_exception(bad)
 
         response_future.add_done_callback(on_response)
         return result

@@ -38,6 +38,7 @@ from repro.errors import HttpError, ProtocolError, TransportError
 from repro.net.addressing import NodeAddress
 from repro.net.simkernel import Event, SimFuture
 from repro.net.transport import Connection, TransportStack
+from repro.obs import NOOP_OBS, NULL_SPAN
 
 _CRLF = b"\r\n"
 _HEADER_END = b"\r\n\r\n"
@@ -566,6 +567,7 @@ class _PooledConnection:
         self.idle_timer = None
         if self.inflight is not None or self.queue:
             return
+        self.client._m_idle_closes.inc()
         self.client._drop_entry(self)
         self.abort(TransportError("pooled connection idle-closed"))
 
@@ -594,6 +596,25 @@ class HttpClient:
         self._pool: dict[tuple[NodeAddress, int], _PooledConnection] = {}
         #: destination -> features the peer has proven it understands.
         self._peer_features: dict[tuple[NodeAddress, int], frozenset[str]] = {}
+        self._set_obs(NOOP_OBS, "")
+
+    def observe(self, obs, label: str = "") -> "HttpClient":
+        """Attach an observability bundle; ``label`` namespaces the pool
+        and request metrics (e.g. the owning island's name)."""
+        self._set_obs(obs, label)
+        return self
+
+    def _set_obs(self, obs, label: str) -> None:
+        self.obs = obs
+        self.label = label
+        metrics = obs.metrics
+        prefix = f"http.{label}" if label else "http.client"
+        self._m_requests = metrics.counter(f"{prefix}.requests")
+        self._m_pool_hits = metrics.counter(f"{prefix}.pool_hits")
+        self._m_pool_misses = metrics.counter(f"{prefix}.pool_misses")
+        self._m_evictions = metrics.counter(f"{prefix}.evictions")
+        self._m_idle_closes = metrics.counter(f"{prefix}.idle_closes")
+        self._m_compressed = metrics.counter(f"{prefix}.compressed_requests")
 
     # -- negotiation ------------------------------------------------------------
 
@@ -621,6 +642,7 @@ class HttpClient:
             if key[0] == dst and (port is None or key[1] == port):
                 entry = self._pool.pop(key)
                 self.pooled_evictions += 1
+                self._m_evictions.inc()
                 entry.abort(TransportError(f"pooled connection to {dst} invalidated"))
 
     def _drop_entry(self, entry: _PooledConnection) -> None:
@@ -643,6 +665,7 @@ class HttpClient:
             if entry.idle:
                 del self._pool[key]
                 self.pooled_evictions += 1
+                self._m_evictions.inc()
                 entry.abort(TransportError("pooled connection LRU-evicted"))
                 return
 
@@ -664,10 +687,29 @@ class HttpClient:
         """Returns a future resolving to :class:`HttpResponse` (any status);
         transport failures resolve to :class:`TransportError`."""
         self.requests_sent += 1
+        self._m_requests.inc()
+        tracer = self.obs.tracer
+        span = NULL_SPAN
+        if tracer.enabled and tracer.current() is not None:
+            # Transport spans join the ambient trace only — an untraced
+            # request (heartbeat, poll) must not start a root trace.
+            span = tracer.start_span(
+                f"http.exchange {method} {path}", island=self.label, kind="transport"
+            )
+        if span.recording:
+
+            def finish_span(done: SimFuture) -> None:
+                if done.exception() is None:
+                    span.set_attribute("status", done.result().status)
+                span.finish(done.exception())
+
         headers = dict(headers or {})
         if not self.config.fast:
             request = HttpRequest(method=method, path=path, headers=headers, body=body)
-            return self._oneshot(dst, port, request)
+            result = self._oneshot(dst, port, request, span)
+            if span.recording:
+                result.add_done_callback(finish_span)
+            return result
         key = (dst, port)
         advert = self.config.advertised_features
         if advert:
@@ -681,23 +723,46 @@ class HttpClient:
                 body = gzip_bytes(body)
                 headers["Content-Encoding"] = "gzip"
                 self.compressed_requests += 1
+                self._m_compressed.inc()
         if not self.config.keep_alive:
             request = HttpRequest(method=method, path=path, headers=headers, body=body)
-            return self._oneshot(dst, port, request)
+            result = self._oneshot(dst, port, request, span)
+            if span.recording:
+                result.add_done_callback(finish_span)
+            return result
         headers.setdefault("Connection", "keep-alive")
         request = HttpRequest(
             method=method, path=path, headers=headers, body=body, version="HTTP/1.1"
         )
         future: SimFuture = SimFuture()
         self.pooled_exchanges += 1
-        self._entry_for(key).enqueue(request, future)
+        entry = self._entry_for(key)
+        reused = entry.conn is not None and entry.conn.state == Connection.ESTABLISHED
+        if reused:
+            self._m_pool_hits.inc()
+        else:
+            self._m_pool_misses.inc()
+        if span.recording:
+            span.set_attribute("pool", "reused" if reused else "fresh")
+            future.add_done_callback(finish_span)
+        entry.enqueue(request, future)
         return future
 
-    def _oneshot(self, dst: NodeAddress, port: int, request: HttpRequest) -> SimFuture:
+    def _oneshot(
+        self, dst: NodeAddress, port: int, request: HttpRequest, span=NULL_SPAN
+    ) -> SimFuture:
         """The legacy path: open, exchange once, close."""
         future: SimFuture = SimFuture()
+        connect_span = (
+            self.obs.tracer.start_span(
+                "http.connect", island=self.label, kind="transport", parent=span
+            )
+            if span.recording
+            else NULL_SPAN
+        )
 
         def on_connected(conn_future: SimFuture) -> None:
+            connect_span.finish(conn_future.exception())
             exc = conn_future.exception()
             if exc is not None:
                 future.set_exception(exc)

@@ -18,6 +18,8 @@ from typing import Any, Callable
 from repro.errors import ReproError, SoapError
 from repro.net.simkernel import SimFuture
 from repro.net.transport import TransportStack
+from repro.obs import NOOP_OBS, NULL_SPAN
+from repro.obs.trace import TRACE_HEADER, TraceContext
 from repro.soap import envelope
 from repro.soap.http import HttpRequest, HttpResponse, HttpServer
 
@@ -44,6 +46,15 @@ class SoapServer:
         self.calls_handled = 0
         self.faults_returned = 0
         self.terse_calls_handled = 0
+        self.obs = NOOP_OBS
+        self.island = ""
+
+    def observe(self, obs: Any, island: str = "") -> "SoapServer":
+        """Attach an observability bundle; ``island`` tags the server-side
+        spans with where the call executed."""
+        self.obs = obs
+        self.island = island
+        return self
 
     def register_service(self, name: str, dispatcher: Dispatcher) -> None:
         if name in self._services:
@@ -69,19 +80,45 @@ class SoapServer:
         if request.method != "POST":
             return HttpResponse(405, body=b"SOAP endpoints accept POST only")
         service_name = request.path[len(SOAP_PATH_PREFIX) :]
+        tracer = self.obs.tracer
+        span = NULL_SPAN
+        if tracer.enabled:
+            # Re-attach the caller's trace from the X-Trace header: this is
+            # where a bridged call's trace crosses onto the serving island.
+            # Requests without the header (polls, heartbeats, legacy
+            # clients) stay untraced.
+            context = TraceContext.from_header(request.header(TRACE_HEADER))
+            if context is not None:
+                span = tracer.start_span(
+                    f"soap.serve {service_name}",
+                    island=self.island,
+                    kind="server",
+                    parent=context,
+                )
         dispatcher = self._services.get(service_name)
         if dispatcher is None:
+            span.finish()
             return self._fault_response(
                 404, "SOAP-ENV:Client", f"no such service {service_name!r}"
             )
+        decode = (
+            tracer.start_span("soap.decode", island=self.island, parent=span)
+            if span.recording
+            else NULL_SPAN
+        )
         try:
             message = envelope.parse_envelope(request.body)
         except SoapError as exc:
+            decode.finish(exc)
+            span.finish(exc)
             return self._fault_response(400, "SOAP-ENV:Client", str(exc))
+        decode.set_attribute("wire_format", message.wire_format)
+        decode.finish()
         terse = message.wire_format == "terse"
         if terse:
             self.terse_calls_handled += 1
         if message.kind != "request":
+            span.finish()
             return self._fault_response(
                 400,
                 "SOAP-ENV:Client",
@@ -89,12 +126,17 @@ class SoapServer:
                 terse=terse,
             )
         try:
-            result = dispatcher(message.operation, message.args)
+            # The server span is ambient while the dispatcher runs, so the
+            # gateway's dispatch span (and anything below it) nests here.
+            with tracer.activate(span):
+                result = dispatcher(message.operation, message.args)
         except ReproError as exc:
+            span.finish(exc)
             return self._fault_response(
                 500, "SOAP-ENV:Server", str(exc), detail=type(exc).__name__, terse=terse
             )
         except Exception as exc:  # dispatcher bug: still answer with a Fault
+            span.finish(exc)
             return self._fault_response(
                 500,
                 "SOAP-ENV:Server",
@@ -109,6 +151,7 @@ class SoapServer:
 
             def on_done(future: SimFuture) -> None:
                 exc = future.exception()
+                span.finish(exc)
                 if exc is not None:
                     pending.set_result(
                         self._fault_response(
@@ -135,6 +178,7 @@ class SoapServer:
             result.add_done_callback(on_done)
             return pending
         self.calls_handled += 1
+        span.finish()
         return self._ok_response(message.operation, result, terse)
 
     def _ok_response(self, operation: str, result, terse: bool = False) -> HttpResponse:

@@ -70,14 +70,42 @@ class TestCounters:
         sim.run()
         assert len(monitor.trace) == 3
 
-    def test_reset_clears_everything(self):
+    def test_trace_truncation_is_counted(self):
         sim, segment, a, b = build()
-        monitor = TrafficMonitor(trace_enabled=True).watch(segment)
+        monitor = TrafficMonitor(trace_enabled=True, trace_limit=3).watch(segment)
+        for _ in range(10):
+            a.interfaces[0].broadcast("p", b"x")
+        sim.run()
+        assert monitor.trace_dropped == 7
+        assert monitor.summary_rows()[-1] == ("(trace dropped)", 7, 0)
+        # Counting only applies to the trace: frame/byte tallies are complete.
+        assert monitor.frames_for("p") == 10
+
+    def test_trace_dropped_stays_zero_within_limit(self):
+        sim, segment, a, b = build()
+        monitor = TrafficMonitor(trace_enabled=True, trace_limit=3).watch(segment)
         a.interfaces[0].broadcast("p", b"x")
         sim.run()
+        assert monitor.trace_dropped == 0
+        assert all(not row[0].startswith("(") for row in monitor.summary_rows())
+
+    def test_reset_clears_everything(self):
+        sim, segment, a, b = build()
+        monitor = TrafficMonitor(trace_enabled=True, trace_limit=1).watch(segment)
+        a.interfaces[0].broadcast("p", b"x")
+        a.interfaces[0].broadcast("p", b"x")
+        sim.run()
+        assert monitor.trace_dropped == 1
         monitor.reset()
         assert monitor.total_frames == 0
         assert monitor.trace == []
+        assert monitor.trace_dropped == 0
+        # Reset restores the just-constructed state (module docstring
+        # contract): same public accumulators as a fresh monitor.
+        fresh = TrafficMonitor(trace_enabled=True, trace_limit=1)
+        assert (monitor.stats, monitor.per_segment, monitor.trace, monitor.trace_dropped) == (
+            fresh.stats, fresh.per_segment, fresh.trace, fresh.trace_dropped
+        )
 
     def test_unwatch_stops_counting(self):
         sim, segment, a, b = build()

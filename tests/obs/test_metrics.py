@@ -1,0 +1,145 @@
+"""Unit tests for the metrics registry and the exporters."""
+
+import json
+
+import pytest
+
+from repro.net.monitor import TrafficMonitor
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    snapshot_to_json,
+    snapshot_with_traffic,
+)
+
+
+@pytest.fixture
+def metrics() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestInstruments:
+    def test_counter_increments(self, metrics):
+        counter = metrics.counter("calls")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_counter_is_memoized_by_name(self, metrics):
+        assert metrics.counter("a") is metrics.counter("a")
+        assert metrics.counter("a") is not metrics.counter("b")
+
+    def test_gauge_set_and_add(self, metrics):
+        gauge = metrics.gauge("pool.size")
+        gauge.set(5.0)
+        gauge.add(-2.0)
+        assert gauge.value == 3.0
+
+    def test_histogram_buckets_count_and_overflow(self):
+        histogram = Histogram("lat", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 4
+        assert snap["le_0.01"] == 1
+        assert snap["le_0.1"] == 1
+        assert snap["le_1.0"] == 1
+        assert snap["overflow"] == 1
+        assert snap["min"] == 0.005
+        assert snap["max"] == 5.0
+        assert snap["sum"] == pytest.approx(5.555)
+
+    def test_histogram_default_buckets(self, metrics):
+        histogram = metrics.histogram("lat")
+        assert histogram.bounds == tuple(sorted(DEFAULT_BUCKETS))
+
+    def test_histogram_mismatched_buckets_rejected(self, metrics):
+        metrics.histogram("lat", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            metrics.histogram("lat", buckets=(3.0,))
+
+
+class TestSnapshot:
+    def test_snapshot_is_name_sorted_and_flat(self, metrics):
+        metrics.counter("z.calls").inc()
+        metrics.gauge("a.size").set(2.0)
+        metrics.histogram("m.lat", buckets=(1.0,)).observe(0.5)
+        snapshot = metrics.snapshot()
+        assert list(snapshot) == sorted(snapshot)
+        assert snapshot["z.calls"] == 1
+        assert snapshot["a.size"] == 2.0
+        assert snapshot["m.lat.count"] == 1
+
+    def test_to_json_deterministic(self, metrics):
+        metrics.counter("b").inc()
+        metrics.counter("a").inc(2)
+        first = metrics.to_json()
+        other = MetricsRegistry()
+        other.counter("a").inc(2)  # registered in a different order
+        other.counter("b").inc()
+        assert first == other.to_json()
+        assert json.loads(first) == {"a": 2, "b": 1}
+
+    def test_reset_zeroes_but_keeps_instruments(self, metrics):
+        counter = metrics.counter("calls")
+        counter.inc(5)
+        metrics.reset()
+        assert counter.value == 0
+        assert metrics.counter("calls") is counter
+
+
+class TestNullMetrics:
+    def test_all_lookups_share_one_inert_instrument(self):
+        null = NullMetrics()
+        assert not null.enabled
+        instrument = null.counter("x")
+        assert null.gauge("y") is instrument
+        assert null.histogram("z") is instrument
+        instrument.inc()
+        instrument.add(1.0)
+        instrument.set(2.0)
+        instrument.observe(3.0)
+        assert null.snapshot() == {}
+
+
+class TestTrafficBridge:
+    def build_monitor(self) -> TrafficMonitor:
+        from repro.net.monitor import ProtocolStats
+
+        monitor = TrafficMonitor(name="backbone")
+        monitor.stats["soap"] = ProtocolStats(frames=4, bytes=400)
+        monitor.stats["udp"] = ProtocolStats(frames=1, bytes=10)
+        return monitor
+
+    def test_snapshot_folds_monitor_rows(self, metrics):
+        metrics.counter("vsg.jini.calls_out").inc()
+        snapshot = snapshot_with_traffic(metrics, self.build_monitor())
+        assert snapshot["traffic.backbone.soap.bytes"] == 400
+        assert snapshot["traffic.backbone.soap.frames"] == 4
+        assert snapshot["traffic.backbone.total_bytes"] == 410
+        assert snapshot["traffic.backbone.total_frames"] == 5
+        assert snapshot["traffic.backbone.trace_dropped"] == 0
+        assert snapshot["vsg.jini.calls_out"] == 1
+        assert list(snapshot) == sorted(snapshot)
+
+    def test_trace_dropped_surfaces_without_a_sentinel_protocol(self, metrics):
+        monitor = self.build_monitor()
+        monitor.trace_dropped = 7
+        snapshot = snapshot_with_traffic(metrics, monitor)
+        assert snapshot["traffic.backbone.trace_dropped"] == 7
+        # The "(trace dropped)" summary row must not masquerade as a
+        # protocol's frame/byte counters.
+        assert not any("(" in key for key in snapshot)
+
+    def test_accepts_multiple_monitors(self, metrics):
+        first = self.build_monitor()
+        second = TrafficMonitor(name="island")
+        snapshot = snapshot_with_traffic(metrics, [first, second])
+        assert snapshot["traffic.backbone.total_frames"] == 5
+        assert snapshot["traffic.island.total_frames"] == 0
+
+    def test_snapshot_to_json_deterministic(self, metrics):
+        snapshot = snapshot_with_traffic(metrics, self.build_monitor())
+        assert snapshot_to_json(snapshot) == snapshot_to_json(dict(snapshot))

@@ -180,6 +180,58 @@ class TestHeaderParsing:
         assert response.header("CONTENT-TYPE") == "text/xml"
 
 
+class TestExtensionHeaderRoundTrip:
+    """Unknown ``X-*`` extension headers (the trace context travels as
+    ``X-Trace``) must survive serialize → parse unchanged, in both
+    directions, without the transport knowing what they mean."""
+
+    @staticmethod
+    def _head_of(raw: bytes):
+        head, _sep, _body = raw.partition(b"\r\n\r\n")
+        return _parse_head(head)
+
+    def test_request_extension_headers_round_trip(self):
+        request = HttpRequest(
+            "POST",
+            "/soap/Calc",
+            {"X-Trace": "t000001;s000003", "X-Custom-Flag": "on"},
+            b"<xml/>",
+        )
+        start, headers = self._head_of(request.to_bytes())
+        assert start == ["POST", "/soap/Calc", "HTTP/1.0"]
+        assert headers["X-Trace"] == "t000001;s000003"
+        assert headers["X-Custom-Flag"] == "on"
+
+    def test_response_extension_headers_round_trip(self):
+        response = HttpResponse(200, headers={"X-Trace": "t000001;s000004"})
+        _start, headers = self._head_of(response.to_bytes())
+        assert headers["X-Trace"] == "t000001;s000004"
+
+    def test_reserialized_message_preserves_extension_headers(self):
+        """Parse a request off the wire, rebuild it, and the unknown
+        header is still there — proxies/servers that reconstruct messages
+        must not shed extension headers."""
+        original = HttpRequest("POST", "/p", {"X-Trace": "t000002;s000001"}, b"hi")
+        start, headers = self._head_of(original.to_bytes())
+        rebuilt = HttpRequest(start[0], start[1], headers, b"hi", version=start[2])
+        _start2, headers2 = self._head_of(rebuilt.to_bytes())
+        assert headers2["X-Trace"] == "t000002;s000001"
+
+    def test_duplicate_extension_headers_fold_on_parse(self):
+        """Duplicate X-* lines fold comma-joined (RFC 2616 §4.2) like any
+        other header — the folded value then round-trips as one line."""
+        raw = (
+            b"POST /p HTTP/1.0\r\n"
+            b"X-Trace: t000001;s000001\r\n"
+            b"x-trace: t000001;s000002"
+        )
+        _start, headers = _parse_head(raw)
+        assert headers == {"X-Trace": "t000001;s000001, t000001;s000002"}
+        rebuilt = HttpRequest("POST", "/p", headers, b"")
+        _s, reparsed = self._head_of(rebuilt.to_bytes())
+        assert reparsed["X-Trace"] == "t000001;s000001, t000001;s000002"
+
+
 class TestKeepAlive:
     @pytest.fixture
     def fast_pair(self, sim, two_hosts):
