@@ -19,6 +19,7 @@ from typing import Any, Callable
 from repro.errors import (
     CircuitOpenError,
     ConversionError,
+    DeadlineExceededError,
     GatewayError,
     ServiceNotFoundError,
 )
@@ -34,6 +35,7 @@ from repro.core.resilience import (
     HeartbeatMonitor,
     ResilientExecutor,
     is_connectivity_failure,
+    with_deadline,
 )
 from repro.core.vsr import VsrClient
 from repro.obs import NOOP_OBS, NULL_SPAN
@@ -144,6 +146,7 @@ class EventRouter:
         self._remote_locations: dict[str, str] = {}  # island -> control location
         self._queues: dict[str, list[dict[str, Any]]] = {}
         self._poll_timers: dict[str, Event] = {}
+        self._polling_stopped = False
         self._sequence = 0
         self.events_published = 0
         self.events_delivered = 0
@@ -270,7 +273,8 @@ class EventRouter:
                     # unparseable to ours) cannot forward us events; count
                     # it as a failed subscription, not a crash.
                     subscribe_future = SimFuture.failed(exc)
-                subscribe_future.add_done_callback(one_done)
+                self._bounded(subscribe_future, f"subscribe announce to {island}")\
+                    .add_done_callback(one_done)
                 if not self.vsg.protocol.supports_push:
                     self._ensure_poll_loop(location)
 
@@ -326,21 +330,38 @@ class EventRouter:
                     )
                 except Exception as exc:
                     batch_future = SimFuture.failed(exc)
-                batch_future.add_done_callback(one_done)
+                self._bounded(batch_future, f"subscribe batch to {island}")\
+                    .add_done_callback(one_done)
                 if not self.vsg.protocol.supports_push:
                     self._ensure_poll_loop(location)
 
         self.vsg.vsr.list_gateways().add_done_callback(on_gateways)
         return result
 
+    def _bounded(self, future: SimFuture, what: str) -> SimFuture:
+        """Race a control-plane round trip against the island's call
+        deadline.  Without this a single lost reply frame parks the
+        subscription future forever (there is no transport retransmission),
+        and a lost poll reply would stall that poll loop for good.
+        """
+        deadline = self.vsg.policy.deadline
+        return with_deadline(
+            self.vsg.sim,
+            future,
+            deadline,
+            lambda: DeadlineExceededError(f"{what} exceeded {deadline:g}s"),
+        )
+
     def _ensure_poll_loop(self, control_location: str) -> None:
-        if control_location in self._poll_timers:
+        if self._polling_stopped or control_location in self._poll_timers:
             return
         self._poll_timers[control_location] = self.vsg.sim.schedule(
             self.vsg.poll_interval, self._poll, control_location
         )
 
     def _poll(self, control_location: str) -> None:
+        if self._polling_stopped:
+            return
         self.polls_performed += 1
         self._m_polls.inc()
         try:
@@ -353,6 +374,10 @@ class EventRouter:
             return
 
         def on_events(future: SimFuture) -> None:
+            if self._polling_stopped:
+                # The gateway shut down while this poll was in flight; a
+                # reschedule here would resurrect the loop forever.
+                return
             if future.exception() is None:
                 batch = future.result()
                 self._m_poll_batch.observe(float(len(batch)))
@@ -363,9 +388,11 @@ class EventRouter:
                 self.vsg.poll_interval, self._poll, control_location
             )
 
-        poll_future.add_done_callback(on_events)
+        self._bounded(poll_future, f"poll of {control_location}")\
+            .add_done_callback(on_events)
 
     def stop_polling(self) -> None:
+        self._polling_stopped = True
         for timer in self._poll_timers.values():
             timer.cancel()
         self._poll_timers.clear()

@@ -18,7 +18,7 @@ the run describes exactly what the run experienced.
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import FaultInjectionError
 from repro.faults.plan import (
@@ -59,6 +59,44 @@ class _BernoulliLoss:
             self.dropped += 1
             return True
         return False
+
+
+class _PartitionFilter:
+    """Delivery filter for one partition window; chains like the loss model
+    so overlapping windows unwind independently."""
+
+    def __init__(self, group_of: dict[str, int], previous: Callable | None) -> None:
+        self.group_of = group_of
+        self.previous = previous
+
+    def __call__(self, sender: "Interface", receiver: "Interface") -> bool:
+        if self.previous is not None and not self.previous(sender, receiver):
+            return False
+        # Unlisted nodes share the implicit group -1.
+        return self.group_of.get(sender.node.name, -1) == self.group_of.get(
+            receiver.node.name, -1
+        )
+
+
+def _splice_out(head: Any, member: Any) -> Any:
+    """Remove ``member`` from a ``.previous``-chained stack of models.
+
+    Returns the new head.  Windows may overlap in either nesting order, so
+    the member being removed is not necessarily the installed head: walk the
+    chain and splice it out wherever it sits (a foreign model without a
+    ``previous`` attribute ends the walk — we never unwind what we did not
+    install).
+    """
+    if head is member:
+        return member.previous
+    current = head
+    while current is not None:
+        previous = getattr(current, "previous", None)
+        if previous is member:
+            current.previous = member.previous
+            return head
+        current = previous
+    return head
 
 
 class FaultInjector:
@@ -138,10 +176,10 @@ class FaultInjector:
         segment.loss_model = model
 
         def restore() -> None:
-            # Another injection may have stacked on top of us; only unwind
-            # if we are still the installed model.
-            if segment.loss_model is model:
-                segment.loss_model = model.previous
+            # Another injection may have stacked on top of us (windows can
+            # overlap in either order): splice this model out of the chain
+            # wherever it sits, leaving every other window armed.
+            segment.loss_model = _splice_out(segment.loss_model, model)
             record.observed["frames_seen"] = model.seen
             record.observed["frames_dropped"] = model.dropped
 
@@ -164,21 +202,11 @@ class FaultInjector:
             for node_name in group:
                 group_of[node_name] = index
         blocked_before = segment.frames_blocked
-        previous = segment.delivery_filter
-
-        def same_side(sender: "Interface", receiver: "Interface") -> bool:
-            if previous is not None and not previous(sender, receiver):
-                return False
-            # Unlisted nodes share the implicit group -1.
-            return group_of.get(sender.node.name, -1) == group_of.get(
-                receiver.node.name, -1
-            )
-
+        same_side = _PartitionFilter(group_of, segment.delivery_filter)
         segment.delivery_filter = same_side
 
         def heal() -> None:
-            if segment.delivery_filter is same_side:
-                segment.delivery_filter = previous
+            segment.delivery_filter = _splice_out(segment.delivery_filter, same_side)
             record.observed["frames_blocked"] = (
                 segment.frames_blocked - blocked_before
             )

@@ -42,8 +42,8 @@ class LinkLoss(FaultAction):
     def __post_init__(self) -> None:
         if not 0.0 <= self.rate <= 1.0:
             raise FaultInjectionError(f"loss rate {self.rate} outside [0, 1]")
-        if self.duration <= 0:
-            raise FaultInjectionError(f"loss window must be positive: {self.duration}")
+        if self.duration < 0:
+            raise FaultInjectionError(f"loss window must not be negative: {self.duration}")
 
     def describe(self) -> str:
         return f"loss {self.rate:.0%} on {self.segment} for {self.duration:g}s"
@@ -60,8 +60,10 @@ class LatencySpike(FaultAction):
     kind = "latency-spike"
 
     def __post_init__(self) -> None:
-        if self.extra_delay <= 0 or self.duration <= 0:
-            raise FaultInjectionError("latency spike needs positive delay and duration")
+        if self.extra_delay <= 0 or self.duration < 0:
+            raise FaultInjectionError(
+                "latency spike needs positive delay and non-negative duration"
+            )
 
     def describe(self) -> str:
         return (
@@ -88,8 +90,8 @@ class Partition(FaultAction):
     def __post_init__(self) -> None:
         if len(self.groups) < 1:
             raise FaultInjectionError("partition needs at least one group")
-        if self.duration <= 0:
-            raise FaultInjectionError("partition window must be positive")
+        if self.duration < 0:
+            raise FaultInjectionError("partition window must not be negative")
         seen: set[str] = set()
         for group in self.groups:
             overlap = seen & group
@@ -123,8 +125,8 @@ class NodeCrash(FaultAction):
     kind = "node-crash"
 
     def __post_init__(self) -> None:
-        if self.restart_after is not None and self.restart_after <= 0:
-            raise FaultInjectionError("restart_after must be positive when given")
+        if self.restart_after is not None and self.restart_after < 0:
+            raise FaultInjectionError("restart_after must not be negative when given")
 
     def describe(self) -> str:
         if self.restart_after is None:
@@ -142,8 +144,8 @@ class GatewayPause(FaultAction):
     kind = "gateway-pause"
 
     def __post_init__(self) -> None:
-        if self.duration <= 0:
-            raise FaultInjectionError("pause window must be positive")
+        if self.duration < 0:
+            raise FaultInjectionError("pause window must not be negative")
 
     def describe(self) -> str:
         return f"pause gateway {self.island} for {self.duration:g}s"

@@ -73,6 +73,13 @@ class Segment:
         self.frames_sent = 0
         self.bytes_sent = 0
         self.frames_blocked = 0
+        #: Per-receiver accounting for conservation checks: every receiver a
+        #: non-dropped frame *could* reach is an opportunity, and each one is
+        #: either delivered or blocked (by the delivery filter), so
+        #: ``frames_delivered + frames_blocked == delivery_opportunities``
+        #: holds at every instant — the testkit's traffic-conservation oracle.
+        self.frames_delivered = 0
+        self.delivery_opportunities = 0
 
     # -- topology -----------------------------------------------------------
 
@@ -117,11 +124,13 @@ class Segment:
             for interface in list(self.interfaces):
                 if interface is sender:
                     continue
+                self.delivery_opportunities += 1
                 if self.delivery_filter is not None and not self.delivery_filter(
                     sender, interface
                 ):
                     self.frames_blocked += 1
                     continue
+                self.frames_delivered += 1
                 self.sim.at(arrival, interface.deliver, frame)
         return end
 

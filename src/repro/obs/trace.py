@@ -265,6 +265,12 @@ class Tracer:
     def spans_for(self, trace_id: str) -> list[Span]:
         return [span for span in self.spans if span.trace_id == trace_id]
 
+    def open_spans(self) -> list[Span]:
+        """Retained spans never finished.  After a run has fully quiesced
+        every started span must be finished (the testkit's span oracle);
+        mid-run this simply lists what is currently in progress."""
+        return [span for span in self.spans if span.end is None]
+
     def trace_ids(self) -> list[str]:
         """Distinct trace ids in first-seen order."""
         seen: dict[str, None] = {}
@@ -317,6 +323,9 @@ class NullTracer:
         return _null_activation()
 
     def spans_for(self, trace_id: str) -> list[Span]:
+        return []
+
+    def open_spans(self) -> list[Span]:
         return []
 
     def trace_ids(self) -> list[str]:

@@ -82,6 +82,13 @@ class InterchangeConfig:
     compress_min_bytes: int = COMPRESS_MIN_BYTES
     #: Negotiate the terse envelope encoding (see ``repro.soap.envelope``).
     terse: bool = False
+    #: Virtual seconds before a started exchange is declared wedged: the
+    #: request future fails with :class:`TransportError` and the underlying
+    #: connection is torn down.  Without this a reply lost to a crashed or
+    #: partitioned peer parks the exchange (and its pooled connection, and
+    #: its trace spans) forever — there is no transport retransmission.
+    #: 0 disables the watchdog.
+    exchange_timeout: float = 60.0
 
     @property
     def fast(self) -> bool:
@@ -673,6 +680,34 @@ class HttpClient:
     def pooled_destinations(self) -> int:
         return len(self._pool)
 
+    def open_connections(self) -> list["_PooledConnection"]:
+        """Pool entries whose transport connection is still live (or still
+        being established).  A quiesced client — nothing in flight, idle
+        timers allowed to run — must report none; the testkit's pool-leak
+        oracle asserts exactly that after shutdown."""
+        return [
+            entry
+            for entry in self._pool.values()
+            if not entry.dead
+            and (
+                entry.connecting
+                or entry.inflight is not None
+                or entry.queue
+                or (
+                    entry.conn is not None
+                    and entry.conn.state != Connection.CLOSED
+                )
+            )
+        ]
+
+    def close(self) -> None:
+        """Abort every pooled connection immediately (final teardown, not
+        quiesce: pending exchanges fail with :class:`TransportError`)."""
+        for key in list(self._pool):
+            entry = self._pool.pop(key, None)
+            if entry is not None:
+                entry.abort(TransportError("HTTP client closed"))
+
     # -- requests ------------------------------------------------------------
 
     def request(
@@ -746,6 +781,24 @@ class HttpClient:
             span.set_attribute("pool", "reused" if reused else "fresh")
             future.add_done_callback(finish_span)
         entry.enqueue(request, future)
+        timeout = self.config.exchange_timeout
+        if timeout:
+
+            def give_up() -> None:
+                if future.done():
+                    return
+                # The connection is wedged mid-exchange; everything queued
+                # behind the stuck request is doomed with it.
+                self._drop_entry(entry)
+                entry.abort(
+                    TransportError(
+                        f"pooled exchange with {dst}:{port} timed out "
+                        f"after {timeout:g}s"
+                    )
+                )
+
+            timer = self.stack.sim.schedule(timeout, give_up)
+            future.add_done_callback(lambda _done: timer.cancel())
         return future
 
     def _oneshot(
@@ -753,6 +806,7 @@ class HttpClient:
     ) -> SimFuture:
         """The legacy path: open, exchange once, close."""
         future: SimFuture = SimFuture()
+        live: dict[str, Connection] = {}
         connect_span = (
             self.obs.tracer.start_span(
                 "http.connect", island=self.label, kind="transport", parent=span
@@ -792,8 +846,27 @@ class HttpClient:
 
             conn.set_receiver(on_data)
             conn.on_close(on_closed)
+            live["conn"] = conn
             conn.send(request.to_bytes())
 
+        timeout = self.config.exchange_timeout
+        if timeout:
+
+            def give_up() -> None:
+                if future.done():
+                    return
+                future.set_exception(
+                    TransportError(
+                        f"HTTP exchange with {dst}:{port} timed out "
+                        f"after {timeout:g}s"
+                    )
+                )
+                conn = live.get("conn")
+                if conn is not None and conn.state != Connection.CLOSED:
+                    conn.close()
+
+            timer = self.stack.sim.schedule(timeout, give_up)
+            future.add_done_callback(lambda _done: timer.cancel())
         self.stack.connect(dst, port).add_done_callback(on_connected)
         return future
 

@@ -1,0 +1,214 @@
+"""System-wide invariants checked after (and during) every testkit run.
+
+Each oracle states a property that must hold for *any* seed, workload and
+fault schedule — declared failures are always legal, silent ones never:
+
+- **call-completion** — every issued operation's future settles (a value
+  or a declared exception); a future still pending after quiesce is a
+  silently dropped call.
+- **breaker-transitions** — circuit breakers only take legal edges
+  (checked live via transition listeners, so an illegal flicker cannot
+  hide behind a legal final state).
+- **vsr-islands** — the directory (documents, gateway registry, and every
+  lookup answer the workload saw) never names an island outside the spec.
+- **pool-leak** — after shutdown + drain, no pooled HTTP connection is
+  still open on any gateway client (idle timers must do their job; the
+  check is scoped to the pools because legacy one-shot connections to
+  crashed peers leak at the transport level by design).
+- **span-hygiene** — when tracing is on, every started span is finished
+  and every parent id resolves inside its own trace.
+- **conservation** — per-segment delivery accounting balances, the
+  monitor agrees with the segments, and every monitored drop is claimed
+  by exactly one fault-report loss window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.resilience import CircuitBreaker
+from repro.faults.plan import FaultReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.testkit.topology import World
+    from repro.testkit.workload import WorkloadRunner
+
+LEGAL_BREAKER_EDGES = frozenset(
+    {
+        (CircuitBreaker.CLOSED, CircuitBreaker.OPEN),
+        (CircuitBreaker.OPEN, CircuitBreaker.HALF_OPEN),
+        (CircuitBreaker.HALF_OPEN, CircuitBreaker.CLOSED),
+        (CircuitBreaker.HALF_OPEN, CircuitBreaker.OPEN),
+        # record_success while OPEN (a straggler reply beating the reset
+        # timer) legally snaps the breaker closed.
+        (CircuitBreaker.OPEN, CircuitBreaker.CLOSED),
+    }
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    oracle: str
+    message: str
+    op_index: int | None = None
+
+    def render(self) -> str:
+        prefix = f"op#{self.op_index} " if self.op_index is not None else ""
+        return f"[{self.oracle}] {prefix}{self.message}"
+
+
+class InvariantSuite:
+    """Installs live probes at world-build time; judge with :meth:`finish`."""
+
+    def __init__(self, world: "World") -> None:
+        self.world = world
+        self.violations: list[Violation] = []
+        self.breaker_transitions: list[tuple[str, str, str, str]] = []
+        for name, island in world.mm.islands.items():
+            island.gateway.resilience.add_transition_listener(
+                lambda remote, old, new, _home=name: self._on_transition(
+                    _home, remote, old, new
+                )
+            )
+
+    # -- live probes ---------------------------------------------------------
+
+    def _on_transition(self, home: str, remote: str, old: str, new: str) -> None:
+        self.breaker_transitions.append((home, remote, old, new))
+        if (old, new) not in LEGAL_BREAKER_EDGES:
+            self.violations.append(
+                Violation(
+                    "breaker-transitions",
+                    f"{home}'s breaker for {remote} took illegal edge "
+                    f"{old} -> {new}",
+                )
+            )
+
+    # -- post-run judgement --------------------------------------------------
+
+    def finish(self, runner: "WorkloadRunner", report: FaultReport) -> list[Violation]:
+        self._check_call_completion(runner)
+        self._check_vsr(runner)
+        self._check_pools()
+        self._check_spans()
+        self._check_conservation(report)
+        return self.violations
+
+    def _check_call_completion(self, runner: "WorkloadRunner") -> None:
+        for op, entry in runner.unresolved():
+            self.violations.append(
+                Violation(
+                    "call-completion",
+                    f"{op.describe()} never resolved (issued at t={entry['time']:g})",
+                    op_index=op.index,
+                )
+            )
+
+    def _check_vsr(self, runner: "WorkloadRunner") -> None:
+        known = set(self.world.spec.island_names)
+        directory = self.world.mm.uddi.directory
+        for document in directory.find({}):
+            island = document.context.get("island", "")
+            if island not in known:
+                self.violations.append(
+                    Violation(
+                        "vsr-islands",
+                        f"directory lists {document.service!r} on unknown "
+                        f"island {island!r}",
+                    )
+                )
+        for island in directory.gateways():
+            if island not in known:
+                self.violations.append(
+                    Violation(
+                        "vsr-islands",
+                        f"gateway registry names unknown island {island!r}",
+                    )
+                )
+        for op_index, island in runner.lookup_results:
+            if island not in known:
+                self.violations.append(
+                    Violation(
+                        "vsr-islands",
+                        f"lookup resolved to unknown island {island!r}",
+                        op_index=op_index,
+                    )
+                )
+
+    def _check_pools(self) -> None:
+        for label, http in self.world.http_clients():
+            open_entries = http.open_connections()
+            if open_entries:
+                self.violations.append(
+                    Violation(
+                        "pool-leak",
+                        f"{label} still holds {len(open_entries)} pooled "
+                        f"connection(s) after quiesce",
+                    )
+                )
+
+    def _check_spans(self) -> None:
+        obs = self.world.obs
+        if obs is None:
+            return
+        tracer = obs.tracer
+        for span in tracer.open_spans():
+            self.violations.append(
+                Violation(
+                    "span-hygiene",
+                    f"span {span.span_id} ({span.name}) started at "
+                    f"t={span.start:g} was never finished",
+                )
+            )
+        if tracer.spans_dropped:
+            return  # parents may legitimately be missing from a clipped trace
+        by_trace: dict[str, set[str]] = {}
+        for span in tracer.spans:
+            by_trace.setdefault(span.trace_id, set()).add(span.span_id)
+        for span in tracer.spans:
+            if span.parent_id and span.parent_id not in by_trace[span.trace_id]:
+                self.violations.append(
+                    Violation(
+                        "span-hygiene",
+                        f"span {span.span_id} ({span.name}) has parent "
+                        f"{span.parent_id} outside its own trace",
+                    )
+                )
+
+    def _check_conservation(self, report: FaultReport) -> None:
+        monitored_frames = 0
+        monitored_drops = 0
+        for segment in self.world.segments():
+            if segment.frames_delivered + segment.frames_blocked != segment.delivery_opportunities:
+                self.violations.append(
+                    Violation(
+                        "conservation",
+                        f"{segment.name}: delivered {segment.frames_delivered} "
+                        f"+ blocked {segment.frames_blocked} != opportunities "
+                        f"{segment.delivery_opportunities}",
+                    )
+                )
+            by_protocol = self.world.monitor.per_segment.get(segment.name, {})
+            seg_frames = sum(stats.frames for stats in by_protocol.values())
+            seg_drops = sum(stats.dropped_frames for stats in by_protocol.values())
+            monitored_frames += seg_frames
+            monitored_drops += seg_drops
+            if seg_frames != segment.frames_sent:
+                self.violations.append(
+                    Violation(
+                        "conservation",
+                        f"{segment.name}: monitor saw {seg_frames} frames but "
+                        f"segment sent {segment.frames_sent}",
+                    )
+                )
+        claimed = report.total_observed("frames_dropped")
+        if monitored_drops != claimed:
+            self.violations.append(
+                Violation(
+                    "conservation",
+                    f"monitor counted {monitored_drops} dropped frames but the "
+                    f"fault report claims {claimed} — "
+                    f"{'unaccounted losses' if monitored_drops > claimed else 'phantom losses'}",
+                )
+            )

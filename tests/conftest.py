@@ -5,6 +5,17 @@ from __future__ import annotations
 import pytest
 
 from repro.net.network import Network
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--testkit-seeds",
+        type=int,
+        default=0,
+        metavar="N",
+        help="Run the repro.testkit randomized sweep over N extra seeds "
+        "beyond the fixed corpus (0 disables the sweep; CI nightly uses 200).",
+    )
 from repro.net.segment import EthernetSegment
 from repro.net.simkernel import Simulator
 from repro.net.transport import TransportStack

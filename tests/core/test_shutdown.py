@@ -46,3 +46,24 @@ class TestShutdown:
         home.connect()
         home.mm.shutdown()
         home.mm.shutdown()  # second call must not raise
+
+    def test_shutdown_during_inflight_poll_does_not_resurrect_loop(self):
+        """Regression: a poll reply arriving *after* shutdown used to
+        reschedule the poll loop, resurrecting it (and the connections it
+        keeps warm) forever.  Shut down at the exact instant a poll request
+        is on the wire and its reply has not landed yet."""
+        home = build_smart_home()
+        home.connect()
+        gateway = home.islands["havi"].gateway
+        home.sim.run_until_complete(gateway.subscribe("x10.ON", lambda t, p, s: None))
+        events = gateway.events
+        before = events.polls_performed
+        # Step to the instant the next poll request has just been issued;
+        # its reply is still in flight.
+        while events.polls_performed == before:
+            assert home.sim.step(), "poll loop died before polling"
+        home.mm.shutdown()
+        frozen = events.polls_performed
+        home.run(60.0)
+        assert events.polls_performed == frozen
+        assert not events._poll_timers

@@ -1,0 +1,194 @@
+"""Edge cases in fault windows: overlap, zero duration, crash mid-call.
+
+Overlapping windows are the sharp corner: each window stacks its model on
+whatever is installed and must unwind *itself* on expiry, regardless of
+whether it is still the head of the chain (windows can close in either
+order).  Zero-duration windows must leave consistent accounting, and a
+node crash with a scripted restart must neither strand an in-flight call
+nor poison calls made after the restart.
+"""
+
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    LatencySpike,
+    LinkLoss,
+    NodeCrash,
+    Partition,
+)
+from repro.testkit.topology import IslandSpec, TopologySpec, build_world
+
+from tests.faults.test_faults import make_lan, send
+
+
+class TestOverlappingLossWindows:
+    def test_inner_window_closes_first(self):
+        """Outer (t=0..10, drop-all) spans inner (t=2..4, drop-none): the
+        inner window's removal splices the chain *head* and must leave the
+        outer window armed."""
+        sim, net, eth, received = make_lan()
+        plan = (
+            FaultPlan(seed=1)
+            .at(0.0, LinkLoss("eth0", rate=1.0, duration=10.0))
+            .at(2.0, LinkLoss("eth0", rate=0.0, duration=2.0))
+        )
+        injector = FaultInjector(net, plan).arm()
+        for t in (1.0, 3.0, 5.0, 11.0):
+            sim.at(t, send, net, "a", "b")
+        sim.run(until=20.0)
+        assert eth.loss_model is None
+        assert len(received["b"]) == 1  # only the t=11 frame survives
+        outer, inner = injector.report().by_kind("link-loss")
+        assert outer.observed["frames_seen"] == 3
+        assert outer.observed["frames_dropped"] == 3
+        # The outer model drops first in the chain, so the inner window
+        # never even saw the overlapped frame.
+        assert inner.observed["frames_seen"] == 0
+        assert inner.observed["frames_dropped"] == 0
+
+    def test_outer_window_closes_first(self):
+        """First window (t=0..4, drop-none) expires while a later-stacked
+        window (t=2..12, drop-all) is still open: removal must splice a
+        *non-head* member out without disturbing the head."""
+        sim, net, eth, received = make_lan()
+        plan = (
+            FaultPlan(seed=1)
+            .at(0.0, LinkLoss("eth0", rate=0.0, duration=4.0))
+            .at(2.0, LinkLoss("eth0", rate=1.0, duration=10.0))
+        )
+        injector = FaultInjector(net, plan).arm()
+        for t in (1.0, 3.0, 5.0, 13.0):
+            sim.at(t, send, net, "a", "b")
+        sim.run(until=20.0)
+        assert eth.loss_model is None
+        # t=1 delivered (only drop-none active), t=3 and t=5 dropped by
+        # the second window (which outlives the first), t=13 delivered.
+        assert len(received["b"]) == 2
+        first, second = injector.report().by_kind("link-loss")
+        assert first.observed["frames_dropped"] == 0
+        assert second.observed["frames_dropped"] == 2
+
+
+class TestOverlappingPartitions:
+    def test_nested_partitions_heal_independently(self):
+        sim, net, eth, received = make_lan(("a", "b", "c"))
+        plan = (
+            FaultPlan(seed=1)
+            .at(0.0, Partition.of("eth0", {"a"}, duration=10.0))
+            .at(2.0, Partition.of("eth0", {"c"}, duration=2.0))
+        )
+        FaultInjector(net, plan).arm()
+        sim.at(1.0, send, net, "b", "c")  # only {a} cut: delivered
+        sim.at(3.0, send, net, "b", "c")  # {c} also cut: blocked
+        sim.at(3.0, send, net, "a", "b")  # {a} cut: blocked
+        sim.at(5.0, send, net, "b", "c")  # inner healed: delivered
+        sim.at(5.0, send, net, "a", "b")  # outer still open: blocked
+        sim.at(11.0, send, net, "a", "b")  # all healed: delivered
+        sim.run(until=20.0)
+        assert eth.delivery_filter is None
+        assert len(received["c"]) == 2
+        assert len(received["b"]) == 1
+
+
+class TestZeroDurationWindows:
+    def test_zero_duration_loss_accounts_consistently(self):
+        """duration=0 opens and closes in the same instant: legal.  FIFO
+        ordering means a frame queued at the same instant *after* the open
+        still falls inside the window (open -> send -> close), and the
+        report's counters must agree with what was actually delivered."""
+        sim, net, eth, received = make_lan()
+        plan = FaultPlan(seed=1).at(1.0, LinkLoss("eth0", rate=1.0, duration=0.0))
+        injector = FaultInjector(net, plan).arm()
+        sim.at(1.0, send, net, "a", "b")  # same instant, after the open
+        sim.at(2.0, send, net, "a", "b")  # window long closed
+        sim.run(until=10.0)
+        assert eth.loss_model is None
+        record = injector.report().by_kind("link-loss")[0]
+        assert record.observed["frames_seen"] == 1
+        assert record.observed["frames_dropped"] == 1
+        assert len(received["b"]) == 2 - record.observed["frames_dropped"]
+
+    def test_zero_duration_spike_restores_delay(self):
+        sim, net, eth, received = make_lan()
+        base_delay = eth.propagation_delay
+        plan = FaultPlan(seed=1).at(1.0, LatencySpike("eth0", 0.5, duration=0.0))
+        injector = FaultInjector(net, plan).arm()
+        sim.run(until=10.0)
+        assert eth.propagation_delay == pytest.approx(base_delay)
+        assert injector.report().by_kind("latency-spike")[0].observed["restored"] == 1
+
+    def test_zero_duration_partition_blocks_nothing(self):
+        sim, net, eth, received = make_lan()
+        blocked_before = eth.frames_blocked
+        plan = FaultPlan(seed=1).at(1.0, Partition.of("eth0", {"a"}, duration=0.0))
+        injector = FaultInjector(net, plan).arm()
+        sim.at(2.0, send, net, "a", "b")
+        sim.run(until=10.0)
+        assert eth.delivery_filter is None
+        assert eth.frames_blocked == blocked_before
+        record = injector.report().by_kind("partition")[0]
+        assert record.observed["frames_blocked"] == 0
+        assert len(received["b"]) == 1
+
+
+def two_island_spec() -> TopologySpec:
+    """A handcrafted minimal world: caller island + one service island."""
+    return TopologySpec(
+        seed=0,
+        islands=(
+            IslandSpec("jini0", "jini", ("Svc_jini0_0",), "legacy", 1.0),
+            IslandSpec("upnp1", "upnp", ("Svc_upnp1_0",), "legacy", 1.0),
+        ),
+        obs_enabled=False,
+        deadline=5.0,
+        max_retries=1,
+        breaker_threshold=0,
+        heartbeat_interval=0.0,
+    )
+
+
+class TestCrashRestartMidCall:
+    def test_inflight_call_resolves_and_post_restart_call_succeeds(self):
+        spec = two_island_spec()
+        world = build_world(spec)
+        sim = world.sim
+        sim.run_until_complete(world.mm.connect(), timeout=600.0)
+        caller = world.mm.islands["jini0"].gateway
+
+        start = sim.now
+        inflight = caller.invoke("Svc_upnp1_0", "get", [])
+        plan = FaultPlan(seed=0).at(
+            start + 0.001, NodeCrash("gw-upnp1", restart_after=2.0)
+        )
+        FaultInjector(world.network, plan, mm=world.mm).arm()
+        # Run out every attempt the policy allows plus slack: the future
+        # must be *declared* one way or the other, never silently dropped.
+        budget = spec.deadline * (spec.max_retries + 1) + 30.0
+        sim.run(until=start + budget)
+        assert inflight.done(), "in-flight call stranded by crash+restart"
+
+        # The restarted gateway must serve fresh calls.
+        after = sim.run_until_complete(
+            caller.invoke("Svc_upnp1_0", "add", [7]), timeout=60.0
+        )
+        assert after >= 7
+
+    def test_crash_without_restart_fails_call_within_policy_budget(self):
+        spec = two_island_spec()
+        world = build_world(spec)
+        sim = world.sim
+        sim.run_until_complete(world.mm.connect(), timeout=600.0)
+        caller = world.mm.islands["jini0"].gateway
+
+        start = sim.now
+        inflight = caller.invoke("Svc_upnp1_0", "get", [])
+        plan = FaultPlan(seed=0).at(start + 0.001, NodeCrash("gw-upnp1"))
+        FaultInjector(world.network, plan, mm=world.mm).arm()
+        budget = spec.deadline * (spec.max_retries + 1) + 30.0
+        sim.run(until=start + budget)
+        assert inflight.done()
+        assert inflight.exception() is not None
+        with pytest.raises(Exception):
+            inflight.result()

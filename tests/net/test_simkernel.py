@@ -103,6 +103,84 @@ class TestScheduling:
         assert fired == sorted(delays)
 
 
+class TestCancellationEdges:
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        sim.run()
+        assert fired == ["x"]
+        event.cancel()  # already fired: must not raise or corrupt the queue
+        sim.schedule(1.0, fired.append, "y")
+        sim.run()
+        assert fired == ["x", "y"]
+
+    def test_cancel_twice_then_run(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        event.cancel()
+        sim.schedule(2.0, fired.append, "y")
+        sim.run()
+        assert fired == ["y"]
+        event.cancel()  # and again after the queue drained
+
+    def test_same_instant_fifo_survives_interleaved_cancellations(self):
+        sim = Simulator()
+        fired = []
+        events = [sim.schedule(1.0, fired.append, tag) for tag in range(6)]
+        events[1].cancel()
+        events[4].cancel()
+        sim.run()
+        assert fired == [0, 2, 3, 5]
+
+
+class TestTimeoutAbandonment:
+    """What happens to the queue when ``run_until_complete`` times out.
+
+    The contract: the clock lands exactly on the deadline and the
+    would-have-resolved event stays queued.  A later ``run`` fires it at
+    its original virtual time — the future late-resolves, it is not lost
+    and nothing crashes — so consumers that keep a timed-out future
+    around must expect a late resolution (the resilience layer's
+    ``with_deadline`` ignores one; this pins the kernel behaviour that
+    makes that guard necessary).
+    """
+
+    def test_timeout_leaves_clock_exactly_at_deadline(self):
+        sim = Simulator()
+        future = SimFuture()
+        sim.schedule(100.0, future.set_result, "late")
+        with pytest.raises(TimeoutError):
+            sim.run_until_complete(future, timeout=10.0)
+        assert sim.now == 10.0
+        assert not future.done()
+
+    def test_abandoned_future_resolves_at_original_time_on_next_run(self):
+        sim = Simulator()
+        future = SimFuture()
+        resolved_at = []
+        future.add_done_callback(lambda f: resolved_at.append(sim.now))
+        sim.schedule(100.0, future.set_result, "late")
+        with pytest.raises(TimeoutError):
+            sim.run_until_complete(future, timeout=10.0)
+        sim.run()
+        assert future.done()
+        assert future.result() == "late"
+        assert resolved_at == [100.0]
+
+    def test_events_scheduled_before_deadline_already_fired(self):
+        sim = Simulator()
+        future = SimFuture()
+        fired = []
+        sim.schedule(5.0, fired.append, "inside")
+        sim.schedule(100.0, future.set_result, "late")
+        with pytest.raises(TimeoutError):
+            sim.run_until_complete(future, timeout=10.0)
+        assert fired == ["inside"]
+
+
 class TestSimFuture:
     def test_result_before_done_raises(self):
         future = SimFuture()

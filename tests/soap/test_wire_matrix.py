@@ -1,0 +1,115 @@
+"""Two-sided mixed wire-format matrix (extends C8/C9).
+
+A home where islands disagree about the interchange must still bridge in
+both directions, and the side pinned to the legacy config must put byte-
+for-byte legacy frames on the wire even though its *peer* negotiates
+gzip+terse — per-island configs are an island-local commitment, not a
+home-wide mode switch.
+"""
+
+from __future__ import annotations
+
+from repro.core.framework import MetaMiddleware
+from repro.core.interface import simple_interface
+from repro.net.monitor import TrafficMonitor
+from repro.net.network import Network
+from repro.net.segment import EthernetSegment
+from repro.net.simkernel import Simulator
+from repro.soap.http import FAST_INTERCHANGE, InterchangeConfig
+
+ALPHA_IFACE = simple_interface("Alpha", {"ping": ("string", "->string")})
+BETA_IFACE = simple_interface("Beta", {"ping": ("string", "->string")})
+
+#: Fat enough to clear the gzip floor on the fast side.
+PAYLOAD = "status=OK;reading=21.5C;battery=97%;mode=auto;" * 12
+
+
+def build_mixed_home(
+    a_cfg: InterchangeConfig | None, b_cfg: InterchangeConfig | None, trace: bool = False
+):
+    """Two islands with *per-island* interchange configs; each exports one
+    echo service so calls can be bridged in both directions."""
+    sim = Simulator()
+    net = Network(sim)
+    backbone = net.create_segment(EthernetSegment, "backbone")
+    mm = MetaMiddleware(net, backbone)
+    island_a = mm.add_island("a", None, interchange=a_cfg)
+    island_b = mm.add_island("b", None, interchange=b_cfg)
+
+    def echo(operation, args):
+        return PAYLOAD + args[0]
+
+    sim.run_until_complete(island_a.gateway.export_service("Alpha", ALPHA_IFACE, echo))
+    sim.run_until_complete(island_b.gateway.export_service("Beta", BETA_IFACE, echo))
+    sim.run_until_complete(mm.connect())
+    monitor = TrafficMonitor(trace_enabled=trace).watch(backbone)
+    return sim, mm, island_a, island_b, monitor
+
+
+def call(sim, island, service, tag):
+    return sim.run_until_complete(island.gateway.invoke(service, "ping", [tag]))
+
+
+class TestMixedFormatBridging:
+    def test_bridged_calls_work_in_both_directions(self):
+        sim, mm, a, b, _ = build_mixed_home(None, FAST_INTERCHANGE)
+        for round_trip in range(3):
+            assert call(sim, a, "Beta", f"a{round_trip}") == PAYLOAD + f"a{round_trip}"
+            assert call(sim, b, "Alpha", f"b{round_trip}") == PAYLOAD + f"b{round_trip}"
+
+    def test_fast_side_upgrades_after_negotiation(self):
+        """The fast island learns the legacy island's server capabilities
+        from the X-Interchange echo and starts pooling/compressing; the
+        legacy island never does."""
+        sim, mm, a, b, _ = build_mixed_home(None, FAST_INTERCHANGE)
+        for round_trip in range(4):
+            # Fat argument: request bodies must clear the gzip floor, not
+            # just the responses.
+            call(sim, b, "Alpha", PAYLOAD + f"x{round_trip}")
+            call(sim, a, "Beta", f"y{round_trip}")
+        b_http = b.gateway.protocol.client.http
+        a_http = a.gateway.protocol.client.http
+        gw_a_addr = a.stack.local_address(mm.backbone)
+        assert "terse" in b_http.peer_features(gw_a_addr, 8080)
+        assert "gzip" in b_http.peer_features(gw_a_addr, 8080)
+        assert b_http.pooled_exchanges > 0
+        assert b_http.compressed_requests > 0
+        # The legacy side stays on the 2002 wire: no pooling, no gzip.
+        assert a_http.pooled_exchanges == 0
+        assert a_http.compressed_requests == 0
+
+    def test_first_fast_exchange_is_legacy_shaped(self):
+        """Negotiation is in-band: before the first echo the fast client
+        has learned nothing and must not assume."""
+        sim, mm, a, b, _ = build_mixed_home(None, FAST_INTERCHANGE)
+        gw_a_addr = a.stack.local_address(mm.backbone)
+        # connect() already exchanged directory traffic, but nothing with
+        # island a's gateway server itself yet.
+        assert b.gateway.protocol.client.http.peer_features(gw_a_addr, 8080) == frozenset()
+        call(sim, b, "Alpha", "first")
+        assert "terse" in b.gateway.protocol.client.http.peer_features(gw_a_addr, 8080)
+
+
+class TestLegacySideByteIdentity:
+    def _legacy_island_frames(self, b_cfg: InterchangeConfig | None):
+        """Frame trace projected onto island a's gateway (time elided:
+        the peer's config legitimately shifts absolute timestamps)."""
+        sim, mm, a, b, monitor = build_mixed_home(None, b_cfg, trace=True)
+        hw = str(a.node.interfaces[0].hw_address)
+        for round_trip in range(3):
+            call(sim, a, "Beta", f"t{round_trip}")
+        return [
+            (entry.protocol, entry.src, entry.dst, entry.size, entry.note)
+            for entry in monitor.trace
+            if entry.src == hw or entry.dst == hw
+        ]
+
+    def test_legacy_island_wire_unchanged_by_fast_peer(self):
+        """Every frame island a sends or receives — sizes, endpoints,
+        order — is identical whether its peer runs legacy or gzip+terse:
+        the fast path never leaks into a conversation with a client that
+        did not opt in."""
+        against_legacy = self._legacy_island_frames(None)
+        against_fast = self._legacy_island_frames(FAST_INTERCHANGE)
+        assert against_legacy == against_fast
+        assert len(against_legacy) > 0

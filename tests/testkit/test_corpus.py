@@ -1,0 +1,53 @@
+"""Fixed seed corpus + opt-in randomized sweep.
+
+The corpus pins 30 seeds forever: every oracle must hold on each of them
+on every commit.  The sweep (``--testkit-seeds N``) explores fresh seeds
+beyond the corpus; CI runs it nightly with N=200 and uploads a shrunk
+repro when a seed fails (see docs/TESTING.md for how to replay one).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.testkit import check, shrink_failure, sweep
+
+#: Never reorder or remove entries; append only.  A corpus seed that starts
+#: failing is a regression in the system or a newly-tightened oracle.
+CORPUS = list(range(30))
+
+#: Sweep seeds live far above the corpus so the nightly never rechecks
+#: what every push already covers.
+SWEEP_BASE = 10_000
+
+
+@pytest.mark.parametrize("seed", CORPUS)
+def test_corpus_seed_holds_all_invariants(seed: int) -> None:
+    result = check(seed)
+    assert result.ok, result.render_repro()
+
+
+def test_sweep_random_seeds(request: pytest.FixtureRequest) -> None:
+    count = request.config.getoption("--testkit-seeds")
+    if not count:
+        pytest.skip("randomized sweep disabled (pass --testkit-seeds N)")
+    seeds = list(range(SWEEP_BASE, SWEEP_BASE + count))
+    failures = sweep(seeds)
+    if not failures:
+        return
+    # Shrink the first failure to a minimal repro and persist it where CI
+    # can pick it up as an artifact.
+    first = failures[0]
+    shrunk = shrink_failure(first.seed)
+    out_dir = os.environ.get("TESTKIT_OUTPUT_DIR")
+    if out_dir:
+        path = pathlib.Path(out_dir)
+        path.mkdir(parents=True, exist_ok=True)
+        (path / f"repro-seed-{first.seed}.txt").write_text(shrunk.render())
+    pytest.fail(
+        f"{len(failures)} of {count} sweep seeds failed "
+        f"(first: seed={first.seed})\n\n{shrunk.render()}"
+    )

@@ -1,0 +1,57 @@
+"""Shrinking: a seeded bug must reduce to a handful of operations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testkit import shrink_failure
+from repro.testkit.shrink import _Budget, _minimize
+
+
+class TestMinimize:
+    def _fails_if_contains(self, needle):
+        return lambda items: needle in items
+
+    def test_reduces_to_single_culprit(self) -> None:
+        items = list(range(20))
+        result = _minimize(items, self._fails_if_contains(13), _Budget(300))
+        assert result == [13]
+
+    def test_keeps_conjunction_of_two_culprits(self) -> None:
+        def fails(items):
+            return 3 in items and 17 in items
+
+        result = _minimize(list(range(20)), fails, _Budget(300))
+        assert result == [3, 17]
+
+    def test_budget_exhaustion_returns_best_so_far(self) -> None:
+        items = list(range(50))
+        result = _minimize(items, self._fails_if_contains(49), _Budget(2))
+        # Not minimal, but still failing and never empty.
+        assert 49 in result
+
+    def test_green_predicate_keeps_everything(self) -> None:
+        items = list(range(8))
+        assert _minimize(items, lambda _items: False, _Budget(300)) == items
+
+
+class TestShrinkFailure:
+    def test_seeded_bug_shrinks_to_small_repro(self) -> None:
+        """Acceptance bar from the issue: a deliberately seeded bug found
+        by the sweep shrinks to <= 10 operations."""
+        shrunk = shrink_failure(3, inject_bug="swallow-call")
+        assert shrunk.oracle == "call-completion"
+        assert len(shrunk.ops) <= 10
+        assert not shrunk.result.ok
+        # The rendered repro tells a human how to replay it.
+        assert "reproduce:" in shrunk.render()
+        assert f"--seed {shrunk.seed}" in shrunk.render()
+
+    def test_shrunk_scripts_still_fail_same_oracle(self) -> None:
+        shrunk = shrink_failure(3, inject_bug="swallow-call")
+        oracles = {violation.oracle for violation in shrunk.result.violations}
+        assert shrunk.oracle in oracles
+
+    def test_green_seed_refuses_to_shrink(self) -> None:
+        with pytest.raises(ValueError):
+            shrink_failure(3)
