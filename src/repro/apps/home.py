@@ -110,6 +110,7 @@ def build_smart_home(
     protocol_factory=None,
     policy=None,
     obs=None,
+    interchange=None,
 ) -> SmartHome:
     """Assemble the full topology (not yet connected — call ``.connect()``).
 
@@ -118,12 +119,17 @@ def build_smart_home(
     SOAP binding.  ``policy`` (a :class:`repro.core.resilience.CallPolicy`)
     sets every island's resilience knobs — deadlines, retries, breaker.
     ``obs`` (a :class:`repro.obs.Observability`) turns on tracing/metrics
-    for every island; the default records nothing.
+    for every island; the default records nothing.  ``interchange`` (an
+    :class:`repro.soap.http.InterchangeConfig`) sets every SOAP island's
+    fast-path config — e.g. :data:`repro.soap.http.PUSH_INTERCHANGE` for
+    streamed event channels.
     """
     sim = sim or Simulator()
     network = Network(sim)
     backbone = network.create_segment(EthernetSegment, "backbone")
-    mm = MetaMiddleware(network, backbone, policy=policy, obs=obs)
+    mm = MetaMiddleware(
+        network, backbone, policy=policy, obs=obs, interchange=interchange
+    )
     home = SmartHome(sim=sim, network=network, mm=mm)
 
     if with_jini:

@@ -13,13 +13,15 @@ Experiment C3 measures exactly the latency/overhead consequences.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from repro.errors import GatewayError, SoapFault
 from repro.net.simkernel import SimFuture
 from repro.net.transport import TransportStack
+from repro.soap import envelope
+from repro.soap.channel import EVENTS_CONTENT_TYPE, EVENTS_PATH, EventChannelClient
 from repro.soap.client import SoapClient
-from repro.soap.http import InterchangeConfig
+from repro.soap.http import SERVER_FEATURES, HttpRequest, HttpResponse, InterchangeConfig
 from repro.soap.server import SoapServer
 from repro.soap.wsdl import make_location, parse_location
 from repro.core.calls import ServiceCall, ServiceFault
@@ -63,6 +65,12 @@ class SoapGatewayProtocol(GatewayProtocol):
         self.client.observe(vsg.obs, vsg.island)
         self.server = SoapServer(self.stack, self.port).observe(vsg.obs, vsg.island)
         self.server.register_service(CONTROL_SERVICE, self._control_dispatch)
+        if self.interchange.events_push:
+            # Accepting push channels is itself opt-in: only a gateway
+            # configured for them advertises the token or mounts the
+            # route, so legacy-configured islands keep the seed wire.
+            self.server.http.features = SERVER_FEATURES + " events-push"
+            self.server.http.register(EVENTS_PATH, self._handle_event_wait)
 
     def stop(self) -> None:
         if self.server is not None:
@@ -164,6 +172,78 @@ class SoapGatewayProtocol(GatewayProtocol):
 
     def push_event(self, control_location: str, event: dict[str, Any]) -> None:
         raise GatewayError("SOAP/HTTP cannot push events (paper Section 4.2)")
+
+    def open_event_channel(
+        self,
+        control_location: str,
+        island: str,
+        on_batch: Callable[[int, list[dict[str, Any]]], None],
+        on_dead: Callable[[BaseException], None],
+        initial_ack: int = 0,
+    ) -> EventChannelClient | None:
+        """Open a streamed push channel when both sides negotiated it.
+
+        The capability check is two-sided: our own interchange must have
+        ``events_push`` on, and the peer must have echoed ``events-push``
+        in :data:`~repro.soap.http.FEATURES_HEADER` on an earlier exchange
+        (the subscription announce, at the latest).  Either side missing
+        it means the caller keeps polling — a legacy peer never sees a
+        single channel byte.
+        """
+        if not self.interchange.events_push or self.vsg is None:
+            return None
+        try:
+            address, port, _service = parse_location(control_location)
+        except Exception:
+            return None  # foreign-protocol location
+        if "events-push" not in self.client.http.peer_features(address, port):
+            return None
+        return EventChannelClient(
+            self.stack,
+            address,
+            port,
+            island,
+            self.interchange,
+            on_batch=on_batch,
+            on_dead=on_dead,
+            initial_ack=initial_ack,
+            obs=self.vsg.obs,
+            label=f"{self.vsg.island}.events",
+        )
+
+    def _handle_event_wait(self, request: HttpRequest) -> Any:
+        """Publisher side of the channel: park the exchange with the
+        event router and answer with one batched frame when it flushes."""
+        if request.method != "POST":
+            return HttpResponse(405, body=b"event channel accepts POST only")
+        if self.vsg is None:
+            return HttpResponse(500, body=b"gateway protocol not attached")
+        try:
+            island, ack, hold = envelope.parse_event_wait(request.body)
+        except Exception as exc:
+            return HttpResponse(400, body=str(exc).encode("utf-8"))
+        hold = min(hold, self.interchange.event_max_hold)
+        held = self.vsg.events.handle_wait(island, ack, hold)
+        response: SimFuture = SimFuture()
+
+        def on_flush(future: SimFuture) -> None:
+            exc = future.exception()
+            if exc is not None:
+                response.set_result(
+                    HttpResponse(500, body=str(exc).encode("utf-8"))
+                )
+                return
+            batch, events = future.result()
+            response.set_result(
+                HttpResponse(
+                    200,
+                    headers={"Content-Type": EVENTS_CONTENT_TYPE},
+                    body=envelope.build_event_frame(batch, events),
+                )
+            )
+
+        held.add_done_callback(on_flush)
+        return response
 
     # -- control service (inbound) ---------------------------------------------------
 

@@ -22,6 +22,7 @@ from repro.errors import (
     DeadlineExceededError,
     GatewayError,
     ServiceNotFoundError,
+    TransportError,
 )
 from repro.net.node import Node
 from repro.net.simkernel import Event, SimFuture
@@ -121,6 +122,22 @@ class GatewayProtocol:
         """Fetch queued events for ``island`` (pull protocols only)."""
         raise NotImplementedError
 
+    def open_event_channel(
+        self,
+        control_location: str,
+        island: str,
+        on_batch: Callable[[int, list[dict[str, Any]]], None],
+        on_dead: Callable[[BaseException], None],
+        initial_ack: int = 0,
+    ) -> Any:
+        """Open a streamed push event channel to the publisher gateway at
+        ``control_location`` — the third delivery mode, for pull protocols
+        whose interchange negotiated the ``events-push`` capability.
+        Returns a channel object exposing ``start``/``stop``/``kill`` or
+        ``None`` when either side lacks the capability, in which case the
+        caller keeps polling.  Default: no channel support."""
+        return None
+
     def ping_remote(self, control_location: str) -> SimFuture:
         """Liveness probe of a remote gateway's control endpoint; resolves
         to the remote island name (used by the heartbeat monitor)."""
@@ -134,10 +151,26 @@ class EventRouter:
     For push protocols events go out immediately; for pull protocols they
     queue until the subscriber's next poll — the mechanism behind the
     paper's "HTTP ... does not map well to asynchronous notification".
+
+    A third delivery mode sits between the two: when a pull protocol's
+    interchange negotiates the ``events-push`` capability, the subscriber
+    opens one streamed channel per remote gateway (a held exchange the
+    publisher answers the moment :meth:`publish` fires, coalescing bursts
+    within the interchange's ``event_flush_window``) and the poll loop
+    stops.  On channel death the router falls back to polling instantly
+    and re-establishes the channel with the resilience layer's backoff,
+    so events keep flowing through crashes, partitions and breaker trips.
     """
 
     #: Poll-batch histogram bounds: events drained per fetch round trip.
     POLL_BATCH_BUCKETS = (0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)
+
+    #: Consecutive poll failures before the router asks the VSR whether
+    #: the gateway is still registered (and prunes the loop if not).
+    POLL_PRUNE_FAILURES = 2
+
+    #: Ceiling on the channel re-establishment backoff, virtual seconds.
+    CHANNEL_RETRY_CAP = 30.0
 
     def __init__(self, vsg: "VirtualServiceGateway") -> None:
         self.vsg = vsg
@@ -151,6 +184,28 @@ class EventRouter:
         self.events_published = 0
         self.events_delivered = 0
         self.polls_performed = 0
+        # -- publisher-side channel state (one slot per subscriber island)
+        self._waiters: dict[str, SimFuture] = {}  # island -> parked wait
+        self._hold_timers: dict[str, Event] = {}
+        self._flush_timers: dict[str, Event] = {}
+        self._batch_seq: dict[str, int] = {}  # island -> last batch id issued
+        #: island -> (batch id, events) retained until the subscriber acks;
+        #: redelivered on reconnect, folded into the next fetch on fallback.
+        self._unacked: dict[str, tuple[int, list[dict[str, Any]]]] = {}
+        self.events_pushed = 0
+        self.waits_handled = 0
+        # -- subscriber-side channel state (keyed by control location)
+        self._channels: dict[str, Any] = {}
+        self._remote_islands: dict[str, str] = {}  # control location -> island
+        self._channel_acks: dict[str, int] = {}
+        self._channel_attempts: dict[str, int] = {}
+        self._reconnect_timers: dict[str, Event] = {}
+        self._poll_failures: dict[str, int] = {}
+        #: Every channel client ever opened — kept past channel death so
+        #: post-shutdown pool-leak audits can inspect each one's HTTP pool.
+        self.channel_clients: list[Any] = []
+        self.channels_opened = 0
+        self.channel_deaths = 0
         metrics = vsg.obs.metrics
         self._m_published = metrics.counter(f"events.{vsg.island}.published")
         self._m_delivered = metrics.counter(f"events.{vsg.island}.delivered")
@@ -158,10 +213,28 @@ class EventRouter:
         self._m_poll_batch = metrics.histogram(
             f"events.{vsg.island}.poll_batch", buckets=self.POLL_BATCH_BUCKETS
         )
+        self._m_pushed = metrics.counter(f"events.{vsg.island}.pushed")
+        self._m_flush_batch = metrics.histogram(
+            f"events.{vsg.island}.flush_batch", buckets=self.POLL_BATCH_BUCKETS
+        )
+        self._m_waits = metrics.counter(f"events.{vsg.island}.waits")
+        self._m_channels_opened = metrics.counter(
+            f"events.{vsg.island}.channels_opened"
+        )
+        self._m_channel_deaths = metrics.counter(
+            f"events.{vsg.island}.channel_deaths"
+        )
+        self._m_log_dropped = metrics.counter(
+            f"events.{vsg.island}.delivery_log_dropped"
+        )
         #: Per-delivery records (topic, source island, published_at,
         #: delivered_at, latency) — read by the C3 latency experiment.
         self.delivery_log: list[dict[str, Any]] = []
         self.delivery_log_limit = 10000
+        #: Deliveries that found the log full.  Mirrors the TrafficMonitor
+        #: ``trace_dropped`` contract: the counter keeps climbing after the
+        #: cap so truncation is visible instead of silent.
+        self.delivery_log_dropped = 0
 
     # -- publishing ------------------------------------------------------------
 
@@ -189,20 +262,28 @@ class EventRouter:
                         pass  # unreachable or foreign-protocol subscriber
             else:
                 self._queues.setdefault(island, []).append(event)
+                if island in self._waiters:
+                    # A push channel is parked on this island: flush the
+                    # queue down it after the coalescing window.
+                    self._schedule_flush(island)
 
     def _deliver_local(self, event: dict[str, Any]) -> None:
         callbacks = self._local_subs.get(event["topic"], [])
-        if callbacks and len(self.delivery_log) < self.delivery_log_limit:
-            published_at = float(event.get("published_at", self.vsg.sim.now))
-            self.delivery_log.append(
-                {
-                    "topic": event["topic"],
-                    "island": event["island"],
-                    "published_at": published_at,
-                    "delivered_at": self.vsg.sim.now,
-                    "latency": self.vsg.sim.now - published_at,
-                }
-            )
+        if callbacks:
+            if len(self.delivery_log) < self.delivery_log_limit:
+                published_at = float(event.get("published_at", self.vsg.sim.now))
+                self.delivery_log.append(
+                    {
+                        "topic": event["topic"],
+                        "island": event["island"],
+                        "published_at": published_at,
+                        "delivered_at": self.vsg.sim.now,
+                        "latency": self.vsg.sim.now - published_at,
+                    }
+                )
+            else:
+                self.delivery_log_dropped += 1
+                self._m_log_dropped.inc()
         for callback in callbacks:
             self.events_delivered += 1
             self._m_delivered.inc()
@@ -219,10 +300,95 @@ class EventRouter:
     def handle_fetch(self, island: str) -> list[dict[str, Any]]:
         queued = self._queues.get(island, [])
         self._queues[island] = []
+        # A batch flushed down a now-dead channel but never acked belongs
+        # to the fallback poll: at-least-once, never lost.
+        retained = self._unacked.pop(island, None)
+        if retained is not None:
+            queued = retained[1] + queued
         return queued
 
     def handle_push(self, event: dict[str, Any]) -> bool:
         self._deliver_local(event)
+        return True
+
+    def handle_wait(self, island: str, ack: int, hold: float) -> SimFuture:
+        """Publisher side of the push channel: park a held exchange for
+        ``island`` and resolve it with ``(batch_id, events)`` on the next
+        flush — or with an empty keepalive when ``hold`` expires.
+
+        ``ack`` releases the retained unacked batch once the subscriber
+        has delivered it; a lower ack means the previous frame was lost
+        (channel death mid-response), so the retained batch is redelivered
+        immediately.  The caller clamps ``hold`` to its own maximum.
+        """
+        self.waits_handled += 1
+        self._m_waits.inc()
+        last_batch = self._batch_seq.get(island, 0)
+        if self._polling_stopped:
+            # Shutting down: answer empty instead of parking forever.
+            return SimFuture.completed((last_batch, []))
+        retained = self._unacked.get(island)
+        if retained is not None and ack >= retained[0]:
+            self._unacked.pop(island, None)
+            retained = None
+        # Supersede any stale parked waiter (the subscriber re-armed after
+        # its watchdog reaped an exchange we still believed live).
+        self._resolve_waiter(island, last_batch, [])
+        if retained is not None:
+            return SimFuture.completed(retained)
+        waiter: SimFuture = SimFuture()
+        self._waiters[island] = waiter
+        if hold > 0:
+            self._hold_timers[island] = self.vsg.sim.schedule(
+                hold, self._hold_expired, island
+            )
+        if self._queues.get(island):
+            self._schedule_flush(island)
+        return waiter
+
+    # -- publisher-side channel internals -------------------------------------
+
+    def _flush_window(self) -> float:
+        config = getattr(self.vsg.protocol, "interchange", None)
+        return config.event_flush_window if config is not None else 0.0
+
+    def _schedule_flush(self, island: str) -> None:
+        if island in self._flush_timers or island not in self._waiters:
+            return
+        self._flush_timers[island] = self.vsg.sim.schedule(
+            self._flush_window(), self._flush, island
+        )
+
+    def _flush(self, island: str) -> None:
+        self._flush_timers.pop(island, None)
+        if island not in self._waiters:
+            return  # hold expiry raced the flush; events stay queued
+        events = self._queues.get(island, [])
+        if not events:
+            return
+        self._queues[island] = []
+        batch = self._batch_seq.get(island, 0) + 1
+        self._batch_seq[island] = batch
+        self._unacked[island] = (batch, list(events))
+        self.events_pushed += len(events)
+        self._m_pushed.inc(len(events))
+        self._m_flush_batch.observe(float(len(events)))
+        self._resolve_waiter(island, batch, events)
+
+    def _hold_expired(self, island: str) -> None:
+        self._hold_timers.pop(island, None)
+        self._resolve_waiter(island, self._batch_seq.get(island, 0), [])
+
+    def _resolve_waiter(
+        self, island: str, batch: int, events: list[dict[str, Any]]
+    ) -> bool:
+        waiter = self._waiters.pop(island, None)
+        timer = self._hold_timers.pop(island, None)
+        if timer is not None:
+            timer.cancel()
+        if waiter is None or waiter.done():
+            return False
+        waiter.set_result((batch, events))
         return True
 
     # -- subscribing ------------------------------------------------------------
@@ -273,10 +439,16 @@ class EventRouter:
                     # unparseable to ours) cannot forward us events; count
                     # it as a failed subscription, not a crash.
                     subscribe_future = SimFuture.failed(exc)
-                self._bounded(subscribe_future, f"subscribe announce to {island}")\
-                    .add_done_callback(one_done)
+                bounded = self._bounded(
+                    subscribe_future, f"subscribe announce to {island}"
+                )
+                bounded.add_done_callback(one_done)
                 if not self.vsg.protocol.supports_push:
+                    self._remote_islands[location] = island
                     self._ensure_poll_loop(location)
+                    bounded.add_done_callback(
+                        lambda done, loc=location: self._after_announce(loc, done)
+                    )
 
         self.vsg.vsr.list_gateways().add_done_callback(on_gateways)
         return result
@@ -330,10 +502,14 @@ class EventRouter:
                     )
                 except Exception as exc:
                     batch_future = SimFuture.failed(exc)
-                self._bounded(batch_future, f"subscribe batch to {island}")\
-                    .add_done_callback(one_done)
+                bounded = self._bounded(batch_future, f"subscribe batch to {island}")
+                bounded.add_done_callback(one_done)
                 if not self.vsg.protocol.supports_push:
+                    self._remote_islands[location] = island
                     self._ensure_poll_loop(location)
+                    bounded.add_done_callback(
+                        lambda done, loc=location: self._after_announce(loc, done)
+                    )
 
         self.vsg.vsr.list_gateways().add_done_callback(on_gateways)
         return result
@@ -353,7 +529,11 @@ class EventRouter:
         )
 
     def _ensure_poll_loop(self, control_location: str) -> None:
-        if self._polling_stopped or control_location in self._poll_timers:
+        if (
+            self._polling_stopped
+            or control_location in self._poll_timers
+            or control_location in self._channels
+        ):
             return
         self._poll_timers[control_location] = self.vsg.sim.schedule(
             self.vsg.poll_interval, self._poll, control_location
@@ -379,23 +559,196 @@ class EventRouter:
                 # reschedule here would resurrect the loop forever.
                 return
             if future.exception() is None:
+                self._poll_failures.pop(control_location, None)
                 batch = future.result()
                 self._m_poll_batch.observe(float(len(batch)))
                 for event in batch:
                     self._deliver_local(event)
-            # Reschedule regardless: a transient failure must not end polling.
-            self._poll_timers[control_location] = self.vsg.sim.schedule(
-                self.vsg.poll_interval, self._poll, control_location
-            )
+            else:
+                failures = self._poll_failures.get(control_location, 0) + 1
+                self._poll_failures[control_location] = failures
+                if failures >= self.POLL_PRUNE_FAILURES:
+                    # The gateway may have left the VSR: polling a dead
+                    # island burns a round trip per interval forever.
+                    # The registry check reschedules (or prunes) the loop.
+                    self._check_still_registered(control_location)
+                    return
+            self._reschedule_poll(control_location)
 
         self._bounded(poll_future, f"poll of {control_location}")\
             .add_done_callback(on_events)
+
+    def _reschedule_poll(self, control_location: str) -> None:
+        if self._polling_stopped or control_location in self._channels:
+            # A channel opened while this poll was in flight; it owns
+            # delivery now.
+            self._poll_timers.pop(control_location, None)
+            return
+        self._poll_timers[control_location] = self.vsg.sim.schedule(
+            self.vsg.poll_interval, self._poll, control_location
+        )
+
+    def _check_still_registered(self, control_location: str) -> None:
+        island = self._remote_islands.get(control_location)
+        if island is None:
+            # Unknown provenance: keep the legacy keep-trying behaviour.
+            self._reschedule_poll(control_location)
+            return
+
+        def on_registry(future: SimFuture) -> None:
+            if self._polling_stopped:
+                return
+            if future.exception() is None and island not in future.result():
+                self._forget_remote(control_location)
+                return
+            # A degraded (cached) read still listing the island keeps the
+            # loop alive: a directory outage must not end event delivery.
+            self._poll_failures.pop(control_location, None)
+            self._reschedule_poll(control_location)
+
+        self._bounded(
+            self.vsg.vsr.list_gateways(), f"registry check for {control_location}"
+        ).add_done_callback(on_registry)
+
+    def _forget_remote(self, control_location: str) -> None:
+        """Stop tracking a gateway that left the VSR: cancel its poll loop,
+        reconnect timer and channel so a dead island costs nothing."""
+        timer = self._poll_timers.pop(control_location, None)
+        if timer is not None:
+            timer.cancel()
+        reconnect = self._reconnect_timers.pop(control_location, None)
+        if reconnect is not None:
+            reconnect.cancel()
+        channel = self._channels.pop(control_location, None)
+        if channel is not None:
+            channel.stop()
+        self._poll_failures.pop(control_location, None)
+        self._channel_attempts.pop(control_location, None)
+        self._channel_acks.pop(control_location, None)
+        self._remote_islands.pop(control_location, None)
+
+    # -- subscriber-side channel internals -------------------------------------
+
+    def _after_announce(self, control_location: str, done: SimFuture) -> None:
+        """A subscription announce completed: the peer's feature echo has
+        been recorded, so the capability check in ``open_event_channel``
+        is now meaningful."""
+        if done.exception() is None:
+            self._maybe_open_channel(control_location)
+
+    def _maybe_open_channel(self, control_location: str) -> None:
+        if (
+            self._polling_stopped
+            or control_location in self._channels
+            or control_location in self._reconnect_timers
+        ):
+            return
+        island = self._remote_islands.get(control_location)
+        if island is None:
+            return
+        channel = self.vsg.protocol.open_event_channel(
+            control_location,
+            self.vsg.island,
+            on_batch=lambda batch, events, loc=control_location: (
+                self._on_channel_batch(loc, batch, events)
+            ),
+            on_dead=lambda exc, loc=control_location: (
+                self._on_channel_dead(loc, exc)
+            ),
+            initial_ack=self._channel_acks.get(control_location, 0),
+        )
+        if channel is None:
+            return  # capability not negotiated; the poll loop stays
+        self._channels[control_location] = channel
+        self.channel_clients.append(channel)
+        self.channels_opened += 1
+        self._m_channels_opened.inc()
+        timer = self._poll_timers.pop(control_location, None)
+        if timer is not None:
+            timer.cancel()
+        tracer = self.vsg.obs.tracer
+        if tracer.enabled:
+            span = tracer.start_span(
+                f"events.channel_open {island}", island=self.vsg.island, kind="client"
+            )
+            span.set_attribute("location", control_location)
+            span.finish()
+        channel.start()
+
+    def _on_channel_batch(
+        self, control_location: str, batch: int, events: list[dict[str, Any]]
+    ) -> None:
+        self._channel_attempts[control_location] = 0
+        self._channel_acks[control_location] = max(
+            self._channel_acks.get(control_location, 0), batch
+        )
+        for event in events:
+            self._deliver_local(event)
+
+    def _on_channel_dead(self, control_location: str, exc: BaseException) -> None:
+        self._channels.pop(control_location, None)
+        if self._polling_stopped:
+            return
+        self.channel_deaths += 1
+        self._m_channel_deaths.inc()
+        attempt = self._channel_attempts.get(control_location, 0)
+        self._channel_attempts[control_location] = attempt + 1
+        tracer = self.vsg.obs.tracer
+        if tracer.enabled:
+            span = tracer.start_span(
+                "events.channel_death", island=self.vsg.island, kind="client"
+            )
+            span.set_attribute("location", control_location)
+            span.finish(exc)
+        # Fall back to the poll loop immediately — events keep flowing while
+        # the channel re-establishes behind the resilience backoff.
+        self._ensure_poll_loop(control_location)
+        delay = min(
+            self.CHANNEL_RETRY_CAP,
+            self.vsg.resilience.backoff_delay(min(attempt, 7)),
+        )
+        self._reconnect_timers[control_location] = self.vsg.sim.schedule(
+            delay, self._retry_channel, control_location
+        )
+
+    def _retry_channel(self, control_location: str) -> None:
+        self._reconnect_timers.pop(control_location, None)
+        if self._polling_stopped:
+            return
+        self._maybe_open_channel(control_location)
+
+    def on_island_unreachable(self, island: str) -> None:
+        """Breaker opened for ``island``: its push channel (if any) rides a
+        connection that just proved bad — kill it now so fallback polling
+        and re-establishment start immediately instead of waiting out the
+        channel watchdog."""
+        for location, remote in list(self._remote_islands.items()):
+            if remote != island:
+                continue
+            channel = self._channels.get(location)
+            if channel is not None:
+                channel.kill(
+                    TransportError(f"island {island} unreachable (breaker open)")
+                )
 
     def stop_polling(self) -> None:
         self._polling_stopped = True
         for timer in self._poll_timers.values():
             timer.cancel()
         self._poll_timers.clear()
+        for timer in self._reconnect_timers.values():
+            timer.cancel()
+        self._reconnect_timers.clear()
+        for timer in self._flush_timers.values():
+            timer.cancel()
+        self._flush_timers.clear()
+        # Parked waits answer empty so held exchanges complete before the
+        # server goes down; _resolve_waiter cancels each hold timer.
+        for island in list(self._waiters):
+            self._resolve_waiter(island, self._batch_seq.get(island, 0), [])
+        for channel in list(self._channels.values()):
+            channel.stop()
+        self._channels.clear()
 
 
 class VirtualServiceGateway:
@@ -680,6 +1033,7 @@ class VirtualServiceGateway:
         location = self._island_locations.get(island)
         if location:
             self.protocol.invalidate_location(location)
+        self.events.on_island_unreachable(island)
 
     @property
     def paused(self) -> bool:
@@ -722,6 +1076,11 @@ class VirtualServiceGateway:
 
     def register_with_directory(self) -> SimFuture:
         return self.vsr.register_gateway(self.island, self.protocol.control_location())
+
+    def unregister_with_directory(self) -> SimFuture:
+        """Remove this gateway from the VSR registry, so peers stop
+        announcing subscriptions to it and prune their poll loops."""
+        return self.vsr.unregister_gateway(self.island)
 
     def shutdown(self) -> None:
         self.heartbeat.stop()

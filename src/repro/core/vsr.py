@@ -112,6 +112,12 @@ class VsrDirectory:
     def register_gateway(self, island: str, location: str) -> None:
         self._gateways[island] = location
 
+    def unregister_gateway(self, island: str) -> bool:
+        """Remove an island's gateway registration.  Subscribers notice on
+        their next registry read and prune the poll loops / channels they
+        keep per registered gateway."""
+        return self._gateways.pop(island, None) is not None
+
     def gateways(self) -> dict[str, str]:
         return dict(self._gateways)
 
@@ -151,6 +157,8 @@ class UddiSoapService:
         if operation == "register_gateway":
             self.directory.register_gateway(str(args[0]), str(args[1]))
             return True
+        if operation == "unregister_gateway":
+            return self.directory.unregister_gateway(str(args[0]))
         if operation == "list_gateways":
             return self.directory.gateways()
         raise RepositoryError(f"UDDI has no operation {operation!r}")
@@ -311,6 +319,14 @@ class VsrClient:
 
     def register_gateway(self, island: str, location: str) -> SimFuture:
         return self._call("register_gateway", [island, location])
+
+    def unregister_gateway(self, island: str) -> SimFuture:
+        """Remove ``island``'s registration; also evicts it from the local
+        degraded-read cache so a later directory outage cannot resurrect
+        the entry this client just removed."""
+        if self._gateway_cache is not None:
+            self._gateway_cache.pop(island, None)
+        return self._call("unregister_gateway", [island])
 
     def list_gateways(self) -> SimFuture:
         """Resolve to the ``island -> control location`` registry.

@@ -374,6 +374,80 @@ def _parse_terse(root: ET.Element) -> SoapMessage:
 
 
 # ---------------------------------------------------------------------------
+# Event-channel grammar (push event interchange)
+# ---------------------------------------------------------------------------
+#
+# Two message shapes ride the negotiated ``events-push`` channel, both under
+# the terse root so the wire sniffer classifies them as fast-path traffic:
+#
+# - wait (subscriber -> publisher): ``<E><W i="island" a="ack" h="hold"/></E>``
+#   — arm a held exchange.  ``a`` acknowledges the highest batch id the
+#   subscriber has fully delivered; ``h`` is the longest the publisher may
+#   park the exchange before answering with an empty keepalive frame.
+# - frame (publisher -> subscriber): ``<E><V b="batch"><v .../>...</V></E>``
+#   — one coalesced batch of events (terse-encoded structs).  ``b`` is the
+#   publisher's per-subscriber batch id; an empty ``<V b="...">`` is a
+#   keepalive carrying nothing new.
+
+
+def build_event_wait(island: str, ack: int, hold: float) -> bytes:
+    """Wait request: ``<E><W i="island" a="ack" h="hold"/></E>``."""
+    writer = XmlWriter(declaration=False)
+    writer.open(TERSE_ROOT)
+    writer.leaf("W", {"i": island, "a": str(int(ack)), "h": repr(float(hold))})
+    writer.close()
+    return writer.tobytes()
+
+
+def parse_event_wait(data: bytes) -> tuple[str, int, float]:
+    """Inverse of :func:`build_event_wait` -> ``(island, ack, hold)``."""
+    root = xmlutil.parse_document(data)
+    if root.tag != TERSE_ROOT:
+        raise SoapError(f"event wait root is {root.tag!r}, not <{TERSE_ROOT}>")
+    entries = list(root)
+    if not entries or entries[0].tag != "W":
+        raise SoapError("event wait envelope carries no <W> entry")
+    entry = entries[0]
+    island = entry.get("i", "")
+    if not island:
+        raise SoapError("event wait missing i= subscriber island")
+    try:
+        ack = int(entry.get("a", "0"))
+        hold = float(entry.get("h", "0"))
+    except ValueError as exc:
+        raise SoapError(f"bad event wait attributes: {exc}") from exc
+    return island, ack, hold
+
+
+def build_event_frame(batch: int, events: list[Any]) -> bytes:
+    """Event frame: ``<E><V b="batch">`` + one terse value per event."""
+    writer = XmlWriter(declaration=False)
+    writer.open(TERSE_ROOT)
+    writer.open("V", {"b": str(int(batch))})
+    for event in events:
+        encode_value_terse(writer, event)
+    writer.close()
+    writer.close()
+    return writer.tobytes()
+
+
+def parse_event_frame(data: bytes) -> tuple[int, list[Any]]:
+    """Inverse of :func:`build_event_frame` -> ``(batch, events)``."""
+    root = xmlutil.parse_document(data)
+    if root.tag != TERSE_ROOT:
+        raise SoapError(f"event frame root is {root.tag!r}, not <{TERSE_ROOT}>")
+    entries = list(root)
+    if not entries or entries[0].tag != "V":
+        raise SoapError("event frame envelope carries no <V> entry")
+    entry = entries[0]
+    try:
+        batch = int(entry.get("b", "0"))
+    except ValueError as exc:
+        raise SoapError(f"bad event frame batch id: {exc}") from exc
+    return batch, [decode_value_terse(child) for child in entry]
+
+
+# ---------------------------------------------------------------------------
 # Envelope parsing
 # ---------------------------------------------------------------------------
 

@@ -89,11 +89,26 @@ class InterchangeConfig:
     #: its trace spans) forever — there is no transport retransmission.
     #: 0 disables the watchdog.
     exchange_timeout: float = 60.0
+    #: Offer/accept streamed push event channels (``events-push`` token).
+    #: When both peers advertise it, the event router replaces its HTTP
+    #: poll loop with a held exchange the publisher answers the moment an
+    #: event fires (see ``repro.soap.channel``).
+    events_push: bool = False
+    #: Virtual seconds the publisher coalesces a burst of events before
+    #: flushing one batched frame down the channel.  0 still coalesces
+    #: same-instant bursts (the flush fires after the current instant's
+    #: callbacks) while adding no latency.
+    event_flush_window: float = 0.0
+    #: Longest the publisher may park a channel wait before answering with
+    #: an empty keepalive frame.  Must stay comfortably below
+    #: ``exchange_timeout`` or the subscriber's watchdog reaps idle
+    #: channels as wedged.
+    event_max_hold: float = 25.0
 
     @property
     def fast(self) -> bool:
         """True when any fast-path feature is enabled."""
-        return self.keep_alive or self.compress or self.terse
+        return self.keep_alive or self.compress or self.terse or self.events_push
 
     @property
     def advertised_features(self) -> str:
@@ -103,6 +118,8 @@ class InterchangeConfig:
             parts.append("terse")
         if self.compress:
             parts.append("gzip")
+        if self.events_push:
+            parts.append("events-push")
         return " ".join(parts)
 
 
@@ -110,6 +127,10 @@ class InterchangeConfig:
 LEGACY_INTERCHANGE = InterchangeConfig()
 #: Everything on: keep-alive pool + gzip + terse envelopes.
 FAST_INTERCHANGE = InterchangeConfig(keep_alive=True, compress=True, terse=True)
+#: The fast path plus streamed push event channels.
+PUSH_INTERCHANGE = InterchangeConfig(
+    keep_alive=True, compress=True, terse=True, events_push=True
+)
 
 
 def gzip_bytes(data: bytes) -> bytes:
@@ -303,6 +324,11 @@ class HttpServer:
     def __init__(self, stack: TransportStack, port: int = 80) -> None:
         self.stack = stack
         self.port = port
+        #: Capabilities echoed to clients that advertise theirs.  Instance
+        #: state (not the module constant) so a gateway that accepts push
+        #: event channels can append ``events-push`` without every other
+        #: server on the simulation advertising it too.
+        self.features = SERVER_FEATURES
         self._routes: dict[str, Handler] = {}
         self._prefix_routes: list[tuple[str, Handler]] = []
         self._listener = stack.listen(port, self._on_connection)
@@ -410,7 +436,7 @@ class HttpServer:
             return  # client gave up while an async handler was running
         if request is not None:
             if request.header(FEATURES_HEADER):
-                response.headers.setdefault(FEATURES_HEADER, SERVER_FEATURES)
+                response.headers.setdefault(FEATURES_HEADER, self.features)
             if (
                 "gzip" in request.header("Accept-Encoding").lower()
                 and len(response.body) >= COMPRESS_MIN_BYTES

@@ -19,7 +19,11 @@ fault schedule — declared failures are always legal, silent ones never:
   and every parent id resolves inside its own trace.
 - **conservation** — per-segment delivery accounting balances, the
   monitor agrees with the segments, and every monitored drop is claimed
-  by exactly one fault-report loss window.
+  by exactly one fault-report loss window.  Push event channels need no
+  special case here: their held waits and streamed frames are ordinary
+  TCP segments on the backbone, so the same per-segment arithmetic
+  covers them (and the pool-leak oracle audits each channel's dedicated
+  keep-alive client via ``World.http_clients``).
 """
 
 from __future__ import annotations

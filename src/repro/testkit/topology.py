@@ -24,7 +24,7 @@ from repro.net.network import Network
 from repro.net.segment import EthernetSegment, IEEE1394Segment, Segment
 from repro.net.simkernel import SimFuture, Simulator
 from repro.obs import Observability
-from repro.soap.http import FAST_INTERCHANGE, InterchangeConfig
+from repro.soap.http import FAST_INTERCHANGE, PUSH_INTERCHANGE, InterchangeConfig
 
 #: Middleware kinds islands are drawn from; x10 and mail are bus-less
 #: (their native medium carries no SOAP, so the gateway is backbone-only).
@@ -61,8 +61,9 @@ class IslandSpec:
     name: str
     kind: str
     services: tuple[str, ...]
-    #: "legacy" | "keepalive" | "fast" — wire behaviour of this island's
-    #: SOAP client/protocol (mixed-format worlds exercise negotiation).
+    #: "legacy" | "keepalive" | "fast" | "push" — wire behaviour of this
+    #: island's SOAP client/protocol (mixed-format worlds exercise
+    #: negotiation; "push" adds streamed event channels).
     interchange: str
     poll_interval: float
 
@@ -122,14 +123,27 @@ class TopologySpec:
 
 
 class TopologyGen:
-    """Draws a random :class:`TopologySpec` from a seed."""
+    """Draws a random :class:`TopologySpec` from a seed.
+
+    ``profile`` selects the interchange mix: the ``"default"`` profile
+    keeps the historical draw (so every pinned corpus and sweep seed
+    replays byte-identically), while ``"push"`` mixes push-capable
+    islands in with legacy ones so seeds in that band exercise streamed
+    event channels *and* their polling fallback against mixed peers.
+    """
 
     MIN_ISLANDS = 2
     MAX_ISLANDS = 6
     MIN_SERVICES = 1
     MAX_SERVICES = 20
 
-    def generate(self, seed: int) -> TopologySpec:
+    _INTERCHANGE_DRAWS = {
+        "default": (("legacy", "keepalive", "fast"), (40, 25, 35)),
+        "push": (("legacy", "keepalive", "fast", "push"), (25, 10, 20, 45)),
+    }
+
+    def generate(self, seed: int, profile: str = "default") -> TopologySpec:
+        choices, weights = self._INTERCHANGE_DRAWS[profile]
         rng = random.Random(f"testkit:topology:{seed}")
         islands = []
         for index in range(rng.randint(self.MIN_ISLANDS, self.MAX_ISLANDS)):
@@ -139,9 +153,7 @@ class TopologyGen:
                 f"Svc_{name}_{slot}"
                 for slot in range(rng.randint(self.MIN_SERVICES, self.MAX_SERVICES))
             )
-            interchange = rng.choices(
-                ("legacy", "keepalive", "fast"), weights=(40, 25, 35)
-            )[0]
+            interchange = rng.choices(choices, weights=weights)[0]
             islands.append(
                 IslandSpec(
                     name=name,
@@ -230,6 +242,7 @@ _INTERCHANGE = {
     "legacy": None,  # framework default = legacy wire behaviour
     "keepalive": InterchangeConfig(keep_alive=True),
     "fast": FAST_INTERCHANGE,
+    "push": PUSH_INTERCHANGE,
 }
 
 
@@ -256,11 +269,18 @@ class World:
         return [self.network.segments[name] for name in self.spec.segment_names]
 
     def http_clients(self) -> list[tuple[str, Any]]:
-        """Every pooled HTTP client the pool-leak oracle must audit."""
+        """Every pooled HTTP client the pool-leak oracle must audit.
+
+        Event channels own a dedicated keep-alive client per remote
+        gateway; ``channel_clients`` retains even dead ones, so a channel
+        that leaked its connection past shutdown is still caught here.
+        """
         clients = []
         for name, island in self.mm.islands.items():
             clients.append((f"{name}.protocol", island.gateway.protocol.client.http))
             clients.append((f"{name}.vsr", island.gateway.vsr.soap.http))
+            for index, channel in enumerate(island.gateway.events.channel_clients):
+                clients.append((f"{name}.events[{index}]", channel.http))
         return clients
 
 

@@ -25,6 +25,9 @@ TOPICS = ("alerts", "telemetry", "scene", "motion", "status")
 
 _KINDS = ("call", "publish", "subscribe", "lookup", "join", "leave")
 _WEIGHTS = (50, 15, 10, 10, 8, 7)
+#: Publish-heavy mix for the push-profile seed band: event channels only
+#: carry traffic when publishes land, and early subscribes open them.
+_PUSH_WEIGHTS = (20, 45, 20, 5, 5, 5)
 _OPERATIONS = ("get", "add", "echo", "fail")
 _OP_WEIGHTS = (40, 30, 20, 10)
 
@@ -69,9 +72,17 @@ class WorkloadOp:
 
 
 class WorkloadGen:
-    """Draws a workload script from a topology spec's seed."""
+    """Draws a workload script from a topology spec's seed.
 
-    def generate(self, spec: TopologySpec, steps: int) -> list[WorkloadOp]:
+    ``profile="push"`` shifts the kind weights toward publish/subscribe
+    (see ``_PUSH_WEIGHTS``); ``"default"`` keeps the historical draw so
+    pinned seeds replay byte-identically.
+    """
+
+    def generate(
+        self, spec: TopologySpec, steps: int, profile: str = "default"
+    ) -> list[WorkloadOp]:
+        weights = _PUSH_WEIGHTS if profile == "push" else _WEIGHTS
         rng = random.Random(f"testkit:workload:{spec.seed}")
         islands = spec.island_names
         # Track the catalog the script *intends* to exist so later ops can
@@ -86,7 +97,7 @@ class WorkloadGen:
         t = 0.0
         for index in range(steps):
             t += rng.uniform(0.05, 1.5)
-            kind = rng.choices(_KINDS, weights=_WEIGHTS)[0]
+            kind = rng.choices(_KINDS, weights=weights)[0]
             island = rng.choice(islands)
             if kind == "leave" and not alive[island]:
                 kind = "publish"  # nothing left to withdraw; stay deterministic

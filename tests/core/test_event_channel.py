@@ -1,0 +1,249 @@
+"""Push event channel: negotiation, latency, coalescing, acks, fallback.
+
+Two PUSH_INTERCHANGE islands must stream events over a held exchange with
+no polling; anything less than two-sided opt-in must stay on the poll
+wire; and a dead channel must degrade to polling without losing events,
+then re-establish behind the resilience backoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.framework import MetaMiddleware
+from repro.errors import TransportError
+from repro.net.network import Network
+from repro.net.segment import EthernetSegment
+from repro.net.simkernel import Simulator
+from repro.soap.http import FAST_INTERCHANGE, PUSH_INTERCHANGE, InterchangeConfig
+
+
+def build_home(
+    a_cfg: InterchangeConfig | None,
+    b_cfg: InterchangeConfig | None,
+    poll_interval: float = 2.0,
+):
+    """Two bare islands (no PCMs) with per-island interchange configs."""
+    sim = Simulator()
+    net = Network(sim)
+    backbone = net.create_segment(EthernetSegment, "backbone")
+    mm = MetaMiddleware(net, backbone)
+    island_a = mm.add_island("a", None, interchange=a_cfg, poll_interval=poll_interval)
+    island_b = mm.add_island("b", None, interchange=b_cfg, poll_interval=poll_interval)
+    sim.run_until_complete(mm.connect())
+    return sim, mm, island_a, island_b
+
+
+def subscribe(sim, island, topic, sink):
+    return sim.run_until_complete(
+        island.gateway.subscribe(topic, lambda t, p, i: sink.append(p))
+    )
+
+
+class TestChannelEstablishment:
+    def test_push_pair_opens_channel_and_stops_polling(self):
+        sim, mm, a, b = build_home(PUSH_INTERCHANGE, PUSH_INTERCHANGE)
+        received: list = []
+        assert subscribe(sim, b, "t", received) == 1
+        router = b.gateway.events
+        assert len(router._channels) == 1
+        assert router._poll_timers == {}
+        polls_before = router.polls_performed
+        sim.run_for(30.0)
+        assert router.polls_performed == polls_before
+        a.gateway.publish_event("t", 1)
+        sim.run_for(1.0)
+        assert received == [1]
+
+    def test_channel_needs_both_sides_to_opt_in(self):
+        pairings = (
+            (FAST_INTERCHANGE, PUSH_INTERCHANGE),  # publisher lacks the route
+            (PUSH_INTERCHANGE, FAST_INTERCHANGE),  # subscriber lacks the config
+            (None, PUSH_INTERCHANGE),  # legacy publisher
+        )
+        for a_cfg, b_cfg in pairings:
+            sim, mm, a, b = build_home(a_cfg, b_cfg)
+            received: list = []
+            subscribe(sim, b, "t", received)
+            router = b.gateway.events
+            assert router._channels == {}
+            assert len(router._poll_timers) == 1
+            a.gateway.publish_event("t", "polled")
+            sim.run_for(5.0)
+            assert received == ["polled"]
+
+
+class TestPushDelivery:
+    def test_notification_latency_is_rtt_not_poll_interval(self):
+        sim, mm, a, b = build_home(
+            PUSH_INTERCHANGE, PUSH_INTERCHANGE, poll_interval=5.0
+        )
+        delivered_at: list = []
+        sim.run_until_complete(
+            b.gateway.subscribe("t", lambda t, p, i: delivered_at.append(sim.now))
+        )
+        sim.run_for(1.0)  # wait is parked on the publisher
+        published_at = sim.now
+        a.gateway.publish_event("t", "x")
+        sim.run_for(1.0)
+        assert len(delivered_at) == 1
+        assert delivered_at[0] - published_at < 0.05
+
+    def test_same_instant_burst_coalesces_into_one_frame(self):
+        sim, mm, a, b = build_home(PUSH_INTERCHANGE, PUSH_INTERCHANGE)
+        received: list = []
+        subscribe(sim, b, "t", received)
+        sim.run_for(1.0)
+        channel = next(iter(b.gateway.events._channels.values()))
+        for value in range(10):
+            a.gateway.publish_event("t", value)
+        sim.run_for(1.0)
+        assert received == list(range(10))
+        assert channel.frames_received == 1
+        assert a.gateway.events.events_pushed == 10
+
+    def test_flush_window_coalesces_spread_burst(self):
+        cfg = replace(PUSH_INTERCHANGE, event_flush_window=0.5)
+        sim, mm, a, b = build_home(cfg, cfg)
+        received: list = []
+        subscribe(sim, b, "t", received)
+        sim.run_for(1.0)
+        channel = next(iter(b.gateway.events._channels.values()))
+        a.gateway.publish_event("t", 1)
+        sim.run_for(0.2)  # inside the window
+        a.gateway.publish_event("t", 2)
+        sim.run_for(2.0)
+        assert received == [1, 2]
+        assert channel.frames_received == 1
+
+    def test_idle_channel_sends_only_keepalives(self):
+        sim, mm, a, b = build_home(PUSH_INTERCHANGE, PUSH_INTERCHANGE)
+        received: list = []
+        subscribe(sim, b, "t", received)
+        router = b.gateway.events
+        channel = next(iter(router._channels.values()))
+        sim.run_for(60.0)
+        # event_max_hold=25 -> roughly two empty keepalive frames per
+        # minute, versus 30 fetch round trips at the default 2 s poll.
+        assert 1 <= channel.frames_received <= 4
+        assert router.polls_performed == 0
+        assert received == []
+
+
+class TestChannelDeath:
+    def test_killed_channel_falls_back_to_polling_without_losing_events(self):
+        sim, mm, a, b = build_home(PUSH_INTERCHANGE, PUSH_INTERCHANGE)
+        received: list = []
+        subscribe(sim, b, "t", received)
+        sim.run_for(1.0)
+        router = b.gateway.events
+        channel = next(iter(router._channels.values()))
+        # Disable re-establishment so the fallback path stays observable.
+        b.gateway.protocol.interchange = FAST_INTERCHANGE
+        channel.kill(TransportError("injected channel death"))
+        assert router._channels == {}
+        assert len(router._poll_timers) == 1
+        assert router.channel_deaths == 1
+        a.gateway.publish_event("t", "via-poll")
+        sim.run_for(5.0)
+        assert received == ["via-poll"]
+        assert router.polls_performed > 0
+
+    def test_reannounce_reopens_channel_after_death(self):
+        sim, mm, a, b = build_home(PUSH_INTERCHANGE, PUSH_INTERCHANGE)
+        received: list = []
+        subscribe(sim, b, "t", received)
+        sim.run_for(1.0)
+        router = b.gateway.events
+        next(iter(router._channels.values())).kill(TransportError("injected"))
+        assert router._channels == {}
+        # First retry fires at the resilience backoff's initial delay.
+        sim.run_for(5.0)
+        assert len(router._channels) == 1
+        assert router.channels_opened == 2
+        assert router._poll_timers == {}
+        a.gateway.publish_event("t", "via-new-channel")
+        sim.run_for(1.0)
+        assert received == ["via-new-channel"]
+
+    def test_breaker_open_kills_channel_immediately(self):
+        sim, mm, a, b = build_home(PUSH_INTERCHANGE, PUSH_INTERCHANGE)
+        received: list = []
+        subscribe(sim, b, "t", received)
+        router = b.gateway.events
+        assert len(router._channels) == 1
+        router.on_island_unreachable("a")
+        assert router._channels == {}
+        assert len(router._poll_timers) == 1
+
+    def test_shutdown_quiesces_channels(self):
+        sim, mm, a, b = build_home(PUSH_INTERCHANGE, PUSH_INTERCHANGE)
+        received: list = []
+        subscribe(sim, b, "t", received)
+        router = b.gateway.events
+        assert len(router._channels) == 1
+        mm.shutdown()
+        sim.run_for(120.0)
+        assert router._channels == {}
+        for channel in router.channel_clients:
+            assert channel.http.open_connections() == []
+
+
+class TestPublisherWaitProtocol:
+    """Unit-level publisher semantics through handle_wait/handle_fetch."""
+
+    def _router(self):
+        sim, mm, a, b = build_home(PUSH_INTERCHANGE, PUSH_INTERCHANGE)
+        router = a.gateway.events
+        router.handle_subscribe("ghost", "t", "")
+        return sim, router
+
+    def test_wait_parks_until_publish_then_flushes_batch(self):
+        sim, router = self._router()
+        held = router.handle_wait("ghost", 0, 10.0)
+        assert not held.done()
+        router.publish("t", 1)
+        router.publish("t", 2)
+        sim.run_for(0.01)
+        batch, events = held.result()
+        assert batch == 1
+        assert [event["payload"] for event in events] == [1, 2]
+
+    def test_unacked_batch_redelivered_on_reconnect(self):
+        sim, router = self._router()
+        held = router.handle_wait("ghost", 0, 10.0)
+        router.publish("t", "x")
+        sim.run_for(0.01)
+        batch, events = held.result()
+        # The subscriber never acked (channel died mid-response): a new
+        # wait carrying the stale ack gets the batch again, immediately.
+        again = router.handle_wait("ghost", 0, 10.0)
+        assert again.done()
+        assert again.result() == (batch, events)
+        # Acking releases the retained copy; the next wait parks.
+        parked = router.handle_wait("ghost", batch, 10.0)
+        assert not parked.done()
+
+    def test_unacked_batch_folds_into_fallback_fetch(self):
+        sim, router = self._router()
+        held = router.handle_wait("ghost", 0, 10.0)
+        router.publish("t", "lost")
+        sim.run_for(0.01)
+        assert held.done()
+        router.publish("t", "queued")  # channel already dead: plain queue
+        drained = router.handle_fetch("ghost")
+        assert [event["payload"] for event in drained] == ["lost", "queued"]
+        assert router.handle_fetch("ghost") == []
+
+    def test_hold_expiry_answers_empty_keepalive(self):
+        sim, router = self._router()
+        held = router.handle_wait("ghost", 0, 0.5)
+        sim.run_for(1.0)
+        assert held.result() == (0, [])
+
+    def test_new_wait_supersedes_stale_parked_wait(self):
+        sim, router = self._router()
+        stale = router.handle_wait("ghost", 0, 30.0)
+        fresh = router.handle_wait("ghost", 0, 30.0)
+        assert stale.done() and stale.result() == (0, [])
+        assert not fresh.done()

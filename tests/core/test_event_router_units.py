@@ -90,6 +90,58 @@ class TestEventRouterUnits:
             router.publish("t", value)
         assert len(router.delivery_log) == 3
 
+    def test_delivery_log_dropped_counts_entries_past_the_cap(self, gateway_pair):
+        sim, gw_a, gw_b = gateway_pair
+        router = gw_a.events
+        router.delivery_log_limit = 3
+        router._local_subs.setdefault("t", []).append(lambda *a: None)
+        for value in range(10):
+            router.publish("t", value)
+        assert router.delivery_log_dropped == 7
+        # Entries below the cap are never counted as dropped.
+        assert router.delivery_log_dropped + len(router.delivery_log) == 10
+
+
+class TestPollPruneOnUnregister:
+    """A gateway that leaves the VSR must stop costing poll round trips."""
+
+    def _subscribed(self, gateway_pair):
+        sim, gw_a, gw_b = gateway_pair
+        sim.run_until_complete(gw_b.subscribe("t", lambda *a: None))
+        router = gw_b.events
+        assert len(router._poll_timers) == 1
+        return sim, gw_a, gw_b, router
+
+    def test_vsr_unregister_chain(self, gateway_pair):
+        sim, gw_a, gw_b = gateway_pair
+        assert sim.run_until_complete(gw_a.unregister_with_directory()) is True
+        islands = sim.run_until_complete(gw_b.vsr.list_gateways())
+        assert "a" not in islands
+        # A second unregister is a no-op, not an error.
+        assert sim.run_until_complete(gw_a.unregister_with_directory()) is False
+
+    def test_poll_loop_pruned_after_island_leaves_vsr(self, gateway_pair):
+        sim, gw_a, gw_b, router = self._subscribed(gateway_pair)
+        location = next(iter(router._poll_timers))
+        sim.run_until_complete(gw_a.unregister_with_directory())
+        gw_a.protocol.stop()  # island goes dark: polls start failing
+        sim.run_for(30.0)
+        # Two consecutive failures trigger the registry check, the check
+        # finds the island gone, and the loop (plus its state) is pruned.
+        assert router._poll_timers == {}
+        assert location not in router._remote_islands
+        assert location not in router._poll_failures
+
+    def test_registered_island_keeps_its_poll_loop_through_failures(
+        self, gateway_pair
+    ):
+        sim, gw_a, gw_b, router = self._subscribed(gateway_pair)
+        gw_a.protocol.stop()  # down, but still in the directory
+        sim.run_for(30.0)
+        # The registry still lists "a" (an outage, not a departure), so
+        # polling continues for when the island comes back.
+        assert len(router._poll_timers) == 1
+
 
 class TestGatewayControlOps:
     def test_ping_identifies_the_island(self, gateway_pair):

@@ -15,7 +15,7 @@ from repro.net.monitor import TrafficMonitor
 from repro.net.network import Network
 from repro.net.segment import EthernetSegment
 from repro.net.simkernel import Simulator
-from repro.soap.http import FAST_INTERCHANGE, InterchangeConfig
+from repro.soap.http import FAST_INTERCHANGE, PUSH_INTERCHANGE, InterchangeConfig
 
 ALPHA_IFACE = simple_interface("Alpha", {"ping": ("string", "->string")})
 BETA_IFACE = simple_interface("Beta", {"ping": ("string", "->string")})
@@ -113,3 +113,81 @@ class TestLegacySideByteIdentity:
         against_fast = self._legacy_island_frames(FAST_INTERCHANGE)
         assert against_legacy == against_fast
         assert len(against_legacy) > 0
+
+    def _legacy_event_frames(self, b_cfg: InterchangeConfig | None):
+        """Frame trace of island a running the legacy *event* wire —
+        subscribe announce plus poll round trips — against peer b."""
+        sim, mm, a, b, monitor = build_mixed_home(None, b_cfg, trace=True)
+        hw = str(a.node.interfaces[0].hw_address)
+        received: list = []
+        sim.run_until_complete(
+            a.gateway.subscribe("news", lambda t, p, i: received.append(p))
+        )
+        # Publish at a fixed absolute instant: the event's embedded
+        # ``published_at`` must not vary with the peer's startup timing.
+        sim.run_for(30.0 - sim.now)
+        b.gateway.publish_event("news", "payload-1")
+        sim.run_for(6.0)
+        assert received == ["payload-1"]
+        return [
+            (entry.protocol, entry.src, entry.dst, entry.size, entry.note)
+            for entry in monitor.trace
+            if entry.src == hw or entry.dst == hw
+        ]
+
+    def test_legacy_event_wire_unchanged_by_push_peer(self):
+        """A legacy subscriber polling a push-capable publisher sees the
+        exact frames it would see against a legacy publisher: the channel
+        route and feature token only surface for peers that advertise."""
+        against_legacy = self._legacy_event_frames(None)
+        against_push = self._legacy_event_frames(PUSH_INTERCHANGE)
+        assert against_legacy == against_push
+        assert len(against_legacy) > 0
+
+
+class TestPushFallbackMatrix:
+    """Mixed push capability must negotiate down to polling, and a
+    two-sided push pair must leave the poll wire entirely."""
+
+    def _home_with_subscription(
+        self, a_cfg: InterchangeConfig | None, b_cfg: InterchangeConfig | None
+    ):
+        sim, mm, a, b, monitor = build_mixed_home(a_cfg, b_cfg, trace=False)
+        events: list = []
+        sim.run_until_complete(
+            b.gateway.subscribe("news", lambda t, p, i: events.append(p))
+        )
+        return sim, mm, a, b, events
+
+    def test_push_island_with_legacy_peer_degrades_to_polling(self):
+        sim, mm, a, b, events = self._home_with_subscription(None, PUSH_INTERCHANGE)
+        router = b.gateway.events
+        assert router._channels == {}
+        assert len(router._poll_timers) == 1
+        a.gateway.publish_event("news", "flash")
+        sim.run_for(5.0)
+        assert events == ["flash"]
+        assert router.polls_performed > 0
+
+    def test_push_island_with_fast_peer_degrades_to_polling(self):
+        sim, mm, a, b, events = self._home_with_subscription(
+            FAST_INTERCHANGE, PUSH_INTERCHANGE
+        )
+        router = b.gateway.events
+        assert router._channels == {}
+        a.gateway.publish_event("news", "flash")
+        sim.run_for(5.0)
+        assert events == ["flash"]
+
+    def test_push_pair_opens_channel_and_stops_polls(self):
+        sim, mm, a, b, events = self._home_with_subscription(
+            PUSH_INTERCHANGE, PUSH_INTERCHANGE
+        )
+        router = b.gateway.events
+        assert len(router._channels) == 1
+        assert router._poll_timers == {}
+        polls_before = router.polls_performed
+        a.gateway.publish_event("news", "flash")
+        sim.run_for(5.0)
+        assert events == ["flash"]
+        assert router.polls_performed == polls_before

@@ -17,7 +17,9 @@ from repro.testkit import check, shrink_failure, sweep
 
 #: Never reorder or remove entries; append only.  A corpus seed that starts
 #: failing is a regression in the system or a newly-tightened oracle.
-CORPUS = list(range(30))
+#: Seeds 100-104 sit in the push-profile band (see repro.testkit.runner):
+#: push-capable islands, publish-heavy workloads, streamed event channels.
+CORPUS = list(range(30)) + [100, 101, 102, 103, 104]
 
 #: Sweep seeds live far above the corpus so the nightly never rechecks
 #: what every push already covers.
@@ -28,6 +30,49 @@ SWEEP_BASE = 10_000
 def test_corpus_seed_holds_all_invariants(seed: int) -> None:
     result = check(seed)
     assert result.ok, result.render_repro()
+
+
+def test_killed_channels_mid_run_keep_all_oracles() -> None:
+    """Killing every live push channel mid-workload must not silently
+    drop calls, leak pooled connections or unbalance frame accounting —
+    the subscriber falls back to polling and later re-establishes."""
+    from repro.errors import TransportError
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan
+    from repro.testkit.oracles import InvariantSuite
+    from repro.testkit.runner import QUIESCE_MARGIN, generate
+    from repro.testkit.topology import build_world
+    from repro.testkit.workload import WorkloadRunner
+
+    spec, ops, _faults = generate(101)  # push-profile seed, no extra faults
+    world = build_world(spec)
+    suite = InvariantSuite(world)
+    runner = WorkloadRunner(world)
+    world.sim.run_until_complete(world.mm.connect())
+    start = world.sim.now
+    runner.schedule(ops, start)
+
+    killed: list = []
+
+    def kill_live_channels() -> None:
+        for island in world.mm.islands.values():
+            for channel in list(island.gateway.events._channels.values()):
+                channel.kill(TransportError("testkit channel kill"))
+                killed.append(channel)
+
+    horizon = max(op.time for op in ops)
+    for fraction in (0.4, 0.6, 0.8):
+        world.sim.at(start + horizon * fraction, kill_live_channels)
+
+    injector = FaultInjector(world.network, FaultPlan(seed=spec.seed), mm=world.mm).arm()
+    end = start + horizon + 1.0
+    world.sim.run(until=end)
+    world.mm.shutdown()
+    world.sim.run(until=end + QUIESCE_MARGIN)
+
+    violations = suite.finish(runner, injector.report())
+    assert killed, "no live channels to kill: seed no longer opens any"
+    assert violations == [], "\n".join(v.render() for v in violations)
 
 
 def test_sweep_random_seeds(request: pytest.FixtureRequest) -> None:
