@@ -48,6 +48,12 @@ def main() -> None:
     scenes.all_off()
     show_state(home, "after all_off():")
 
+    # Scenes are declarative rules underneath (see examples/automation.py
+    # for the full trigger->condition->action engine).
+    print("\nrules the controller materialized:")
+    for materialized in scenes.engine.rules:
+        print(f"  {materialized.name}")
+
 
 if __name__ == "__main__":
     main()

@@ -9,15 +9,20 @@
   recording integration (Internet TV-program service + VCR).
 - :mod:`repro.apps.multimedia` — the Section 4.2 event-based multimedia
   system, including the negative result it reproduces.
+- :mod:`repro.apps.automation` — the canned trigger→condition→action
+  scenarios on the :mod:`repro.rules` engine (scenes, presence AV
+  routing, mail notification, scheduled shutdown, degraded fallback).
 """
 
 from repro.apps.auto_recording import RecordingAgent, TvProgramService
+from repro.apps.automation import HomeAutomation, canned_scenarios
 from repro.apps.home import SmartHome, add_upnp_island, build_smart_home
 from repro.apps.multimedia import MultimediaOrchestrator
 from repro.apps.scenes import SceneController
 from repro.apps.universal_remote import UniversalRemote
 
 __all__ = [
+    "HomeAutomation",
     "MultimediaOrchestrator",
     "RecordingAgent",
     "SceneController",
@@ -26,4 +31,5 @@ __all__ = [
     "UniversalRemote",
     "add_upnp_island",
     "build_smart_home",
+    "canned_scenarios",
 ]

@@ -1,0 +1,173 @@
+"""Canned automation scenarios on the rule engine.
+
+Each scenario is one declarative :class:`~repro.rules.engine.Rule` —
+trigger(s) → condition(s) → action(s) — spanning the bridged home's
+middleware islands.  They are the :mod:`repro.rules` counterpart of the
+paper's hand-wired demo applications: motion events arrive from the X10
+powerline, AV control goes to the HAVi bus, notifications ride the mail
+island, and every action travels the ordinary neutral call path.
+
+:class:`HomeAutomation` bundles the scenarios over a
+:class:`~repro.apps.home.SmartHome` and owns the engine lifecycle.  All
+time constants are parameterized by ``day`` (virtual seconds per
+simulated day) so examples and tests can run compressed days.
+"""
+
+from __future__ import annotations
+
+from repro.apps.home import SmartHome
+from repro.net.simkernel import SimFuture
+from repro.pcms.mail_pcm import MAIL_ARRIVED_TOPIC
+from repro.rules import dsl
+from repro.rules.engine import Rule, RuleEngine
+
+#: The hall motion sensor's X10 address (see ``home.py``'s device map).
+MOTION_ADDRESS = "A9"
+#: Tuner channel reserved for live surveillance viewing.
+SURVEILLANCE_CHANNEL = 99
+
+
+def evening_lights(day: float = 86400.0) -> Rule:
+    """At dusk (18:00), turn on every lamp in the house."""
+    return (
+        dsl.rule("evening-lights")
+        .describe("dusk: all lamps on")
+        .when(dsl.daily_at(18 / 24 * day, day=day))
+        .then(dsl.sweep(("turn_on",), x10_kind="lamp"))
+        .build()
+    )
+
+
+def presence_av_routing(cooldown: float = 60.0) -> Rule:
+    """Hall motion routes the DV camera to the TV (the Section 4.2
+    multimedia scenario, now declarative): power the display, switch it to
+    the 1394 input, start the camera."""
+    return (
+        dsl.rule("presence-av-routing")
+        .describe("hall motion: show hall camera on the TV")
+        .when(dsl.on_event("x10.ON"))
+        .only_if(dsl.payload("address").eq(MOTION_ADDRESS))
+        .then(
+            dsl.invoke("Digital_TV_display", "power_on"),
+            dsl.invoke("Digital_TV_display", "set_input", "1394"),
+            dsl.invoke("DV_Camera_camera", "start_capture"),
+        )
+        .cooldown(cooldown)
+        .build()
+    )
+
+
+def mail_arrival_notify() -> Rule:
+    """New mail flashes the hall lamp and shows the subject on the TV."""
+    return (
+        dsl.rule("mail-arrival-notify")
+        .describe("mail arrival: hall lamp + on-screen subject")
+        .when(dsl.on_event(MAIL_ARRIVED_TOPIC))
+        .then(
+            dsl.invoke("X10_A1_hall_lamp", "turn_on"),
+            dsl.invoke("Digital_TV_display", "show_message", dsl.event("subject")),
+            dsl.publish("home.notify", kind="mail", subject=dsl.event("subject")),
+        )
+        .build()
+    )
+
+
+def nightly_shutdown(day: float = 86400.0) -> Rule:
+    """At 03:00 every device with an off operation is switched off."""
+    return (
+        dsl.rule("nightly-shutdown")
+        .describe("03:00: whole-house off sweep")
+        .when(dsl.daily_at(3 / 24 * day, day=day))
+        .then(dsl.sweep("off"))
+        .build()
+    )
+
+
+def motion_record(cooldown: float = 120.0) -> Rule:
+    """Any X10 ON event starts a DV recording — *unless* the TV tuner is
+    already on the surveillance channel (someone is watching live), a
+    cross-island condition read from HAVi state at fire time.  Note the
+    prefix trigger: ``x10.*`` would also catch DIM/BRIGHT, so the payload
+    condition narrows to ON."""
+    return (
+        dsl.rule("motion-record")
+        .describe("motion: record hall camera unless watched live")
+        .when(dsl.on_event("x10.*"))
+        .only_if(
+            dsl.payload("function").eq("ON"),
+            dsl.service_state("Digital_TV_tuner", "get_channel").ne(
+                SURVEILLANCE_CHANNEL
+            ),
+            dsl.vsr_has(room="hall"),  # a hall camera/device to record from
+        )
+        .then(dsl.invoke("DV_Camera_vcr", "record"))
+        .cooldown(cooldown)
+        .build()
+    )
+
+
+def degraded_fallback(island: str, check_interval: float = 600.0) -> Rule:
+    """When ``island``'s outbound calls keep failing (resilience counter
+    past threshold), fall back to powerline-only lighting so the house
+    stays usable — and announce the degraded mode on the event bus.
+    Meaningful with observability enabled; with metrics off the counter
+    reads 0 and the rule stays quiet."""
+    return (
+        dsl.rule("degraded-fallback")
+        .describe(f"{island} degraded: lamps on via X10, announce")
+        .when(dsl.every(check_interval))
+        .only_if(dsl.metric(f"resilience.{island}.failures").ge(3))
+        .then(
+            dsl.sweep(("turn_on",), x10_kind="lamp"),
+            dsl.publish("home.degraded", island=island),
+        )
+        .cooldown(check_interval * 2)
+        .build()
+    )
+
+
+def canned_scenarios(day: float = 86400.0, island: str = "havi") -> list[Rule]:
+    """The six stock scenarios, scaled to a ``day``-second day."""
+    scale = day / 86400.0
+    return [
+        evening_lights(day=day),
+        presence_av_routing(cooldown=60.0 * scale),
+        mail_arrival_notify(),
+        nightly_shutdown(day=day),
+        motion_record(cooldown=120.0 * scale),
+        degraded_fallback(island, check_interval=600.0 * scale),
+    ]
+
+
+class HomeAutomation:
+    """The canned scenarios armed over a built home."""
+
+    def __init__(
+        self,
+        home: SmartHome,
+        from_island: str = "havi",
+        day: float = 86400.0,
+        mail_user: str = "resident@home.sim",
+        mail_poll: float | None = None,
+    ) -> None:
+        self.home = home
+        self.engine = RuleEngine(home.island(from_island).gateway)
+        self.day = day
+        self.mail_user = mail_user
+        self.mail_poll = mail_poll if mail_poll is not None else day / 288.0
+        for rule in canned_scenarios(day=day, island=from_island):
+            self.engine.add_rule(rule)
+
+    def start(self) -> SimFuture:
+        """Arm everything: mail watcher (so ``mail.arrived`` flows) plus
+        the engine's subscriptions and schedules."""
+        mail_island = self.home.islands.get("mail")
+        if mail_island is not None:
+            mail_island.pcm.watch_inbox(self.mail_user, interval=self.mail_poll)
+        return self.engine.start()
+
+    def stop(self) -> None:
+        self.engine.stop()
+        mail_island = self.home.islands.get("mail")
+        if mail_island is not None:
+            mail_island.pcm.stop_watching(self.mail_user)

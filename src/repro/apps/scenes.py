@@ -10,25 +10,31 @@ device, regardless of which middleware each lives on.
 context says ``room=living`` and applies its natural "off" operation —
 ``power_off`` on the HAVi TV, ``turn_off`` on X10 modules, ``stop`` on the
 Jini Laserdisc — through the ordinary neutral call path.
+
+Since the automation engine landed, a scene is just a one-action rule
+(:class:`~repro.rules.actions.ContextSweepAction`) fired by hand; this
+controller keeps its original synchronous API as a thin shim over a
+:class:`~repro.rules.engine.RuleEngine`.  Each scene rule also carries a
+``scene.<name>`` event trigger, so starting the engine lets any island
+fire scenes by publishing that event.
 """
 
 from __future__ import annotations
 
-from repro.net.simkernel import SimFuture
-from repro.soap.wsdl import WsdlDocument
 from repro.apps.home import SmartHome
+from repro.rules.actions import SWEEP_PRESETS, pick_operation
+from repro.rules.engine import Firing, RuleEngine
+from repro.rules import dsl
+from repro.soap.wsdl import WsdlDocument
 
 #: Preference order of "switch it off" operations.
-OFF_OPERATIONS = ("power_off", "turn_off", "stop", "stop_record", "stop_capture")
+OFF_OPERATIONS = SWEEP_PRESETS["off"]
 #: Preference order of "switch it on" operations.
-ON_OPERATIONS = ("power_on", "turn_on", "play", "start_capture")
+ON_OPERATIONS = SWEEP_PRESETS["on"]
 
 
 def _pick(document: WsdlDocument, candidates: tuple[str, ...]) -> str | None:
-    for operation in candidates:
-        if document.has_operation(operation):
-            return operation
-    return None
+    return pick_operation(document, candidates)
 
 
 class SceneController:
@@ -38,6 +44,7 @@ class SceneController:
         self.home = home
         island_name = from_island or next(iter(home.islands))
         self.gateway = home.island(island_name).gateway
+        self.engine = RuleEngine(self.gateway, label=f"scenes-{island_name}")
         self.actions_log: list[tuple[str, str, str]] = []
 
     # -- scenes ------------------------------------------------------------
@@ -60,20 +67,39 @@ class SceneController:
     # -- plumbing ------------------------------------------------------------
 
     def _apply(self, context: dict[str, str], candidates: tuple[str, ...]) -> int:
-        documents = self.home.sim.run_until_complete(self.gateway.vsr.find(context))
-        futures: list[SimFuture] = []
-        for document in documents:
-            operation = _pick(document, candidates)
-            if operation is None:
-                continue
-            self.actions_log.append(
-                (document.service, operation, document.context.get("island", "?"))
+        firing = self.home.sim.run_until_complete(
+            self.engine.fire(self._rule_for(context, candidates))
+        )
+        return self._log_firing(firing)
+
+    def _rule_for(self, context: dict[str, str], candidates: tuple[str, ...]) -> str:
+        """Materialize (once) the scene as a rule; returns its name."""
+        selector = ",".join(f"{k}={v}" for k, v in sorted(context.items())) or "*"
+        name = f"scene:{selector}:{candidates[0]}"
+        if not any(r.name == name for r in self.engine.rules):
+            self.engine.add_rule(
+                dsl.rule(name)
+                .when(dsl.on_event(f"scene.{name}"))
+                .then(dsl.sweep(candidates, **context))
+                .build()
             )
-            futures.append(self.gateway.invoke(document.service, operation, []))
-        for future in futures:
-            # Tolerate individual device failures: a scene is best-effort.
-            try:
-                self.home.sim.run_until_complete(future)
-            except Exception:
-                pass
-        return len(futures)
+        return name
+
+    def _log_firing(self, firing: Firing | None) -> int:
+        """Fold sweep results into the flat actions log; returns count."""
+        commanded = 0
+        if firing is None:
+            return commanded
+        for result in firing.results:
+            if not (isinstance(result, dict) and result.get("kind") == "sweep"):
+                continue
+            for invocation in result["invocations"]:
+                self.actions_log.append(
+                    (
+                        invocation["service"],
+                        invocation["operation"],
+                        invocation["island"],
+                    )
+                )
+                commanded += 1
+        return commanded

@@ -49,6 +49,46 @@ EventCallback = Callable[[str, Any, str], None]
 DEFAULT_POLL_INTERVAL = 2.0
 
 
+def topic_matches(pattern: str, topic: str) -> bool:
+    """True when ``topic`` is selected by ``pattern``.
+
+    A pattern is either an exact topic name or a prefix wildcard: a
+    trailing ``*`` matches any topic starting with the prefix before it
+    (``x10.*`` matches ``x10.ON`` and ``x10.OFF``; ``*`` alone matches
+    everything).  A ``*`` anywhere else has no special meaning — the
+    pattern then only matches itself, so exact-topic subscriptions keep
+    their historical equality semantics bit for bit.
+    """
+    if pattern == topic:
+        return True
+    if pattern.endswith("*"):
+        return topic.startswith(pattern[:-1])
+    return False
+
+
+class FullEventCallback:
+    """Wrap an event callback that wants the *whole* event record.
+
+    The plain :data:`EventCallback` contract hands subscribers
+    ``(topic, payload, source_island)`` — enough for display, too little
+    for exactly-once processing: the at-least-once delivery modes (poll
+    fallback folding, channel redelivery) can hand the same event to a
+    subscriber twice, and only the record's ``(island, sequence)`` pair
+    identifies it.  Subscribing with ``FullEventCallback(fn)`` delivers
+    ``fn(event_dict)`` with every field the publisher stamped —
+    ``topic``, ``payload``, ``island``, ``sequence``, ``published_at`` —
+    so consumers like ``repro.rules`` can deduplicate redeliveries.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[dict[str, Any]], None]) -> None:
+        self.fn = fn
+
+    def __call__(self, event: dict[str, Any]) -> None:
+        self.fn(event)
+
+
 class GatewayProtocol:
     """Strategy interface for the VSG interchange protocol."""
 
@@ -175,7 +215,10 @@ class EventRouter:
     def __init__(self, vsg: "VirtualServiceGateway") -> None:
         self.vsg = vsg
         self._local_subs: dict[str, list[EventCallback]] = {}
-        self._remote_subs: dict[str, set[str]] = {}  # island -> topics
+        #: Prefix-wildcard subscriptions (topic ends in ``*``), kept out of
+        #: the exact-match table so the historical fast path is untouched.
+        self._pattern_subs: dict[str, list[EventCallback]] = {}
+        self._remote_subs: dict[str, set[str]] = {}  # island -> topic patterns
         self._remote_locations: dict[str, str] = {}  # island -> control location
         self._queues: dict[str, list[dict[str, Any]]] = {}
         self._poll_timers: dict[str, Event] = {}
@@ -251,7 +294,12 @@ class EventRouter:
         }
         self._deliver_local(event)
         for island, topics in self._remote_subs.items():
-            if topic not in topics:
+            # Exact membership first (the historical path), then the
+            # wildcard scan — islands with only exact subscriptions never
+            # pay for pattern matching.
+            if topic not in topics and not any(
+                "*" in sub and topic_matches(sub, topic) for sub in topics
+            ):
                 continue
             if self.vsg.protocol.supports_push:
                 location = self._remote_locations.get(island)
@@ -269,6 +317,10 @@ class EventRouter:
 
     def _deliver_local(self, event: dict[str, Any]) -> None:
         callbacks = self._local_subs.get(event["topic"], [])
+        if self._pattern_subs:
+            for pattern, pattern_callbacks in self._pattern_subs.items():
+                if topic_matches(pattern, event["topic"]):
+                    callbacks = callbacks + pattern_callbacks
         if callbacks:
             if len(self.delivery_log) < self.delivery_log_limit:
                 published_at = float(event.get("published_at", self.vsg.sim.now))
@@ -287,7 +339,10 @@ class EventRouter:
         for callback in callbacks:
             self.events_delivered += 1
             self._m_delivered.inc()
-            callback(event["topic"], event["payload"], event["island"])
+            if isinstance(callback, FullEventCallback):
+                callback(event)
+            else:
+                callback(event["topic"], event["payload"], event["island"])
 
     # -- inbound control (called by the protocol's server side) --------------------
 
@@ -393,6 +448,10 @@ class EventRouter:
 
     # -- subscribing ------------------------------------------------------------
 
+    def _register_local(self, topic: str, callback: EventCallback) -> None:
+        table = self._pattern_subs if topic.endswith("*") else self._local_subs
+        table.setdefault(topic, []).append(callback)
+
     def subscribe(self, topic: str, callback: EventCallback) -> SimFuture:
         """Subscribe to ``topic`` everywhere.
 
@@ -400,8 +459,14 @@ class EventRouter:
         every other gateway listed in the VSR.  For pull protocols a poll
         loop per remote gateway starts (interval ``vsg.poll_interval``).
         Resolves to the number of remote gateways subscribed at.
+
+        ``topic`` may be a prefix pattern (trailing ``*``, see
+        :func:`topic_matches`): one announcement then covers every
+        matching topic at each publisher — the pattern string itself
+        travels on the wire, so exact subscriptions are byte-identical
+        to the pre-pattern protocol.
         """
-        self._local_subs.setdefault(topic, []).append(callback)
+        self._register_local(topic, callback)
         result: SimFuture = SimFuture()
 
         def on_gateways(future: SimFuture) -> None:
@@ -464,7 +529,7 @@ class EventRouter:
         queued for this island regardless of how it subscribed.
         """
         for topic in topics:
-            self._local_subs.setdefault(topic, []).append(callback)
+            self._register_local(topic, callback)
         result: SimFuture = SimFuture()
         if not topics:
             result.set_result(0)

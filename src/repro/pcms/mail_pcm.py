@@ -31,6 +31,8 @@ from repro.mail.smtp import SmtpClient
 
 SERVICE_NAME = "InternetMail"
 DEFAULT_SOURCE = "framework@home.sim"
+#: Topic published per message noticed by :meth:`MailPcm.watch_inbox`.
+MAIL_ARRIVED_TOPIC = "mail.arrived"
 
 
 class MailPcm(ProtocolConversionManager):
@@ -53,6 +55,8 @@ class MailPcm(ProtocolConversionManager):
         self.pop = PopClient(vsg.stack)
         self.mails_sent = 0
         self.events_forwarded = 0
+        self.mails_noticed = 0
+        self._watch_timers: dict[str, Any] = {}
 
     # -- Client Proxy: mail -> neutral ----------------------------------------------
 
@@ -138,3 +142,46 @@ class MailPcm(ProtocolConversionManager):
             )
 
         return self.vsg.subscribe(topic, on_event)
+
+    # -- inbound mail as framework events -------------------------------------------
+
+    def watch_inbox(self, user: str, interval: float = 30.0) -> None:
+        """Poll ``user``'s POP inbox on the simulation clock and publish a
+        :data:`MAIL_ARRIVED_TOPIC` framework event per fetched message.
+
+        This turns mail *arrival* into a trigger other islands (and the
+        rule engine) can react to — the inbound mirror of
+        :meth:`forward_events_to`.  POP fetches drain the mailbox, so each
+        poll sees only new mail.
+        """
+        if user in self._watch_timers:
+            return
+
+        def poll() -> None:
+            def on_fetched(future: SimFuture) -> None:
+                exc = future.exception()
+                if exc is None:
+                    for message in future.result():
+                        self.mails_noticed += 1
+                        self.vsg.publish_event(
+                            MAIL_ARRIVED_TOPIC,
+                            {
+                                "user": user,
+                                "from": message.sender,
+                                "subject": message.subject,
+                                "body": message.body,
+                            },
+                        )
+                if user in self._watch_timers:  # still watching
+                    self._watch_timers[user] = self.sim.schedule(interval, poll)
+
+            self.pop.fetch_all(
+                self.server_address, user, port=self.pop_port
+            ).add_done_callback(on_fetched)
+
+        self._watch_timers[user] = self.sim.schedule(interval, poll)
+
+    def stop_watching(self, user: str) -> None:
+        timer = self._watch_timers.pop(user, None)
+        if timer is not None:
+            timer.cancel()

@@ -1,0 +1,97 @@
+"""repro.rules — declarative cross-island automation.
+
+The paper's demo applications hand-wire each scenario; this package makes
+scenarios first-class data.  A :class:`Rule` is **trigger(s) →
+condition(s) → action(s)**:
+
+- *triggers* fire the rule: framework events from any middleware island
+  (X10 motion, HAVi stream state, mail arrival — delivered through the
+  :class:`~repro.core.vsg.EventRouter`, preferring streamed push
+  channels), or cron-like schedules driven deterministically off the
+  simulation clock;
+- *conditions* gate the firing: VSR context lookups, bridged service
+  state reads, observability metric values, predicates on the triggering
+  payload;
+- *actions* do the work: bridged service invocations through the
+  gateway's ordinary neutral call path (so the resilience layer's
+  deadlines, retries and circuit breakers apply unchanged), event
+  publishes, and context sweeps (the scene primitive).
+
+The :class:`RuleEngine` owns the firing state machine, including
+per-rule at-least-once deduplication: the push-channel delivery modes of
+the event interchange may redeliver an event, and a redelivered trigger
+must never double-fire an action.
+
+Construct rules with the :mod:`repro.rules.dsl` builder::
+
+    from repro.rules import RuleEngine, dsl
+
+    engine = RuleEngine(home.island("havi").gateway)
+    engine.add_rule(
+        dsl.rule("hall-motion-light")
+        .when(dsl.on_event("x10.ON"))
+        .only_if(dsl.payload("address").eq("A9"))
+        .then(dsl.invoke("X10_A1_hall_lamp", "turn_on"))
+        .build()
+    )
+    home.sim.run_until_complete(engine.start())
+
+See ``docs/AUTOMATION.md`` for the rule model, dedup semantics and
+scheduling determinism.
+"""
+
+from repro.rules.actions import (
+    Action,
+    ContextSweepAction,
+    EventRef,
+    InvokeAction,
+    PublishAction,
+    action_from_dict,
+)
+from repro.rules.conditions import (
+    AllOf,
+    AnyOf,
+    Condition,
+    MetricCondition,
+    Not,
+    PayloadCondition,
+    ServiceCondition,
+    VsrCondition,
+    condition_from_dict,
+)
+from repro.rules.engine import Firing, FiringContext, Rule, RuleEngine, rule_from_dict
+from repro.rules.triggers import (
+    EventTrigger,
+    ScheduleTrigger,
+    Trigger,
+    trigger_from_dict,
+)
+from repro.rules import dsl
+
+__all__ = [
+    "Action",
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "ContextSweepAction",
+    "EventRef",
+    "EventTrigger",
+    "Firing",
+    "FiringContext",
+    "InvokeAction",
+    "MetricCondition",
+    "Not",
+    "PayloadCondition",
+    "PublishAction",
+    "Rule",
+    "RuleEngine",
+    "ScheduleTrigger",
+    "ServiceCondition",
+    "Trigger",
+    "VsrCondition",
+    "action_from_dict",
+    "condition_from_dict",
+    "dsl",
+    "rule_from_dict",
+    "trigger_from_dict",
+]

@@ -1,0 +1,258 @@
+"""Fluent rule construction and canonical (de)serialization.
+
+The builder reads like the rule means::
+
+    dsl.rule("hall-motion-light")
+        .when(dsl.on_event("x10.ON"))
+        .only_if(dsl.payload("address").eq("A9"))
+        .then(dsl.invoke("X10_A1_hall_lamp", "turn_on"))
+        .build()
+
+    dsl.rule("nightly-shutdown")
+        .when(dsl.daily_at(3 * 3600.0, day=86400.0))
+        .then(dsl.sweep("off"))
+        .build()
+
+Rules round-trip losslessly: ``loads(dumps(rule)) == rule`` and
+``dumps`` is canonical (sorted keys, fixed separators), so rule sets can
+be diffed, hashed and replayed byte-identically by the testkit.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable
+
+from repro.errors import FrameworkError
+from repro.rules.actions import (
+    Action,
+    ContextSweepAction,
+    EventRef,
+    InvokeAction,
+    PublishAction,
+    sweep_operations,
+)
+from repro.rules.conditions import (
+    AllOf,
+    AnyOf,
+    Condition,
+    MetricCondition,
+    Not,
+    PayloadCondition,
+    ServiceCondition,
+    VsrCondition,
+)
+from repro.rules.engine import Rule, rule_from_dict
+from repro.rules.triggers import EventTrigger, ScheduleTrigger, Trigger
+
+# -- triggers -----------------------------------------------------------------
+
+
+def on_event(topic: str, island: str = "") -> EventTrigger:
+    """Fire on a framework event; ``topic`` may end in ``*`` (prefix)."""
+    return EventTrigger(topic=topic, source_island=island)
+
+
+def every(interval: float, offset: float = 0.0) -> ScheduleTrigger:
+    """Fire every ``interval`` virtual seconds."""
+    return ScheduleTrigger(interval=interval, offset=offset)
+
+
+def daily_at(time_of_day: float, day: float = 86400.0) -> ScheduleTrigger:
+    """Fire once per ``day``-second day, ``time_of_day`` seconds in."""
+    return ScheduleTrigger(interval=day, offset=time_of_day)
+
+
+def after(delay: float) -> ScheduleTrigger:
+    """Fire once, ``delay`` seconds after the engine starts."""
+    return ScheduleTrigger(interval=delay, offset=delay, repeat=False)
+
+
+# -- conditions ---------------------------------------------------------------
+
+
+class Comparable:
+    """Half-built predicate: pick the comparison to finish it."""
+
+    __slots__ = ("_factory",)
+
+    def __init__(self, factory: Callable[[str, Any], Condition]) -> None:
+        self._factory = factory
+
+    def eq(self, value: Any) -> Condition:
+        return self._factory("eq", value)
+
+    def ne(self, value: Any) -> Condition:
+        return self._factory("ne", value)
+
+    def lt(self, value: Any) -> Condition:
+        return self._factory("lt", value)
+
+    def le(self, value: Any) -> Condition:
+        return self._factory("le", value)
+
+    def gt(self, value: Any) -> Condition:
+        return self._factory("gt", value)
+
+    def ge(self, value: Any) -> Condition:
+        return self._factory("ge", value)
+
+    def contains(self, value: Any) -> Condition:
+        return self._factory("contains", value)
+
+    def truthy(self) -> Condition:
+        return self._factory("truthy", None)
+
+
+def payload(key: str = "") -> Comparable:
+    """Predicate on the triggering event's payload (or one field of it)."""
+    return Comparable(lambda op, value: PayloadCondition(key=key, op=op, value=value))
+
+
+def service_state(service: str, operation: str, *args: Any) -> Comparable:
+    """Predicate on a bridged service read, e.g.
+    ``service_state("Digital_TV_tuner", "get_channel").eq(7)``."""
+    return Comparable(
+        lambda op, value: ServiceCondition(
+            service=service, operation=operation, args=tuple(args), op=op, value=value
+        )
+    )
+
+
+def metric(name: str, instrument: str = "counter") -> Comparable:
+    """Predicate on a live observability instrument."""
+    return Comparable(
+        lambda op, value: MetricCondition(
+            name=name, instrument=instrument, op=op, value=value
+        )
+    )
+
+
+def vsr_has(min_count: int = 1, **context: str) -> VsrCondition:
+    """At least ``min_count`` services match the VSR context filter."""
+    return VsrCondition(
+        context=tuple(sorted((k, str(v)) for k, v in context.items())),
+        min_count=min_count,
+    )
+
+
+def all_of(*conditions: Condition) -> AllOf:
+    return AllOf(conditions=tuple(conditions))
+
+
+def any_of(*conditions: Condition) -> AnyOf:
+    return AnyOf(conditions=tuple(conditions))
+
+
+def negate(condition: Condition) -> Not:
+    return Not(condition=condition)
+
+
+# -- actions ------------------------------------------------------------------
+
+
+def event(key: str = "") -> EventRef:
+    """Placeholder resolved from the triggering event at fire time."""
+    return EventRef(key=key)
+
+
+def invoke(service: str, operation: str, *args: Any) -> InvokeAction:
+    """Invoke one bridged service operation (args may embed ``event(...)``)."""
+    return InvokeAction(service=service, operation=operation, args=tuple(args))
+
+
+def publish(topic: str, **payload: Any) -> PublishAction:
+    """Publish a framework event."""
+    return PublishAction(topic=topic, payload=tuple(sorted(payload.items())))
+
+
+def sweep(operations: Any = "off", **context: str) -> ContextSweepAction:
+    """The scene primitive: ``sweep("off", room="living")``.
+
+    ``operations`` is a preset name (``"off"``/``"on"``) or an explicit
+    preference-ordered sequence of operation names.
+    """
+    return ContextSweepAction(
+        context=tuple(sorted((k, str(v)) for k, v in context.items())),
+        operations=sweep_operations(operations),
+    )
+
+
+# -- the builder --------------------------------------------------------------
+
+
+class RuleBuilder:
+    """Accumulates triggers/conditions/actions; :meth:`build` validates."""
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._triggers: list[Trigger] = []
+        self._conditions: list[Condition] = []
+        self._actions: list[Action] = []
+        self._cooldown = 0.0
+        self._enabled = True
+        self._description = ""
+
+    def when(self, *triggers: Trigger) -> "RuleBuilder":
+        self._triggers.extend(triggers)
+        return self
+
+    def only_if(self, *conditions: Condition) -> "RuleBuilder":
+        self._conditions.extend(conditions)
+        return self
+
+    def then(self, *actions: Action) -> "RuleBuilder":
+        self._actions.extend(actions)
+        return self
+
+    def cooldown(self, seconds: float) -> "RuleBuilder":
+        """Minimum gap between firings (new occurrences inside the gap are
+        suppressed permanently, not queued)."""
+        self._cooldown = seconds
+        return self
+
+    def disabled(self) -> "RuleBuilder":
+        self._enabled = False
+        return self
+
+    def describe(self, text: str) -> "RuleBuilder":
+        self._description = text
+        return self
+
+    def build(self) -> Rule:
+        return Rule(
+            name=self._name,
+            triggers=tuple(self._triggers),
+            conditions=tuple(self._conditions),
+            actions=tuple(self._actions),
+            cooldown=self._cooldown,
+            enabled=self._enabled,
+            description=self._description,
+        )
+
+
+def rule(name: str) -> RuleBuilder:
+    """Start building a rule."""
+    return RuleBuilder(name)
+
+
+# -- serialization ------------------------------------------------------------
+
+
+def dumps(rules: Rule | list[Rule] | tuple[Rule, ...]) -> str:
+    """Canonical JSON for one rule or a rule set (sorted keys, compact)."""
+    if isinstance(rules, Rule):
+        return rules.canonical_json()
+    return json.dumps(
+        [r.to_dict() for r in rules], sort_keys=True, separators=(",", ":")
+    )
+
+
+def loads(text: str) -> Rule | list[Rule]:
+    """Inverse of :func:`dumps`."""
+    data = json.loads(text)
+    if isinstance(data, dict):
+        return rule_from_dict(data)
+    if isinstance(data, list):
+        return [rule_from_dict(item) for item in data]
+    raise FrameworkError("expected a rule object or a list of rules")

@@ -1,0 +1,127 @@
+"""Rule triggers: what makes a rule fire.
+
+Two kinds, both pure frozen data (rules serialize canonically, and the
+testkit replays rule sets from specs):
+
+- :class:`EventTrigger` — a framework event topic, exact or prefix
+  wildcard (see :func:`repro.core.vsg.topic_matches`).  The engine
+  subscribes through the island's :class:`~repro.core.vsg.EventRouter`,
+  so delivery rides whatever the interchange negotiated — streamed push
+  channels when available, polling otherwise — and each occurrence is
+  identified by the publisher's ``(island, sequence)`` stamp for dedup.
+- :class:`ScheduleTrigger` — a cron-like periodic schedule evaluated on
+  the simulation clock.  Occurrence times are computed *closed-form*
+  (``epoch + offset + n*interval`` with integer ``n``), never by
+  accumulating increments, so two runs of the same seed produce exactly
+  the same instants and the testkit's schedule-determinism oracle can
+  check them with float equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import FrameworkError
+
+
+class Trigger:
+    """Marker base class; concrete triggers are frozen dataclasses."""
+
+    kind = "abstract"
+
+    def to_dict(self) -> dict[str, Any]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class EventTrigger(Trigger):
+    """Fire on a framework event.
+
+    ``topic`` may be exact (``x10.ON``) or a prefix pattern (``x10.*``).
+    ``source_island`` optionally restricts to events published by one
+    island ("" = any).
+    """
+
+    topic: str
+    source_island: str = ""
+
+    kind = "event"
+
+    def matches(self, event: dict[str, Any]) -> bool:
+        from repro.core.vsg import topic_matches
+
+        if not topic_matches(self.topic, event["topic"]):
+            return False
+        return not self.source_island or event["island"] == self.source_island
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"kind": self.kind, "topic": self.topic}
+        if self.source_island:
+            data["source_island"] = self.source_island
+        return data
+
+
+@dataclass(frozen=True)
+class ScheduleTrigger(Trigger):
+    """Fire every ``interval`` virtual seconds, phase-shifted by ``offset``.
+
+    The first occurrence is the earliest ``epoch + offset + n*interval``
+    (integer ``n >= 0``) at or after the engine arms the trigger, where
+    ``epoch`` is the engine's start instant.  ``repeat=False`` fires once.
+    A daily 03:00 job in a world whose day is ``day`` seconds long is
+    ``ScheduleTrigger(interval=day, offset=3 * 3600.0)``.
+    """
+
+    interval: float
+    offset: float = 0.0
+    repeat: bool = True
+
+    kind = "schedule"
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise FrameworkError(f"schedule interval must be positive, got {self.interval!r}")
+        if self.offset < 0:
+            raise FrameworkError(f"schedule offset must be >= 0, got {self.offset!r}")
+
+    def occurrence(self, epoch: float, n: int) -> float:
+        """The ``n``-th occurrence instant — closed form, no accumulation."""
+        return epoch + self.offset + n * self.interval
+
+    def first_occurrence_index(self, epoch: float, now: float) -> int:
+        """Smallest ``n >= 0`` whose occurrence is at or after ``now``."""
+        if now <= epoch + self.offset:
+            return 0
+        periods = (now - epoch - self.offset) / self.interval
+        n = int(periods)
+        if self.occurrence(epoch, n) < now:
+            n += 1
+        return n
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "kind": self.kind,
+            "interval": self.interval,
+            "offset": self.offset,
+        }
+        if not self.repeat:
+            data["repeat"] = False
+        return data
+
+
+def trigger_from_dict(data: dict[str, Any]) -> Trigger:
+    """Inverse of ``Trigger.to_dict`` (canonical rule deserialization)."""
+    kind = data.get("kind")
+    if kind == "event":
+        return EventTrigger(
+            topic=str(data["topic"]),
+            source_island=str(data.get("source_island", "")),
+        )
+    if kind == "schedule":
+        return ScheduleTrigger(
+            interval=float(data["interval"]),
+            offset=float(data.get("offset", 0.0)),
+            repeat=bool(data.get("repeat", True)),
+        )
+    raise FrameworkError(f"unknown trigger kind {kind!r}")

@@ -17,6 +17,14 @@ fault schedule — declared failures are always legal, silent ones never:
   crashed peers leak at the transport level by design).
 - **span-hygiene** — when tracing is on, every started span is finished
   and every parent id resolves inside its own trace.
+- **rule-dedup** — on rules-profile seeds, no rule engine ever fires
+  twice for one occurrence key: at-least-once event redelivery (and any
+  other duplicate trigger path) must be absorbed by the engines' dedup
+  windows, never turned into duplicate actions.
+- **rule-schedule** — every scheduled firing a rules-profile engine
+  logged happened at exactly the closed-form instant
+  ``epoch + offset + n * interval``: schedule state is derived, never
+  accumulated, so faults and load cannot drift the timetable.
 - **conservation** — per-segment delivery accounting balances, the
   monitor agrees with the segments, and every monitored drop is claimed
   by exactly one fault-report loss window.  Push event channels need no
@@ -96,6 +104,7 @@ class InvariantSuite:
         self._check_vsr(runner)
         self._check_pools()
         self._check_spans()
+        self._check_rules()
         self._check_conservation(report)
         return self.violations
 
@@ -179,6 +188,53 @@ class InvariantSuite:
                         f"{span.parent_id} outside its own trace",
                     )
                 )
+
+    def _check_rules(self) -> None:
+        for name, engine in sorted(self.world.rule_engines.items()):
+            seen: set[tuple[str, str]] = set()
+            for firing in engine.firings:
+                pair = (firing.rule, firing.key)
+                if pair in seen:
+                    self.violations.append(
+                        Violation(
+                            "rule-dedup",
+                            f"engine on {name}: rule {firing.rule!r} fired "
+                            f"twice for occurrence {firing.key!r}",
+                        )
+                    )
+                seen.add(pair)
+            rules = {rule.name: rule for rule in engine.rules}
+            for entry in engine.schedule_log:
+                rule = rules.get(entry["rule"])
+                if rule is None:
+                    self.violations.append(
+                        Violation(
+                            "rule-schedule",
+                            f"engine on {name}: schedule log names unknown "
+                            f"rule {entry['rule']!r}",
+                        )
+                    )
+                    continue
+                trigger = rule.triggers[entry["trigger"]]
+                expected = trigger.occurrence(engine.epoch, entry["n"])
+                if entry["due"] != expected:
+                    self.violations.append(
+                        Violation(
+                            "rule-schedule",
+                            f"engine on {name}: {entry['rule']} occurrence "
+                            f"n={entry['n']} logged due={entry['due']!r} but "
+                            f"closed form gives {expected!r}",
+                        )
+                    )
+                elif entry["fired_at"] != entry["due"]:
+                    self.violations.append(
+                        Violation(
+                            "rule-schedule",
+                            f"engine on {name}: {entry['rule']} occurrence "
+                            f"n={entry['n']} fired at t={entry['fired_at']!r}, "
+                            f"not its due instant t={entry['due']!r}",
+                        )
+                    )
 
     def _check_conservation(self, report: FaultReport) -> None:
         monitored_frames = 0

@@ -205,10 +205,21 @@ class RunResult:
 PUSH_SEED_BASE = 100
 PUSH_SEED_SPAN = 100
 
+#: Seeds in [RULES_SEED_BASE, RULES_SEED_BASE + RULES_SEED_SPAN) draw the
+#: "rules" profile: a push-leaning interchange mix, a publish-heavy
+#: workload, and — replay-side — deterministic rule engines installed on
+#: a couple of islands (see ``repro.testkit.rules_profile``) so the
+#: no-duplicate-firing and schedule-determinism oracles get seeded
+#: coverage under the same fault schedules as everything else.
+RULES_SEED_BASE = 200
+RULES_SEED_SPAN = 100
+
 
 def _profile_for(seed: int) -> str:
     if PUSH_SEED_BASE <= seed < PUSH_SEED_BASE + PUSH_SEED_SPAN:
         return "push"
+    if RULES_SEED_BASE <= seed < RULES_SEED_BASE + RULES_SEED_SPAN:
+        return "rules"
     return "default"
 
 
@@ -251,6 +262,12 @@ def replay(
 
     start = world.sim.now
     _plant_bug(inject_bug, world, start)
+    if _profile_for(spec.seed) == "rules":
+        from repro.testkit.rules_profile import install_rule_engines
+
+        install_rule_engines(world)
+        for _, engine in sorted(world.rule_engines.items()):
+            engine.start()
     runner.schedule(ops, start)
 
     plan = FaultPlan(seed=spec.seed)
@@ -265,6 +282,8 @@ def replay(
     last_op = max((op.time for op in ops), default=0.0)
     end = max(start + last_op, fault_end) + 1.0
     world.sim.run(until=end)
+    for _, engine in sorted(world.rule_engines.items()):
+        engine.stop()
     world.mm.shutdown()
     world.sim.run(until=end + QUIESCE_MARGIN)
 
@@ -375,6 +394,17 @@ def _snapshot_metrics(world: World) -> dict[str, Any]:
         "segments": segments,
         "events": events,
     }
+    if world.rule_engines:
+        snapshot["rules"] = {
+            name: {
+                "fired": engine.fired_count,
+                "suppressed": engine.suppressed_count,
+                "actions_failed": engine.actions_failed_count,
+                "firings": len(engine.firings),
+                "schedule_occurrences": len(engine.schedule_log),
+            }
+            for name, engine in sorted(world.rule_engines.items())
+        }
     if world.obs is not None:
         snapshot["metrics"] = world.obs.metrics.snapshot()
         snapshot["spans"] = len(world.obs.tracer.spans)

@@ -140,6 +140,10 @@ class TopologyGen:
     _INTERCHANGE_DRAWS = {
         "default": (("legacy", "keepalive", "fast"), (40, 25, 35)),
         "push": (("legacy", "keepalive", "fast", "push"), (25, 10, 20, 45)),
+        # Rules seeds lean even harder on push so trigger events mostly
+        # ride streamed channels, but keep legacy islands in the mix so
+        # redelivered (at-least-once) events hit the engines' dedup.
+        "rules": (("legacy", "fast", "push"), (20, 20, 60)),
     }
 
     def generate(self, seed: int, profile: str = "default") -> TopologySpec:
@@ -260,6 +264,9 @@ class World:
     services: dict[str, SimService]
     service_island: dict[str, str]
     pcms: dict[str, SimServicePcm] = field(default_factory=dict)
+    #: Rule engines installed by the "rules" profile, keyed by host
+    #: island (empty on every other profile); see testkit.rules_profile.
+    rule_engines: dict[str, Any] = field(default_factory=dict)
 
     @property
     def islands(self) -> dict[str, Island]:

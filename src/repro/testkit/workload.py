@@ -28,6 +28,10 @@ _WEIGHTS = (50, 15, 10, 10, 8, 7)
 #: Publish-heavy mix for the push-profile seed band: event channels only
 #: carry traffic when publishes land, and early subscribes open them.
 _PUSH_WEIGHTS = (20, 45, 20, 5, 5, 5)
+#: Rules-profile mix: publishes dominate (they are what trigger rules)
+#: but calls stay frequent enough that rule actions contend with
+#: ordinary workload traffic on the same services.
+_RULES_WEIGHTS = (25, 45, 10, 5, 8, 7)
 _OPERATIONS = ("get", "add", "echo", "fail")
 _OP_WEIGHTS = (40, 30, 20, 10)
 
@@ -82,7 +86,12 @@ class WorkloadGen:
     def generate(
         self, spec: TopologySpec, steps: int, profile: str = "default"
     ) -> list[WorkloadOp]:
-        weights = _PUSH_WEIGHTS if profile == "push" else _WEIGHTS
+        if profile == "push":
+            weights = _PUSH_WEIGHTS
+        elif profile == "rules":
+            weights = _RULES_WEIGHTS
+        else:
+            weights = _WEIGHTS
         rng = random.Random(f"testkit:workload:{spec.seed}")
         islands = spec.island_names
         # Track the catalog the script *intends* to exist so later ops can

@@ -1,0 +1,98 @@
+"""Topic-pattern (prefix wildcard) subscriptions on the EventRouter —
+and the regression guard that exact-match behavior is unchanged."""
+
+import pytest
+
+from repro.core.framework import MetaMiddleware
+from repro.core.vsg import FullEventCallback, topic_matches
+from repro.net.segment import EthernetSegment
+
+from tests.core.toys import ToyPcm
+
+
+class TestTopicMatches:
+    def test_exact(self):
+        assert topic_matches("x10.ON", "x10.ON")
+        assert not topic_matches("x10.ON", "x10.OFF")
+
+    def test_prefix_wildcard(self):
+        assert topic_matches("x10.*", "x10.ON")
+        assert topic_matches("x10.*", "x10.DIM")
+        assert topic_matches("*", "anything")
+        assert not topic_matches("x10.*", "havi.stream")
+
+    def test_star_must_be_terminal(self):
+        # Only a trailing * is a wildcard; an embedded one is literal.
+        assert not topic_matches("x10.*.extra", "x10.ON.extra")
+
+
+@pytest.fixture
+def gateway_pair(sim, net):
+    backbone = net.create_segment(EthernetSegment, "backbone")
+    mm = MetaMiddleware(net, backbone)
+    island_a = mm.add_island("a", None, lambda i: ToyPcm(i.gateway, {}))
+    island_b = mm.add_island("b", None, lambda i: ToyPcm(i.gateway, {}))
+    sim.run_until_complete(mm.connect())
+    return sim, island_a.gateway, island_b.gateway
+
+
+class TestLocalPatternDelivery:
+    def test_pattern_callback_sees_matching_topics(self, gateway_pair):
+        sim, gw_a, gw_b = gateway_pair
+        heard = []
+        sim.run_until_complete(
+            gw_a.subscribe("x10.*", lambda t, p, i: heard.append(t))
+        )
+        gw_a.publish_event("x10.ON", {})
+        gw_a.publish_event("x10.OFF", {})
+        gw_a.publish_event("havi.stream", {})
+        sim.run_for(1.0)
+        assert heard == ["x10.ON", "x10.OFF"]
+
+    def test_exact_and_pattern_subscribers_both_fire(self, gateway_pair):
+        sim, gw_a, gw_b = gateway_pair
+        heard = []
+        sim.run_until_complete(gw_a.subscribe("x10.ON", lambda t, p, i: heard.append("exact")))
+        sim.run_until_complete(gw_a.subscribe("x10.*", lambda t, p, i: heard.append("pattern")))
+        gw_a.publish_event("x10.ON", {})
+        sim.run_for(1.0)
+        assert sorted(heard) == ["exact", "pattern"]
+
+    def test_full_event_callback_gets_whole_event(self, gateway_pair):
+        sim, gw_a, gw_b = gateway_pair
+        events = []
+        gw_a.events._register_local("x10.*", FullEventCallback(events.append))
+        gw_a.publish_event("x10.ON", {"address": "A9"})
+        assert events and events[0]["sequence"] == 1
+        assert events[0]["island"] == "a"
+        assert events[0]["payload"] == {"address": "A9"}
+
+
+class TestRemotePatternDelivery:
+    def test_cross_island_pattern_subscription(self, gateway_pair):
+        sim, gw_a, gw_b = gateway_pair
+        heard = []
+        sim.run_until_complete(gw_b.subscribe("x10.*", lambda t, p, i: heard.append((t, i))))
+        gw_a.publish_event("x10.ON", {})
+        gw_a.publish_event("havi.stream", {})
+        sim.run_for(10.0)  # let a poll cycle (or push) deliver
+        assert ("x10.ON", "a") in heard
+        assert all(topic != "havi.stream" for topic, _ in heard)
+
+    def test_remote_exact_fast_path_unchanged(self, gateway_pair):
+        """Regression: with only exact subscriptions, remote queueing is
+        exactly the historical membership test — patterns never scanned."""
+        sim, gw_a, gw_b = gateway_pair
+        router = gw_a.events
+        router.handle_subscribe("b", "t1", "")
+        router.publish("t1", 1)
+        router.publish("t2", 2)
+        assert [e["topic"] for e in router.handle_fetch("b")] == ["t1"]
+
+    def test_remote_pattern_matches_on_publisher_side(self, gateway_pair):
+        sim, gw_a, gw_b = gateway_pair
+        router = gw_a.events
+        router.handle_subscribe("b", "x10.*", "")
+        router.publish("x10.ON", 1)
+        router.publish("havi.s", 2)
+        assert [e["topic"] for e in router.handle_fetch("b")] == ["x10.ON"]

@@ -1,0 +1,22 @@
+import pytest
+
+from repro.apps.home import build_smart_home
+from repro.net.simkernel import Simulator
+from repro.obs import Observability
+
+
+@pytest.fixture
+def home():
+    built = build_smart_home()
+    built.connect()
+    return built
+
+
+@pytest.fixture
+def obs_home():
+    """A connected home with metrics/tracing recording."""
+    sim = Simulator()
+    obs = Observability(sim)
+    built = build_smart_home(sim=sim, obs=obs)
+    built.connect()
+    return built, obs

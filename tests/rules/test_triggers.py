@@ -1,0 +1,74 @@
+"""Trigger semantics: event matching and closed-form scheduling."""
+
+import pytest
+
+from repro.errors import FrameworkError
+from repro.rules.triggers import (
+    EventTrigger,
+    ScheduleTrigger,
+    trigger_from_dict,
+)
+
+
+def event(topic="x10.ON", island="x10"):
+    return {"topic": topic, "payload": {}, "island": island, "sequence": 1}
+
+
+class TestEventTrigger:
+    def test_exact_match(self):
+        t = EventTrigger("x10.ON")
+        assert t.matches(event("x10.ON"))
+        assert not t.matches(event("x10.OFF"))
+
+    def test_prefix_pattern(self):
+        t = EventTrigger("x10.*")
+        assert t.matches(event("x10.ON"))
+        assert t.matches(event("x10.DIM"))
+        assert not t.matches(event("havi.stream"))
+
+    def test_island_filter(self):
+        t = EventTrigger("x10.ON", source_island="x10")
+        assert t.matches(event(island="x10"))
+        assert not t.matches(event(island="havi"))
+
+
+class TestScheduleTrigger:
+    def test_validation(self):
+        with pytest.raises(FrameworkError):
+            ScheduleTrigger(interval=0.0)
+        with pytest.raises(FrameworkError):
+            ScheduleTrigger(interval=-1.0)
+        with pytest.raises(FrameworkError):
+            ScheduleTrigger(interval=5.0, offset=-0.1)
+
+    def test_occurrence_is_closed_form(self):
+        """The n-th instant is computed from n, never accumulated — the
+        determinism the testkit oracle relies on (exact float equality)."""
+        t = ScheduleTrigger(interval=0.1, offset=0.05)
+        epoch = 7.3
+        for n in (0, 1, 10, 1000, 12345):
+            assert t.occurrence(epoch, n) == epoch + 0.05 + n * 0.1
+
+    def test_first_occurrence_index(self):
+        t = ScheduleTrigger(interval=5.0, offset=2.0)
+        assert t.first_occurrence_index(epoch=0.0, now=0.0) == 0
+        assert t.first_occurrence_index(epoch=0.0, now=2.0) == 0
+        assert t.first_occurrence_index(epoch=0.0, now=2.1) == 1
+        assert t.first_occurrence_index(epoch=0.0, now=7.0) == 1
+        assert t.first_occurrence_index(epoch=0.0, now=7.5) == 2
+        # The chosen occurrence is never in the past.
+        for now in (0.0, 1.9, 6.99, 31.4):
+            n = t.first_occurrence_index(0.0, now)
+            assert t.occurrence(0.0, n) >= now
+
+    def test_roundtrip(self):
+        for t in (
+            EventTrigger("x10.*", source_island="x10"),
+            ScheduleTrigger(interval=60.0, offset=30.0),
+            ScheduleTrigger(interval=1.0, repeat=False),
+        ):
+            assert trigger_from_dict(t.to_dict()) == t
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FrameworkError):
+            trigger_from_dict({"kind": "astrological"})

@@ -19,7 +19,9 @@ from repro.testkit import check, shrink_failure, sweep
 #: failing is a regression in the system or a newly-tightened oracle.
 #: Seeds 100-104 sit in the push-profile band (see repro.testkit.runner):
 #: push-capable islands, publish-heavy workloads, streamed event channels.
-CORPUS = list(range(30)) + [100, 101, 102, 103, 104]
+#: Seeds 200-204 sit in the rules band: deterministic rule engines run
+#: over the workload, judged by the rule-dedup and rule-schedule oracles.
+CORPUS = list(range(30)) + [100, 101, 102, 103, 104] + [200, 201, 202, 203, 204]
 
 #: Sweep seeds live far above the corpus so the nightly never rechecks
 #: what every push already covers.
