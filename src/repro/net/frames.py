@@ -23,6 +23,11 @@ class Frame:
     payload: bytes
     #: Free-form metadata for monitors/tests (never examined by the stack).
     note: str = field(default="", compare=False)
+    #: Constituent metadata for vectored (coalesced) transmissions:
+    #: ``(protocol, payload_len)`` per sub-frame, so monitors can account
+    #: the constituents identically to the un-coalesced path.  ``None``
+    #: for ordinary frames.
+    parts: tuple[tuple[str, int], ...] | None = field(default=None, compare=False)
 
     def size_on_wire(self, header_overhead: int) -> int:
         """Total bytes this frame occupies on a segment with the given

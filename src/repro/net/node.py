@@ -35,12 +35,28 @@ class Interface:
         self.promiscuous = False
         self.up = True
 
-    def send(self, dst: HwAddress, protocol: str, payload: bytes, note: str = "") -> float:
+    def send(
+        self,
+        dst: HwAddress,
+        protocol: str,
+        payload: bytes,
+        note: str = "",
+        parts: tuple[tuple[str, int], ...] | None = None,
+    ) -> float:
         """Transmit a frame on this interface's segment.  Returns the virtual
-        time the transmission completes."""
+        time the transmission completes.  ``parts`` carries constituent
+        metadata for vectored transmissions (see :class:`~repro.net.frames.
+        Frame`)."""
         if not self.up:
             raise NetworkError(f"interface {self} is down")
-        frame = Frame(src=self.hw_address, dst=dst, protocol=protocol, payload=payload, note=note)
+        frame = Frame(
+            src=self.hw_address,
+            dst=dst,
+            protocol=protocol,
+            payload=payload,
+            note=note,
+            parts=parts,
+        )
         return self.segment.transmit(self, frame)
 
     def broadcast(self, protocol: str, payload: bytes, note: str = "") -> float:

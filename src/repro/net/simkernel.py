@@ -11,11 +11,21 @@ Two waiting styles are supported:
 - future style, used by application-level code: an operation returns a
   :class:`SimFuture` and the caller blocks the *simulation* (not the Python
   thread) with :meth:`Simulator.run_until_complete`.
+
+A third, cheaper primitive backs the reactor transport
+(:mod:`repro.net.reactor`): :meth:`Simulator.post` enqueues a *microtask*
+— a callback that runs at the current instant, after the event callback
+that posted it returns and before the next heap event fires.  Microtasks
+never touch the heap (no ``heapq`` push/pop, no :class:`Event`
+allocation), drain in FIFO order, and cannot advance virtual time, which
+makes them the right tool for same-instant follow-up work such as
+deferred connection teardown from inside a readiness cycle.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Iterable
 
 from repro.errors import SimulationError, TimeoutError
@@ -132,6 +142,7 @@ class Simulator:
         self._heap: list[Event] = []
         self._seq = 0
         self._running = False
+        self._microtasks: deque[tuple[Callable[..., Any], tuple]] = deque()
 
     @property
     def now(self) -> float:
@@ -165,17 +176,34 @@ class Simulator:
         already queued for this instant."""
         return self.at(self._now, callback, *args)
 
+    def post(self, callback: Callable[..., Any], *args: Any) -> None:
+        """Enqueue a microtask: runs at the current instant, after the
+        currently firing event callback returns and before the next heap
+        event.  FIFO, non-cancellable, and heap-free — see the module
+        docstring."""
+        self._microtasks.append((callback, args))
+
     # -- execution ----------------------------------------------------------
 
+    def _drain_microtasks(self) -> None:
+        while self._microtasks:
+            callback, args = self._microtasks.popleft()
+            callback(*args)
+
     def step(self) -> bool:
-        """Fire the next pending event.  Returns False when the queue is
-        empty (virtual time does not advance in that case)."""
+        """Fire the next pending event (draining any posted microtasks
+        first).  Returns False when nothing is pending (virtual time does
+        not advance in that case)."""
+        if self._microtasks:
+            self._drain_microtasks()
+            return True
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
             self._now = event.time
             event.callback(*event.args)
+            self._drain_microtasks()
             return True
         return False
 
@@ -186,6 +214,7 @@ class Simulator:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
         try:
+            self._drain_microtasks()
             while self._heap:
                 event = self._heap[0]
                 if event.cancelled:
@@ -196,6 +225,7 @@ class Simulator:
                 heapq.heappop(self._heap)
                 self._now = event.time
                 event.callback(*event.args)
+                self._drain_microtasks()
             if until is not None and until > self._now:
                 self._now = until
         finally:
@@ -214,6 +244,9 @@ class Simulator:
         """
         deadline = None if timeout is None else self._now + timeout
         while not future.done():
+            if self._microtasks:
+                self._drain_microtasks()
+                continue
             if self._heap:
                 next_time = self._heap[0].time
                 if deadline is not None and next_time > deadline:

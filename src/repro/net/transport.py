@@ -11,6 +11,16 @@ count.  Datagrams have none of that, which is why discovery protocols
 Both protocols are *reliable in order* on non-lossy segments because the
 segments themselves deliver serially; no retransmission machinery is
 simulated (middleware never runs TCP over the lossy powerline).
+
+The stack owns one :class:`~repro.net.reactor.Reactor` per node.
+Connections flagged ``vectored`` do not transmit from :meth:`Connection.
+send`; they queue frames with the reactor, which coalesces each
+connection's burst into one ``tcpv`` segment transmission per readiness
+cycle (``writev`` semantics).  Inbound, a ``tcpv`` frame is unpacked into
+zero-copy :class:`memoryview` slices; connections flagged ``zero_copy``
+receive those views directly, others get ``bytes`` as before.  Legacy
+connections (``vectored`` False, the default) keep the exact pre-reactor
+immediate transmit path, byte for byte.
 """
 
 from __future__ import annotations
@@ -23,14 +33,19 @@ from repro.net.addressing import BROADCAST, NodeAddress
 from repro.net.frames import Frame
 from repro.net.network import Network
 from repro.net.node import Interface, Node
+from repro.net.reactor import Reactor
 from repro.net.segment import Segment
 from repro.net.simkernel import SimFuture
 
 PROTO_UDP = "udp"
 PROTO_TCP = "tcp"
+#: Vectored transport frame: several TCP-like frames coalesced into one
+#: segment transmission by the reactor (u16 length prefix per sub-frame).
+PROTO_TCPV = "tcpv"
 
 _UDP_HEADER = struct.Struct("!HH")  # src_port, dst_port
 _TCP_HEADER = struct.Struct("!BHHI")  # kind, src_port, dst_port, seq
+_VECTOR_LEN = struct.Struct("!H")  # sub-frame length inside a tcpv frame
 
 # TCP-like frame kinds.
 _SYN = 1
@@ -138,6 +153,15 @@ class Connection:
         self._rx_backlog: list[bytes] = []
         self._on_close: Callable[["Connection"], None] | None = None
         self._next_seq = 0
+        #: Route outbound frames through the reactor (coalescing into
+        #: vectored transmissions) instead of transmitting immediately.
+        #: Off by default: the legacy wire stays byte-identical.
+        self.vectored = False
+        #: Deliver inbound data as zero-copy ``memoryview`` slices instead
+        #: of ``bytes``.  Only receivers that accept views may enable it.
+        self.zero_copy = False
+        #: Frames queued for the reactor's next readiness cycle.
+        self._tx_pending: list[tuple[str, bytes]] = []
         # Accounting read by the stack-weight benchmark (experiment C4).
         self.bytes_sent = 0
         self.bytes_received = 0
@@ -185,6 +209,13 @@ class Connection:
         """
         if self.state == Connection.CLOSED:
             return
+        # Frames queued for the reactor die with the connection, and the
+        # RST itself bypasses it: an abort must not wait for (or feed) a
+        # readiness cycle on a path the caller believes is dead.  The
+        # reactor's flush loop tolerates the emptied queue (_take_tx
+        # returning nothing is a skip, not an error).
+        self._tx_pending.clear()
+        self.vectored = False
         try:
             self._send_frame(_RST, b"")
         except Exception:
@@ -201,9 +232,21 @@ class Connection:
         header = _TCP_HEADER.pack(kind, self.local_port, self.remote_port, self._next_seq)
         self._next_seq += 1
         self.frames_sent += 1
-        self._stack.send_network(self.remote, PROTO_TCP, header + body)
+        payload = header + body
+        if self.vectored:
+            # Register write interest *before* queueing: the reactor uses
+            # an empty _tx_pending as "not yet in this cycle's writable set".
+            self._stack.reactor.register_writable(self)
+            self._tx_pending.append((PROTO_TCP, payload))
+        else:
+            self._stack.send_network(self.remote, PROTO_TCP, payload)
 
-    def _deliver_data(self, body: bytes) -> None:
+    def _take_tx(self) -> list[tuple[str, bytes]]:
+        """Hand the reactor everything queued for this readiness cycle."""
+        frames, self._tx_pending = self._tx_pending, []
+        return frames
+
+    def _deliver_data(self, body: bytes | memoryview) -> None:
         self.bytes_received += len(body)
         self.frames_received += 1
         if self._receiver is None:
@@ -235,11 +278,14 @@ class TransportStack:
         self.sim = node.sim
         node.register_protocol(PROTO_UDP, self._on_udp_frame)
         node.register_protocol(PROTO_TCP, self._on_tcp_frame)
+        node.register_protocol(PROTO_TCPV, self._on_tcpv_frame)
         self._udp_sockets: dict[int, DatagramSocket] = {}
         self._listeners: dict[int, Listener] = {}
         self._connections: dict[tuple[NodeAddress, int, int], Connection] = {}
         self._pending_connects: dict[tuple[NodeAddress, int, int], SimFuture] = {}
         self._ephemeral = _EPHEMERAL_START
+        #: Per-node readiness engine: vectored writes + parked continuations.
+        self.reactor = Reactor(self)
 
     # -- socket creation --------------------------------------------------------
 
@@ -334,6 +380,36 @@ class TransportStack:
         local_iface = self.node.interface_on(segment)
         local_iface.send(dst_iface.hw_address, protocol, payload)
 
+    def send_vectored(self, dst: NodeAddress, frames: list[tuple[str, bytes]]) -> None:
+        """One segment transmission carrying several transport frames
+        (``writev`` semantics).  Each ``(protocol, payload)`` sub-frame is
+        u16-length-prefixed into a single ``tcpv`` frame; ``Frame.parts``
+        carries constituent metadata so monitors account them exactly as
+        if they had been transmitted one by one."""
+        buf = bytearray()
+        parts: list[tuple[str, int]] = []
+        for protocol, payload in frames:
+            buf += _VECTOR_LEN.pack(len(payload))
+            buf += payload
+            parts.append((protocol, len(payload)))
+        vector_payload = bytes(buf)
+        parts_meta = tuple(parts)
+        dst_iface = self.network.resolve(dst)
+        if dst_iface.node is self.node:
+            frame = Frame(
+                src=dst_iface.hw_address,
+                dst=dst_iface.hw_address,
+                protocol=PROTO_TCPV,
+                payload=vector_payload,
+                note="loopback",
+                parts=parts_meta,
+            )
+            self.sim.schedule(_LOOPBACK_DELAY, self.node.on_frame, dst_iface, frame)
+            return
+        segment = dst_iface.segment
+        local_iface = self.node.interface_on(segment)
+        local_iface.send(dst_iface.hw_address, PROTO_TCPV, vector_payload, parts=parts_meta)
+
     def send_broadcast(self, segment: Segment | str, protocol: str, payload: bytes) -> None:
         if isinstance(segment, str):
             segment = self.network.segment(segment)
@@ -357,8 +433,39 @@ class TransportStack:
         if len(frame.payload) < _TCP_HEADER.size:
             return
         kind, src_port, dst_port, _seq = _TCP_HEADER.unpack_from(frame.payload)
-        body = frame.payload[_TCP_HEADER.size :]
         peer = self._source_address(interface, frame)
+        self._dispatch_tcp(peer, kind, src_port, dst_port, frame.payload, _TCP_HEADER.size)
+
+    def _on_tcpv_frame(self, interface: Interface, frame: Frame) -> None:
+        """Unpack a vectored transmission into its constituent TCP-like
+        frames and dispatch each; sub-frame bodies are zero-copy
+        ``memoryview`` slices over the one frame payload."""
+        peer = self._source_address(interface, frame)
+        view = memoryview(frame.payload)
+        offset = 0
+        total = len(view)
+        while offset + _VECTOR_LEN.size <= total:
+            (length,) = _VECTOR_LEN.unpack_from(view, offset)
+            offset += _VECTOR_LEN.size
+            sub = view[offset : offset + length]
+            offset += length
+            if len(sub) < _TCP_HEADER.size:
+                continue
+            kind, src_port, dst_port, _seq = _TCP_HEADER.unpack_from(sub)
+            self._dispatch_tcp(peer, kind, src_port, dst_port, sub, _TCP_HEADER.size)
+
+    def _dispatch_tcp(
+        self,
+        peer: NodeAddress,
+        kind: int,
+        src_port: int,
+        dst_port: int,
+        payload: bytes | memoryview,
+        offset: int,
+    ) -> None:
+        """Shared TCP-like state machine for plain and vectored frames.
+        ``payload[offset:]`` is the frame body; it is only materialised
+        (and only copied for non-zero-copy connections) on _DATA."""
         key = (peer, src_port, dst_port)
         conn = self._connections.get(key)
 
@@ -379,7 +486,18 @@ class TransportStack:
                     listener.on_connection(conn)
         elif kind == _DATA:
             if conn is not None and conn.state == Connection.ESTABLISHED:
-                conn._deliver_data(body)
+                if conn.zero_copy:
+                    view = (
+                        payload
+                        if isinstance(payload, memoryview)
+                        else memoryview(payload)
+                    )
+                    conn._deliver_data(view[offset:])
+                else:
+                    body = payload[offset:]
+                    if not isinstance(body, bytes):
+                        body = bytes(body)
+                    conn._deliver_data(body)
         elif kind == _FIN:
             if conn is not None:
                 conn._send_frame(_FIN_ACK, b"")
@@ -446,3 +564,26 @@ class TransportStack:
         """Live TCP-like connection count (per-connection state is the
         'heavy stack' cost the paper worries about on small devices)."""
         return len(self._connections)
+
+    # -- teardown ------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Tear the whole stack down (node decommission / kill).
+
+        Closes listeners and datagram sockets, fails pending connects,
+        aborts live connections, and cancels every continuation still
+        parked on the reactor — after this the reactor's ``parked`` gauge
+        is 0 and nothing can leak (the shutdown-semantics tests and the
+        testkit oracles pin exactly that).
+        """
+        for listener in list(self._listeners.values()):
+            listener.close()
+        for sock in list(self._udp_sockets.values()):
+            sock.close()
+        for future in list(self._pending_connects.values()):
+            if not future.done():
+                future.set_exception(TransportError("transport stack shut down"))
+        self._pending_connects.clear()
+        for conn in list(self._connections.values()):
+            conn.abort()
+        self.reactor.cancel_all()

@@ -54,6 +54,7 @@ def snapshot_with_traffic(
         snapshot[f"{prefix}.total_frames"] = monitor.total_frames
         snapshot[f"{prefix}.total_bytes"] = monitor.total_bytes
         snapshot[f"{prefix}.trace_dropped"] = monitor.trace_dropped
+        snapshot[f"{prefix}.frames_coalesced"] = monitor.frames_coalesced
     return {name: snapshot[name] for name in sorted(snapshot)}
 
 

@@ -52,6 +52,11 @@ def channel_http_config(config: InterchangeConfig) -> InterchangeConfig:
     echo churn), and the exchange watchdog is stretched past the
     publisher's maximum hold so an idle-but-healthy channel is never
     reaped as wedged.
+
+    The reactor knobs (``vectored``, ``pipeline_depth``) carry over
+    unchanged: a gateway on the reactor wire streams its event frames
+    coalesced, while a PUSH-configured gateway keeps the pinned PR 5
+    wire byte for byte.
     """
     timeout = config.exchange_timeout
     if timeout:

@@ -51,6 +51,27 @@ _ENVELOPE_ATTRS = {
     "SOAP-ENV:encodingStyle": SOAP_ENC_NS,
 }
 
+# Envelope building runs once per bridged call and once per event frame —
+# the encode hot path — so builders borrow a pooled writer (reusing its
+# allocated part lists) instead of constructing one per envelope.  A
+# writer released after a failed build may hold partial markup; reset()
+# at borrow time clears it.  Output bytes are identical either way.
+_WRITER_POOL: list[XmlWriter] = []
+_WRITER_POOL_MAX = 8
+
+
+def _borrow_writer(declaration: bool = True) -> XmlWriter:
+    if _WRITER_POOL:
+        writer = _WRITER_POOL.pop()
+        writer.reset(declaration)
+        return writer
+    return XmlWriter(declaration=declaration)
+
+
+def _release_writer(writer: XmlWriter) -> None:
+    if len(_WRITER_POOL) < _WRITER_POOL_MAX:
+        _WRITER_POOL.append(writer)
+
 
 @dataclass
 class SoapMessage:
@@ -178,41 +199,50 @@ def build_request(operation: str, args: list[Any], service_ns: str = DEFAULT_SER
     """RPC request: ``<m:operation><arg0/>...</m:operation>``."""
     if not is_xml_name(operation):
         raise SoapError(f"operation name {operation!r} is not a valid XML name")
-    writer = XmlWriter()
-    _open_envelope(writer)
-    writer.open(f"m:{operation}", {"xmlns:m": service_ns})
-    for index, value in enumerate(args):
-        encode_value(writer, f"arg{index}", value)
-    writer.close()
-    _close_envelope(writer)
-    return writer.tobytes()
+    writer = _borrow_writer()
+    try:
+        _open_envelope(writer)
+        writer.open(f"m:{operation}", {"xmlns:m": service_ns})
+        for index, value in enumerate(args):
+            encode_value(writer, f"arg{index}", value)
+        writer.close()
+        _close_envelope(writer)
+        return writer.tobytes()
+    finally:
+        _release_writer(writer)
 
 
 def build_response(operation: str, value: Any, service_ns: str = DEFAULT_SERVICE_NS) -> bytes:
     """RPC response: ``<m:operationResponse><return/></m:operationResponse>``."""
     if not is_xml_name(operation):
         raise SoapError(f"operation name {operation!r} is not a valid XML name")
-    writer = XmlWriter()
-    _open_envelope(writer)
-    writer.open(f"m:{operation}Response", {"xmlns:m": service_ns})
-    encode_value(writer, "return", value)
-    writer.close()
-    _close_envelope(writer)
-    return writer.tobytes()
+    writer = _borrow_writer()
+    try:
+        _open_envelope(writer)
+        writer.open(f"m:{operation}Response", {"xmlns:m": service_ns})
+        encode_value(writer, "return", value)
+        writer.close()
+        _close_envelope(writer)
+        return writer.tobytes()
+    finally:
+        _release_writer(writer)
 
 
 def build_fault(faultcode: str, faultstring: str, detail: str = "") -> bytes:
     """SOAP Fault envelope."""
-    writer = XmlWriter()
-    _open_envelope(writer)
-    writer.open("SOAP-ENV:Fault")
-    writer.leaf("faultcode", text=faultcode)
-    writer.leaf("faultstring", text=faultstring)
-    if detail:
-        writer.leaf("detail", text=detail)
-    writer.close()
-    _close_envelope(writer)
-    return writer.tobytes()
+    writer = _borrow_writer()
+    try:
+        _open_envelope(writer)
+        writer.open("SOAP-ENV:Fault")
+        writer.leaf("faultcode", text=faultcode)
+        writer.leaf("faultstring", text=faultstring)
+        if detail:
+            writer.leaf("detail", text=detail)
+        writer.close()
+        _close_envelope(writer)
+        return writer.tobytes()
+    finally:
+        _release_writer(writer)
 
 
 # ---------------------------------------------------------------------------
@@ -308,39 +338,48 @@ def build_request_terse(operation: str, args: list[Any]) -> bytes:
     """Terse request: ``<E><Q n="op"><v .../>...</Q></E>``."""
     if not is_xml_name(operation):
         raise SoapError(f"operation name {operation!r} is not a valid XML name")
-    writer = XmlWriter(declaration=False)
-    writer.open(TERSE_ROOT)
-    writer.open("Q", {"n": operation})
-    for value in args:
-        encode_value_terse(writer, value)
-    writer.close()
-    writer.close()
-    return writer.tobytes()
+    writer = _borrow_writer(declaration=False)
+    try:
+        writer.open(TERSE_ROOT)
+        writer.open("Q", {"n": operation})
+        for value in args:
+            encode_value_terse(writer, value)
+        writer.close()
+        writer.close()
+        return writer.tobytes()
+    finally:
+        _release_writer(writer)
 
 
 def build_response_terse(operation: str, value: Any) -> bytes:
     """Terse response: ``<E><R n="op"><v .../></R></E>``."""
     if not is_xml_name(operation):
         raise SoapError(f"operation name {operation!r} is not a valid XML name")
-    writer = XmlWriter(declaration=False)
-    writer.open(TERSE_ROOT)
-    writer.open("R", {"n": operation})
-    encode_value_terse(writer, value)
-    writer.close()
-    writer.close()
-    return writer.tobytes()
+    writer = _borrow_writer(declaration=False)
+    try:
+        writer.open(TERSE_ROOT)
+        writer.open("R", {"n": operation})
+        encode_value_terse(writer, value)
+        writer.close()
+        writer.close()
+        return writer.tobytes()
+    finally:
+        _release_writer(writer)
 
 
 def build_fault_terse(faultcode: str, faultstring: str, detail: str = "") -> bytes:
     """Terse fault: ``<E><F c=... s=... d=.../></E>``."""
-    writer = XmlWriter(declaration=False)
-    writer.open(TERSE_ROOT)
-    attrs = {"c": faultcode, "s": faultstring}
-    if detail:
-        attrs["d"] = detail
-    writer.leaf("F", attrs)
-    writer.close()
-    return writer.tobytes()
+    writer = _borrow_writer(declaration=False)
+    try:
+        writer.open(TERSE_ROOT)
+        attrs = {"c": faultcode, "s": faultstring}
+        if detail:
+            attrs["d"] = detail
+        writer.leaf("F", attrs)
+        writer.close()
+        return writer.tobytes()
+    finally:
+        _release_writer(writer)
 
 
 def _parse_terse(root: ET.Element) -> SoapMessage:
@@ -392,11 +431,14 @@ def _parse_terse(root: ET.Element) -> SoapMessage:
 
 def build_event_wait(island: str, ack: int, hold: float) -> bytes:
     """Wait request: ``<E><W i="island" a="ack" h="hold"/></E>``."""
-    writer = XmlWriter(declaration=False)
-    writer.open(TERSE_ROOT)
-    writer.leaf("W", {"i": island, "a": str(int(ack)), "h": repr(float(hold))})
-    writer.close()
-    return writer.tobytes()
+    writer = _borrow_writer(declaration=False)
+    try:
+        writer.open(TERSE_ROOT)
+        writer.leaf("W", {"i": island, "a": str(int(ack)), "h": repr(float(hold))})
+        writer.close()
+        return writer.tobytes()
+    finally:
+        _release_writer(writer)
 
 
 def parse_event_wait(data: bytes) -> tuple[str, int, float]:
@@ -421,14 +463,17 @@ def parse_event_wait(data: bytes) -> tuple[str, int, float]:
 
 def build_event_frame(batch: int, events: list[Any]) -> bytes:
     """Event frame: ``<E><V b="batch">`` + one terse value per event."""
-    writer = XmlWriter(declaration=False)
-    writer.open(TERSE_ROOT)
-    writer.open("V", {"b": str(int(batch))})
-    for event in events:
-        encode_value_terse(writer, event)
-    writer.close()
-    writer.close()
-    return writer.tobytes()
+    writer = _borrow_writer(declaration=False)
+    try:
+        writer.open(TERSE_ROOT)
+        writer.open("V", {"b": str(int(batch))})
+        for event in events:
+            encode_value_terse(writer, event)
+        writer.close()
+        writer.close()
+        return writer.tobytes()
+    finally:
+        _release_writer(writer)
 
 
 def parse_event_frame(data: bytes) -> tuple[int, list[Any]]:

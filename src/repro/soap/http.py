@@ -31,6 +31,8 @@ has proven it understands them.
 from __future__ import annotations
 
 import gzip
+import heapq
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -50,6 +52,7 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 #: Capability-negotiation header (client advert / server echo).
@@ -104,11 +107,30 @@ class InterchangeConfig:
     #: ``exchange_timeout`` or the subscriber's watchdog reaps idle
     #: channels as wedged.
     event_max_hold: float = 25.0
+    #: Route pooled connections through the node's reactor: outbound
+    #: frames coalesce into vectored segment transmissions and inbound
+    #: data arrives as zero-copy slices.  Advertised as the ``vectored``
+    #: X-Interchange token so the server flips its side of the connection
+    #: too; connections to non-advertising clients keep the legacy wire.
+    vectored: bool = False
+    #: Concurrent exchanges allowed on one pooled connection (HTTP
+    #: pipelining).  Effective only once the peer has proven keep-alive —
+    #: the first exchange on a fresh connection is always one-in-flight,
+    #: so a legacy server never sees pipelined requests.  1 = the old
+    #: strictly-serial behaviour.
+    pipeline_depth: int = 1
 
     @property
     def fast(self) -> bool:
         """True when any fast-path feature is enabled."""
-        return self.keep_alive or self.compress or self.terse or self.events_push
+        return (
+            self.keep_alive
+            or self.compress
+            or self.terse
+            or self.events_push
+            or self.vectored
+            or self.pipeline_depth > 1
+        )
 
     @property
     def advertised_features(self) -> str:
@@ -120,6 +142,8 @@ class InterchangeConfig:
             parts.append("gzip")
         if self.events_push:
             parts.append("events-push")
+        if self.vectored:
+            parts.append("vectored")
         return " ".join(parts)
 
 
@@ -130,6 +154,17 @@ FAST_INTERCHANGE = InterchangeConfig(keep_alive=True, compress=True, terse=True)
 #: The fast path plus streamed push event channels.
 PUSH_INTERCHANGE = InterchangeConfig(
     keep_alive=True, compress=True, terse=True, events_push=True
+)
+#: The push fast path on the reactor substrate: vectored (coalesced)
+#: writes, zero-copy reads, and deep pipelining — many concurrent
+#: exchanges multiplexed over one pooled connection per destination.
+REACTOR_INTERCHANGE = InterchangeConfig(
+    keep_alive=True,
+    compress=True,
+    terse=True,
+    events_push=True,
+    vectored=True,
+    pipeline_depth=32,
 )
 
 
@@ -254,10 +289,14 @@ class _MessageAssembler:
     complete message consumes it from the buffer and resets the head
     state, so the next ``feed`` starts parsing the next message (any
     already-buffered surplus bytes are kept).
+
+    The buffer is one reused ``bytearray``, and ``feed`` accepts zero-copy
+    ``memoryview`` slices from the reactor transport as readily as
+    ``bytes``: stream bytes are copied exactly once, into the buffer.
     """
 
     def __init__(self) -> None:
-        self._buffer = b""
+        self._buffer = bytearray()
         self._head: tuple[list[str], dict[str, str]] | None = None
         self._body_needed = 0
 
@@ -266,15 +305,17 @@ class _MessageAssembler:
         """True when bytes of a further message are already buffered."""
         return bool(self._buffer)
 
-    def feed(self, data: bytes) -> tuple[list[str], dict[str, str], bytes] | None:
+    def feed(
+        self, data: bytes | memoryview
+    ) -> tuple[list[str], dict[str, str], bytes] | None:
         """Returns (start-line parts, headers, body) once complete."""
         self._buffer += data
         if self._head is None:
             end = self._buffer.find(_HEADER_END)
             if end < 0:
                 return None
-            self._head = _parse_head(self._buffer[:end])
-            self._buffer = self._buffer[end + len(_HEADER_END) :]
+            self._head = _parse_head(bytes(self._buffer[:end]))
+            del self._buffer[: end + len(_HEADER_END)]
             headers = self._head[1]
             try:
                 self._body_needed = int(headers.get("Content-Length", "0"))
@@ -283,8 +324,8 @@ class _MessageAssembler:
         if len(self._buffer) < self._body_needed:
             return None
         start, headers = self._head
-        body = self._buffer[: self._body_needed]
-        self._buffer = self._buffer[self._body_needed :]
+        body = bytes(self._buffer[: self._body_needed])
+        del self._buffer[: self._body_needed]
         self._head = None
         self._body_needed = 0
         return start, headers, body
@@ -343,12 +384,28 @@ class HttpServer:
 
     def close(self) -> None:
         self._listener.close()
+        # Cancel every held exchange still parked on the reactor: each
+        # continuation answers its slot with 503 so no connection is left
+        # waiting on a server that no longer exists.
+        self.stack.reactor.cancel_key(self)
 
     # -- internals ------------------------------------------------------------
 
     def _on_connection(self, conn: Connection) -> None:
+        # The assembler copies stream bytes exactly once, so the server
+        # can always take the transport's zero-copy inbound slices.
+        conn.zero_copy = True
         assembler = _MessageAssembler()
         served = {"count": 0}
+        # Pipelined responses must leave in request order even when async
+        # handlers resolve out of order: each request claims a slot here
+        # and completed slots flush strictly from the head.
+        slots: list[dict] = []
+
+        def flush() -> None:
+            while slots and slots[0]["response"] is not None:
+                slot = slots.pop(0)
+                self._respond(conn, slot["request"], slot["response"], slot["keep"])
 
         def on_data(connection: Connection, data: bytes) -> None:
             while True:
@@ -385,7 +442,7 @@ class HttpServer:
                 if served["count"]:
                     self.keepalive_reuses += 1
                 served["count"] += 1
-                self._dispatch(connection, request)
+                self._dispatch(connection, request, slots, flush)
                 # Loop in case a further pipelined request is buffered.
                 data = b""
                 if not assembler.has_buffered:
@@ -393,8 +450,19 @@ class HttpServer:
 
         conn.set_receiver(on_data)
 
-    def _dispatch(self, conn: Connection, request: HttpRequest) -> None:
+    def _dispatch(
+        self,
+        conn: Connection,
+        request: HttpRequest,
+        slots: list[dict],
+        flush: Callable[[], None],
+    ) -> None:
         keep = "keep-alive" in request.header("Connection").lower()
+        if "vectored" in request.header(FEATURES_HEADER).split():
+            # The client runs the reactor wire; coalesce our side too.
+            conn.vectored = True
+        slot: dict = {"request": request, "keep": keep, "response": None}
+        slots.append(slot)
         handler = self._routes.get(request.path)
         if handler is None:
             for prefix, prefix_handler in self._prefix_routes:
@@ -402,7 +470,8 @@ class HttpServer:
                     handler = prefix_handler
                     break
         if handler is None:
-            self._respond(conn, request, HttpResponse(404, body=b"no such path"), keep)
+            slot["response"] = HttpResponse(404, body=b"no such path")
+            flush()
             return
         try:
             response = handler(request)
@@ -410,20 +479,40 @@ class HttpServer:
             response = HttpResponse(500, body=str(exc).encode("utf-8"))
         self.requests_served += 1
         if isinstance(response, SimFuture):
-            # Asynchronous handler: hold the connection until it resolves.
+            # Asynchronous handler: the held exchange parks as a reactor
+            # continuation until the handler resolves (or the server is
+            # closed, which cancels the continuation and answers 503).
+            continuation = self.stack.reactor.park(
+                self, on_cancel=lambda: self._abandon_slot(slot, flush)
+            )
+
             def on_done(future: SimFuture) -> None:
+                if slot["response"] is not None:
+                    return  # already answered by shutdown cancellation
+                continuation.finish()
                 exc = future.exception()
                 if exc is not None:
-                    self._respond(
-                        conn, request,
-                        HttpResponse(500, body=str(exc).encode("utf-8")), keep,
+                    slot["response"] = HttpResponse(
+                        500, body=str(exc).encode("utf-8")
                     )
                 else:
-                    self._respond(conn, request, future.result(), keep)
+                    slot["response"] = future.result()
+                flush()
 
             response.add_done_callback(on_done)
         else:
-            self._respond(conn, request, response, keep)
+            slot["response"] = response
+            flush()
+
+    def _abandon_slot(self, slot: dict, flush: Callable[[], None]) -> None:
+        """Continuation cancelled (server closed) before the handler
+        resolved: answer the held exchange so the client is not left
+        parked, and close the connection behind it."""
+        if slot["response"] is not None:
+            return
+        slot["keep"] = False
+        slot["response"] = HttpResponse(503, body=b"server shutting down")
+        flush()
 
     def _respond(
         self,
@@ -454,8 +543,9 @@ class HttpServer:
 
 class _PooledConnection:
     """One destination's persistent connection: a FIFO of pending
-    exchanges, one in flight at a time, an idle-close timer, and enough
-    bookkeeping to die cleanly when the path does."""
+    exchanges, up to ``pipeline_depth`` in flight at a time (responses
+    match requests in order), an idle-close timer, and enough bookkeeping
+    to die cleanly when the path does."""
 
     def __init__(self, client: "HttpClient", key: tuple[NodeAddress, int]) -> None:
         self.client = client
@@ -463,8 +553,16 @@ class _PooledConnection:
         self.conn: Connection | None = None
         self.assembler = _MessageAssembler()
         self.queue: list[tuple[HttpRequest, SimFuture]] = []
-        self.inflight: SimFuture | None = None
+        #: Futures of requests already written, in request order.
+        self.inflight: deque[SimFuture] = deque()
         self.idle_timer: Event | None = None
+        #: Invalidates this entry's records in the client's idle heap
+        #: whenever it leaves the idle state (lazy deletion).
+        self.idle_gen = 0
+        #: The peer answered with keep-alive at least once on the current
+        #: connection; pipelining past depth 1 waits for this proof so a
+        #: legacy server never sees overlapped requests.
+        self.peer_keeps_alive = False
         self.connecting = False
         self.dead = False
         self.exchanges = 0
@@ -489,9 +587,10 @@ class _PooledConnection:
         conn, self.conn = self.conn, None
         if conn is not None:
             conn.abort()
-        inflight, self.inflight = self.inflight, None
-        if inflight is not None and not inflight.done():
-            inflight.set_exception(exc)
+        inflight, self.inflight = list(self.inflight), deque()
+        for future in inflight:
+            if not future.done():
+                future.set_exception(exc)
         queue, self.queue = self.queue, []
         for _request, future in queue:
             if not future.done():
@@ -515,7 +614,16 @@ class _PooledConnection:
                 self.abort(exc)
                 return
             self.conn = conn_future.result()
+            config = self.client.config
+            if config.vectored:
+                # Reactor wire: coalesce our writes, take zero-copy reads
+                # (the bytearray assembler accepts memoryview slices).
+                self.conn.vectored = True
+                self.conn.zero_copy = True
             self.assembler = _MessageAssembler()
+            # Pipelining proof is per transport connection: a reconnect
+            # starts one-in-flight again until the peer re-proves itself.
+            self.peer_keeps_alive = False
             self.conn.set_receiver(self._on_data)
             self.conn.on_close(self._on_closed)
             self._pump()
@@ -523,65 +631,89 @@ class _PooledConnection:
         self.client.stack.connect(dst, port).add_done_callback(on_connected)
 
     def _pump(self) -> None:
-        if self.inflight is not None or not self.queue:
+        if not self.queue:
             return
         if self.conn is None or self.conn.state != Connection.ESTABLISHED:
             if not self.connecting:
                 self._connect()
             return
-        request, future = self.queue.pop(0)
-        self.inflight = future
-        try:
-            self.conn.send(request.to_bytes())
-        except Exception as exc:
-            self.inflight = None
-            self.client._drop_entry(self)
-            if not future.done():
-                future.set_exception(TransportError(f"pooled send failed: {exc}"))
-            self.abort(TransportError(f"pooled connection unusable: {exc}"))
+        depth = (
+            max(1, self.client.config.pipeline_depth)
+            if self.peer_keeps_alive
+            else 1
+        )
+        while self.queue and len(self.inflight) < depth:
+            request, future = self.queue.pop(0)
+            self.inflight.append(future)
+            try:
+                self.conn.send(request.to_bytes())
+            except Exception as exc:
+                self.inflight.pop()
+                self.client._drop_entry(self)
+                if not future.done():
+                    future.set_exception(TransportError(f"pooled send failed: {exc}"))
+                self.abort(TransportError(f"pooled connection unusable: {exc}"))
+                return
 
     def _on_data(self, connection: Connection, data: bytes) -> None:
-        try:
-            complete = self.assembler.feed(data)
-            if complete is None:
-                return
-            response = _build_response(*complete)
-        except ProtocolError as exc:
-            future, self.inflight = self.inflight, None
-            if future is not None and not future.done():
-                future.set_exception(exc)
-            self.client._drop_entry(self)
-            self.abort(TransportError("pooled connection desynchronised"))
-            return
-        self.exchanges += 1
-        future, self.inflight = self.inflight, None
-        self.client._note_response(self.key, response)
-        if future is not None and not future.done():
-            future.set_result(response)
-        if "keep-alive" not in response.header("Connection").lower():
-            # Peer is closing after this exchange (legacy server): any
-            # queued requests reconnect fresh.
-            conn, self.conn = self.conn, None
-            if conn is not None:
-                conn.close()
-            if self.queue:
-                self._connect()
-            elif not self.dead:
+        # Loop: one delivery may complete several pipelined responses
+        # (a vectored peer coalesces them into one transmission).
+        while True:
+            try:
+                complete = self.assembler.feed(data)
+                if complete is None:
+                    return
+                response = _build_response(*complete)
+            except ProtocolError as exc:
+                future = self.inflight.popleft() if self.inflight else None
+                if future is not None and not future.done():
+                    future.set_exception(exc)
                 self.client._drop_entry(self)
-                self.dead = True
-            return
-        if self.queue:
-            self._pump()
-        else:
-            self._start_idle_timer()
+                self.abort(TransportError("pooled connection desynchronised"))
+                return
+            self.exchanges += 1
+            future = self.inflight.popleft() if self.inflight else None
+            self.client._note_response(self.key, response)
+            keep = "keep-alive" in response.header("Connection").lower()
+            if keep:
+                self.peer_keeps_alive = True
+            if future is not None and not future.done():
+                future.set_result(response)
+            if not keep:
+                # Peer is closing after this exchange (legacy server):
+                # anything pipelined behind it will never be answered;
+                # queued-but-unsent requests reconnect fresh.
+                conn, self.conn = self.conn, None
+                if conn is not None:
+                    conn.close()
+                stranded, self.inflight = list(self.inflight), deque()
+                for pending in stranded:
+                    if not pending.done():
+                        pending.set_exception(
+                            TransportError("peer closed before pipelined response")
+                        )
+                if self.queue:
+                    self._connect()
+                elif not self.dead:
+                    self.client._drop_entry(self)
+                    self.dead = True
+                return
+            if self.queue:
+                self._pump()
+            if not self.inflight and not self.queue:
+                self._start_idle_timer()
+            data = b""
+            if not self.assembler.has_buffered:
+                return
 
     def _on_closed(self, connection: Connection) -> None:
         if self.dead or connection is not self.conn:
             return
         self.conn = None
-        inflight, self.inflight = self.inflight, None
-        if inflight is not None and not inflight.done():
-            inflight.set_exception(TransportError("connection closed mid-response"))
+        inflight, self.inflight = list(self.inflight), deque()
+        for future in inflight:
+            if not future.done():
+                future.set_exception(TransportError("connection closed mid-response"))
         if self.queue:
             # Requests never sent are safe to replay on a new connection.
             self._connect()
@@ -593,25 +725,33 @@ class _PooledConnection:
         self._cancel_idle_timer()
         timeout = self.client.config.idle_timeout
         if timeout <= 0:
+            # No idle reaping (the legacy leak shape) — but the entry is
+            # still idle, so it stays reachable for LRU cap eviction.
+            self.client._note_idle(self, self.client.stack.sim.now)
             return
+        deadline = self.client.stack.sim.now + timeout
         self.idle_timer = self.client.stack.sim.schedule(timeout, self._idle_close)
+        self.client._note_idle(self, deadline)
 
     def _idle_close(self) -> None:
         self.idle_timer = None
-        if self.inflight is not None or self.queue:
+        if self.inflight or self.queue:
             return
         self.client._m_idle_closes.inc()
         self.client._drop_entry(self)
         self.abort(TransportError("pooled connection idle-closed"))
 
     def _cancel_idle_timer(self) -> None:
+        # Leaving the idle state: stale idle-heap records for this entry
+        # are invalidated by the generation bump (lazy deletion).
+        self.idle_gen += 1
         if self.idle_timer is not None:
             self.idle_timer.cancel()
             self.idle_timer = None
 
     @property
     def idle(self) -> bool:
-        return self.inflight is None and not self.queue
+        return not self.inflight and not self.queue
 
 
 class HttpClient:
@@ -627,6 +767,14 @@ class HttpClient:
         self.compressed_requests = 0
         #: destination -> pooled entry, in LRU order (oldest first).
         self._pool: dict[tuple[NodeAddress, int], _PooledConnection] = {}
+        #: Idle entries indexed by expiry deadline: a heap of
+        #: ``(deadline, seq, entry, generation)`` records.  Records go
+        #: stale (lazy deletion) when the entry leaves the idle state and
+        #: bumps its ``idle_gen``; eviction pops from the head, so finding
+        #: the next idle victim is O(evicted + stale) instead of a linear
+        #: scan of the whole pool on every acquire.
+        self._idle_heap: list[tuple[float, int, _PooledConnection, int]] = []
+        self._idle_seq = 0
         #: destination -> features the peer has proven it understands.
         self._peer_features: dict[tuple[NodeAddress, int], frozenset[str]] = {}
         self._set_obs(NOOP_OBS, "")
@@ -691,16 +839,27 @@ class HttpClient:
         self._pool[key] = entry  # (re-)append: most recently used last
         return entry
 
+    def _note_idle(self, entry: _PooledConnection, deadline: float) -> None:
+        """Index an entry that just went idle by its expiry deadline."""
+        self._idle_seq += 1
+        heapq.heappush(
+            self._idle_heap, (deadline, self._idle_seq, entry, entry.idle_gen)
+        )
+
     def _evict_lru_idle(self) -> None:
         if len(self._pool) < self.config.pool_destinations:
             return
-        for key, entry in self._pool.items():  # oldest first
-            if entry.idle:
-                del self._pool[key]
-                self.pooled_evictions += 1
-                self._m_evictions.inc()
-                entry.abort(TransportError("pooled connection LRU-evicted"))
-                return
+        while self._idle_heap:
+            _deadline, _seq, entry, gen = heapq.heappop(self._idle_heap)
+            if gen != entry.idle_gen or entry.dead or not entry.idle:
+                continue  # stale record: the entry got busy again or died
+            if self._pool.get(entry.key) is not entry:
+                continue
+            del self._pool[entry.key]
+            self.pooled_evictions += 1
+            self._m_evictions.inc()
+            entry.abort(TransportError("pooled connection LRU-evicted"))
+            return
 
     @property
     def pooled_destinations(self) -> int:
@@ -717,7 +876,7 @@ class HttpClient:
             if not entry.dead
             and (
                 entry.connecting
-                or entry.inflight is not None
+                or entry.inflight
                 or entry.queue
                 or (
                     entry.conn is not None

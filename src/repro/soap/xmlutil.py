@@ -80,6 +80,16 @@ class XmlWriter:
             self._parts.append('<?xml version="1.0" encoding="UTF-8"?>\n')
         self._stack: list[str] = []
 
+    def reset(self, declaration: bool = True) -> None:
+        """Return the writer to its just-constructed state, keeping the
+        allocated lists.  The envelope builders pool writers on the hot
+        path (one envelope per bridged call) and reset between borrows;
+        output bytes are identical to a fresh writer's."""
+        self._parts.clear()
+        if declaration:
+            self._parts.append('<?xml version="1.0" encoding="UTF-8"?>\n')
+        self._stack.clear()
+
     def open(self, tag: str, attrs: Mapping[str, str] | None = None) -> None:
         self._parts.append(f"<{tag}{self._render_attrs(attrs)}>")
         self._stack.append(tag)

@@ -31,7 +31,10 @@ fault schedule — declared failures are always legal, silent ones never:
   special case here: their held waits and streamed frames are ordinary
   TCP segments on the backbone, so the same per-segment arithmetic
   covers them (and the pool-leak oracle audits each channel's dedicated
-  keep-alive client via ``World.http_clients``).
+  keep-alive client via ``World.http_clients``).  Vectored (reactor)
+  transmissions are reconciled through the monitor's per-segment
+  coalescing surplus: n constituent frames on one wire frame must net
+  out to exactly one segment transmission.
 """
 
 from __future__ import annotations
@@ -252,14 +255,25 @@ class InvariantSuite:
             by_protocol = self.world.monitor.per_segment.get(segment.name, {})
             seg_frames = sum(stats.frames for stats in by_protocol.values())
             seg_drops = sum(stats.dropped_frames for stats in by_protocol.values())
-            monitored_frames += seg_frames
-            monitored_drops += seg_drops
-            if seg_frames != segment.frames_sent:
+            # The monitor tallies vectored transmissions by constituent
+            # (n logical frames per wire frame); the segment counts wire
+            # transmissions.  Subtract the recorded surplus so the same
+            # arithmetic holds whether or not the reactor coalesced.
+            frames_extra = self.world.monitor.coalesced_extra_per_segment.get(
+                segment.name, 0
+            )
+            drops_extra = self.world.monitor.coalesced_dropped_extra_per_segment.get(
+                segment.name, 0
+            )
+            monitored_frames += seg_frames - frames_extra
+            monitored_drops += seg_drops - drops_extra
+            if seg_frames - frames_extra != segment.frames_sent:
                 self.violations.append(
                     Violation(
                         "conservation",
-                        f"{segment.name}: monitor saw {seg_frames} frames but "
-                        f"segment sent {segment.frames_sent}",
+                        f"{segment.name}: monitor saw {seg_frames} frames "
+                        f"({frames_extra} from coalescing) but segment sent "
+                        f"{segment.frames_sent}",
                     )
                 )
         claimed = report.total_observed("frames_dropped")

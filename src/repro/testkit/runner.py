@@ -214,12 +214,23 @@ PUSH_SEED_SPAN = 100
 RULES_SEED_BASE = 200
 RULES_SEED_SPAN = 100
 
+#: Seeds in [REACTOR_SEED_BASE, REACTOR_SEED_BASE + REACTOR_SEED_SPAN)
+#: draw the "reactor" profile: a reactor-leaning interchange mix
+#: (vectored writes, zero-copy reads, pipelining) against legacy/fast/
+#: push peers, with a call-heavy workload so deep RPC pipelines and
+#: coalesced event bursts run under the same fault schedules as the
+#: older bands.  Corpus seeds 300-304 are pinned in tests/testkit.
+REACTOR_SEED_BASE = 300
+REACTOR_SEED_SPAN = 100
+
 
 def _profile_for(seed: int) -> str:
     if PUSH_SEED_BASE <= seed < PUSH_SEED_BASE + PUSH_SEED_SPAN:
         return "push"
     if RULES_SEED_BASE <= seed < RULES_SEED_BASE + RULES_SEED_SPAN:
         return "rules"
+    if REACTOR_SEED_BASE <= seed < REACTOR_SEED_BASE + REACTOR_SEED_SPAN:
+        return "reactor"
     return "default"
 
 

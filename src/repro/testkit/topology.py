@@ -24,7 +24,12 @@ from repro.net.network import Network
 from repro.net.segment import EthernetSegment, IEEE1394Segment, Segment
 from repro.net.simkernel import SimFuture, Simulator
 from repro.obs import Observability
-from repro.soap.http import FAST_INTERCHANGE, PUSH_INTERCHANGE, InterchangeConfig
+from repro.soap.http import (
+    FAST_INTERCHANGE,
+    PUSH_INTERCHANGE,
+    REACTOR_INTERCHANGE,
+    InterchangeConfig,
+)
 
 #: Middleware kinds islands are drawn from; x10 and mail are bus-less
 #: (their native medium carries no SOAP, so the gateway is backbone-only).
@@ -144,6 +149,10 @@ class TopologyGen:
         # ride streamed channels, but keep legacy islands in the mix so
         # redelivered (at-least-once) events hit the engines' dedup.
         "rules": (("legacy", "fast", "push"), (20, 20, 60)),
+        # Reactor seeds lean on the vectored/pipelined substrate while
+        # keeping every older wire shape in the mix, so coalesced
+        # transmissions interoperate with legacy peers under faults.
+        "reactor": (("legacy", "fast", "push", "reactor"), (15, 15, 20, 50)),
     }
 
     def generate(self, seed: int, profile: str = "default") -> TopologySpec:
@@ -247,6 +256,7 @@ _INTERCHANGE = {
     "keepalive": InterchangeConfig(keep_alive=True),
     "fast": FAST_INTERCHANGE,
     "push": PUSH_INTERCHANGE,
+    "reactor": REACTOR_INTERCHANGE,
 }
 
 

@@ -32,6 +32,10 @@ _PUSH_WEIGHTS = (20, 45, 20, 5, 5, 5)
 #: but calls stay frequent enough that rule actions contend with
 #: ordinary workload traffic on the same services.
 _RULES_WEIGHTS = (25, 45, 10, 5, 8, 7)
+#: Reactor-profile mix: call-heavy with a strong publish side, so the
+#: vectored/pipelined substrate sees both deep RPC pipelines and
+#: coalesced event-frame bursts under the same fault schedules.
+_REACTOR_WEIGHTS = (45, 30, 10, 5, 5, 5)
 _OPERATIONS = ("get", "add", "echo", "fail")
 _OP_WEIGHTS = (40, 30, 20, 10)
 
@@ -90,6 +94,8 @@ class WorkloadGen:
             weights = _PUSH_WEIGHTS
         elif profile == "rules":
             weights = _RULES_WEIGHTS
+        elif profile == "reactor":
+            weights = _REACTOR_WEIGHTS
         else:
             weights = _WEIGHTS
         rng = random.Random(f"testkit:workload:{spec.seed}")

@@ -21,7 +21,15 @@ from repro.testkit import check, shrink_failure, sweep
 #: push-capable islands, publish-heavy workloads, streamed event channels.
 #: Seeds 200-204 sit in the rules band: deterministic rule engines run
 #: over the workload, judged by the rule-dedup and rule-schedule oracles.
-CORPUS = list(range(30)) + [100, 101, 102, 103, 104] + [200, 201, 202, 203, 204]
+#: Seeds 300-304 sit in the reactor band: vectored/pipelined islands with
+#: call-heavy workloads, so the coalescing transport core and the legacy
+#: wire interoperate under the same fault schedules on every commit.
+CORPUS = (
+    list(range(30))
+    + [100, 101, 102, 103, 104]
+    + [200, 201, 202, 203, 204]
+    + [300, 301, 302, 303, 304]
+)
 
 #: Sweep seeds live far above the corpus so the nightly never rechecks
 #: what every push already covers.
