@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Gate the telemetry plane's wire cost from ``BENCH_telemetry.json``.
+
+CI runs the C12 benchmark (which emits ``BENCH_telemetry.json``) and then
+this script::
+
+    python benchmarks/check_telemetry.py <current.json>
+
+Two hard promises are enforced, straight from ISSUE 8:
+
+- **disabled is free** — agents constructed with ``enabled=False`` leave
+  the backbone byte-identical to a run with no telemetry plane at all;
+- **enabled is cheap** — the full report stream costs less than
+  ``MAX_BYTES_OVERHEAD`` extra backbone bytes against the busy-wire
+  baseline, with every island actually reporting (a silent plane would
+  pass a pure overhead bound).
+
+The simulation is deterministic, so these are exact checks, not
+statistical ones: any drift is a real wire-behaviour change.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+MAX_BYTES_OVERHEAD = 0.02
+MIN_ISLANDS = 2
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    with open(argv[1], encoding="utf-8") as handle:
+        results = json.load(handle)
+    paths, overheads = results["paths"], results["overheads"]
+    failures = []
+
+    for key in ("bytes", "frames"):
+        base, disabled = paths["baseline"][key], paths["disabled"][key]
+        print(f"disabled {key}: {disabled} (baseline {base})")
+        if disabled != base:
+            failures.append(
+                f"disabled agents touched the wire: {key} {base} -> {disabled}"
+            )
+
+    bytes_overhead = overheads["bytes_overhead"]
+    print(f"enabled bytes overhead: {bytes_overhead * 100:.2f}% "
+          f"(bound {MAX_BYTES_OVERHEAD * 100:.0f}%)")
+    if not 0.0 < bytes_overhead < MAX_BYTES_OVERHEAD:
+        failures.append(
+            f"enabled bytes overhead {bytes_overhead * 100:.2f}% outside "
+            f"(0%, {MAX_BYTES_OVERHEAD * 100:.0f}%)"
+        )
+
+    islands = paths["enabled"].get("islands_reporting", 0)
+    reports = paths["enabled"].get("reports_merged", 0)
+    print(f"islands reporting: {islands}, reports merged: {reports}")
+    if islands < MIN_ISLANDS or reports <= 0:
+        failures.append(
+            f"report stream missing: {islands} islands, {reports} reports"
+        )
+
+    if failures:
+        print("\nFAIL: telemetry-plane wire promises broken:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print("\nOK: disabled is wire-invisible, enabled within the byte bound")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -275,6 +275,13 @@ class ResilientExecutor:
         for listener in list(self._transition_listeners):
             listener(island, old, new)
 
+    def breaker_state(self, island: str) -> str | None:
+        """Current breaker state for ``island`` without creating a breaker
+        (None until a call to that island ever ran) — read by the
+        telemetry collector's health scoring."""
+        breaker = self._breakers.get(island)
+        return breaker.state if breaker is not None else None
+
     def breaker_for(self, island: str) -> CircuitBreaker:
         breaker = self._breakers.get(island)
         if breaker is None:
@@ -440,6 +447,20 @@ class HeartbeatMonitor:
         self.ticks = 0
         self._timer: Event | None = None
         self._running = False
+        self._listeners: list[Callable[[str, bool, GatewayHealth], None]] = []
+
+    def add_listener(
+        self, listener: Callable[[str, bool, GatewayHealth], None]
+    ) -> None:
+        """``listener(island, alive, record)`` on every liveness *flip*
+        (alive→dead after the failure threshold, dead→alive on the first
+        successful ping) — not on every ping.  The telemetry collector and
+        flight recorder subscribe here."""
+        self._listeners.append(listener)
+
+    def _notify(self, island: str, alive: bool, record: GatewayHealth) -> None:
+        for listener in list(self._listeners):
+            listener(island, alive, record)
 
     def start(self) -> None:
         if self._running or self.policy.heartbeat_interval <= 0:
@@ -493,14 +514,22 @@ class HeartbeatMonitor:
 
         def on_done(done: SimFuture) -> None:
             if done.exception() is None:
+                was_alive = record.alive
                 record.alive = True
                 record.last_seen = self.sim.now
                 record.consecutive_failures = 0
+                if not was_alive:
+                    self._notify(island, True, record)
             else:
                 record.failures += 1
                 record.consecutive_failures += 1
-                if record.consecutive_failures >= self.policy.heartbeat_failure_threshold:
+                if (
+                    record.consecutive_failures
+                    >= self.policy.heartbeat_failure_threshold
+                    and record.alive
+                ):
                     record.alive = False
+                    self._notify(island, False, record)
                 # A failed probe also condemns any pooled keep-alive
                 # connection to that endpoint (getattr: vsg is duck-typed
                 # and bare test doubles may lack the protocol hook).

@@ -114,6 +114,9 @@ class FaultInjector:
         self.mm = mm
         self._report = FaultReport(seed=plan.seed)
         self._armed = False
+        #: ``on_fault(action, record)`` invoked after each injection lands
+        #: — the testkit hooks flight-recorder dumps on crash actions.
+        self.on_fault: "Any | None" = None
 
     # -- public API ---------------------------------------------------------
 
@@ -167,6 +170,8 @@ class FaultInjector:
             self._apply_crash(action, record)
         elif isinstance(action, GatewayPause):
             self._apply_pause(action, record)
+        if self.on_fault is not None:
+            self.on_fault(action, record)
 
     def _apply_loss(
         self, entry: ScheduledFault, action: LinkLoss, record: FaultRecord

@@ -76,6 +76,10 @@ class TrafficMonitor:
     #: wire-level drop but ``len(parts)`` dropped constituents in the
     #: per-protocol tallies.
     coalesced_dropped_extra_per_segment: dict[str, int] = field(default_factory=dict)
+    #: Configuration, not an accumulator (``reset`` keeps it): callbacks
+    #: ``(segment_name, protocol, size, dropped)`` invoked for every
+    #: recorded transmission — the flight recorder's wire-level feed.
+    frame_listeners: list = field(default_factory=list)
 
     def watch(self, *segments: "Segment") -> "TrafficMonitor":
         for segment in segments:
@@ -100,6 +104,9 @@ class TrafficMonitor:
             bucket.bytes += size
             if dropped:
                 bucket.dropped_frames += 1
+        if self.frame_listeners:
+            for listener in self.frame_listeners:
+                listener(segment.name, frame.protocol, size, dropped)
         if self.trace_enabled:
             if len(self.trace) < self.trace_limit:
                 self.trace.append(
@@ -149,6 +156,9 @@ class TrafficMonitor:
                 bucket.bytes += part_size
                 if dropped:
                     bucket.dropped_frames += 1
+        if self.frame_listeners:
+            for listener in self.frame_listeners:
+                listener(segment.name, frame.protocol, size, dropped)
         if self.trace_enabled:
             if len(self.trace) < self.trace_limit:
                 self.trace.append(
@@ -197,15 +207,24 @@ class TrafficMonitor:
     def summary_rows(self) -> list[tuple[str, int, int]]:
         """(protocol, frames, bytes) rows sorted by descending bytes.
 
-        When trace entries were discarded past ``trace_limit`` a final
-        ``("(trace dropped)", count, 0)`` row flags the truncation, so a
-        summary of an incomplete trace can't pass for a complete one.
+        Rows are pure protocol tallies; trace truncation is reported by
+        the explicit ``trace_dropped`` field (and :meth:`summary`), not a
+        sentinel row.
         """
         rows = [
             (protocol, stats.frames, stats.bytes)
             for protocol, stats in self.stats.items()
         ]
         rows.sort(key=lambda row: row[2], reverse=True)
-        if self.trace_dropped:
-            rows.append(("(trace dropped)", self.trace_dropped, 0))
         return rows
+
+    def summary(self) -> dict:
+        """Structured summary with truncation explicit: a summary of an
+        incomplete trace can't pass for a complete one."""
+        return {
+            "rows": self.summary_rows(),
+            "total_frames": self.total_frames,
+            "total_bytes": self.total_bytes,
+            "trace_dropped": self.trace_dropped,
+            "frames_coalesced": self.frames_coalesced,
+        }

@@ -54,6 +54,20 @@ from repro.obs.export import (
     spans_to_jsonl,
     write_spans_jsonl,
 )
+from repro.obs.health import (
+    DEGRADED,
+    HEALTHY,
+    UNHEALTHY,
+    HealthPolicy,
+    quantile_from_buckets,
+    score_island,
+)
+from repro.obs.flight import FlightRecorder
+from repro.obs.telemetry import (
+    TELEMETRY_TOPIC_PREFIX,
+    TelemetryAgent,
+    TelemetryCollector,
+)
 
 
 class Observability:
@@ -99,4 +113,14 @@ __all__ = [
     "write_spans_jsonl",
     "snapshot_with_traffic",
     "snapshot_to_json",
+    "TelemetryAgent",
+    "TelemetryCollector",
+    "TELEMETRY_TOPIC_PREFIX",
+    "HealthPolicy",
+    "HEALTHY",
+    "DEGRADED",
+    "UNHEALTHY",
+    "score_island",
+    "quantile_from_buckets",
+    "FlightRecorder",
 ]

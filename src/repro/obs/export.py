@@ -32,14 +32,19 @@ def write_spans_jsonl(path: str, spans: Iterable[Span]) -> str:
 
 
 def snapshot_with_traffic(
-    metrics: "MetricsRegistry", monitors: "TrafficMonitor | Iterable[TrafficMonitor]"
+    metrics: "MetricsRegistry",
+    monitors: "TrafficMonitor | Iterable[TrafficMonitor]",
+    reactors: "dict[str, Any] | None" = None,
 ) -> dict[str, Any]:
     """Metrics snapshot with TrafficMonitor byte counts folded in.
 
     Wire-level observations (frames/bytes per protocol, dropped trace
     entries) become ``traffic.<monitor>.<protocol>.frames|bytes`` keys next
     to the call-level metrics, so one snapshot answers both "how many
-    calls" and "how many bytes".
+    calls" and "how many bytes".  Pass ``reactors`` (label -> Reactor, or
+    anything with a ``.reactor`` such as a TransportStack) to fold each
+    reactor's :meth:`stats` in as ``reactor.<label>.<stat>`` keys, so
+    continuation/queue depth shows up in the same snapshot.
     """
     if not isinstance(monitors, Iterable):
         monitors = [monitors]
@@ -47,14 +52,16 @@ def snapshot_with_traffic(
     for monitor in monitors:
         prefix = f"traffic.{monitor.name}"
         for protocol, frames, total in monitor.summary_rows():
-            if protocol.startswith("("):
-                continue  # the "(trace dropped)" sentinel: emitted below
             snapshot[f"{prefix}.{protocol}.frames"] = frames
             snapshot[f"{prefix}.{protocol}.bytes"] = total
         snapshot[f"{prefix}.total_frames"] = monitor.total_frames
         snapshot[f"{prefix}.total_bytes"] = monitor.total_bytes
         snapshot[f"{prefix}.trace_dropped"] = monitor.trace_dropped
         snapshot[f"{prefix}.frames_coalesced"] = monitor.frames_coalesced
+    for label, target in (reactors or {}).items():
+        reactor = getattr(target, "reactor", target)
+        for key, value in reactor.stats().items():
+            snapshot[f"reactor.{label}.{key}"] = value
     return {name: snapshot[name] for name in sorted(snapshot)}
 
 

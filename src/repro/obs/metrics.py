@@ -167,6 +167,34 @@ class MetricsRegistry:
                 merged[f"{name}.{key}"] = value
         return {name: merged[name] for name in sorted(merged)}
 
+    def snapshot_typed(self) -> tuple[dict[str, Any], dict[str, Any]]:
+        """The flat snapshot split by merge semantics: ``(monotonic, level)``.
+
+        *Monotonic* values only ever grow — counters, histogram
+        ``count``/``sum``/``le_*``/``overflow`` — so a consumer can ship
+        them as increments and re-sum them idempotently (the telemetry
+        plane's delta encoding).  *Level* values move both ways or are
+        extremes — gauges, histogram ``min``/``max`` — and must be shipped
+        absolute.  Both halves are name-sorted; ``None`` min/max of empty
+        histograms are included so the union matches :meth:`snapshot`.
+        """
+        monotonic: dict[str, Any] = {}
+        level: dict[str, Any] = {}
+        for name, counter in self._counters.items():
+            monotonic[name] = counter.snapshot()
+        for name, gauge in self._gauges.items():
+            level[name] = gauge.snapshot()
+        for name, histogram in self._histograms.items():
+            for key, value in histogram.snapshot().items():
+                if key in ("min", "max"):
+                    level[f"{name}.{key}"] = value
+                else:
+                    monotonic[f"{name}.{key}"] = value
+        return (
+            {name: monotonic[name] for name in sorted(monotonic)},
+            {name: level[name] for name in sorted(level)},
+        )
+
     def to_json(self) -> str:
         return json.dumps(self.snapshot(), sort_keys=True, indent=2)
 
@@ -223,6 +251,9 @@ class NullMetrics:
 
     def snapshot(self) -> dict[str, Any]:
         return {}
+
+    def snapshot_typed(self) -> tuple[dict[str, Any], dict[str, Any]]:
+        return {}, {}
 
     def to_json(self) -> str:
         return "{}"

@@ -119,6 +119,8 @@ class Span:
             if error is not None:
                 self.status = "error"
                 self.error = f"{type(error).__name__}: {error}"
+            if self._tracer is not None:
+                self._tracer._notify_finish(self)
         return self
 
     def to_record(self) -> dict[str, Any]:
@@ -185,6 +187,7 @@ class Tracer:
         self._trace_seq = 0
         self._span_seq = 0
         self._active: list[Span] = []
+        self._finish_listeners: list[Any] = []
 
     @property
     def now(self) -> float:
@@ -233,6 +236,15 @@ class Tracer:
         else:
             self.spans_dropped += 1
         return span
+
+    def add_finish_listener(self, listener: Any) -> None:
+        """``listener(span)`` on every first :meth:`Span.finish` — the
+        flight recorder's feed.  Listeners must not start or finish spans."""
+        self._finish_listeners.append(listener)
+
+    def _notify_finish(self, span: Span) -> None:
+        for listener in self._finish_listeners:
+            listener(span)
 
     # -- ambient activation --------------------------------------------------
 

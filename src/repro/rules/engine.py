@@ -173,6 +173,12 @@ class RuleEngine:
         #: One entry per schedule occurrence: rule, trigger index, n, the
         #: closed-form due instant, and when the engine actually ran it.
         self.schedule_log: list[dict[str, Any]] = []
+        self._firing_listeners: list[Any] = []
+
+    def add_firing_listener(self, listener: Any) -> None:
+        """``listener(firing)`` on every appended :class:`Firing` — the
+        flight recorder's feed.  Listeners must not publish or fire rules."""
+        self._firing_listeners.append(listener)
 
     # -- rule management -----------------------------------------------------
 
@@ -386,6 +392,8 @@ class RuleEngine:
             topic=event["topic"] if event is not None else None,
         )
         self.firings.append(firing)
+        for listener in self._firing_listeners:
+            listener(firing)
         # Latency is trigger→actions-complete: for event triggers it starts
         # at the publisher's stamp, so interchange transport is included.
         started = (

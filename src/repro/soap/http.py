@@ -777,6 +777,9 @@ class HttpClient:
         self._idle_seq = 0
         #: destination -> features the peer has proven it understands.
         self._peer_features: dict[tuple[NodeAddress, int], frozenset[str]] = {}
+        #: Optional :class:`repro.obs.flight.FlightRecorder`: watchdog reaps
+        #: record a ``watchdog_reap`` entry and trigger a dump.
+        self.flight = None
         self._set_obs(NOOP_OBS, "")
 
     def observe(self, obs, label: str = "") -> "HttpClient":
@@ -981,6 +984,15 @@ class HttpClient:
                         f"after {timeout:g}s"
                     )
                 )
+                if self.flight is not None:
+                    self.flight.record(
+                        "watchdog_reap",
+                        mode="pooled",
+                        dst=str(dst),
+                        port=port,
+                        timeout=timeout,
+                    )
+                    self.flight.trigger("watchdog-reap")
 
             timer = self.stack.sim.schedule(timeout, give_up)
             future.add_done_callback(lambda _done: timer.cancel())
@@ -1049,6 +1061,15 @@ class HttpClient:
                 conn = live.get("conn")
                 if conn is not None and conn.state != Connection.CLOSED:
                     conn.close()
+                if self.flight is not None:
+                    self.flight.record(
+                        "watchdog_reap",
+                        mode="oneshot",
+                        dst=str(dst),
+                        port=port,
+                        timeout=timeout,
+                    )
+                    self.flight.trigger("watchdog-reap")
 
             timer = self.stack.sim.schedule(timeout, give_up)
             future.add_done_callback(lambda _done: timer.cancel())

@@ -25,6 +25,12 @@ fault schedule — declared failures are always legal, silent ones never:
   logged happened at exactly the closed-form instant
   ``epoch + offset + n * interval``: schedule state is derived, never
   accumulated, so faults and load cannot drift the timetable.
+- **telemetry-soundness** — on telemetry-profile seeds, the collector's
+  merged per-island counter totals never exceed what that island's agent
+  actually shipped (at-least-once redelivery must be deduped, never
+  double-counted), and the collector's high-water sequence number never
+  exceeds the agent's (no fabricated reports).  Loss is legal — reports
+  ride the ordinary event plane — inflation is not.
 - **conservation** — per-segment delivery accounting balances, the
   monitor agrees with the segments, and every monitored drop is claimed
   by exactly one fault-report loss window.  Push event channels need no
@@ -108,6 +114,7 @@ class InvariantSuite:
         self._check_pools()
         self._check_spans()
         self._check_rules()
+        self._check_telemetry()
         self._check_conservation(report)
         return self.violations
 
@@ -236,6 +243,36 @@ class InvariantSuite:
                             f"engine on {name}: {entry['rule']} occurrence "
                             f"n={entry['n']} fired at t={entry['fired_at']!r}, "
                             f"not its due instant t={entry['due']!r}",
+                        )
+                    )
+
+    def _check_telemetry(self) -> None:
+        collector = self.world.telemetry_collector
+        if collector is None:
+            return
+        for name, agent in sorted(self.world.telemetry_agents.items()):
+            max_seq = collector.island_max_seq(name)
+            if max_seq > agent.seq:
+                self.violations.append(
+                    Violation(
+                        "telemetry-soundness",
+                        f"collector holds seq {max_seq} for {name} but its "
+                        f"agent only emitted {agent.seq} reports",
+                    )
+                )
+            merged = collector.island_totals(name)
+            for key, total in sorted(merged.items()):
+                shipped = agent.emitted_totals.get(key, 0)
+                # Strictly > with a float tolerance: sequence-ordered
+                # folding re-adds the same increments the agent summed,
+                # so any real excess means a duplicate was applied.
+                if total > shipped + 1e-9:
+                    self.violations.append(
+                        Violation(
+                            "telemetry-soundness",
+                            f"collector merged {total!r} for {name}:{key} "
+                            f"but the agent only shipped {shipped!r} — "
+                            f"redelivery was double-counted",
                         )
                     )
 

@@ -161,6 +161,13 @@ class RunResult:
     def workload_json(self) -> str:
         return self.runner.log_json()
 
+    def flight_dumps_json(self) -> str:
+        """Deterministic JSON of every flight-recorder dump this run
+        triggered (empty ``{}`` when nothing crashed or failed)."""
+        from repro.obs.flight import dumps_json
+
+        return dumps_json(self.world.flight)
+
     def metrics_json(self) -> str:
         """Canonical end-of-run counters; identical seeds must match bytes."""
         return json.dumps(self._metrics, sort_keys=True, separators=(",", ":"))
@@ -223,6 +230,16 @@ RULES_SEED_SPAN = 100
 REACTOR_SEED_BASE = 300
 REACTOR_SEED_SPAN = 100
 
+#: Seeds in [TELEMETRY_SEED_BASE, TELEMETRY_SEED_BASE +
+#: TELEMETRY_SEED_SPAN) draw the "telemetry" profile: observability
+#: forced on, a heartbeat floor, a push-leaning interchange mix, and —
+#: replay-side — a TelemetryAgent per island streaming delta reports to
+#: one drawn TelemetryCollector (see ``repro.testkit.telemetry_profile``)
+#: audited by the telemetry-soundness oracle under the same fault
+#: schedules as every other band.  Corpus seeds 400-404 are pinned.
+TELEMETRY_SEED_BASE = 400
+TELEMETRY_SEED_SPAN = 100
+
 
 def _profile_for(seed: int) -> str:
     if PUSH_SEED_BASE <= seed < PUSH_SEED_BASE + PUSH_SEED_SPAN:
@@ -231,6 +248,8 @@ def _profile_for(seed: int) -> str:
         return "rules"
     if REACTOR_SEED_BASE <= seed < REACTOR_SEED_BASE + REACTOR_SEED_SPAN:
         return "reactor"
+    if TELEMETRY_SEED_BASE <= seed < TELEMETRY_SEED_BASE + TELEMETRY_SEED_SPAN:
+        return "telemetry"
     return "default"
 
 
@@ -271,14 +290,35 @@ def replay(
     except Exception as exc:  # noqa: BLE001 - report, don't mask
         error = f"connect failed: {type(exc).__name__}: {exc}"
 
+    profile = _profile_for(spec.seed)
+    if profile == "telemetry" and not error:
+        # Mount the collector's cross-gateway subscription before the
+        # workload clock starts, so report channels are open from t=0 of
+        # the script (its announcement traffic is part of the band's
+        # pinned wire behaviour).
+        from repro.testkit.telemetry_profile import install_telemetry
+
+        collector = install_telemetry(world)
+        try:
+            world.sim.run_until_complete(collector.mount(), timeout=CONNECT_TIMEOUT)
+        except Exception as exc:  # noqa: BLE001 - report, don't mask
+            error = f"telemetry mount failed: {type(exc).__name__}: {exc}"
+
     start = world.sim.now
     _plant_bug(inject_bug, world, start)
-    if _profile_for(spec.seed) == "rules":
+    if profile == "rules":
         from repro.testkit.rules_profile import install_rule_engines
 
         install_rule_engines(world)
         for _, engine in sorted(world.rule_engines.items()):
             engine.start()
+    # Every band flies black boxes: recorders are passive (no wire/clock
+    # effects), so the historical determinism pins hold unchanged.
+    from repro.testkit.blackbox import install_flight_recorders
+
+    install_flight_recorders(world)
+    for _, agent in sorted(world.telemetry_agents.items()):
+        agent.start()
     runner.schedule(ops, start)
 
     plan = FaultPlan(seed=spec.seed)
@@ -290,15 +330,31 @@ def replay(
         fault_end = max(fault_end, start + at + max(window, restart))
     injector = FaultInjector(world.network, plan, mm=world.mm).arm()
 
+    def on_fault(action: FaultAction, record: Any) -> None:
+        if isinstance(action, NodeCrash) and action.node.startswith("gw-"):
+            recorder = world.flight.get(action.node[3:])
+            if recorder is not None:
+                recorder.record("fault", description=record.description)
+                recorder.trigger("node-crash")
+
+    injector.on_fault = on_fault
+
     last_op = max((op.time for op in ops), default=0.0)
     end = max(start + last_op, fault_end) + 1.0
     world.sim.run(until=end)
     for _, engine in sorted(world.rule_engines.items()):
         engine.stop()
+    for _, agent in sorted(world.telemetry_agents.items()):
+        agent.stop()
     world.mm.shutdown()
     world.sim.run(until=end + QUIESCE_MARGIN)
 
     violations = suite.finish(runner, injector.report())
+    if violations:
+        # Every oracle failure ships its black boxes: the shrinker and
+        # sweep attach these dumps next to the minimized repro.
+        for _, recorder in sorted(world.flight.items()):
+            recorder.trigger("oracle-failure")
     result = RunResult(
         seed=spec.seed,
         spec=spec,
@@ -415,6 +471,15 @@ def _snapshot_metrics(world: World) -> dict[str, Any]:
                 "schedule_occurrences": len(engine.schedule_log),
             }
             for name, engine in sorted(world.rule_engines.items())
+        }
+    if world.telemetry_collector is not None:
+        snapshot["telemetry"] = {
+            "federation": world.telemetry_collector.federation_snapshot(),
+            "delivery": world.telemetry_collector.delivery_stats(),
+            "agents": {
+                name: {"seq": agent.seq, "reports": agent.reports_emitted}
+                for name, agent in sorted(world.telemetry_agents.items())
+            },
         }
     if world.obs is not None:
         snapshot["metrics"] = world.obs.metrics.snapshot()

@@ -153,6 +153,10 @@ class TopologyGen:
         # keeping every older wire shape in the mix, so coalesced
         # transmissions interoperate with legacy peers under faults.
         "reactor": (("legacy", "fast", "push", "reactor"), (15, 15, 20, 50)),
+        # Telemetry seeds favour push (reports stream over channels) but
+        # keep legacy/fast islands so delta reports also ride the polling
+        # fallback and its redelivery duplicates hit the collector dedup.
+        "telemetry": (("legacy", "fast", "push", "reactor"), (15, 20, 45, 20)),
     }
 
     def generate(self, seed: int, profile: str = "default") -> TopologySpec:
@@ -176,14 +180,27 @@ class TopologyGen:
                     poll_interval=rng.choice((1.0, 2.0, 5.0)),
                 )
             )
+        # Draw everything first (preserving the historical draw order so
+        # non-telemetry bands replay byte-identically), then apply the
+        # telemetry profile's floors: agents need a live registry to
+        # snapshot and a heartbeat for the collector's staleness scoring.
+        obs_draw = rng.random() < 0.5
+        deadline = rng.choice((5.0, 10.0, 15.0))
+        max_retries = rng.choice((0, 1, 2))
+        breaker_threshold = rng.choice((0, 3, 5))
+        heartbeat_interval = rng.choice((0.0, 0.0, 5.0, 10.0))
+        if profile == "telemetry":
+            obs_draw = True
+            if heartbeat_interval == 0.0:
+                heartbeat_interval = 5.0
         return TopologySpec(
             seed=seed,
             islands=tuple(islands),
-            obs_enabled=rng.random() < 0.5,
-            deadline=rng.choice((5.0, 10.0, 15.0)),
-            max_retries=rng.choice((0, 1, 2)),
-            breaker_threshold=rng.choice((0, 3, 5)),
-            heartbeat_interval=rng.choice((0.0, 0.0, 5.0, 10.0)),
+            obs_enabled=obs_draw,
+            deadline=deadline,
+            max_retries=max_retries,
+            breaker_threshold=breaker_threshold,
+            heartbeat_interval=heartbeat_interval,
         )
 
 
@@ -277,6 +294,13 @@ class World:
     #: Rule engines installed by the "rules" profile, keyed by host
     #: island (empty on every other profile); see testkit.rules_profile.
     rule_engines: dict[str, Any] = field(default_factory=dict)
+    #: Flight recorders, one per gateway node (installed for every
+    #: profile by the runner); see testkit.blackbox.
+    flight: dict[str, Any] = field(default_factory=dict)
+    #: Telemetry agents keyed by island + the single collector, installed
+    #: by the "telemetry" profile; see testkit.telemetry_profile.
+    telemetry_agents: dict[str, Any] = field(default_factory=dict)
+    telemetry_collector: Any = None
 
     @property
     def islands(self) -> dict[str, Island]:

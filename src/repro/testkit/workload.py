@@ -36,6 +36,10 @@ _RULES_WEIGHTS = (25, 45, 10, 5, 8, 7)
 #: vectored/pipelined substrate sees both deep RPC pipelines and
 #: coalesced event-frame bursts under the same fault schedules.
 _REACTOR_WEIGHTS = (45, 30, 10, 5, 5, 5)
+#: Telemetry-profile mix: call-heavy so the collector's success-rate
+#: windows always have samples, with enough publishes that telemetry
+#: reports share the event plane with real traffic.
+_TELEMETRY_WEIGHTS = (45, 25, 12, 6, 6, 6)
 _OPERATIONS = ("get", "add", "echo", "fail")
 _OP_WEIGHTS = (40, 30, 20, 10)
 
@@ -96,6 +100,8 @@ class WorkloadGen:
             weights = _RULES_WEIGHTS
         elif profile == "reactor":
             weights = _REACTOR_WEIGHTS
+        elif profile == "telemetry":
+            weights = _TELEMETRY_WEIGHTS
         else:
             weights = _WEIGHTS
         rng = random.Random(f"testkit:workload:{spec.seed}")

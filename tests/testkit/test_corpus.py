@@ -24,11 +24,15 @@ from repro.testkit import check, shrink_failure, sweep
 #: Seeds 300-304 sit in the reactor band: vectored/pipelined islands with
 #: call-heavy workloads, so the coalescing transport core and the legacy
 #: wire interoperate under the same fault schedules on every commit.
+#: Seeds 400-404 sit in the telemetry band: every island streams delta
+#: reports to one collector, judged by the telemetry-soundness oracle
+#: (no double-counted redelivery, no fabricated sequence numbers).
 CORPUS = (
     list(range(30))
     + [100, 101, 102, 103, 104]
     + [200, 201, 202, 203, 204]
     + [300, 301, 302, 303, 304]
+    + [400, 401, 402, 403, 404]
 )
 
 #: Sweep seeds live far above the corpus so the nightly never rechecks
@@ -102,6 +106,11 @@ def test_sweep_random_seeds(request: pytest.FixtureRequest) -> None:
         path = pathlib.Path(out_dir)
         path.mkdir(parents=True, exist_ok=True)
         (path / f"repro-seed-{first.seed}.txt").write_text(shrunk.render())
+        # Black box next to the repro: the failing run's flight-recorder
+        # dumps (oracle failures trigger every node's recorder).
+        (path / f"flight-seed-{first.seed}.json").write_text(
+            first.flight_dumps_json()
+        )
     pytest.fail(
         f"{len(failures)} of {count} sweep seeds failed "
         f"(first: seed={first.seed})\n\n{shrunk.render()}"
