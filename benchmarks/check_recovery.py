@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Gate the persistence layer's cost promises from ``BENCH_recovery.json``.
+
+CI runs the C13 benchmark (which emits ``BENCH_recovery.json``) and then
+this script::
+
+    python benchmarks/check_recovery.py <current.json>
+
+Three hard promises are enforced, straight from ISSUE 9:
+
+- **steady state is cheap** — journaling a busy publish-heavy federation
+  adds under ``MAX_STEADY_OVERHEAD`` in wire bytes and in virtual-time
+  op latency (both deterministic; appends are node-local, so the
+  measured overhead is exactly zero today), with the journals actually
+  writing (a silent layer would pass a pure overhead bound);
+- **replay is linear** — recovery folds the WAL in one pass: replay
+  time grows with record count, never jumps superlinearly;
+- **checkpointing bounds replay** — after compaction the medium holds at
+  most ``checkpoint_every`` records and replays faster than the longest
+  uncompacted log.
+
+The wire/latency checks are exact; the replay timings are host
+wall-clock, so those bounds are deliberately loose (ordering and a wide
+ratio), not absolute times.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+MAX_STEADY_OVERHEAD = 0.03
+#: Replay of N records may be at most this many times slower, per record,
+#: than the smallest measured log — a loose superlinearity tripwire that
+#: survives noisy shared runners.
+MAX_PER_RECORD_RATIO = 10.0
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    with open(argv[1], encoding="utf-8") as handle:
+        results = json.load(handle)
+    steady = results["steady_state"]
+    replay = results["replay"]
+    failures = []
+
+    records = steady["journaled"]["records_appended"]
+    print(f"records appended: {records} "
+          f"(checkpoints: {steady['journaled']['checkpoints']})")
+    if records <= 0:
+        failures.append("journals wrote nothing: the band scenario is inert")
+
+    for key in ("bytes_overhead", "latency_overhead"):
+        value = steady[key]
+        print(f"{key}: {value * 100:+.2f}% "
+              f"(bound {MAX_STEADY_OVERHEAD * 100:.0f}%)")
+        if not value < MAX_STEADY_OVERHEAD:
+            failures.append(
+                f"{key} {value * 100:+.2f}% breaches the "
+                f"{MAX_STEADY_OVERHEAD * 100:.0f}% bound"
+            )
+
+    curve = replay["curve"]
+    per_record = [p["replay_s"] / p["records_on_medium"] for p in curve]
+    for point, cost in zip(curve, per_record):
+        print(f"replay {point['records_on_medium']} records: "
+              f"{point['replay_s'] * 1000:.2f}ms "
+              f"({cost * 1e6:.2f}us/record)")
+    if len(curve) < 2:
+        failures.append("replay curve has fewer than two points")
+    elif max(per_record) > min(per_record) * MAX_PER_RECORD_RATIO:
+        failures.append(
+            f"replay looks superlinear: per-record cost spans "
+            f"{min(per_record) * 1e6:.2f}-{max(per_record) * 1e6:.2f}us"
+        )
+
+    ckpt = replay["checkpointed"]
+    print(f"checkpointed ({ckpt['appends']} appends @ "
+          f"{ckpt['checkpoint_every']}): {ckpt['records_on_medium']} records "
+          f"on medium, replay {ckpt['replay_s'] * 1000:.2f}ms")
+    if ckpt["records_on_medium"] > ckpt["checkpoint_every"]:
+        failures.append(
+            f"compaction failed to bound the medium: "
+            f"{ckpt['records_on_medium']} > {ckpt['checkpoint_every']} records"
+        )
+    if ckpt["replay_s"] >= curve[-1]["replay_s"]:
+        failures.append(
+            "checkpointed replay is no faster than the longest uncompacted log"
+        )
+
+    if failures:
+        print("\nFAIL: persistence cost promises broken:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print("\nOK: wire/latency overhead within bound, replay linear, "
+          "checkpointing bounds the medium")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

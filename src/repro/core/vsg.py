@@ -223,6 +223,11 @@ class EventRouter:
         self._queues: dict[str, list[dict[str, Any]]] = {}
         self._poll_timers: dict[str, Event] = {}
         self._polling_stopped = False
+        #: Bumped on every cold crash.  In-flight poll/registry callbacks
+        #: capture the generation at issue time and bail when it moved, so
+        #: a pre-crash poll can never resurrect a loop the recovery path
+        #: already re-armed (the stale-interlock bug).
+        self._delivery_generation = 0
         self._sequence = 0
         self.events_published = 0
         self.events_delivered = 0
@@ -270,6 +275,18 @@ class EventRouter:
         self._m_log_dropped = metrics.counter(
             f"events.{vsg.island}.delivery_log_dropped"
         )
+        # -- durability probes (populated only when a journal is attached;
+        # -- the no-lost-acked-event oracle reads them after a run)
+        #: (subscriber island, sequence) -> event, recorded the instant an
+        #: event is queued for a remote subscriber: the at-least-once
+        #: promise the oracle holds this publisher to.
+        self.retention_obligations: dict[tuple[str, int], dict[str, Any]] = {}
+        #: Obligations handed over in a fetch reply.  The poll reply wire
+        #: is the one declared at-most-once window (no fetch-level ack),
+        #: so handing the batch to the transport discharges the promise.
+        self.fetch_discharged: set[tuple[str, int]] = set()
+        #: (source island, sequence) of every event delivered locally.
+        self.delivered_keys: set[tuple[str, int]] = set()
         #: Per-delivery records (topic, source island, published_at,
         #: delivered_at, latency) — read by the C3 latency experiment.
         self.delivery_log: list[dict[str, Any]] = []
@@ -292,6 +309,9 @@ class EventRouter:
             "sequence": self._sequence,
             "published_at": self.vsg.sim.now,
         }
+        journal = self.vsg.journal
+        if journal is not None:
+            journal.log_sequence(self._sequence)
         self._deliver_local(event)
         for island, topics in self._remote_subs.items():
             # Exact membership first (the historical path), then the
@@ -310,12 +330,17 @@ class EventRouter:
                         pass  # unreachable or foreign-protocol subscriber
             else:
                 self._queues.setdefault(island, []).append(event)
+                if journal is not None:
+                    journal.log_queue(island, event)
+                    self.retention_obligations[(island, event["sequence"])] = event
                 if island in self._waiters:
                     # A push channel is parked on this island: flush the
                     # queue down it after the coalescing window.
                     self._schedule_flush(island)
 
     def _deliver_local(self, event: dict[str, Any]) -> None:
+        if self.vsg.journal is not None and "sequence" in event:
+            self.delivered_keys.add((event["island"], event["sequence"]))
         callbacks = self._local_subs.get(event["topic"], [])
         if self._pattern_subs:
             for pattern, pattern_callbacks in self._pattern_subs.items():
@@ -347,7 +372,11 @@ class EventRouter:
     # -- inbound control (called by the protocol's server side) --------------------
 
     def handle_subscribe(self, island: str, topic: str, control_location: str) -> bool:
-        self._remote_subs.setdefault(island, set()).add(topic)
+        subs = self._remote_subs.setdefault(island, set())
+        journal = self.vsg.journal
+        if journal is not None and topic not in subs:
+            journal.log_remote_sub(island, topic, control_location)
+        subs.add(topic)
         if control_location:
             self._remote_locations[island] = control_location
         return True
@@ -360,6 +389,11 @@ class EventRouter:
         retained = self._unacked.pop(island, None)
         if retained is not None:
             queued = retained[1] + queued
+        journal = self.vsg.journal
+        if journal is not None and queued:
+            journal.log_drain(island)
+            for event in queued:
+                self.fetch_discharged.add((island, event["sequence"]))
         return queued
 
     def handle_push(self, event: dict[str, Any]) -> bool:
@@ -385,6 +419,8 @@ class EventRouter:
         retained = self._unacked.get(island)
         if retained is not None and ack >= retained[0]:
             self._unacked.pop(island, None)
+            if self.vsg.journal is not None:
+                self.vsg.journal.log_ack(island, ack)
             retained = None
         # Supersede any stale parked waiter (the subscriber re-armed after
         # its watchdog reaped an exchange we still believed live).
@@ -425,6 +461,11 @@ class EventRouter:
         batch = self._batch_seq.get(island, 0) + 1
         self._batch_seq[island] = batch
         self._unacked[island] = (batch, list(events))
+        if self.vsg.journal is not None:
+            # The journal's queue for this island holds exactly `events`
+            # (evq appends, drain/flush clears), so the record only needs
+            # the batch id — replay folds the queue into the unacked slot.
+            self.vsg.journal.log_flush(island, batch)
         self.events_pushed += len(events)
         self._m_pushed.inc(len(events))
         self._m_flush_batch.observe(float(len(events)))
@@ -467,9 +508,23 @@ class EventRouter:
         to the pre-pattern protocol.
         """
         self._register_local(topic, callback)
+        if self.vsg.journal is not None:
+            self.vsg.journal.log_local_topic(topic)
         result: SimFuture = SimFuture()
+        generation = self._delivery_generation
 
         def on_gateways(future: SimFuture) -> None:
+            if generation != self._delivery_generation or self.vsg.down:
+                # The process crashed (cold) while the registry lookup was
+                # in flight: the pre-crash subscription attempt must not
+                # touch the journal or start poll loops for a dead epoch.
+                result.set_exception(
+                    GatewayError(
+                        f"island {self.vsg.island!r} gateway restarted "
+                        "during subscribe"
+                    )
+                )
+                return
             exc = future.exception()
             if exc is not None:
                 result.set_exception(exc)
@@ -509,7 +564,7 @@ class EventRouter:
                 )
                 bounded.add_done_callback(one_done)
                 if not self.vsg.protocol.supports_push:
-                    self._remote_islands[location] = island
+                    self._track_remote_gateway(location, island)
                     self._ensure_poll_loop(location)
                     bounded.add_done_callback(
                         lambda done, loc=location: self._after_announce(loc, done)
@@ -530,12 +585,23 @@ class EventRouter:
         """
         for topic in topics:
             self._register_local(topic, callback)
+            if self.vsg.journal is not None:
+                self.vsg.journal.log_local_topic(topic)
         result: SimFuture = SimFuture()
         if not topics:
             result.set_result(0)
             return result
+        generation = self._delivery_generation
 
         def on_gateways(future: SimFuture) -> None:
+            if generation != self._delivery_generation or self.vsg.down:
+                result.set_exception(
+                    GatewayError(
+                        f"island {self.vsg.island!r} gateway restarted "
+                        "during subscribe"
+                    )
+                )
+                return
             exc = future.exception()
             if exc is not None:
                 result.set_exception(exc)
@@ -570,7 +636,7 @@ class EventRouter:
                 bounded = self._bounded(batch_future, f"subscribe batch to {island}")
                 bounded.add_done_callback(one_done)
                 if not self.vsg.protocol.supports_push:
-                    self._remote_islands[location] = island
+                    self._track_remote_gateway(location, island)
                     self._ensure_poll_loop(location)
                     bounded.add_done_callback(
                         lambda done, loc=location: self._after_announce(loc, done)
@@ -593,6 +659,14 @@ class EventRouter:
             lambda: DeadlineExceededError(f"{what} exceeded {deadline:g}s"),
         )
 
+    def _track_remote_gateway(self, control_location: str, island: str) -> None:
+        if (
+            self.vsg.journal is not None
+            and self._remote_islands.get(control_location) != island
+        ):
+            self.vsg.journal.log_remote_gateway(control_location, island)
+        self._remote_islands[control_location] = island
+
     def _ensure_poll_loop(self, control_location: str) -> None:
         if (
             self._polling_stopped
@@ -609,27 +683,47 @@ class EventRouter:
             return
         self.polls_performed += 1
         self._m_polls.inc()
+        generation = self._delivery_generation
         try:
             poll_future = self.vsg.protocol.poll_events(
                 control_location, self.vsg.island
             )
-        except Exception:
+        except Exception as exc:
+            if is_connectivity_failure(exc):
+                # The send itself failed — our own interfaces are down
+                # (crashed mid-poll) or the path is gone.  That is an
+                # ordinary poll failure, not a foreign-protocol peer:
+                # count it and keep the loop alive through the usual
+                # failure path instead of killing it for good.
+                failures = self._poll_failures.get(control_location, 0) + 1
+                self._poll_failures[control_location] = failures
+                if failures >= self.POLL_PRUNE_FAILURES:
+                    self._check_still_registered(control_location)
+                else:
+                    self._reschedule_poll(control_location)
+                return
             # Foreign-protocol gateway: stop polling it for good.
             self._poll_timers.pop(control_location, None)
             return
 
         def on_events(future: SimFuture) -> None:
-            if self._polling_stopped:
-                # The gateway shut down while this poll was in flight; a
-                # reschedule here would resurrect the loop forever.
+            if self._polling_stopped or generation != self._delivery_generation:
+                # The gateway shut down (or cold-crashed) while this poll
+                # was in flight; a reschedule here would resurrect a loop
+                # the recovery path owns now.
                 return
-            if future.exception() is None:
+            batch = future.result() if future.exception() is None else None
+            if isinstance(batch, list) and all(
+                isinstance(event, dict) for event in batch
+            ):
                 self._poll_failures.pop(control_location, None)
-                batch = future.result()
                 self._m_poll_batch.observe(float(len(batch)))
                 for event in batch:
                     self._deliver_local(event)
             else:
+                # Either the poll failed, or the "batch" is not a list of
+                # events — a mispaired pipelined reply after frame loss.
+                # Both count as a poll failure.
                 failures = self._poll_failures.get(control_location, 0) + 1
                 self._poll_failures[control_location] = failures
                 if failures >= self.POLL_PRUNE_FAILURES:
@@ -659,9 +753,10 @@ class EventRouter:
             # Unknown provenance: keep the legacy keep-trying behaviour.
             self._reschedule_poll(control_location)
             return
+        generation = self._delivery_generation
 
         def on_registry(future: SimFuture) -> None:
-            if self._polling_stopped:
+            if self._polling_stopped or generation != self._delivery_generation:
                 return
             if future.exception() is None and island not in future.result():
                 self._forget_remote(control_location)
@@ -749,6 +844,13 @@ class EventRouter:
         )
         for event in events:
             self._deliver_local(event)
+        if self.vsg.journal is not None and events:
+            # Journaled *after* the delivery loop: a crash mid-batch
+            # replays to the previous ack, so the publisher redelivers
+            # the whole batch (at-least-once, never silently dropped).
+            self.vsg.journal.log_channel_ack(
+                control_location, self._channel_acks[control_location]
+            )
 
     def _on_channel_dead(self, control_location: str, exc: BaseException) -> None:
         self._channels.pop(control_location, None)
@@ -815,6 +917,94 @@ class EventRouter:
             channel.stop()
         self._channels.clear()
 
+    # -- cold crash / recovery --------------------------------------------------
+
+    def on_crash(self) -> None:
+        """Cold crash: every in-memory delivery structure dies with the
+        process.  Timers are cancelled (a dead process runs nothing),
+        parked waits are dropped un-resolved (the subscriber's channel
+        watchdog notices the silence and falls back to polling, exactly
+        as with a real crash), and the generation counter moves so any
+        in-flight poll or registry callback from before the crash is
+        inert when it lands."""
+        self._delivery_generation += 1
+        for timers in (
+            self._poll_timers,
+            self._reconnect_timers,
+            self._flush_timers,
+            self._hold_timers,
+        ):
+            for timer in timers.values():
+                timer.cancel()
+            timers.clear()
+        self._waiters.clear()
+        for channel in list(self._channels.values()):
+            try:
+                channel.stop()
+            except Exception:
+                pass  # teardown over a dead interface sends nothing
+        self._channels.clear()
+        self._remote_subs.clear()
+        self._remote_locations.clear()
+        self._queues.clear()
+        self._unacked.clear()
+        self._batch_seq.clear()
+        self._remote_islands.clear()
+        self._channel_acks.clear()
+        self._channel_attempts.clear()
+        self._poll_failures.clear()
+        self._sequence = 0
+        # _local_subs/_pattern_subs are code (the app's callback objects),
+        # not journaled state, and survive in-process; the durability
+        # probe sets are oracle bookkeeping that lives outside the crash.
+
+    def restore(self, state: dict[str, Any]) -> None:
+        """Reinstall the replayed WAL state (the publisher/subscriber
+        tables) without touching the wire."""
+        self._sequence = int(state["sequence"])
+        self._remote_subs = {
+            island: set(topics) for island, topics in state["remote_subs"].items()
+        }
+        self._remote_locations = dict(state["remote_locations"])
+        self._queues = {
+            island: list(events) for island, events in state["queues"].items()
+        }
+        self._unacked = {
+            island: (int(value[0]), list(value[1]))
+            for island, value in state["unacked"].items()
+        }
+        self._batch_seq = {
+            island: int(batch) for island, batch in state["batch_seq"].items()
+        }
+        self._channel_acks = {
+            location: int(batch)
+            for location, batch in state["channel_acks"].items()
+        }
+
+    def resume_delivery(self, state: dict[str, Any]) -> None:
+        """Subscriber-side rejoin: re-announce every journaled topic to
+        every journaled remote gateway, restart poll loops, and let the
+        announce completions reopen push channels (with the restored ack
+        high-water, so redelivery starts exactly where delivery stopped)."""
+        topics = sorted(state["local_topics"])
+        for location, island in state["remote_gateways"].items():
+            self._remote_islands[location] = island
+            if self.vsg.protocol.supports_push:
+                continue
+            self._ensure_poll_loop(location)
+            if not topics:
+                continue
+            try:
+                announce = self.vsg.protocol.subscribe_remote_many(
+                    location, self.vsg.island, list(topics)
+                )
+            except Exception:
+                continue  # foreign-protocol gateway; the poll loop prunes it
+            bounded = self._bounded(announce, f"re-announce to {island}")
+            bounded.add_done_callback(
+                lambda done, loc=location: self._after_announce(loc, done)
+            )
+
 
 class VirtualServiceGateway:
     """One island's gateway."""
@@ -850,6 +1040,17 @@ class VirtualServiceGateway:
         )
         self.heartbeat = HeartbeatMonitor(self)
         self._local: dict[str, tuple[ServiceInterface, LocalHandler]] = {}
+        #: Durable WAL journal (``repro.store.GatewayJournal``) — ``None``
+        #: by default, in which case every journaling call site below is
+        #: skipped and behaviour (and the wire) is byte-identical to a
+        #: gateway without persistence.
+        self.journal: Any = None
+        #: ``listener()`` on cold crash / ``listener(state)`` after WAL
+        #: replay — rule engines hang their dedup durability off these.
+        self.crash_listeners: list[Callable[[], None]] = []
+        self.recovery_listeners: list[Callable[[dict[str, Any]], None]] = []
+        self.cold_crashes = 0
+        self.recoveries = 0
         self.events = EventRouter(self)
         #: island -> last known interchange location, for pooled-connection
         #: eviction when that island's circuit breaker opens.
@@ -875,6 +1076,8 @@ class VirtualServiceGateway:
         context: dict[str, str] | None = None,
     ) -> SimFuture:
         """Register a local service and publish its WSDL to the VSR."""
+        if self.down:
+            raise GatewayError(f"island {self.island!r} gateway is down")
         if name in self._local:
             raise GatewayError(f"island {self.island!r} already exports {name!r}")
         if interface.name != name:
@@ -885,10 +1088,16 @@ class VirtualServiceGateway:
         full_context = {"island": self.island, "protocol": self.protocol.name}
         full_context.update(context or {})
         document = interface.to_wsdl(self.protocol.location(name), full_context)
+        if self.journal is not None:
+            self.journal.log_export(name, document.to_xml().decode("utf-8"))
         return self.vsr.publish(document)
 
     def withdraw_service(self, name: str) -> SimFuture:
+        if self.down:
+            raise GatewayError(f"island {self.island!r} gateway is down")
         self._local.pop(name, None)
+        if self.journal is not None:
+            self.journal.log_withdraw(name)
         return self.vsr.withdraw(name)
 
     @property
@@ -977,6 +1186,12 @@ class VirtualServiceGateway:
         path).  Remote services are resolved through the VSR; a stale cache
         entry gets one retry after invalidation.
         """
+        if self.down:
+            # Even local calls fail while the process is cold-down: there
+            # is no gateway to short-circuit through.
+            return SimFuture.failed(
+                GatewayError(f"island {self.island!r} gateway is down")
+            )
         tracer = self.obs.tracer
         span = (
             tracer.start_span(
@@ -1079,14 +1294,20 @@ class VirtualServiceGateway:
     # -- events ------------------------------------------------------------
 
     def publish_event(self, topic: str, payload: Any) -> None:
+        if self.down:
+            return  # fire-and-forget into a dead process goes nowhere
         self.events.publish(topic, payload)
 
     def subscribe(self, topic: str, callback: EventCallback) -> SimFuture:
+        if self.down:
+            raise GatewayError(f"island {self.island!r} gateway is down")
         return self.events.subscribe(topic, callback)
 
     def subscribe_many(self, topics: list[str], callback: EventCallback) -> SimFuture:
         """Batched :meth:`subscribe`: one announcement round trip per
         remote gateway for the whole topic list."""
+        if self.down:
+            raise GatewayError(f"island {self.island!r} gateway is down")
         return self.events.subscribe_many(topics, callback)
 
     # -- resilience ------------------------------------------------------------
@@ -1140,12 +1361,101 @@ class VirtualServiceGateway:
     # -- lifecycle ------------------------------------------------------------
 
     def register_with_directory(self) -> SimFuture:
-        return self.vsr.register_gateway(self.island, self.protocol.control_location())
+        location = self.protocol.control_location()
+        future = self.vsr.register_gateway(self.island, location)
+        if self.journal is not None:
+
+            def on_registered(done: SimFuture) -> None:
+                # Journal only a *confirmed* registration; renewed_at is
+                # the lease stamp a re-registration renews.
+                if done.exception() is None and self.journal is not None:
+                    self.journal.log_register(self.island, location, self.sim.now)
+
+            future.add_done_callback(on_registered)
+        return future
 
     def unregister_with_directory(self) -> SimFuture:
         """Remove this gateway from the VSR registry, so peers stop
         announcing subscriptions to it and prune their poll loops."""
-        return self.vsr.unregister_gateway(self.island)
+        future = self.vsr.unregister_gateway(self.island)
+        if self.journal is not None:
+
+            def on_unregistered(done: SimFuture) -> None:
+                if done.exception() is None and self.journal is not None:
+                    self.journal.log_unregister()
+
+            future.add_done_callback(on_unregistered)
+        return future
+
+    # -- durable state (cold crash / recovery) ---------------------------------
+
+    def attach_journal(self, journal: Any) -> None:
+        """Opt this gateway into durable state.  Everything journaled from
+        here on; without a journal the gateway keeps the historical warm
+        restart semantics (and a byte-identical wire)."""
+        self.journal = journal
+
+    @property
+    def down(self) -> bool:
+        """True while a cold crash has this gateway's process stopped
+        (journal attached and its store closed).  Warm crashes — no
+        journal — only drop the interfaces, so ``down`` stays False."""
+        return self.journal is not None and self.journal.store.closed
+
+    def add_crash_listener(self, listener: Callable[[], None]) -> None:
+        self.crash_listeners.append(listener)
+
+    def add_recovery_listener(
+        self, listener: Callable[[dict[str, Any]], None]
+    ) -> None:
+        self.recovery_listeners.append(listener)
+
+    def on_crash(self) -> None:
+        """Cold crash (fault injector, after ``node.crash()``): the store
+        closes mid-write exactly where the WAL tail stands, and every piece
+        of journaled in-memory state is wiped — what ``recover`` rebuilds
+        must come from the WAL alone."""
+        if self.journal is None:
+            return
+        self.cold_crashes += 1
+        self.journal.store.close()
+        self.events.on_crash()
+        # The process's sockets die with it: established connections and
+        # pending connects vanish (no frames — the interfaces are down),
+        # so peers get RST on their next send instead of feeding replies
+        # into a stale FIFO.  Listeners survive as the reborn process's
+        # port bindings.
+        self.stack.reboot()
+        self.vsr.forget_caches()
+        for listener in list(self.crash_listeners):
+            listener()
+
+    def recover(self) -> dict[str, Any]:
+        """Cold-restart rejoin (fault injector, after ``node.restart()``):
+        reopen the store, replay the WAL into a state snapshot, reinstall
+        it, re-announce to the directory, and resume event delivery —
+        push channels reopen through the re-announce path (or the poll
+        loops carry on) and retained unacked batches are redelivered.
+        Returns the replayed state (tests inspect it)."""
+        if self.journal is None:
+            return {}
+        self.recoveries += 1
+        self.journal.store.reopen()
+        state = self.journal.replay()
+        self.events.restore(state)
+        if state["registered"] is not None:
+            # Re-registering renews the lease and re-lists us for peers.
+            self.register_with_directory()
+        for service in sorted(state["documents"]):
+            # Republish straight through the client: export_service already
+            # journaled the document, so no new WAL records are written.
+            self.vsr.publish(
+                WsdlDocument.from_xml(state["documents"][service].encode("utf-8"))
+            )
+        self.events.resume_delivery(state)
+        for listener in list(self.recovery_listeners):
+            listener(state)
+        return state
 
     def shutdown(self) -> None:
         self.heartbeat.stop()

@@ -61,8 +61,13 @@ class VsrDirectory:
         self._documents: dict[str, WsdlDocument] = {}
         self._gateways: dict[str, str] = {}  # island -> gateway event/control location
         self._listeners: list[Callable[[str, WsdlDocument | None], None]] = []
+        #: Durable WAL journal (``repro.store.DirectoryJournal``); ``None``
+        #: keeps the historical all-in-memory directory.
+        self.journal: Any = None
         self.publishes = 0
         self.queries = 0
+        self.cold_crashes = 0
+        self.recoveries = 0
 
     # -- service documents ---------------------------------------------------------
 
@@ -72,11 +77,17 @@ class VsrDirectory:
             raise RepositoryError("cannot publish a WSDL document without a service name")
         self._documents[document.service] = document
         self.publishes += 1
+        if self.journal is not None:
+            self.journal.log_publish(
+                document.service, document.to_xml().decode("utf-8")
+            )
         self._notify(document.service, document)
 
     def withdraw(self, service: str) -> bool:
         document = self._documents.pop(service, None)
         if document is not None:
+            if self.journal is not None:
+                self.journal.log_withdraw(service)
             self._notify(service, None)
         return document is not None
 
@@ -111,15 +122,50 @@ class VsrDirectory:
 
     def register_gateway(self, island: str, location: str) -> None:
         self._gateways[island] = location
+        if self.journal is not None:
+            self.journal.log_register(island, location)
 
     def unregister_gateway(self, island: str) -> bool:
         """Remove an island's gateway registration.  Subscribers notice on
         their next registry read and prune the poll loops / channels they
         keep per registered gateway."""
-        return self._gateways.pop(island, None) is not None
+        removed = self._gateways.pop(island, None) is not None
+        if removed and self.journal is not None:
+            self.journal.log_unregister(island)
+        return removed
 
     def gateways(self) -> dict[str, str]:
         return dict(self._gateways)
+
+    # -- durable state (cold crash / recovery) -------------------------------------
+
+    def attach_journal(self, journal: Any) -> None:
+        """Opt the directory into durable state (``DirectoryJournal``)."""
+        self.journal = journal
+
+    def cold_crash(self) -> None:
+        """The directory process dies: the store closes where the WAL tail
+        stands and the in-memory catalogue is wiped."""
+        if self.journal is None:
+            return
+        self.cold_crashes += 1
+        self.journal.store.close()
+        self._documents.clear()
+        self._gateways.clear()
+
+    def cold_recover(self) -> None:
+        """Replay the WAL back into the catalogue.  Restoration writes the
+        tables directly — no ``_notify`` storm: listeners learned of these
+        documents when they were first published, and a restart must not
+        replay change notifications it already delivered."""
+        if self.journal is None:
+            return
+        self.recoveries += 1
+        self.journal.store.reopen()
+        state = self.journal.replay()
+        for service, xml in state["documents"].items():
+            self._documents[service] = WsdlDocument.from_xml(xml.encode("utf-8"))
+        self._gateways.update(state["gateways"])
 
     # -- change notification ------------------------------------------------------
 
@@ -291,7 +337,22 @@ class VsrClient:
                     return
                 result.set_exception(exc)
                 return
-            document = WsdlDocument.from_xml(str(future.result()).encode("utf-8"))
+            try:
+                document = WsdlDocument.from_xml(str(future.result()).encode("utf-8"))
+            except Exception as parse_exc:
+                # A reply that does not parse as WSDL is transport
+                # corruption (e.g. a mispaired pipelined response after
+                # frame loss), not a directory verdict: treat it like an
+                # unreachable directory, degraded reads included.
+                self.lookup_failures += 1
+                self._m_failures.inc()
+                if self.allow_stale and cached is not None:
+                    self.degraded_reads += 1
+                    self._m_degraded.inc()
+                    result.set_result(cached[1])
+                    return
+                result.set_exception(parse_exc)
+                return
             self._cache[service] = (self.sim.now, document)
             result.set_result(document)
 
@@ -308,10 +369,14 @@ class VsrClient:
             if exc is not None:
                 result.set_exception(exc)
                 return
-            documents = [
-                WsdlDocument.from_xml(str(xml).encode("utf-8"))
-                for xml in future.result()
-            ]
+            try:
+                documents = [
+                    WsdlDocument.from_xml(str(xml).encode("utf-8"))
+                    for xml in future.result()
+                ]
+            except Exception as parse_exc:  # corrupt/mispaired reply
+                result.set_exception(parse_exc)
+                return
             result.set_result(documents)
 
         self._call("find", [context_filter or {}]).add_done_callback(decode)
@@ -347,9 +412,19 @@ class VsrClient:
             self._gateways_inflight = None
             exc = future.exception()
             if exc is None:
-                self._gateway_cache = dict(future.result())
-                result.set_result(future.result())
-                return
+                try:
+                    registry = dict(future.result())
+                except (TypeError, ValueError) as shape_exc:
+                    # Not an island->location map: a mispaired pipelined
+                    # reply.  Fall through to the failure path (degraded
+                    # cache read if allowed) instead of crashing.
+                    exc = RepositoryError(
+                        f"malformed gateway registry reply: {shape_exc}"
+                    )
+                else:
+                    self._gateway_cache = registry
+                    result.set_result(registry)
+                    return
             if isinstance(exc, (SoapFault, ServiceNotFoundError)):
                 result.set_exception(exc)
                 return
@@ -367,3 +442,11 @@ class VsrClient:
 
     def invalidate(self, service: str) -> None:
         self._cache.pop(service, None)
+
+    def forget_caches(self) -> None:
+        """Cold crash of the owning gateway: the read cache and the
+        degraded-read gateway snapshot are process memory and die with it.
+        (In-flight lookups are left to settle; their callers' deadlines
+        already bound them.)"""
+        self._cache.clear()
+        self._gateway_cache = None

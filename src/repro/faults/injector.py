@@ -220,15 +220,52 @@ class FaultInjector:
 
     def _apply_crash(self, action: NodeCrash, record: FaultRecord) -> None:
         node = self.network.node(action.node)
+        crash_hook, recover_hook = self._cold_hooks(action.node)
         node.crash()
+        if crash_hook is not None:
+            crash_hook()
+            record.observed["cold"] = 1
         record.observed["crashed_at"] = self.sim.now
         if action.restart_after is not None:
 
             def restart() -> None:
                 node.restart()
                 record.observed["restarted_at"] = self.sim.now
+                if recover_hook is not None:
+                    recover_hook()
+                    record.observed["recovered_at"] = self.sim.now
 
             self.sim.schedule(action.restart_after, restart)
+
+    def _cold_hooks(self, node_name: str) -> tuple[Any, Any]:
+        """Cold crash/recover hooks for ``node_name``, or ``(None, None)``.
+
+        A crash is *cold* only when the owning component carries a WAL
+        journal: a gateway node (``gw-<island>``) whose VSG has one, or
+        the directory node when the :class:`VsrDirectory` has one.  With
+        no journal attached the historical warm-restart semantics (crash
+        flips the interfaces, state survives in memory) are untouched.
+        """
+        if self.mm is None:
+            return None, None
+        if node_name == self.mm.directory_node.name:
+            directory = self.mm.uddi.directory
+            if directory.journal is not None:
+                stack = self.mm.directory_stack
+
+                def crash_directory() -> None:
+                    directory.cold_crash()
+                    stack.reboot()  # the process's sockets die with it
+
+                return crash_directory, directory.cold_recover
+            return None, None
+        for island in self.mm.islands.values():
+            gateway = island.gateway
+            if gateway.node.name == node_name:
+                if gateway.journal is not None:
+                    return gateway.on_crash, gateway.recover
+                return None, None
+        return None, None
 
     def _apply_pause(self, action: GatewayPause, record: FaultRecord) -> None:
         gateway = self.mm.island(action.island).gateway

@@ -498,6 +498,14 @@ class TransportStack:
                     if not isinstance(body, bytes):
                         body = bytes(body)
                     conn._deliver_data(body)
+            elif conn is None:
+                # Data for a connection this host no longer knows — the
+                # process rebooted (see :meth:`reboot`) or state was
+                # reclaimed.  Answer RST from a throwaway shell so the
+                # sender tears down instead of trusting a half-open
+                # connection whose FIFO reply order is gone.
+                shell = Connection(self, dst_port, peer, src_port)
+                shell._send_frame(_RST, b"")
         elif kind == _FIN:
             if conn is not None:
                 conn._send_frame(_FIN_ACK, b"")
@@ -566,6 +574,27 @@ class TransportStack:
         return len(self._connections)
 
     # -- teardown ------------------------------------------------------------
+
+    def reboot(self) -> None:
+        """Process death (cold crash): connection state is lost wholesale.
+
+        Pending connects fail, established connections are aborted
+        locally (the RST is best-effort — the interfaces are typically
+        already down when this runs), and parked reactor continuations
+        die with the process.  Listeners and datagram sockets survive:
+        they model the port bindings the recovering process
+        re-establishes with the same handlers.  Peers that still
+        believe in a pre-reboot connection learn the truth from the RST
+        their next data frame draws (see ``_dispatch_tcp``).
+        """
+        for future in list(self._pending_connects.values()):
+            if not future.done():
+                future.set_exception(TransportError("process rebooted"))
+        self._pending_connects.clear()
+        for conn in list(self._connections.values()):
+            conn.abort()
+        self._connections.clear()
+        self.reactor.cancel_all()
 
     def shutdown(self) -> None:
         """Tear the whole stack down (node decommission / kill).

@@ -174,6 +174,51 @@ class RuleEngine:
         #: closed-form due instant, and when the engine actually ran it.
         self.schedule_log: list[dict[str, Any]] = []
         self._firing_listeners: list[Any] = []
+        #: Durable WAL journal shared with the gateway (``None`` = the
+        #: historical in-memory dedup, wiped by a cold restart).
+        self._journal: Any = None
+
+    def attach_journal(self, journal: Any) -> None:
+        """Make the dedup windows durable: seen keys, last-fired stamps
+        and the schedule epoch are journaled to the gateway's WAL, wiped
+        on a cold crash, and restored on recovery — so an event the
+        interchange redelivers *across* a restart is still deduplicated
+        and never double-fires a rule.  Call before :meth:`start` and
+        after ``gateway.attach_journal``."""
+        self._journal = journal
+        self.gateway.add_crash_listener(self._on_gateway_crash)
+        self.gateway.add_recovery_listener(self._on_gateway_recovery)
+
+    def _on_gateway_crash(self) -> None:
+        # The dedup windows and armed schedule timers are process memory:
+        # both die with the process.  A timer left running would fire
+        # during the down window and append to the closed WAL.
+        self._seen = {name: OrderedDict() for name in self._rules}
+        self._last_fired.clear()
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+
+    def _on_gateway_recovery(self, state: dict[str, Any]) -> None:
+        entry = state.get("rules", {}).get(self.label)
+        if entry is not None:
+            for rule_name, key in entry["seen"]:
+                seen = self._seen.setdefault(rule_name, OrderedDict())
+                seen[key] = True
+                while len(seen) > DEDUP_WINDOW:
+                    seen.popitem(last=False)
+            self._last_fired.update(entry["last_fired"])
+            if entry["epoch"] is not None:
+                # The closed-form schedule arithmetic keys off the epoch;
+                # the journaled one keeps occurrence indices stable across
+                # restarts.
+                self.epoch = float(entry["epoch"])
+        if self._running:
+            # Re-arm schedule triggers against the (restored) epoch: the
+            # first occurrence index is computed from now, so occurrences
+            # due while the process was dead are skipped, never replayed.
+            for rule in self._rules.values():
+                self._arm_rule(rule)
 
     def add_firing_listener(self, listener: Any) -> None:
         """``listener(firing)`` on every appended :class:`Firing` — the
@@ -215,6 +260,8 @@ class RuleEngine:
             return SimFuture.completed(None)
         self._running = True
         self.epoch = self.sim.now
+        if self._journal is not None:
+            self._journal.log_rule_epoch(self.label, self.epoch)
         futures: list[SimFuture] = []
         for rule in self._rules.values():
             futures.extend(self._subscribe_rule(rule))
@@ -337,6 +384,8 @@ class RuleEngine:
         # Mark before cooldown/conditions: a suppressed occurrence must
         # stay suppressed when the interchange redelivers it.
         seen[key] = True
+        if self._journal is not None:
+            self._journal.log_rule_seen(self.label, rule.name, key)
         while len(seen) > DEDUP_WINDOW:
             seen.popitem(last=False)
         last = self._last_fired.get(rule.name)
@@ -384,6 +433,8 @@ class RuleEngine:
         self.fired_count += 1
         self._m_fired.inc()
         self._last_fired[rule.name] = ctx.fired_at
+        if self._journal is not None:
+            self._journal.log_rule_fired(self.label, rule.name, ctx.fired_at)
         firing = Firing(
             rule=rule.name,
             key=ctx.key,

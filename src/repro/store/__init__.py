@@ -1,0 +1,33 @@
+"""Pluggable write-ahead persistence for gateways and the directory.
+
+Everything above this package is in-memory: a cold gateway restart loses
+the VSR registration, exported documents, subscriptions and the PR 5
+at-least-once event retention.  ``repro.store`` adds the durable layer:
+
+- :mod:`repro.store.wal` — the :class:`WalStore` byte-log interface
+  (length+CRC32 record framing, truncated-tail / torn-write detection)
+  with a deterministic in-sim backend (:class:`MemWalStore`) and a
+  sqlite-backed one (:class:`SqliteWalStore`).
+- :mod:`repro.store.journal` — :class:`GatewayJournal` /
+  :class:`DirectoryJournal`: the record vocabulary, pure-fold replay to a
+  canonical state snapshot, and checkpoint compaction so replay stays
+  bounded however long a gateway lives.
+
+The crash→restart→rejoin flow built on top lives in the owners of the
+state: :meth:`repro.core.vsg.VirtualServiceGateway.on_crash` /
+``recover()``, :meth:`repro.core.vsr.VsrDirectory.cold_crash` /
+``cold_recover()``, and the fault injector's cold-restart hooks
+(:mod:`repro.faults.injector`).  See ``docs/PERSISTENCE.md``.
+"""
+
+from repro.store.wal import MemWalStore, SqliteWalStore, WalStore, encode_record
+from repro.store.journal import DirectoryJournal, GatewayJournal
+
+__all__ = [
+    "WalStore",
+    "MemWalStore",
+    "SqliteWalStore",
+    "encode_record",
+    "GatewayJournal",
+    "DirectoryJournal",
+]

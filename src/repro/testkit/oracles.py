@@ -31,6 +31,15 @@ fault schedule — declared failures are always legal, silent ones never:
   double-counted), and the collector's high-water sequence number never
   exceeds the agent's (no fabricated reports).  Loss is legal — reports
   ride the ordinary event plane — inflation is not.
+- **event-durability** (no-lost-acked-event) — on persistence-profile
+  seeds, every event a journaled publisher queued for a subscriber is
+  delivered there by quiesce — across any number of cold crash→restart
+  cycles on either side — unless one of them is still down, or the
+  event was handed over in a poll (fetch) reply, the one declared
+  at-most-once window in the delivery contract.
+- **replay-idempotence** — replaying any WAL twice yields byte-identical
+  canonical state snapshots: recovery is a pure fold over the journal,
+  with no hidden mutable inputs.
 - **conservation** — per-segment delivery accounting balances, the
   monitor agrees with the segments, and every monitored drop is claimed
   by exactly one fault-report loss window.  Push event channels need no
@@ -115,6 +124,8 @@ class InvariantSuite:
         self._check_spans()
         self._check_rules()
         self._check_telemetry()
+        self._check_event_durability()
+        self._check_replay_idempotence()
         self._check_conservation(report)
         return self.violations
 
@@ -275,6 +286,59 @@ class InvariantSuite:
                             f"redelivery was double-counted",
                         )
                     )
+
+    def _check_event_durability(self) -> None:
+        journals = self.world.journals
+        if not journals:
+            return
+        islands = self.world.mm.islands
+
+        def alive(name: str) -> bool:
+            island = islands.get(name)
+            return island is not None and island.gateway.node.alive
+
+        for pub_name, island in sorted(islands.items()):
+            if pub_name not in journals or not alive(pub_name):
+                continue  # permanently dead publishers owe nothing yet
+            router = island.gateway.events
+            for (sub_name, seq), event in sorted(router.retention_obligations.items()):
+                if not alive(sub_name):
+                    continue  # the subscriber never came back; nothing to deliver to
+                subscriber = islands[sub_name].gateway.events
+                if (pub_name, seq) in subscriber.delivered_keys:
+                    continue
+                if (sub_name, seq) in router.fetch_discharged:
+                    # Handed over in a poll reply: the fetch response wire
+                    # is the delivery contract's declared at-most-once
+                    # window, so a reply lost to a fault is legal loss.
+                    continue
+                self.violations.append(
+                    Violation(
+                        "event-durability",
+                        f"{pub_name} queued event seq={seq} "
+                        f"(topic {event.get('topic', '?')!r}) for {sub_name} "
+                        f"but it was never delivered, despite both sides "
+                        f"being up after quiesce",
+                    )
+                )
+
+    def _check_replay_idempotence(self) -> None:
+        journals = dict(self.world.journals)
+        if self.world.directory_journal is not None:
+            journals["uddi-directory"] = self.world.directory_journal
+        for label, journal in sorted(journals.items()):
+            if journal.store.closed:
+                continue  # crashed for good; the tail stands where it fell
+            first = journal.snapshot_json()
+            second = journal.snapshot_json()
+            if first != second:
+                self.violations.append(
+                    Violation(
+                        "replay-idempotence",
+                        f"journal {label!r}: two replays of the same WAL "
+                        f"disagree — recovery is not a pure fold",
+                    )
+                )
 
     def _check_conservation(self, report: FaultReport) -> None:
         monitored_frames = 0

@@ -87,7 +87,11 @@ class FaultPlanGen:
     MAX_FAULTS = 4
 
     def generate(
-        self, spec: TopologySpec, ops: list[WorkloadOp], seed: int
+        self,
+        spec: TopologySpec,
+        ops: list[WorkloadOp],
+        seed: int,
+        profile: str = "default",
     ) -> list[tuple[float, FaultAction]]:
         rng = random.Random(f"testkit:faults:{seed}")
         horizon = max((op.time for op in ops), default=10.0)
@@ -130,6 +134,25 @@ class FaultPlanGen:
                     island=rng.choice(spec.island_names), duration=duration
                 )
             faults.append((at, action))
+        if profile == "persistence":
+            # The restart-torture band guarantees crash→restart cycles on
+            # gateway nodes (drawn *after* the base script so the shared
+            # prefix of the RNG stream stays identical to other bands'
+            # draws for the same seed).  Every crash restarts: permanent
+            # deaths are covered by the base draws; the band exists to
+            # exercise recovery.
+            gateways = [name for name in nodes if name.startswith("gw-")]
+            for _ in range(rng.randint(1, 3)):
+                at = rng.uniform(0.0, horizon)
+                faults.append(
+                    (
+                        at,
+                        NodeCrash(
+                            node=rng.choice(gateways),
+                            restart_after=rng.uniform(2.0, 8.0),
+                        ),
+                    )
+                )
         faults.sort(key=lambda entry: entry[0])
         return faults
 
@@ -171,6 +194,21 @@ class RunResult:
     def metrics_json(self) -> str:
         """Canonical end-of-run counters; identical seeds must match bytes."""
         return json.dumps(self._metrics, sort_keys=True, separators=(",", ":"))
+
+    def wal_dumps_json(self) -> str:
+        """Deterministic JSON of every WAL journal's diagnostic dump
+        (empty ``{}`` off the persistence band).  A store a crash left
+        closed is reopened read-side first — the sweep ships these next
+        to shrunk repros on oracle failures."""
+        dumps: dict[str, Any] = {}
+        journals = dict(self.world.journals)
+        if self.world.directory_journal is not None:
+            journals["uddi-directory"] = self.world.directory_journal
+        for label, journal in sorted(journals.items()):
+            if journal.store.closed:
+                journal.store.reopen()
+            dumps[label] = journal.dump()
+        return json.dumps(dumps, sort_keys=True, separators=(",", ":"))
 
     def render_repro(self) -> str:
         lines = [
@@ -240,6 +278,25 @@ REACTOR_SEED_SPAN = 100
 TELEMETRY_SEED_BASE = 400
 TELEMETRY_SEED_SPAN = 100
 
+#: Seeds in [PERSISTENCE_SEED_BASE, PERSISTENCE_SEED_BASE +
+#: PERSISTENCE_SEED_SPAN) draw the "persistence" profile — the
+#: restart-torture band.  Replay-side, every gateway and the directory
+#: carry a WAL journal (``repro.testkit.persistence_profile``), the
+#: fault script is guaranteed 1-3 crash→restart cycles on gateway nodes
+#: on top of the usual draws, and the workload is publish-heavy so the
+#: crashes land amid queued/retained event traffic.  Judged by the
+#: no-lost-acked-event and replay-idempotence oracles.  Corpus seeds
+#: 500-504 are pinned in tests/testkit.
+PERSISTENCE_SEED_BASE = 500
+PERSISTENCE_SEED_SPAN = 100
+
+#: Extra virtual seconds appended to the run window on persistence-band
+#: seeds before shutdown: a cold restart late in the script still needs
+#: its restart delay (≤ 8s), a channel watchdog round (~35s) and a poll
+#: interval (≤ 5s) to land retained redeliveries the durability oracle
+#: will demand.
+PERSISTENCE_SETTLE = 90.0
+
 
 def _profile_for(seed: int) -> str:
     if PUSH_SEED_BASE <= seed < PUSH_SEED_BASE + PUSH_SEED_SPAN:
@@ -250,6 +307,8 @@ def _profile_for(seed: int) -> str:
         return "reactor"
     if TELEMETRY_SEED_BASE <= seed < TELEMETRY_SEED_BASE + TELEMETRY_SEED_SPAN:
         return "telemetry"
+    if PERSISTENCE_SEED_BASE <= seed < PERSISTENCE_SEED_BASE + PERSISTENCE_SEED_SPAN:
+        return "persistence"
     return "default"
 
 
@@ -260,7 +319,7 @@ def generate(
     profile = _profile_for(seed)
     spec = TopologyGen().generate(seed, profile=profile)
     ops = WorkloadGen().generate(spec, steps, profile=profile)
-    faults = FaultPlanGen().generate(spec, ops, seed)
+    faults = FaultPlanGen().generate(spec, ops, seed, profile=profile)
     return spec, ops, faults
 
 
@@ -269,13 +328,30 @@ def replay(
     ops: list[WorkloadOp],
     faults: list[tuple[float, FaultAction]],
     inject_bug: str | None = None,
+    persist: bool | None = None,
 ) -> RunResult:
-    """Run the scripts against a fresh world and judge every invariant."""
+    """Run the scripts against a fresh world and judge every invariant.
+
+    ``persist`` forces WAL journals on (True) or off (False) regardless
+    of the seed band; the default (None) attaches them exactly on
+    persistence-profile seeds.  With journals off every call site is
+    inert, so non-persistence bands stay byte-identical to their pinned
+    baselines.
+    """
     if inject_bug is not None and inject_bug not in INJECTABLE_BUGS:
         raise ValueError(f"unknown bug {inject_bug!r}; pick from {INJECTABLE_BUGS}")
     world = build_world(spec, force_obs=(inject_bug == "unfinished-span"))
     suite = InvariantSuite(world)
     runner = WorkloadRunner(world)
+
+    profile = _profile_for(spec.seed)
+    do_persist = persist if persist is not None else (profile == "persistence")
+    if do_persist:
+        # Before connect: the registrations and exports connect performs
+        # are exactly what a recovering gateway must replay.
+        from repro.testkit.persistence_profile import install_persistence
+
+        install_persistence(world)
 
     if inject_bug == "leak-connection":
         # Pooled connections whose idle timer never fires: with
@@ -290,7 +366,6 @@ def replay(
     except Exception as exc:  # noqa: BLE001 - report, don't mask
         error = f"connect failed: {type(exc).__name__}: {exc}"
 
-    profile = _profile_for(spec.seed)
     if profile == "telemetry" and not error:
         # Mount the collector's cross-gateway subscription before the
         # workload clock starts, so report channels are open from t=0 of
@@ -310,7 +385,10 @@ def replay(
         from repro.testkit.rules_profile import install_rule_engines
 
         install_rule_engines(world)
-        for _, engine in sorted(world.rule_engines.items()):
+        for host, engine in sorted(world.rule_engines.items()):
+            journal = world.journals.get(host)
+            if journal is not None:
+                engine.attach_journal(journal)
             engine.start()
     # Every band flies black boxes: recorders are passive (no wire/clock
     # effects), so the historical determinism pins hold unchanged.
@@ -341,6 +419,8 @@ def replay(
 
     last_op = max((op.time for op in ops), default=0.0)
     end = max(start + last_op, fault_end) + 1.0
+    if do_persist:
+        end += PERSISTENCE_SETTLE
     world.sim.run(until=end)
     for _, engine in sorted(world.rule_engines.items()):
         engine.stop()
@@ -481,25 +561,58 @@ def _snapshot_metrics(world: World) -> dict[str, Any]:
                 for name, agent in sorted(world.telemetry_agents.items())
             },
         }
+    if world.journals or world.directory_journal is not None:
+        persistence: dict[str, Any] = {}
+        for name, journal in sorted(world.journals.items()):
+            gateway = world.mm.islands[name].gateway
+            persistence[name] = {
+                "records": journal.store.records_appended,
+                "bytes": journal.store.bytes_appended,
+                "checkpoints": journal.checkpoints,
+                "replays": journal.replays,
+                "truncations": journal.truncations_detected,
+                "cold_crashes": gateway.cold_crashes,
+                "recoveries": gateway.recoveries,
+            }
+        if world.directory_journal is not None:
+            directory = world.mm.uddi.directory
+            persistence["uddi-directory"] = {
+                "records": world.directory_journal.store.records_appended,
+                "bytes": world.directory_journal.store.bytes_appended,
+                "checkpoints": world.directory_journal.checkpoints,
+                "replays": world.directory_journal.replays,
+                "truncations": world.directory_journal.truncations_detected,
+                "cold_crashes": directory.cold_crashes,
+                "recoveries": directory.recoveries,
+            }
+        snapshot["persistence"] = persistence
     if world.obs is not None:
         snapshot["metrics"] = world.obs.metrics.snapshot()
         snapshot["spans"] = len(world.obs.tracer.spans)
     return snapshot
 
 
-def check(seed: int, steps: int = 40, inject_bug: str | None = None) -> RunResult:
+def check(
+    seed: int,
+    steps: int = 40,
+    inject_bug: str | None = None,
+    persist: bool | None = None,
+) -> RunResult:
     """Generate + replay + judge one seed."""
     spec, ops, faults = generate(seed, steps)
-    return replay(spec, ops, faults, inject_bug=inject_bug)
+    return replay(spec, ops, faults, inject_bug=inject_bug, persist=persist)
 
 
 def sweep(
-    seeds: list[int], steps: int = 40, inject_bug: str | None = None
+    seeds: list[int],
+    steps: int = 40,
+    inject_bug: str | None = None,
+    persist: bool | None = None,
 ) -> list[RunResult]:
     """Run many seeds; return only the failing results."""
     failures = []
     for seed in seeds:
-        result = check(seed, steps=steps, inject_bug=inject_bug)
+        result = check(seed, steps=steps, inject_bug=inject_bug, persist=persist)
         if not result.ok:
             failures.append(result)
     return failures

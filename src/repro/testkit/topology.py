@@ -157,6 +157,11 @@ class TopologyGen:
         # keep legacy/fast islands so delta reports also ride the polling
         # fallback and its redelivery duplicates hit the collector dedup.
         "telemetry": (("legacy", "fast", "push", "reactor"), (15, 20, 45, 20)),
+        # Persistence seeds favour push so crashes hit retained unacked
+        # batches and channel re-establishment, but keep legacy/fast/
+        # reactor islands so WAL recovery also rides plain polling and
+        # vectored wires (the restart matrix in miniature, seeded).
+        "persistence": (("legacy", "fast", "push", "reactor"), (20, 15, 45, 20)),
     }
 
     def generate(self, seed: int, profile: str = "default") -> TopologySpec:
@@ -301,6 +306,13 @@ class World:
     #: by the "telemetry" profile; see testkit.telemetry_profile.
     telemetry_agents: dict[str, Any] = field(default_factory=dict)
     telemetry_collector: Any = None
+    #: WAL journals installed by the "persistence" profile: one
+    #: GatewayJournal per island (keyed by island name) plus the
+    #: directory's DirectoryJournal; empty/None on every other profile.
+    #: The journals' MemWalStores are the durable medium — owned here,
+    #: outside any node, so crashes cannot touch them.
+    journals: dict[str, Any] = field(default_factory=dict)
+    directory_journal: Any = None
 
     @property
     def islands(self) -> dict[str, Island]:

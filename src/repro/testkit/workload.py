@@ -40,6 +40,10 @@ _REACTOR_WEIGHTS = (45, 30, 10, 5, 5, 5)
 #: windows always have samples, with enough publishes that telemetry
 #: reports share the event plane with real traffic.
 _TELEMETRY_WEIGHTS = (45, 25, 12, 6, 6, 6)
+#: Persistence-profile mix: publish-heavy (the crashes must land in the
+#: middle of queued/retained event traffic for the no-lost-acked-event
+#: oracle to bite) with early subscribes opening the delivery paths.
+_PERSISTENCE_WEIGHTS = (20, 45, 20, 5, 5, 5)
 _OPERATIONS = ("get", "add", "echo", "fail")
 _OP_WEIGHTS = (40, 30, 20, 10)
 
@@ -102,6 +106,8 @@ class WorkloadGen:
             weights = _REACTOR_WEIGHTS
         elif profile == "telemetry":
             weights = _TELEMETRY_WEIGHTS
+        elif profile == "persistence":
+            weights = _PERSISTENCE_WEIGHTS
         else:
             weights = _WEIGHTS
         rng = random.Random(f"testkit:workload:{spec.seed}")

@@ -1,0 +1,169 @@
+"""Journal fold semantics, checkpoint compaction, replay idempotence."""
+
+from __future__ import annotations
+
+import json
+
+from repro.store.journal import (
+    DirectoryJournal,
+    GatewayJournal,
+    fresh_gateway_state,
+)
+from repro.store.wal import MemWalStore
+
+
+def gateway_journal(**kwargs) -> GatewayJournal:
+    return GatewayJournal(MemWalStore(), "test-island", **kwargs)
+
+
+def test_empty_journal_replays_to_fresh_state() -> None:
+    journal = gateway_journal()
+    assert journal.replay() == fresh_gateway_state()
+    assert journal.replays == 1
+
+
+def test_fold_rebuilds_registration_and_documents() -> None:
+    journal = gateway_journal()
+    journal.log_register("kitchen", "10.0.0.1:8080", renewed_at=12.5)
+    journal.log_export("Light", "<wsdl/>")
+    journal.log_export("Heater", "<wsdl2/>")
+    journal.log_withdraw("Heater")
+    state = journal.replay()
+    assert state["registered"] == ["kitchen", "10.0.0.1:8080", 12.5]
+    assert state["documents"] == {"Light": "<wsdl/>"}
+    journal.log_unregister()
+    assert journal.replay()["registered"] is None
+
+
+def test_fold_mirrors_router_queue_flush_ack_cycle() -> None:
+    journal = gateway_journal()
+    event_a = {"topic": "x10/on", "seq": 1}
+    event_b = {"topic": "x10/off", "seq": 2}
+    journal.log_queue("den", event_a)
+    journal.log_queue("den", event_b)
+    journal.log_sequence(2)
+    state = journal.replay()
+    assert state["queues"]["den"] == [event_a, event_b]
+    assert state["sequence"] == 2
+
+    # flush retains the queue as the unacked batch...
+    journal.log_flush("den", batch=7)
+    state = journal.replay()
+    assert state["queues"]["den"] == []
+    assert state["unacked"]["den"] == [7, [event_a, event_b]]
+    assert state["batch_seq"]["den"] == 7
+
+    # ...an older ack does not release it, the matching one does.
+    journal.log_ack("den", batch=6)
+    assert journal.replay()["unacked"]["den"] == [7, [event_a, event_b]]
+    journal.log_ack("den", batch=7)
+    assert "den" not in journal.replay()["unacked"]
+
+
+def test_fold_drain_discharges_queue_and_retained_batch() -> None:
+    journal = gateway_journal()
+    journal.log_queue("den", {"topic": "t", "seq": 1})
+    journal.log_flush("den", batch=1)
+    journal.log_queue("den", {"topic": "t", "seq": 2})
+    journal.log_drain("den")
+    state = journal.replay()
+    assert state["queues"]["den"] == []
+    assert "den" not in state["unacked"]
+
+
+def test_fold_rule_engine_records() -> None:
+    journal = gateway_journal()
+    journal.log_rule_epoch("den-rules", epoch=3.0)
+    journal.log_rule_seen("den-rules", "night-light", "ev-17")
+    journal.log_rule_fired("den-rules", "night-light", at=4.25)
+    state = journal.replay()
+    assert state["rules"]["den-rules"] == {
+        "seen": [["night-light", "ev-17"]],
+        "last_fired": {"night-light": 4.25},
+        "epoch": 3.0,
+    }
+
+
+def test_unknown_record_tags_are_skipped_not_fatal() -> None:
+    journal = gateway_journal()
+    journal.log_export("Light", "<wsdl/>")
+    journal.store.append(b'{"t":"from-the-future","x":1}')
+    state = journal.replay()
+    assert state["documents"] == {"Light": "<wsdl/>"}
+
+
+def test_checkpoint_compacts_medium_and_preserves_state() -> None:
+    journal = gateway_journal()
+    for index in range(10):
+        journal.log_export(f"svc-{index}", "<wsdl/>")
+    before = journal.snapshot_json()
+    assert journal.store.record_count() == 10
+    journal.checkpoint()
+    assert journal.store.record_count() == 1  # one ckpt record
+    assert journal.snapshot_json() == before
+    # Records after the checkpoint fold on top of it.
+    journal.log_withdraw("svc-3")
+    state = journal.replay()
+    assert "svc-3" not in state["documents"]
+    assert len(state["documents"]) == 9
+
+
+def test_auto_checkpoint_bounds_replay_length() -> None:
+    journal = gateway_journal(checkpoint_every=8)
+    for index in range(50):
+        journal.log_sequence(index)
+    # The medium never holds more than checkpoint_every records: each
+    # compaction rewrites to [ckpt] and the counter restarts.
+    assert journal.store.record_count() <= 8
+    assert journal.checkpoints == 50 // 8
+    assert journal.replay()["sequence"] == 49
+
+
+def test_replay_is_idempotent_byte_for_byte() -> None:
+    journal = gateway_journal(checkpoint_every=5)
+    journal.log_register("a", "loc-a", renewed_at=1.0)
+    for index in range(12):
+        journal.log_queue("b", {"topic": "t", "seq": index})
+    journal.log_flush("b", batch=1)
+    assert journal.snapshot_json() == journal.snapshot_json()
+    # And across an interleaved crash/reopen of the medium.
+    first = journal.snapshot_json()
+    journal.store.close()
+    journal.store.reopen()
+    assert journal.snapshot_json() == first
+
+
+def test_replay_stops_at_torn_tail_and_counts_truncation() -> None:
+    journal = gateway_journal()
+    journal.log_export("Light", "<wsdl/>")
+    journal.log_export("Heater", "<wsdl2/>")
+    journal.store.truncate_tail(3)  # cut the second record's payload
+    state = journal.replay()
+    assert state["documents"] == {"Light": "<wsdl/>"}
+    assert journal.truncations_detected == 1
+
+
+def test_dump_carries_records_and_accounting() -> None:
+    journal = gateway_journal()
+    journal.log_export("Light", "<wsdl/>")
+    dump = journal.dump()
+    assert dump["label"] == "test-island"
+    assert dump["records"] == [{"t": "exp", "service": "Light", "xml": "<wsdl/>"}]
+    assert dump["truncated_tail"] is False
+    assert dump["records_appended"] == 1
+    assert json.dumps(dump)  # JSON-serialisable as uploaded
+
+
+def test_directory_journal_folds_registry_and_documents() -> None:
+    journal = DirectoryJournal(MemWalStore(), "uddi-directory")
+    journal.log_publish("Light", "<wsdl/>")
+    journal.log_register("kitchen", "10.0.0.1:8080")
+    journal.log_register("den", "10.0.0.2:8080")
+    journal.log_unregister("den")
+    journal.log_withdraw("Light")
+    journal.log_publish("Heater", "<wsdl2/>")
+    state = journal.replay()
+    assert state == {
+        "documents": {"Heater": "<wsdl2/>"},
+        "gateways": {"kitchen": "10.0.0.1:8080"},
+    }

@@ -27,12 +27,16 @@ from repro.testkit import check, shrink_failure, sweep
 #: Seeds 400-404 sit in the telemetry band: every island streams delta
 #: reports to one collector, judged by the telemetry-soundness oracle
 #: (no double-counted redelivery, no fabricated sequence numbers).
+#: Seeds 500-504 sit in the persistence band: WAL journals on every
+#: gateway and the directory, guaranteed cold crash→restart cycles, and
+#: the event-durability + replay-idempotence oracles judging recovery.
 CORPUS = (
     list(range(30))
     + [100, 101, 102, 103, 104]
     + [200, 201, 202, 203, 204]
     + [300, 301, 302, 303, 304]
     + [400, 401, 402, 403, 404]
+    + [500, 501, 502, 503, 504]
 )
 
 #: Sweep seeds live far above the corpus so the nightly never rechecks
@@ -89,6 +93,39 @@ def test_killed_channels_mid_run_keep_all_oracles() -> None:
     assert violations == [], "\n".join(v.render() for v in violations)
 
 
+def test_persistence_band_full_sweep() -> None:
+    """Every seed in the restart-torture band [500, 600), not just the
+    five corpus pins.  Opt-in (CI runs it nightly): set
+    ``TESTKIT_PERSISTENCE_SWEEP=1``."""
+    if not os.environ.get("TESTKIT_PERSISTENCE_SWEEP"):
+        pytest.skip(
+            "full persistence-band sweep disabled (set TESTKIT_PERSISTENCE_SWEEP=1)"
+        )
+    from repro.testkit.runner import PERSISTENCE_SEED_BASE, PERSISTENCE_SEED_SPAN
+
+    seeds = list(
+        range(PERSISTENCE_SEED_BASE, PERSISTENCE_SEED_BASE + PERSISTENCE_SEED_SPAN)
+    )
+    failures = sweep(seeds)
+    if not failures:
+        return
+    first = failures[0]
+    shrunk = shrink_failure(first.seed)
+    out_dir = os.environ.get("TESTKIT_OUTPUT_DIR")
+    if out_dir:
+        path = pathlib.Path(out_dir)
+        path.mkdir(parents=True, exist_ok=True)
+        (path / f"repro-seed-{first.seed}.txt").write_text(shrunk.render())
+        (path / f"flight-seed-{first.seed}.json").write_text(
+            first.flight_dumps_json()
+        )
+        (path / f"wal-seed-{first.seed}.json").write_text(first.wal_dumps_json())
+    pytest.fail(
+        f"{len(failures)} of {len(seeds)} persistence-band seeds failed "
+        f"(first: seed={first.seed})\n\n{shrunk.render()}"
+    )
+
+
 def test_sweep_random_seeds(request: pytest.FixtureRequest) -> None:
     count = request.config.getoption("--testkit-seeds")
     if not count:
@@ -111,6 +148,11 @@ def test_sweep_random_seeds(request: pytest.FixtureRequest) -> None:
         (path / f"flight-seed-{first.seed}.json").write_text(
             first.flight_dumps_json()
         )
+        # Persistence-band failures also ship every journal's WAL dump
+        # (record stream + truncation accounting) for offline replay.
+        wal_dumps = first.wal_dumps_json()
+        if wal_dumps != "{}":
+            (path / f"wal-seed-{first.seed}.json").write_text(wal_dumps)
     pytest.fail(
         f"{len(failures)} of {count} sweep seeds failed "
         f"(first: seed={first.seed})\n\n{shrunk.render()}"
