@@ -30,6 +30,7 @@ from repro.soap.wsdl import WsdlDocument
 from repro.core.gateway_soap import DEFAULT_GATEWAY_PORT, SoapGatewayProtocol
 from repro.core.pcm import ProtocolConversionManager
 from repro.core.resilience import CallPolicy
+from repro.core.shard import FederationConfig, VsrFederation
 from repro.core.vsg import GatewayProtocol, VirtualServiceGateway
 from repro.core.vsr import UddiSoapService, VsrClient
 
@@ -64,6 +65,7 @@ class MetaMiddleware:
         policy: CallPolicy | None = None,
         interchange: InterchangeConfig | None = None,
         obs: Any = None,
+        federation: FederationConfig | None = None,
     ) -> None:
         self.network = network
         self.sim: Simulator = network.sim
@@ -78,15 +80,30 @@ class MetaMiddleware:
         #: the directory; the default no-op bundle records nothing.
         self.obs = obs if obs is not None else NOOP_OBS
         self.islands: dict[str, Island] = {}
-        # The UDDI directory node on the backbone.
-        self.directory_node = network.create_node("uddi-directory")
-        network.attach(self.directory_node, backbone)
-        self.directory_stack = TransportStack(self.directory_node, network)
-        self.directory_soap = SoapServer(self.directory_stack, directory_port).observe(
-            self.obs, "uddi-directory"
-        )
-        self.uddi = UddiSoapService(self.directory_soap)
-        self.directory_address = self.directory_stack.local_address(backbone)
+        if federation is not None:
+            # Sharded, replicated directory plane (repro.core.shard): the
+            # legacy directory attributes alias shard 0's primary so
+            # everything that pokes "the" directory node keeps working.
+            self.federation = VsrFederation(
+                network, backbone, federation, port=directory_port, obs=self.obs
+            )
+            primary = self.federation.replicas[0][0]
+            self.directory_node = primary.node
+            self.directory_stack = primary.stack
+            self.directory_soap = primary.server
+            self.uddi = self.federation.uddi
+            self.directory_address = primary.endpoint.address
+        else:
+            self.federation = None
+            # The UDDI directory node on the backbone.
+            self.directory_node = network.create_node("uddi-directory")
+            network.attach(self.directory_node, backbone)
+            self.directory_stack = TransportStack(self.directory_node, network)
+            self.directory_soap = SoapServer(self.directory_stack, directory_port).observe(
+                self.obs, "uddi-directory"
+            )
+            self.uddi = UddiSoapService(self.directory_soap)
+            self.directory_address = self.directory_stack.local_address(backbone)
 
     # -- island management ----------------------------------------------------------
 
@@ -124,6 +141,7 @@ class MetaMiddleware:
             interchange=interchange,
             obs=self.obs,
             label=name,
+            federation=self.federation.routing() if self.federation else None,
         )
         if protocol_factory is None:
             protocol = SoapGatewayProtocol(stack, interchange=interchange)
@@ -150,6 +168,8 @@ class MetaMiddleware:
     def connect(self) -> SimFuture:
         """Run the full integration: register gateways, export everything,
         import everything foreign.  Resolves to the service catalog."""
+        if self.federation is not None:
+            self.federation.start_sync()
         return self._sequence(
             [self._register_gateways, self._export_all, self._import_all],
             final=self.catalog,
@@ -228,7 +248,10 @@ class MetaMiddleware:
             if island.pcm is not None:
                 island.pcm.shutdown()
             island.gateway.shutdown()
-        self.directory_soap.close()
+        if self.federation is not None:
+            self.federation.close()
+        else:
+            self.directory_soap.close()
 
     # -- plumbing ------------------------------------------------------------
 

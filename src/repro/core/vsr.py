@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.errors import (
+    CircuitOpenError,
     DirectoryUnavailableError,
     RepositoryError,
     ServiceNotFoundError,
@@ -29,13 +30,38 @@ from repro.net.addressing import NodeAddress
 from repro.net.simkernel import SimFuture
 from repro.net.transport import TransportStack
 from repro.obs import NOOP_OBS
-from repro.core.resilience import with_deadline
+from repro.core.resilience import CallPolicy, CircuitBreaker, with_deadline
 from repro.soap.client import SoapClient
 from repro.soap.http import InterchangeConfig
 from repro.soap.server import SoapServer
 from repro.soap.wsdl import WsdlDocument
 
 UDDI_SERVICE_NAME = "UDDI"
+
+
+def gateway_ring_key(island: str) -> str:
+    """Ring key for an island's gateway registration.  Prefixed so the
+    gateway namespace can never collide with a service named like an
+    island; the federation router, the directory facade and the
+    ring-placement oracle must all agree on this mapping."""
+    return f"gw:{island}"
+
+
+class FederatedDocuments(list):
+    """The result of a federated scatter-gather ``find``.
+
+    Behaves as a plain list of :class:`WsdlDocument` so every existing
+    caller keeps working; ``missed_shards`` names the shards that failed
+    to answer within their deadline, and ``degraded`` flags the partial
+    result so federation sweeps can distinguish "empty" from "blind"."""
+
+    def __init__(self, documents: Any = (), missed_shards: Any = ()) -> None:
+        super().__init__(documents)
+        self.missed_shards: tuple[int, ...] = tuple(missed_shards)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.missed_shards)
 
 
 def _follow(source: SimFuture) -> SimFuture:
@@ -60,6 +86,11 @@ class VsrDirectory:
     def __init__(self) -> None:
         self._documents: dict[str, WsdlDocument] = {}
         self._gateways: dict[str, str] = {}  # island -> gateway event/control location
+        #: Inverted index over context attributes: ``(key, value) -> set of
+        #: service names`` — keeps :meth:`find` from scanning the whole
+        #: catalogue per query (the scan is O(documents x filter), fatal at
+        #: federation scale; the index intersects per-attribute sets).
+        self._context_index: dict[tuple[str, str], set[str]] = {}
         self._listeners: list[Callable[[str, WsdlDocument | None], None]] = []
         #: Durable WAL journal (``repro.store.DirectoryJournal``); ``None``
         #: keeps the historical all-in-memory directory.
@@ -75,7 +106,7 @@ class VsrDirectory:
         """Insert or replace the document for its service name."""
         if not document.service:
             raise RepositoryError("cannot publish a WSDL document without a service name")
-        self._documents[document.service] = document
+        self._store_document(document)
         self.publishes += 1
         if self.journal is not None:
             self.journal.log_publish(
@@ -84,12 +115,39 @@ class VsrDirectory:
         self._notify(document.service, document)
 
     def withdraw(self, service: str) -> bool:
-        document = self._documents.pop(service, None)
+        document = self._delete_document(service)
         if document is not None:
             if self.journal is not None:
                 self.journal.log_withdraw(service)
             self._notify(service, None)
         return document is not None
+
+    # -- table maintenance (index kept in lockstep) ---------------------------------
+
+    def _store_document(self, document: WsdlDocument) -> None:
+        previous = self._documents.get(document.service)
+        if previous is not None:
+            self._index_remove(previous)
+        self._documents[document.service] = document
+        self._index_add(document)
+
+    def _delete_document(self, service: str) -> WsdlDocument | None:
+        document = self._documents.pop(service, None)
+        if document is not None:
+            self._index_remove(document)
+        return document
+
+    def _index_add(self, document: WsdlDocument) -> None:
+        for item in document.context.items():
+            self._context_index.setdefault(item, set()).add(document.service)
+
+    def _index_remove(self, document: WsdlDocument) -> None:
+        for item in document.context.items():
+            names = self._context_index.get(item)
+            if names is not None:
+                names.discard(document.service)
+                if not names:
+                    del self._context_index[item]
 
     def find_by_name(self, service: str) -> WsdlDocument:
         self.queries += 1
@@ -99,8 +157,34 @@ class VsrDirectory:
         return document
 
     def find(self, context_filter: dict[str, str] | None = None) -> list[WsdlDocument]:
-        """All documents whose context contains ``context_filter``."""
+        """All documents whose context contains ``context_filter``.
+
+        Non-empty filters intersect the inverted context index instead of
+        scanning every document; :meth:`_find_scan` keeps the reference
+        linear scan so the regression test can assert both agree on any
+        directory.
+        """
         self.queries += 1
+        context_filter = context_filter or {}
+        if not context_filter:
+            return sorted(self._documents.values(), key=lambda d: d.service)
+        names: set[str] | None = None
+        for item in context_filter.items():
+            matches = self._context_index.get(item)
+            if not matches:
+                return []
+            names = set(matches) if names is None else names & matches
+            if not names:
+                return []
+        assert names is not None
+        return sorted(
+            (self._documents[name] for name in names),
+            key=lambda document: document.service,
+        )
+
+    def _find_scan(self, context_filter: dict[str, str] | None = None) -> list[WsdlDocument]:
+        """Reference implementation of :meth:`find`: the historical linear
+        scan, kept (test-only) as the oracle the index is judged against."""
         context_filter = context_filter or {}
         return sorted(
             (
@@ -151,6 +235,7 @@ class VsrDirectory:
         self.cold_crashes += 1
         self.journal.store.close()
         self._documents.clear()
+        self._context_index.clear()
         self._gateways.clear()
 
     def cold_recover(self) -> None:
@@ -164,7 +249,7 @@ class VsrDirectory:
         self.journal.store.reopen()
         state = self.journal.replay()
         for service, xml in state["documents"].items():
-            self._documents[service] = WsdlDocument.from_xml(xml.encode("utf-8"))
+            self._store_document(WsdlDocument.from_xml(xml.encode("utf-8")))
         self._gateways.update(state["gateways"])
 
     # -- change notification ------------------------------------------------------
@@ -227,6 +312,27 @@ class VsrClient:
     coalesce onto a single in-flight directory round trip — a burst of
     calls to one not-yet-cached service costs one UDDI exchange, not one
     per caller (``coalesced_lookups`` counts the savings).
+
+    An authoritative "no such service" verdict is negative-cached for
+    ``negative_ttl`` virtual seconds: a retry loop hammering a missing
+    name costs one directory round trip per TTL window, not one per
+    iteration.  The entry is dropped the moment this client publishes the
+    service or the on_change/unregister chain calls :meth:`invalidate`;
+    remote publishes age out with the TTL (``negative_hits`` counts the
+    round trips saved).
+
+    With ``federation`` set (a :class:`repro.core.shard.FederationRouting`)
+    the client is ring-aware: keyed operations (publish/withdraw/
+    find_by_name/register_gateway/unregister_gateway) route to the owning
+    shard's replicas in order — failing over on connectivity failures,
+    skipping replicas whose per-endpoint circuit breaker is open without
+    consuming any deadline — while ``find``/``list_gateways`` scatter to
+    every shard with a per-shard deadline and degrade to partial results
+    (see :class:`repro.core.shard.FederatedDocuments`) instead of failing.
+    Same-instant lookups for *different* names owned by one shard batch
+    onto a single ``find_many`` exchange.  A trivial 1-shard/1-replica
+    routing is ignored: the legacy single-directory path stays
+    byte-identical on the wire.
     """
 
     def __init__(
@@ -240,6 +346,8 @@ class VsrClient:
         interchange: InterchangeConfig | None = None,
         obs: Any = None,
         label: str = "",
+        negative_ttl: float = 1.0,
+        federation: Any = None,
     ) -> None:
         self.stack = stack
         self.sim = stack.sim
@@ -248,16 +356,31 @@ class VsrClient:
         self.cache_ttl = cache_ttl
         self.lookup_deadline = lookup_deadline
         self.allow_stale = allow_stale
+        self.negative_ttl = negative_ttl
+        # A trivial routing (one shard, one replica) IS the legacy
+        # directory: drop to the historical code path so the wire stays
+        # byte-identical.
+        if federation is not None and getattr(federation, "trivial", False):
+            federation = None
+        self.federation = federation
         self.soap = SoapClient(stack, interchange)
         self._cache: dict[str, tuple[float, WsdlDocument]] = {}
+        self._negative: dict[str, float] = {}
         self._gateway_cache: dict[str, str] | None = None
         self._inflight: dict[str, SimFuture] = {}
         self._gateways_inflight: SimFuture | None = None
+        self._breakers: dict[tuple[int, int], Any] = {}
+        self._batch_pending: dict[int, dict[str, SimFuture]] = {}
         self.cache_hits = 0
         self.remote_lookups = 0
         self.coalesced_lookups = 0
         self.degraded_reads = 0
         self.lookup_failures = 0
+        self.negative_hits = 0
+        self.failovers = 0
+        self.replicas_skipped_open = 0
+        self.batched_lookups = 0
+        self.partial_finds = 0
         self.obs = obs if obs is not None else NOOP_OBS
         self.label = label
         # The directory client gets its own metric namespace so its HTTP
@@ -270,6 +393,9 @@ class VsrClient:
         self._m_coalesced = metrics.counter(f"{prefix}.coalesced_lookups")
         self._m_degraded = metrics.counter(f"{prefix}.degraded_reads")
         self._m_failures = metrics.counter(f"{prefix}.lookup_failures")
+        self._m_negative = metrics.counter(f"{prefix}.negative_hits")
+        self._m_failovers = metrics.counter(f"{prefix}.failovers")
+        self._m_batched = metrics.counter(f"{prefix}.batched_lookups")
 
     def _call(self, operation: str, args: list[Any]) -> SimFuture:
         raw = self.soap.call(
@@ -287,12 +413,189 @@ class VsrClient:
             ),
         )
 
+    # -- federation routing -------------------------------------------------
+
+    def _shard_breaker(self, shard: int, index: int) -> CircuitBreaker:
+        key = (shard, index)
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            cfg = self.federation.config
+            policy = CallPolicy(
+                breaker_threshold=cfg.breaker_threshold,
+                breaker_reset_timeout=cfg.breaker_reset_timeout,
+            )
+            breaker = CircuitBreaker(
+                self.sim, policy, f"{self.label or 'vsr'}:s{shard}r{index}"
+            )
+            self._breakers[key] = breaker
+        return breaker
+
+    def _shard_call(
+        self,
+        shard: int,
+        operation: str,
+        args: list[Any],
+        deadline: float | None = None,
+    ) -> SimFuture:
+        """One logical call against a shard: try its replicas in order,
+        failing over on connectivity failures.  A replica whose breaker is
+        open is skipped synchronously — no wire traffic, none of the
+        shard's deadline consumed.  A SOAP fault is the shard *answering*
+        (an authoritative verdict and a healthy endpoint), so it neither
+        trips the breaker nor triggers failover."""
+        replicas = self.federation.replicas(shard)
+        if deadline is None:
+            deadline = self.lookup_deadline
+        result: SimFuture = SimFuture()
+        started = self.sim.now
+        state: dict[str, Any] = {"index": 0, "last": None}
+
+        def fail(default_msg: str) -> None:
+            exc = state["last"] or DirectoryUnavailableError(default_msg)
+            result.set_exception(exc)
+
+        def attempt() -> None:
+            while state["index"] < len(replicas):
+                index = state["index"]
+                state["index"] += 1
+                endpoint = replicas[index]
+                breaker = self._shard_breaker(shard, index)
+                try:
+                    breaker.admit()
+                except CircuitOpenError as exc:
+                    self.replicas_skipped_open += 1
+                    state["last"] = exc
+                    continue
+                raw = self.soap.call(
+                    endpoint.address,
+                    UDDI_SERVICE_NAME,
+                    operation,
+                    args,
+                    port=endpoint.port,
+                )
+                if deadline:
+                    remaining = deadline - (self.sim.now - started)
+                    if remaining <= 0:
+                        fail(
+                            f"shard {shard} deadline exhausted before "
+                            f"{operation!r} reached {endpoint.name}"
+                        )
+                        return
+                    raw = with_deadline(
+                        self.sim,
+                        raw,
+                        remaining,
+                        lambda endpoint=endpoint: DirectoryUnavailableError(
+                            f"shard {shard} replica {endpoint.name} did not "
+                            f"answer {operation!r} in time"
+                        ),
+                    )
+                raw.add_done_callback(lambda fut, b=breaker: settle(fut, b))
+                return
+            fail(f"no shard {shard} replica reachable for {operation!r}")
+
+        def settle(future: SimFuture, breaker: CircuitBreaker) -> None:
+            exc = future.exception()
+            if exc is None:
+                breaker.record_success()
+                result.set_result(future.result())
+                return
+            if isinstance(exc, SoapFault):
+                breaker.record_success()
+                result.set_exception(exc)
+                return
+            breaker.record_failure()
+            self.failovers += 1
+            self._m_failovers.inc()
+            state["last"] = exc
+            attempt()
+
+        attempt()
+        return result
+
+    def _keyed_call(self, key: str, operation: str, args: list[Any]) -> SimFuture:
+        """Route a keyed write/read to the ring owner's shard."""
+        return self._shard_call(self.federation.owner(key), operation, args)
+
+    def _lookup_call(self, service: str) -> SimFuture:
+        """A federated ``find_by_name`` round trip.  Distinct names owned
+        by the same shard that are requested in the same instant ride one
+        ``find_many`` exchange (same-name callers already coalesce on the
+        in-flight map before reaching here).  Resolves to the raw WSDL
+        XML string, exactly like the legacy reply."""
+        shard = self.federation.owner(service)
+        if not self.federation.config.batch_lookups:
+            return self._shard_call(shard, "find_by_name", [service])
+        pending = self._batch_pending.get(shard)
+        slot: SimFuture = SimFuture()
+        if pending is None:
+            self._batch_pending[shard] = {service: slot}
+            self.sim.schedule(0.0, self._flush_batch, shard)
+        else:
+            pending[service] = slot
+        return slot
+
+    def _flush_batch(self, shard: int) -> None:
+        pending = self._batch_pending.pop(shard, None)
+        if not pending:
+            return
+        if len(pending) == 1:
+            ((service, slot),) = pending.items()
+
+            def relay(future: SimFuture, slot: SimFuture = slot) -> None:
+                exc = future.exception()
+                if exc is not None:
+                    slot.set_exception(exc)
+                else:
+                    slot.set_result(future.result())
+
+            self._shard_call(shard, "find_by_name", [service]).add_done_callback(relay)
+            return
+        names = sorted(pending)
+        self.batched_lookups += len(names) - 1
+        self._m_batched.inc(len(names) - 1)
+
+        def fanout(future: SimFuture) -> None:
+            exc = future.exception()
+            if exc is not None:
+                for slot in pending.values():
+                    slot.set_exception(exc)
+                return
+            try:
+                reply = dict(future.result())
+            except (TypeError, ValueError) as shape_exc:
+                bad = RepositoryError(f"malformed find_many reply: {shape_exc}")
+                for slot in pending.values():
+                    slot.set_exception(bad)
+                return
+            for service, slot in pending.items():
+                xml = reply.get(service)
+                if xml is None:
+                    slot.set_exception(
+                        ServiceNotFoundError(
+                            f"no service {service!r} registered in shard {shard}"
+                        )
+                    )
+                else:
+                    slot.set_result(xml)
+
+        self._shard_call(shard, "find_many", [names]).add_done_callback(fanout)
+
+    # -- repository operations ----------------------------------------------
+
     def publish(self, document: WsdlDocument) -> SimFuture:
         self._cache.pop(document.service, None)
-        return self._call("publish", [document.to_xml().decode("utf-8")])
+        self._negative.pop(document.service, None)
+        xml = document.to_xml().decode("utf-8")
+        if self.federation is not None:
+            return self._keyed_call(document.service, "publish", [xml])
+        return self._call("publish", [xml])
 
     def withdraw(self, service: str) -> SimFuture:
         self._cache.pop(service, None)
+        self._negative.pop(service, None)
+        if self.federation is not None:
+            return self._keyed_call(service, "withdraw", [service])
         return self._call("withdraw", [service])
 
     def find_by_name(self, service: str) -> SimFuture:
@@ -308,6 +611,20 @@ class VsrClient:
             self.cache_hits += 1
             self._m_cache_hits.inc()
             return SimFuture.completed(cached[1])
+        verdict_at = self._negative.get(service)
+        if verdict_at is not None:
+            if self.sim.now - verdict_at <= self.negative_ttl:
+                # The directory said "no such service" moments ago; a retry
+                # loop gets the same authoritative verdict without another
+                # round trip.
+                self.negative_hits += 1
+                self._m_negative.inc()
+                return SimFuture.failed(
+                    ServiceNotFoundError(
+                        f"no service {service!r} registered (negative-cached)"
+                    )
+                )
+            del self._negative[service]
         inflight = self._inflight.get(service)
         if inflight is not None:
             # Another caller is already resolving this name: share the
@@ -326,6 +643,11 @@ class VsrClient:
             if exc is not None:
                 if isinstance(exc, (SoapFault, ServiceNotFoundError)):
                     # The directory answered: its verdict is authoritative.
+                    if self.negative_ttl > 0 and (
+                        isinstance(exc, ServiceNotFoundError)
+                        or getattr(exc, "detail", "") == "ServiceNotFoundError"
+                    ):
+                        self._negative[service] = self.sim.now
                     result.set_exception(exc)
                     return
                 self.lookup_failures += 1
@@ -356,12 +678,23 @@ class VsrClient:
             self._cache[service] = (self.sim.now, document)
             result.set_result(document)
 
-        self._call("find_by_name", [service]).add_done_callback(decode)
+        if self.federation is not None:
+            self._lookup_call(service).add_done_callback(decode)
+        else:
+            self._call("find_by_name", [service]).add_done_callback(decode)
         return result
 
     def find(self, context_filter: dict[str, str] | None = None) -> SimFuture:
         """Resolve to a list of :class:`WsdlDocument` (never cached: used
-        for federation sweeps where freshness matters)."""
+        for federation sweeps where freshness matters).
+
+        Federated clients scatter the query to every shard under a
+        per-shard deadline and merge: a shard that cannot answer is
+        *skipped*, and the (still successful) result is a
+        :class:`FederatedDocuments` naming the missed shards — a partial
+        directory beats no directory for a sweep."""
+        if self.federation is not None:
+            return self._scatter_find(context_filter or {})
         result: SimFuture = SimFuture()
 
         def decode(future: SimFuture) -> None:
@@ -382,7 +715,45 @@ class VsrClient:
         self._call("find", [context_filter or {}]).add_done_callback(decode)
         return result
 
+    def _scatter_find(self, context_filter: dict[str, str]) -> SimFuture:
+        fed = self.federation
+        deadline = fed.config.find_deadline or self.lookup_deadline
+        result: SimFuture = SimFuture()
+        merged: dict[str, WsdlDocument] = {}
+        missed: list[int] = []
+        state = {"outstanding": fed.shard_count}
+
+        def settle(shard: int, future: SimFuture) -> None:
+            exc = future.exception()
+            if exc is not None:
+                missed.append(shard)
+            else:
+                try:
+                    for xml in future.result():
+                        document = WsdlDocument.from_xml(str(xml).encode("utf-8"))
+                        merged[document.service] = document
+                except Exception:  # corrupt/mispaired reply: shard is blind
+                    missed.append(shard)
+            state["outstanding"] -= 1
+            if state["outstanding"] == 0:
+                if missed:
+                    self.partial_finds += 1
+                    self.degraded_reads += 1
+                    self._m_degraded.inc()
+                documents = sorted(merged.values(), key=lambda d: d.service)
+                result.set_result(FederatedDocuments(documents, sorted(missed)))
+
+        for shard in range(fed.shard_count):
+            self._shard_call(
+                shard, "find", [context_filter], deadline=deadline
+            ).add_done_callback(lambda fut, s=shard: settle(s, fut))
+        return result
+
     def register_gateway(self, island: str, location: str) -> SimFuture:
+        if self.federation is not None:
+            return self._keyed_call(
+                gateway_ring_key(island), "register_gateway", [island, location]
+            )
         return self._call("register_gateway", [island, location])
 
     def unregister_gateway(self, island: str) -> SimFuture:
@@ -391,6 +762,10 @@ class VsrClient:
         the entry this client just removed."""
         if self._gateway_cache is not None:
             self._gateway_cache.pop(island, None)
+        if self.federation is not None:
+            return self._keyed_call(
+                gateway_ring_key(island), "unregister_gateway", [island]
+            )
         return self._call("unregister_gateway", [island])
 
     def list_gateways(self) -> SimFuture:
@@ -437,11 +812,52 @@ class VsrClient:
                 return
             result.set_exception(exc)
 
-        self._call("list_gateways", []).add_done_callback(decode)
+        if self.federation is not None:
+            self._scatter_gateways().add_done_callback(decode)
+        else:
+            self._call("list_gateways", []).add_done_callback(decode)
+        return result
+
+    def _scatter_gateways(self) -> SimFuture:
+        """Merge the gateway registry across all shards.  Partial answers
+        merge; only a total miss (every shard unreachable) surfaces as a
+        failure, which then takes the usual degraded-cache path."""
+        fed = self.federation
+        deadline = fed.config.find_deadline or self.lookup_deadline
+        result: SimFuture = SimFuture()
+        merged: dict[str, str] = {}
+        state: dict[str, Any] = {"outstanding": fed.shard_count, "hits": 0, "last": None}
+
+        def settle(future: SimFuture) -> None:
+            exc = future.exception()
+            if exc is None:
+                try:
+                    merged.update(dict(future.result()))
+                    state["hits"] += 1
+                except (TypeError, ValueError) as shape_exc:
+                    state["last"] = RepositoryError(
+                        f"malformed gateway registry reply: {shape_exc}"
+                    )
+            else:
+                state["last"] = exc
+            state["outstanding"] -= 1
+            if state["outstanding"] == 0:
+                if state["hits"] == 0:
+                    result.set_exception(state["last"])
+                else:
+                    result.set_result(merged)
+
+        for shard in range(fed.shard_count):
+            self._shard_call(
+                shard, "list_gateways", [], deadline=deadline
+            ).add_done_callback(settle)
         return result
 
     def invalidate(self, service: str) -> None:
         self._cache.pop(service, None)
+        # The on_change/unregister chain lands here: whatever the directory
+        # just told us about this name supersedes a cached "not found".
+        self._negative.pop(service, None)
 
     def forget_caches(self) -> None:
         """Cold crash of the owning gateway: the read cache and the
@@ -449,4 +865,5 @@ class VsrClient:
         (In-flight lookups are left to settle; their callers' deadlines
         already bound them.)"""
         self._cache.clear()
+        self._negative.clear()
         self._gateway_cache = None

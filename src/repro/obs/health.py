@@ -187,3 +187,49 @@ def score_island(
     slo["reasons"] = reasons
     slo["staleness"] = staleness
     return slo
+
+
+def score_replica(
+    policy: HealthPolicy,
+    replica: str,
+    *,
+    convergence_lag: float,
+    sync_interval: float,
+    peers: int,
+    alive: bool = True,
+) -> dict[str, Any]:
+    """Score one directory shard replica (:mod:`repro.core.shard`).
+
+    ``convergence_lag`` is virtual seconds since the replica's
+    anti-entropy agent last observed (or produced) a converged digest;
+    the yardstick is one full gossip cycle — ``sync_interval`` per peer,
+    round-robin, so ``sync_interval * peers`` seconds visits everyone.
+    A lag past one cycle means the replica is chasing deltas
+    (``degraded``); past ``stale_after_reports`` cycles its view of the
+    shard can no longer be trusted for reads (``unhealthy``) — the same
+    multiplier staleness uses for islands, applied to gossip rounds.
+    """
+    reasons: list[str] = []
+    status = HEALTHY
+
+    def worsen(new_status: str, reason: str) -> None:
+        nonlocal status
+        reasons.append(reason)
+        if STATUS_LEVEL[new_status] > STATUS_LEVEL[status]:
+            status = new_status
+
+    cycle = sync_interval * max(1, peers)
+    if not alive:
+        worsen(UNHEALTHY, "replica-down")
+    if cycle > 0 and peers > 0:
+        if convergence_lag > policy.stale_after_reports * cycle:
+            worsen(UNHEALTHY, "unconverged")
+        elif convergence_lag > cycle:
+            worsen(DEGRADED, "converging")
+    return {
+        "replica": replica,
+        "status": status,
+        "reasons": reasons,
+        "convergence_lag": convergence_lag,
+        "gossip_cycle": cycle,
+    }

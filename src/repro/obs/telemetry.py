@@ -46,7 +46,7 @@ from __future__ import annotations
 import json
 from typing import Any, Callable
 
-from repro.obs.health import STATUS_LEVEL, HealthPolicy, score_island
+from repro.obs.health import STATUS_LEVEL, HealthPolicy, score_island, score_replica
 
 #: Telemetry reports publish under ``obs.telemetry.<island>``; the
 #: collector subscribes to the prefix pattern.
@@ -286,6 +286,9 @@ class TelemetryCollector:
         self.duplicates_dropped = 0
         self.malformed_dropped = 0
         self._statuses: dict[str, str] = {}
+        #: The sharded directory plane, when attached — folded into
+        #: :meth:`federation_snapshot` with per-replica health verdicts.
+        self._vsr_federation: Any = None
         #: Health transitions in occurrence order:
         #: ``{"island", "from", "to", "time", "reasons"}``.
         self.transitions: list[dict[str, Any]] = []
@@ -313,6 +316,40 @@ class TelemetryCollector:
         return self.vsg.subscribe(
             TELEMETRY_TOPIC_PREFIX + "*", FullEventCallback(self._on_event)
         )
+
+    def attach_federation(self, federation: Any) -> "TelemetryCollector":
+        """Fold a sharded directory plane
+        (:class:`repro.core.shard.VsrFederation`) into this collector's
+        federation view: :meth:`federation_snapshot` grows a
+        ``vsr_federation`` section with per-shard convergence state and a
+        health verdict per replica — a replica whose anti-entropy lag
+        exceeds the policy's staleness multiplier of one gossip cycle
+        scores ``unhealthy`` (see :func:`repro.obs.health.score_replica`).
+        """
+        self._vsr_federation = federation
+        return self
+
+    def vsr_federation_report(self) -> dict[str, Any]:
+        """Shard/replica state + health for the attached directory plane
+        (empty dict when none is attached)."""
+        federation = self._vsr_federation
+        if federation is None:
+            return {}
+        stats = federation.stats()
+        sync_interval = federation.config.sync_interval
+        for shard_entry in stats["per_shard"]:
+            group = federation.replicas[shard_entry["shard"]]
+            peers = len(group) - 1
+            for entry in shard_entry["replicas"]:
+                entry["health"] = score_replica(
+                    self.policy,
+                    entry["name"],
+                    convergence_lag=float(entry.get("convergence_lag", 0.0)),
+                    sync_interval=sync_interval,
+                    peers=peers,
+                    alive=bool(entry["alive"]),
+                )
+        return stats
 
     def add_listener(self, listener: Callable[[str, str, str], None]) -> None:
         """``listener(island, old_status, new_status)`` on every health
@@ -484,11 +521,14 @@ class TelemetryCollector:
                 },
                 "health": self.status_for(island),
             }
-        return {
+        snapshot: dict[str, Any] = {
             "collector": self.island,
             "time": self.sim.now,
             "islands": islands,
         }
+        if self._vsr_federation is not None:
+            snapshot["vsr_federation"] = self.vsr_federation_report()
+        return snapshot
 
     def snapshot_json(self) -> str:
         return json.dumps(

@@ -40,6 +40,16 @@ fault schedule — declared failures are always legal, silent ones never:
 - **replay-idempotence** — replaying any WAL twice yields byte-identical
   canonical state snapshots: recovery is a pure fold over the journal,
   with no hidden mutable inputs.
+- **ring-placement** — on scale-profile seeds, every document and
+  gateway registration a shard replica holds belongs on that shard by
+  the consistent-hash ring: placement is a pure function of
+  ``(seed, shards, virtual_nodes)``, so a key on the wrong replica
+  means routing and ownership disagree somewhere.
+- **replica-convergence** — on scale-profile seeds, once the run
+  quiesces every *live* replica of a shard holds a byte-identical
+  canonical state snapshot: anti-entropy must converge the group no
+  matter which replica took which writes or which faults interleaved
+  (permanently dead nodes are excluded — they catch up on return).
 - **conservation** — per-segment delivery accounting balances, the
   monitor agrees with the segments, and every monitored drop is claimed
   by exactly one fault-report loss window.  Push event channels need no
@@ -126,6 +136,7 @@ class InvariantSuite:
         self._check_telemetry()
         self._check_event_durability()
         self._check_replay_idempotence()
+        self._check_federation()
         self._check_conservation(report)
         return self.violations
 
@@ -141,6 +152,9 @@ class InvariantSuite:
 
     def _check_vsr(self, runner: "WorkloadRunner") -> None:
         known = set(self.world.spec.island_names)
+        # Scale-band stub islands are seeded directory data, not spec
+        # islands; the directory naming them is expected, not phantom.
+        known |= set(self.world.scale_stubs)
         directory = self.world.mm.uddi.directory
         for document in directory.find({}):
             island = document.context.get("island", "")
@@ -339,6 +353,55 @@ class InvariantSuite:
                         f"disagree — recovery is not a pure fold",
                     )
                 )
+
+    def _check_federation(self) -> None:
+        federation = self.world.federation
+        if federation is None:
+            return
+        from repro.core.vsr import gateway_ring_key
+
+        ring = federation.ring
+        for shard, group in enumerate(federation.replicas):
+            for replica in group:
+                directory = replica.directory
+                name = replica.endpoint.name
+                for service in directory.service_names():
+                    owner = ring.owner(service)
+                    if owner != shard:
+                        self.violations.append(
+                            Violation(
+                                "ring-placement",
+                                f"{name} (shard {shard}) holds document "
+                                f"{service!r} owned by shard {owner}",
+                            )
+                        )
+                for island in directory.gateways():
+                    owner = ring.owner(gateway_ring_key(island))
+                    if owner != shard:
+                        self.violations.append(
+                            Violation(
+                                "ring-placement",
+                                f"{name} (shard {shard}) registers gateway "
+                                f"{island!r} owned by shard {owner}",
+                            )
+                        )
+            live = [
+                replica for replica in group if replica.node.alive
+            ]
+            if len(live) < 2:
+                continue  # nothing to compare (or peers died for good)
+            baseline = live[0].directory.canonical_state_json()
+            for replica in live[1:]:
+                state = replica.directory.canonical_state_json()
+                if state != baseline:
+                    self.violations.append(
+                        Violation(
+                            "replica-convergence",
+                            f"shard {shard}: {replica.endpoint.name} state "
+                            f"diverges from {live[0].endpoint.name} after "
+                            f"quiesce — anti-entropy never converged",
+                        )
+                    )
 
     def _check_conservation(self, report: FaultReport) -> None:
         monitored_frames = 0

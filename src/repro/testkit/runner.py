@@ -297,6 +297,25 @@ PERSISTENCE_SEED_SPAN = 100
 #: will demand.
 PERSISTENCE_SETTLE = 90.0
 
+#: Seeds in [SCALE_SEED_BASE, SCALE_SEED_BASE + SCALE_SEED_SPAN) draw the
+#: "scale" profile — the federation band.  Topologies carry a sharded,
+#: replicated directory plane (``repro.core.shard``: 4-16 shards, 2-3
+#: replicas each) plus a 1k-4k-island stub catalogue installed replay-side
+#: as pure directory data (``repro.testkit.scale_profile``) — no gateway
+#: stacks, no wire traffic.  The workload is lookup-heavy with half the
+#: lookups aimed at stub names so every shard sees cache-cold traffic,
+#: and the ring-placement and replica-convergence oracles judge the run
+#: alongside every historical invariant.  Corpus seeds 600-604 are
+#: pinned in tests/testkit.
+SCALE_SEED_BASE = 600
+SCALE_SEED_SPAN = 100
+
+#: Extra virtual seconds appended to the run window on scale-band seeds
+#: before shutdown: anti-entropy rounds fire every ~2s per replica and a
+#: fault landing on a replica late in the script still needs a few digest
+#: →pull cycles for the convergence oracle's state comparison to settle.
+SCALE_SETTLE = 30.0
+
 
 def _profile_for(seed: int) -> str:
     if PUSH_SEED_BASE <= seed < PUSH_SEED_BASE + PUSH_SEED_SPAN:
@@ -309,6 +328,8 @@ def _profile_for(seed: int) -> str:
         return "telemetry"
     if PERSISTENCE_SEED_BASE <= seed < PERSISTENCE_SEED_BASE + PERSISTENCE_SEED_SPAN:
         return "persistence"
+    if SCALE_SEED_BASE <= seed < SCALE_SEED_BASE + SCALE_SEED_SPAN:
+        return "scale"
     return "default"
 
 
@@ -379,6 +400,15 @@ def replay(
         except Exception as exc:  # noqa: BLE001 - report, don't mask
             error = f"telemetry mount failed: {type(exc).__name__}: {exc}"
 
+    if profile == "scale" and not error:
+        # Seed the stub catalogue straight into the shard primaries (pure
+        # data, no wire) before the workload clock starts, so lookups at
+        # t=0 already face a directory holding thousands of islands and
+        # anti-entropy has the whole catalogue to replicate.
+        from repro.testkit.scale_profile import install_scale
+
+        install_scale(world)
+
     start = world.sim.now
     _plant_bug(inject_bug, world, start)
     if profile == "rules":
@@ -421,6 +451,8 @@ def replay(
     end = max(start + last_op, fault_end) + 1.0
     if do_persist:
         end += PERSISTENCE_SETTLE
+    if profile == "scale":
+        end += SCALE_SETTLE
     world.sim.run(until=end)
     for _, engine in sorted(world.rule_engines.items()):
         engine.stop()
@@ -586,6 +618,8 @@ def _snapshot_metrics(world: World) -> dict[str, Any]:
                 "recoveries": directory.recoveries,
             }
         snapshot["persistence"] = persistence
+    if world.federation is not None:
+        snapshot["federation"] = world.federation.stats()
     if world.obs is not None:
         snapshot["metrics"] = world.obs.metrics.snapshot()
         snapshot["spans"] = len(world.obs.tracer.spans)

@@ -87,6 +87,15 @@ class TopologySpec:
     max_retries: int
     breaker_threshold: int
     heartbeat_interval: float
+    #: Directory federation (scale band): 0 = the legacy single
+    #: directory; >=1 builds a sharded, replicated plane
+    #: (``repro.core.shard``) with this many shards...
+    federation_shards: int = 0
+    #: ...each replicated this many ways.
+    federation_replicas: int = 1
+    #: Pure-data island stubs seeded straight into the shard primaries
+    #: after connect (no gateway stacks — see testkit.scale_profile).
+    stub_islands: int = 0
 
     @property
     def service_names(self) -> list[str]:
@@ -97,9 +106,25 @@ class TopologySpec:
         return [island.name for island in self.islands]
 
     @property
+    def directory_node_names(self) -> list[str]:
+        """The directory plane's backbone node names (one for the legacy
+        or trivial-federation shape, N*R replicas otherwise)."""
+        if self.federation_shards <= 0 or (
+            self.federation_shards == 1 and self.federation_replicas == 1
+        ):
+            return ["uddi-directory"]
+        return [
+            f"vsr-s{shard}r{replica}"
+            for shard in range(self.federation_shards)
+            for replica in range(self.federation_replicas)
+        ]
+
+    @property
     def node_names(self) -> list[str]:
         """Every backbone node a fault can target."""
-        return ["uddi-directory"] + [f"gw-{island.name}" for island in self.islands]
+        return self.directory_node_names + [
+            f"gw-{island.name}" for island in self.islands
+        ]
 
     @property
     def segment_names(self) -> list[str]:
@@ -118,6 +143,12 @@ class TopologySpec:
             f"heartbeat={self.heartbeat_interval:g}s "
             f"obs={'on' if self.obs_enabled else 'off'}"
         ]
+        if self.federation_shards:
+            lines.append(
+                f"  federation: {self.federation_shards} shards x "
+                f"{self.federation_replicas} replicas, "
+                f"{self.stub_islands} stub islands"
+            )
         for island in self.islands:
             lines.append(
                 f"  {island.name} ({island.kind}, {island.interchange}, "
@@ -162,6 +193,12 @@ class TopologyGen:
         # reactor islands so WAL recovery also rides plain polling and
         # vectored wires (the restart matrix in miniature, seeded).
         "persistence": (("legacy", "fast", "push", "reactor"), (20, 15, 45, 20)),
+        # Scale seeds (federated directory, thousands of stub islands)
+        # lean on fast/reactor wires — lookup throughput is the point —
+        # with legacy islands kept in so the ring-aware client also rides
+        # the one-shot wire.  No push weight: event channels add nothing
+        # to directory scaling and the subscribe weight is zero anyway.
+        "scale": (("legacy", "fast", "reactor"), (25, 40, 35)),
     }
 
     def generate(self, seed: int, profile: str = "default") -> TopologySpec:
@@ -198,6 +235,19 @@ class TopologyGen:
             obs_draw = True
             if heartbeat_interval == 0.0:
                 heartbeat_interval = 5.0
+        # Scale-band draws come *after* every base draw so the shared RNG
+        # prefix (and with it, every other band's scripts for the same
+        # seed) stays byte-identical.
+        federation_shards = 0
+        federation_replicas = 1
+        stub_islands = 0
+        if profile == "scale":
+            federation_shards = rng.choice((4, 8, 16))
+            federation_replicas = rng.choice((2, 3))
+            stub_islands = rng.choices((1000, 2000, 4000), weights=(50, 35, 15))[0]
+            # Thousands of stub registrations sit in the gateway registry:
+            # heartbeating them all would drown the band in ping traffic.
+            heartbeat_interval = 0.0
         return TopologySpec(
             seed=seed,
             islands=tuple(islands),
@@ -206,6 +256,9 @@ class TopologyGen:
             max_retries=max_retries,
             breaker_threshold=breaker_threshold,
             heartbeat_interval=heartbeat_interval,
+            federation_shards=federation_shards,
+            federation_replicas=federation_replicas,
+            stub_islands=stub_islands,
         )
 
 
@@ -313,6 +366,13 @@ class World:
     #: outside any node, so crashes cannot touch them.
     journals: dict[str, Any] = field(default_factory=dict)
     directory_journal: Any = None
+    #: The sharded directory plane (``repro.core.shard.VsrFederation``)
+    #: on scale-profile seeds; None everywhere else.
+    federation: Any = None
+    #: Names of the pure-data stub islands the scale profile seeded into
+    #: the shard primaries (empty off the scale band); the vsr-islands
+    #: oracle treats them as known.
+    scale_stubs: tuple[str, ...] = ()
 
     @property
     def islands(self) -> dict[str, Island]:
@@ -354,7 +414,20 @@ def build_world(spec: TopologySpec, force_obs: bool = False) -> World:
         directory_deadline=spec.deadline,
         seed=spec.seed,
     )
-    mm = MetaMiddleware(network, backbone, policy=policy, obs=obs)
+    federation_config = None
+    if spec.federation_shards > 0:
+        from repro.core.shard import FederationConfig
+
+        federation_config = FederationConfig(
+            shards=spec.federation_shards,
+            replicas=spec.federation_replicas,
+            ring_seed=f"testkit:ring:{spec.seed}",
+            sync_interval=2.0,
+            find_deadline=spec.deadline,
+        )
+    mm = MetaMiddleware(
+        network, backbone, policy=policy, obs=obs, federation=federation_config
+    )
     monitor = TrafficMonitor()
     monitor.watch(backbone)
 
@@ -368,6 +441,7 @@ def build_world(spec: TopologySpec, force_obs: bool = False) -> World:
         obs=obs,
         services={},
         service_island={},
+        federation=mm.federation,
     )
 
     for ispec in spec.islands:

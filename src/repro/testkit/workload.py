@@ -44,6 +44,11 @@ _TELEMETRY_WEIGHTS = (45, 25, 12, 6, 6, 6)
 #: middle of queued/retained event traffic for the no-lost-acked-event
 #: oracle to bite) with early subscribes opening the delivery paths.
 _PERSISTENCE_WEIGHTS = (20, 45, 20, 5, 5, 5)
+#: Scale-profile mix: lookup-heavy (directory throughput is what the
+#: federation exists for), zero subscribes — opening poll loops against
+#: a registry holding thousands of stub islands would turn the band into
+#: an announce storm that has nothing to do with directory scaling.
+_SCALE_WEIGHTS = (35, 15, 0, 35, 7, 8)
 _OPERATIONS = ("get", "add", "echo", "fail")
 _OP_WEIGHTS = (40, 30, 20, 10)
 
@@ -108,6 +113,8 @@ class WorkloadGen:
             weights = _TELEMETRY_WEIGHTS
         elif profile == "persistence":
             weights = _PERSISTENCE_WEIGHTS
+        elif profile == "scale":
+            weights = _SCALE_WEIGHTS
         else:
             weights = _WEIGHTS
         rng = random.Random(f"testkit:workload:{spec.seed}")
@@ -146,7 +153,17 @@ class WorkloadGen:
                 topics = tuple(rng.sample(TOPICS, rng.randint(1, 3)))
                 ops.append(WorkloadOp(index, t, kind, island, topics=topics))
             elif kind == "lookup":
-                service = rng.choice(all_services + ["Svc_ghost"])
+                if (
+                    profile == "scale"
+                    and spec.stub_islands
+                    and rng.random() < 0.5
+                ):
+                    # Half the scale band's lookups target the seeded stub
+                    # catalogue: names spread across every shard, mostly
+                    # cache-cold, exactly the traffic sharding exists for.
+                    service = f"Svc_stub{rng.randrange(spec.stub_islands)}"
+                else:
+                    service = rng.choice(all_services + ["Svc_ghost"])
                 ops.append(WorkloadOp(index, t, kind, island, service=service))
             elif kind == "join":
                 service = f"Svc_{island}_J{joined[island]}"

@@ -30,6 +30,9 @@ from repro.testkit import check, shrink_failure, sweep
 #: Seeds 500-504 sit in the persistence band: WAL journals on every
 #: gateway and the directory, guaranteed cold crash→restart cycles, and
 #: the event-durability + replay-idempotence oracles judging recovery.
+#: Seeds 600-604 sit in the scale band: a sharded, replicated directory
+#: plane (4-16 shards × 2-3 replicas) under 1k-4k stub registrations,
+#: judged by the ring-placement and replica-convergence oracles.
 CORPUS = (
     list(range(30))
     + [100, 101, 102, 103, 104]
@@ -37,6 +40,7 @@ CORPUS = (
     + [300, 301, 302, 303, 304]
     + [400, 401, 402, 403, 404]
     + [500, 501, 502, 503, 504]
+    + [600, 601, 602, 603, 604]
 )
 
 #: Sweep seeds live far above the corpus so the nightly never rechecks
@@ -122,6 +126,43 @@ def test_persistence_band_full_sweep() -> None:
         (path / f"wal-seed-{first.seed}.json").write_text(first.wal_dumps_json())
     pytest.fail(
         f"{len(failures)} of {len(seeds)} persistence-band seeds failed "
+        f"(first: seed={first.seed})\n\n{shrunk.render()}"
+    )
+
+
+def test_scale_band_full_sweep() -> None:
+    """Every seed in the sharded-directory scale band [600, 700), not
+    just the five corpus pins.  Opt-in (CI runs it nightly): set
+    ``TESTKIT_SCALE_SWEEP=1``."""
+    if not os.environ.get("TESTKIT_SCALE_SWEEP"):
+        pytest.skip("full scale-band sweep disabled (set TESTKIT_SCALE_SWEEP=1)")
+    import json
+
+    from repro.testkit.runner import SCALE_SEED_BASE, SCALE_SEED_SPAN
+
+    seeds = list(range(SCALE_SEED_BASE, SCALE_SEED_BASE + SCALE_SEED_SPAN))
+    failures = sweep(seeds)
+    if not failures:
+        return
+    first = failures[0]
+    shrunk = shrink_failure(first.seed)
+    out_dir = os.environ.get("TESTKIT_OUTPUT_DIR")
+    if out_dir:
+        path = pathlib.Path(out_dir)
+        path.mkdir(parents=True, exist_ok=True)
+        (path / f"repro-seed-{first.seed}.txt").write_text(shrunk.render())
+        (path / f"flight-seed-{first.seed}.json").write_text(
+            first.flight_dumps_json()
+        )
+        # The ring is the routing ground truth: a placement or
+        # convergence violation is only debuggable against the exact
+        # vnode layout the failing seed drew.
+        if first.world.federation is not None:
+            (path / f"ring-seed-{first.seed}.json").write_text(
+                json.dumps(first.world.federation.ring_dump(), indent=2)
+            )
+    pytest.fail(
+        f"{len(failures)} of {len(seeds)} scale-band seeds failed "
         f"(first: seed={first.seed})\n\n{shrunk.render()}"
     )
 

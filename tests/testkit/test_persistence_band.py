@@ -45,7 +45,7 @@ class TestBand:
             == "persistence"
         )
         assert _profile_for(PERSISTENCE_SEED_BASE - 1) == "telemetry"
-        assert _profile_for(PERSISTENCE_SEED_BASE + PERSISTENCE_SEED_SPAN) == "default"
+        assert _profile_for(PERSISTENCE_SEED_BASE + PERSISTENCE_SEED_SPAN) == "scale"
 
     def test_pinned_seeds_outside_band_unchanged(self):
         """Every older band must replay byte-identical scripts: the
